@@ -1,0 +1,114 @@
+// Command itask-hwsim explores the iTask hardware accelerator design space:
+// per-layer breakdowns, device comparisons, and parameter sweeps, all from
+// the analytical cycle/energy model in internal/hwsim.
+//
+// Usage:
+//
+//	itask-hwsim -model teacher            # device comparison + layer table
+//	itask-hwsim -sweep array              # array-size sweep (Fig. 2 series)
+//	itask-hwsim -sweep freq               # clock sweep
+//	itask-hwsim -rows 16 -cols 16         # custom design point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"itask/internal/experiments"
+	"itask/internal/hwsim"
+	"itask/internal/vit"
+)
+
+func main() {
+	modelName := flag.String("model", "teacher", "model geometry: teacher or student")
+	rows := flag.Int("rows", 0, "override systolic array rows")
+	cols := flag.Int("cols", 0, "override systolic array cols")
+	freq := flag.Float64("freq", 0, "override clock (MHz)")
+	sweep := flag.String("sweep", "", "sweep a parameter: array, freq, bandwidth, dataflow")
+	rtl := flag.String("rtl", "", "write the accelerator's generated Verilog to this path and exit")
+	flag.Parse()
+
+	var model vit.Config
+	switch *modelName {
+	case "teacher":
+		model = experiments.HWTeacherCfg()
+	case "student":
+		model = experiments.HWStudentCfg()
+	default:
+		fmt.Fprintf(os.Stderr, "itask-hwsim: unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+
+	accel := hwsim.DefaultAccel()
+	if *rows > 0 {
+		accel.Rows = *rows
+	}
+	if *cols > 0 {
+		accel.Cols = *cols
+	}
+	if *freq > 0 {
+		accel.FreqMHz = *freq
+	}
+
+	if *rtl != "" {
+		if err := os.WriteFile(*rtl, []byte(hwsim.GenerateVerilog(accel)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "itask-hwsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%dx%d array RTL)\n", *rtl, accel.Rows, accel.Cols)
+		return
+	}
+
+	switch *sweep {
+	case "":
+		c := hwsim.Compare(accel, hwsim.DefaultGPU(), hwsim.DefaultCPU(), model)
+		fmt.Printf("model: %s (%d MMACs/inference)\n\n", *modelName, model.TotalMACs()/1e6)
+		fmt.Print(c.String())
+		fmt.Printf("\naccelerator per-layer breakdown (%s):\n", accel.Name)
+		fmt.Print(c.Accel.LayerTable())
+	case "array":
+		fmt.Printf("array sweep on %s model:\n", *modelName)
+		fmt.Printf("%-8s %12s %12s %8s %14s\n", "array", "latency(us)", "energy(uJ)", "util", "EDP(uJ*us)")
+		for _, n := range []int{4, 8, 16, 32, 64, 128} {
+			cfg := accel
+			cfg.Rows, cfg.Cols = n, n
+			r := hwsim.SimulateAccel(cfg, model)
+			fmt.Printf("%dx%-6d %12.1f %12.1f %7.1f%% %14.0f\n",
+				n, n, r.LatencyUS, r.TotalUJ, 100*r.MeanUtilization, r.TotalUJ*r.LatencyUS)
+		}
+	case "freq":
+		fmt.Printf("frequency sweep on %s model (%dx%d array):\n", *modelName, accel.Rows, accel.Cols)
+		fmt.Printf("%-10s %12s %12s\n", "MHz", "latency(us)", "energy(uJ)")
+		for _, f := range []float64{100, 200, 400, 800, 1600} {
+			cfg := accel
+			cfg.FreqMHz = f
+			r := hwsim.SimulateAccel(cfg, model)
+			fmt.Printf("%-10.0f %12.1f %12.1f\n", f, r.LatencyUS, r.TotalUJ)
+		}
+	case "bandwidth":
+		fmt.Printf("DRAM bandwidth sweep on %s model:\n", *modelName)
+		fmt.Printf("%-10s %12s %12s\n", "GB/s", "latency(us)", "energy(uJ)")
+		for _, bw := range []float64{1, 2, 4, 8, 16, 32} {
+			cfg := accel
+			cfg.DRAMBandwidthGBs = bw
+			r := hwsim.SimulateAccel(cfg, model)
+			fmt.Printf("%-10.0f %12.1f %12.1f\n", bw, r.LatencyUS, r.TotalUJ)
+		}
+	case "dataflow":
+		fmt.Printf("dataflow comparison on %s model (%dx%d array):\n", *modelName, accel.Rows, accel.Cols)
+		fmt.Printf("%-20s %12s %12s %8s %12s\n", "dataflow", "latency(us)", "energy(uJ)", "util", "sram(KB)")
+		for _, df := range []hwsim.Dataflow{hwsim.WeightStationary, hwsim.OutputStationary} {
+			r := hwsim.SimulateAccelDataflow(accel, model, df)
+			var sram int64
+			for _, l := range r.Layers {
+				sram += l.SRAMBytes
+			}
+			fmt.Printf("%-20s %12.1f %12.1f %7.1f%% %12.1f\n",
+				df, r.LatencyUS, r.TotalUJ, 100*r.MeanUtilization, float64(sram)/1024)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "itask-hwsim: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,94 @@
+// Command itask-kg runs only the front half of the iTask pipeline: it
+// compiles a natural-language mission description into the abstract
+// knowledge graph (via the simulated LLM) and prints the graph as JSON plus
+// the derived class priors — useful for debugging missions and for feeding
+// external tools.
+//
+// Usage:
+//
+//	itask-kg -mission "Detect ripe apples, ignore leaves" [-json] [-threshold 0.45]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"itask/internal/kg"
+	"itask/internal/llm"
+	"itask/internal/scene"
+)
+
+func main() {
+	mission := flag.String("mission", "", "natural-language mission description (required)")
+	name := flag.String("name", "mission", "task name for the graph's root node")
+	asJSON := flag.Bool("json", false, "print the full graph as JSON instead of a summary")
+	asDOT := flag.Bool("dot", false, "print the graph in Graphviz DOT format")
+	threshold := flag.Float64("threshold", 0.45, "relevance threshold for the class list")
+	flag.Parse()
+
+	if *mission == "" {
+		fmt.Fprintln(os.Stderr, "itask-kg: -mission is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := llm.New(llm.DefaultOptions()).Generate(*name, *mission)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "itask-kg: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		if err := g.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "itask-kg: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *asDOT {
+		if err := g.WriteDOT(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "itask-kg: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	taskID := "task:" + *name
+	fmt.Printf("mission: %q\n", *mission)
+	fmt.Printf("graph: %d nodes, %d edges\n\n", g.NumNodes(), g.NumEdges())
+
+	fmt.Println("target concepts:")
+	for _, cid := range g.TargetConcepts(taskID) {
+		n, _ := g.Node(cid)
+		fmt.Printf("  %s\n", n.Label)
+		for _, rel := range kg.AttrRelations() {
+			for _, e := range g.Out(cid, rel) {
+				a, _ := g.Node(e.To)
+				fmt.Printf("    %-12s %-10s %.2f\n", string(rel), a.Label, e.Weight)
+			}
+		}
+	}
+	if avoided := g.Out(taskID, kg.Avoids); len(avoided) > 0 {
+		fmt.Println("avoided concepts:")
+		for _, e := range avoided {
+			n, _ := g.Node(e.To)
+			fmt.Printf("  %s (%.2f)\n", n.Label, e.Weight)
+		}
+	}
+
+	fmt.Printf("\nclass priors (vocabulary of %d classes):\n", scene.NumClasses)
+	priors := kg.ClassPriors(g, taskID)
+	for c := scene.ClassID(0); c < scene.NumClasses; c++ {
+		marker := " "
+		if priors[c] >= *threshold {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-14s %.3f\n", marker, c.Name(), priors[c])
+	}
+	fmt.Printf("\nclasses the detector will report (prior >= %.2f):", *threshold)
+	for _, c := range kg.RelevantClasses(g, taskID, *threshold) {
+		fmt.Printf(" %s", c.Name())
+	}
+	fmt.Println()
+}

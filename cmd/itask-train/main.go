@@ -1,0 +1,93 @@
+// Command itask-train trains the iTask model zoo — the multi-task teacher,
+// the generalist, and one distilled student per standard task — and saves
+// checkpoints that other tools and programs can load with vit.LoadParams.
+//
+// Usage:
+//
+//	itask-train -out ./models [-samples 96] [-epochs 20] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"itask/internal/dataset"
+	"itask/internal/distill"
+	"itask/internal/eval"
+	"itask/internal/experiments"
+	"itask/internal/quant"
+	"itask/internal/scene"
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+func main() {
+	outDir := flag.String("out", "models", "output directory for checkpoints")
+	samples := flag.Int("samples", 96, "training scenes per task")
+	epochs := flag.Int("epochs", 20, "training epochs")
+	seed := flag.Uint64("seed", 1, "master seed")
+	flag.Parse()
+
+	if err := run(*outDir, *samples, *epochs, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "itask-train: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, samples, epochs int, seed uint64) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	rng := tensor.NewRNG(seed)
+	tasks := dataset.StandardTasks()
+	gen := scene.DefaultGenConfig()
+	th := eval.DefaultThresholds()
+
+	// Teacher.
+	fmt.Printf("training teacher (%d scenes/task, %d epochs)...\n", samples, epochs)
+	mixed := dataset.BuildMixed(tasks, samples, gen, rng.Split())
+	teacher := vit.New(experiments.TeacherModelCfg(), rng.Split())
+	tcfg := distill.DefaultTrainConfig()
+	tcfg.Epochs = epochs
+	tcfg.Seed = rng.Uint64()
+	tcfg.Log = os.Stdout
+	if _, err := distill.Train(teacher, mixed, tcfg); err != nil {
+		return err
+	}
+	if err := teacher.SaveFile(filepath.Join(outDir, "teacher.ckpt")); err != nil {
+		return err
+	}
+	// Deployable quantized generalist alongside the float checkpoint.
+	qm, err := quant.FromViT(teacher, quant.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	if err := qm.SaveFile(filepath.Join(outDir, "generalist-q8.itq8")); err != nil {
+		return err
+	}
+	fmt.Printf("quantized generalist: %.1f KiB int8\n", float64(qm.WeightBytes())/1024)
+
+	// Per-task students.
+	for _, task := range tasks {
+		fmt.Printf("distilling student for %s...\n", task.Name)
+		set := dataset.Build(task, samples, gen, rng.Split())
+		student := vit.New(experiments.StudentModelCfg(), rng.Split())
+		dcfg := distill.DefaultDistillConfig()
+		dcfg.Train.Epochs = epochs
+		dcfg.Train.Seed = rng.Uint64()
+		if _, err := distill.Distill(teacher, student, set, dcfg); err != nil {
+			return err
+		}
+		if err := student.SaveFile(filepath.Join(outDir, "student-"+task.Name+".ckpt")); err != nil {
+			return err
+		}
+		val := dataset.Build(task, 32, gen, rng.Split())
+		s := eval.Run(eval.DetectorOf(student, th), val, dataset.ClassInts(task.Classes), th)
+		fmt.Printf("  %s student: %s\n", task.Name, s)
+	}
+
+	fmt.Printf("checkpoints written to %s\n", outDir)
+	return nil
+}

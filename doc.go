@@ -1,0 +1,28 @@
+// Package itask is a pure-Go implementation of iTask, the task-oriented
+// object detection framework for resource-constrained environments
+// (Jeong et al., DAC 2025).
+//
+// iTask turns a natural-language mission description into an abstract
+// knowledge graph of task attributes (via a simulated LLM), conditions a
+// detector on that graph so objects are identified by high-level
+// characteristics rather than per-class training data, and serves inference
+// through one of two configurations:
+//
+//   - a distilled, task-specific vision transformer (highest in-task
+//     accuracy), and
+//   - a quantized multi-task generalist (robust across missions).
+//
+// A cycle-level model of the iTask hardware acceleration circuit
+// (internal/hwsim) reports the latency and energy of each configuration
+// against embedded GPU and CPU baselines.
+//
+// # Quick start
+//
+//	pipe := itask.New(itask.DefaultOptions())
+//	if err := pipe.TrainGeneralist(nil); err != nil { ... }
+//	if err := pipe.DefineTask("patrol", "Detect cars and pedestrians, ignore vegetation"); err != nil { ... }
+//	dets, info, err := pipe.Detect("patrol", img)
+//
+// See examples/ for runnable end-to-end scenarios and DESIGN.md for the
+// system inventory and the experiment index.
+package itask

@@ -1,0 +1,78 @@
+// Hwdesign: accelerator design-space exploration with the hwsim model.
+//
+// Sweeps the systolic array geometry and SRAM/DRAM parameters for the
+// deployed generalist, reports the energy-delay-product-optimal design
+// point, and shows how the pick shifts for the smaller student model —
+// the kind of study the iTask acceleration circuit came from.
+//
+// Run with: go run ./examples/hwdesign
+package main
+
+import (
+	"fmt"
+
+	"itask/internal/experiments"
+	"itask/internal/hwsim"
+	"itask/internal/vit"
+)
+
+func main() {
+	generalist := experiments.HWTeacherCfg()
+	student := experiments.HWStudentCfg()
+
+	fmt.Printf("workloads: generalist %d MMACs, student %d MMACs per frame\n\n",
+		generalist.TotalMACs()/1e6, student.TotalMACs()/1e6)
+
+	fmt.Println("== array geometry sweep (generalist) ==")
+	best := exploreArrays(generalist)
+	fmt.Printf("\nEDP-optimal design point for the generalist: %s\n\n", best.Name)
+
+	fmt.Println("== same sweep for the student ==")
+	bestStudent := exploreArrays(student)
+	fmt.Printf("\nEDP-optimal design point for the student: %s\n", bestStudent.Name)
+	fmt.Println("(note how utilization falls off much sooner on the smaller model)")
+
+	// Memory sensitivity at the chosen point.
+	fmt.Println("\n== DRAM bandwidth sensitivity at the chosen point ==")
+	fmt.Printf("%-8s %14s %14s\n", "GB/s", "latency(us)", "dram-bound?")
+	for _, bw := range []float64{0.5, 1, 2, 4, 8, 16} {
+		cfg := best
+		cfg.DRAMBandwidthGBs = bw
+		r := hwsim.SimulateAccel(cfg, generalist)
+		bound := "no"
+		// Compare against an effectively infinite-bandwidth run.
+		cfgInf := cfg
+		cfgInf.DRAMBandwidthGBs = 1e6
+		if r.LatencyUS > hwsim.SimulateAccel(cfgInf, generalist).LatencyUS*1.05 {
+			bound = "yes"
+		}
+		fmt.Printf("%-8.1f %14.1f %14s\n", bw, r.LatencyUS, bound)
+	}
+
+	// Final comparison against the baselines at the chosen point.
+	fmt.Println("\n== chosen design vs baselines (generalist) ==")
+	c := hwsim.Compare(best, hwsim.DefaultGPU(), hwsim.DefaultCPU(), generalist)
+	fmt.Print(c.String())
+}
+
+// exploreArrays sweeps square arrays and returns the EDP-optimal config.
+func exploreArrays(model vit.Config) hwsim.AccelConfig {
+	fmt.Printf("%-8s %10s %12s %12s %8s %14s\n",
+		"array", "GOPS", "latency(us)", "energy(uJ)", "util", "EDP(uJ*us)")
+	bestEDP := 0.0
+	var best hwsim.AccelConfig
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		cfg := hwsim.DefaultAccel()
+		cfg.Rows, cfg.Cols = n, n
+		cfg.Name = fmt.Sprintf("%dx%d@%.0fMHz", n, n, cfg.FreqMHz)
+		r := hwsim.SimulateAccel(cfg, model)
+		edp := r.TotalUJ * r.LatencyUS
+		fmt.Printf("%-8s %10.0f %12.1f %12.1f %7.1f%% %14.0f\n",
+			fmt.Sprintf("%dx%d", n, n), cfg.PeakGOPS(), r.LatencyUS, r.TotalUJ,
+			100*r.MeanUtilization, edp)
+		if best.Name == "" || edp < bestEDP {
+			bestEDP, best = edp, cfg
+		}
+	}
+	return best
+}

@@ -1,0 +1,82 @@
+// Multitask-edge: the situational-adaptability scenario.
+//
+// An edge device with a tight RAM budget serves a stream of mission requests
+// across all four domains. The scheduler picks the task-specific student
+// when one is registered and falls back to the quantized generalist
+// otherwise, LRU-evicting models under the memory budget. The run prints the
+// request log and the cache statistics.
+//
+// Run with: go run ./examples/multitask-edge
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"itask"
+	"itask/internal/scene"
+	"itask/internal/tensor"
+)
+
+func main() {
+	opts := itask.DefaultOptions()
+	// A deliberately tight budget: the generalist plus roughly one student.
+	opts.MemoryBudgetBytes = 256 << 10
+	pipe := itask.New(opts)
+
+	fmt.Println("training generalist...")
+	if err := pipe.TrainGeneralist(nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// Missions: two get dedicated students, two are served by the
+	// generalist (covering both sides of the dual-configuration design).
+	missions := []struct {
+		name, text string
+		domain     scene.DomainID
+		student    bool
+	}{
+		{"patrol", "Detect cars, trucks, pedestrians, cyclists and cones", scene.Driving, true},
+		{"triage", "Locate lesions, instruments and vials", scene.Medical, true},
+		{"inspect", "Inspect for gears, bolts and cracks", scene.Industrial, false},
+		{"harvest", "Find ripe fruit and unripe fruit", scene.Orchard, false},
+	}
+	for _, m := range missions {
+		if err := pipe.DefineTask(m.name, m.text); err != nil {
+			log.Fatal(err)
+		}
+		if m.student {
+			fmt.Printf("distilling student for %s...\n", m.name)
+			if err := pipe.DistillStudent(m.name, m.domain); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// A day in the life: interleaved mission requests.
+	sequence := []string{
+		"patrol", "patrol", "patrol", "triage", "patrol",
+		"inspect", "inspect", "harvest", "triage", "patrol",
+		"harvest", "inspect", "patrol", "triage", "patrol",
+	}
+	rng := tensor.NewRNG(99)
+	fmt.Printf("\n%-4s %-10s %-24s %-14s %s\n", "#", "mission", "served by", "config", "detections")
+	for i, taskName := range sequence {
+		var dom scene.DomainID
+		for _, m := range missions {
+			if m.name == taskName {
+				dom = m.domain
+			}
+		}
+		sc := scene.Generate(scene.GetDomain(dom), scene.DefaultGenConfig(), rng)
+		dets, info, err := pipe.Detect(taskName, sc.Image)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4d %-10s %-24s %-14s %d\n", i+1, taskName, info.Name, info.Kind, len(dets))
+	}
+
+	st := pipe.SchedulerStats()
+	fmt.Printf("\nmodel cache under %d KiB budget: %d hits, %d misses, %d evictions, %.0f KiB loaded\n",
+		opts.MemoryBudgetBytes>>10, st.Hits, st.Misses, st.Evictions, float64(st.BytesLoaded)/1024)
+}

@@ -1,0 +1,3 @@
+module itask
+
+go 1.22

@@ -1,0 +1,45 @@
+package dataset
+
+import (
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+// FlipHorizontal returns a horizontally mirrored copy of an example: the
+// image columns are reversed per channel and box centers reflect about the
+// vertical axis. The only geometric augmentation that is label-exact for
+// every shape in the renderer (all silhouettes are symmetric about their
+// vertical axis except none — triangle/cross/ring/disc/square/diamond all
+// are), so flipping never changes an object's class appearance.
+func FlipHorizontal(ex Example) Example {
+	img := ex.Image
+	c, h, w := img.Shape[0], img.Shape[1], img.Shape[2]
+	flipped := tensor.New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			src := img.Data[(ch*h+y)*w : (ch*h+y+1)*w]
+			dst := flipped.Data[(ch*h+y)*w : (ch*h+y+1)*w]
+			for x := 0; x < w; x++ {
+				dst[x] = src[w-1-x]
+			}
+		}
+	}
+	out := Example{Image: flipped}
+	for _, o := range ex.Objects {
+		b := o.Box
+		b.X = 1 - b.X
+		out.Objects = append(out.Objects, vit.Object{Box: b, Class: o.Class})
+	}
+	return out
+}
+
+// Augment returns the set extended with a horizontally flipped copy of
+// every example (deterministic, doubles the set).
+func Augment(s Set) Set {
+	out := Set{Name: s.Name + "+flip", Examples: make([]Example, 0, 2*s.Len())}
+	out.Examples = append(out.Examples, s.Examples...)
+	for _, ex := range s.Examples {
+		out.Examples = append(out.Examples, FlipHorizontal(ex))
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+// Package dataset turns the synthetic scene generator into train/eval sets
+// for the iTask experiments: per-task datasets, multi-task mixtures for the
+// generalist teacher, and few-shot splits for the adaptation study.
+// Class labels always use the global scene vocabulary so every model variant
+// shares one head layout.
+package dataset
+
+import (
+	"fmt"
+
+	"itask/internal/metrics"
+	"itask/internal/scene"
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+// Task binds a mission to a domain: the mission text feeds the LLM, the
+// domain drives scene generation, and Classes is the evaluation target set.
+type Task struct {
+	Name        string
+	Domain      scene.DomainID
+	Description string
+	Classes     []scene.ClassID
+}
+
+// StandardTasks returns the four benchmark tasks, one per domain, with the
+// mission descriptions used across all experiments.
+func StandardTasks() []Task {
+	return []Task{
+		{
+			Name:        "patrol",
+			Domain:      scene.Driving,
+			Description: "Detect cars, trucks, pedestrians, cyclists and cones on the road",
+			Classes:     scene.GetDomain(scene.Driving).Classes,
+		},
+		{
+			Name:        "triage",
+			Domain:      scene.Medical,
+			Description: "Locate lesions, instruments and vials in the room",
+			Classes:     scene.GetDomain(scene.Medical).Classes,
+		},
+		{
+			Name:        "inspect",
+			Domain:      scene.Industrial,
+			Description: "Inspect for gears, bolts and cracks on the line",
+			Classes:     scene.GetDomain(scene.Industrial).Classes,
+		},
+		{
+			Name:        "harvest",
+			Domain:      scene.Orchard,
+			Description: "Find ripe fruit and unripe fruit, count leaf clusters",
+			Classes:     scene.GetDomain(scene.Orchard).Classes,
+		},
+	}
+}
+
+// TaskByName returns the standard task with the given name.
+func TaskByName(name string) (Task, error) {
+	for _, t := range StandardTasks() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Task{}, fmt.Errorf("dataset: unknown task %q", name)
+}
+
+// Example is one labeled image.
+type Example struct {
+	Image   *tensor.Tensor
+	Objects []vit.Object
+}
+
+// Set is a labeled dataset for one task (or a multi-task mixture).
+type Set struct {
+	Name     string
+	Examples []Example
+}
+
+// fromScene converts a generated scene to an example with global class IDs.
+func fromScene(sc scene.Scene) Example {
+	ex := Example{Image: sc.Image}
+	for _, gt := range sc.Objects {
+		ex.Objects = append(ex.Objects, vit.Object{Box: gt.Box, Class: int(gt.Class)})
+	}
+	return ex
+}
+
+// Build generates an n-example dataset for the task.
+func Build(task Task, n int, cfg scene.GenConfig, rng *tensor.RNG) Set {
+	dom := scene.GetDomain(task.Domain)
+	s := Set{Name: task.Name}
+	for i := 0; i < n; i++ {
+		s.Examples = append(s.Examples, fromScene(scene.Generate(dom, cfg, rng)))
+	}
+	return s
+}
+
+// BuildMixed generates a multi-task mixture with nPer examples per task,
+// interleaved. This is the teacher's (and quantized generalist's) training
+// distribution.
+func BuildMixed(tasks []Task, nPer int, cfg scene.GenConfig, rng *tensor.RNG) Set {
+	s := Set{Name: "mixed"}
+	for i := 0; i < nPer; i++ {
+		for _, t := range tasks {
+			dom := scene.GetDomain(t.Domain)
+			s.Examples = append(s.Examples, fromScene(scene.Generate(dom, cfg, rng)))
+		}
+	}
+	return s
+}
+
+// BuildFewShot generates a dataset with exactly k examples per task class,
+// each example containing a single object of that class — the few-shot
+// adaptation regime of experiment E4.
+func BuildFewShot(task Task, k int, cfg scene.GenConfig, rng *tensor.RNG) Set {
+	dom := scene.GetDomain(task.Domain)
+	fsCfg := cfg
+	fsCfg.MinObjects, fsCfg.MaxObjects = 1, 1
+	fsCfg.ClutterProb = 0
+	s := Set{Name: fmt.Sprintf("%s-fewshot-%d", task.Name, k)}
+	for _, cls := range task.Classes {
+		fsCfg.OnlyClasses = []scene.ClassID{cls}
+		for i := 0; i < k; i++ {
+			s.Examples = append(s.Examples, fromScene(scene.Generate(dom, fsCfg, rng)))
+		}
+	}
+	return s
+}
+
+// Len returns the example count.
+func (s Set) Len() int { return len(s.Examples) }
+
+// Batch is a packed minibatch ready for the model.
+type Batch struct {
+	// Patches is (B*Tokens, PatchDim).
+	Patches *tensor.Tensor
+	// Targets holds one detection target per image.
+	Targets []vit.DetTarget
+	// SceneLabels holds, per image, the majority object class (used by the
+	// auxiliary scene-classification head); -1 when the image is empty.
+	SceneLabels []int
+}
+
+// Pack converts examples into a model-ready batch.
+func Pack(cfg vit.Config, examples []Example) Batch {
+	imgs := make([]*tensor.Tensor, len(examples))
+	targets := make([]vit.DetTarget, len(examples))
+	labels := make([]int, len(examples))
+	for i, ex := range examples {
+		imgs[i] = ex.Image
+		targets[i] = vit.EncodeTargets(cfg, ex.Objects)
+		labels[i] = majorityClass(ex.Objects)
+	}
+	return Batch{Patches: vit.Patchify(cfg, imgs), Targets: targets, SceneLabels: labels}
+}
+
+func majorityClass(objs []vit.Object) int {
+	if len(objs) == 0 {
+		return -1
+	}
+	counts := map[int]int{}
+	best, bestN := -1, 0
+	for _, o := range objs {
+		counts[o.Class]++
+		if counts[o.Class] > bestN || (counts[o.Class] == bestN && o.Class < best) {
+			best, bestN = o.Class, counts[o.Class]
+		}
+	}
+	return best
+}
+
+// Batches splits the set into shuffled minibatches of size batchSize (the
+// final short batch is kept). The shuffle is deterministic in rng.
+func (s Set) Batches(batchSize int, rng *tensor.RNG) [][]Example {
+	if batchSize <= 0 {
+		panic("dataset: batch size must be positive")
+	}
+	perm := rng.Perm(len(s.Examples))
+	var out [][]Example
+	for lo := 0; lo < len(perm); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(perm) {
+			hi = len(perm)
+		}
+		b := make([]Example, 0, hi-lo)
+		for _, idx := range perm[lo:hi] {
+			b = append(b, s.Examples[idx])
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// GroundTruths converts an example's objects to the metrics representation.
+func GroundTruths(ex Example) []metrics.GroundTruth {
+	out := make([]metrics.GroundTruth, len(ex.Objects))
+	for i, o := range ex.Objects {
+		out[i] = metrics.GroundTruth{Box: o.Box, Class: o.Class}
+	}
+	return out
+}
+
+// ClassInts converts task classes to the int set the metrics package wants.
+func ClassInts(classes []scene.ClassID) []int {
+	out := make([]int, len(classes))
+	for i, c := range classes {
+		out[i] = int(c)
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"testing"
+
+	"itask/internal/geom"
+	"itask/internal/scene"
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+func TestStandardTasksCoverAllDomains(t *testing.T) {
+	tasks := StandardTasks()
+	if len(tasks) != int(scene.NumDomains) {
+		t.Fatalf("%d standard tasks for %d domains", len(tasks), scene.NumDomains)
+	}
+	seen := map[scene.DomainID]bool{}
+	for _, task := range tasks {
+		if seen[task.Domain] {
+			t.Errorf("domain %v appears twice", task.Domain)
+		}
+		seen[task.Domain] = true
+		if task.Description == "" || len(task.Classes) == 0 {
+			t.Errorf("task %q incomplete", task.Name)
+		}
+		got, err := TaskByName(task.Name)
+		if err != nil || got.Name != task.Name {
+			t.Errorf("TaskByName(%q) failed: %v", task.Name, err)
+		}
+	}
+	if _, err := TaskByName("nope"); err == nil {
+		t.Error("unknown task should error")
+	}
+}
+
+func TestBuildSizesAndLabels(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	task, _ := TaskByName("patrol")
+	s := Build(task, 10, scene.DefaultGenConfig(), rng)
+	if s.Len() != 10 {
+		t.Fatalf("set size %d", s.Len())
+	}
+	valid := map[int]bool{}
+	for _, c := range task.Classes {
+		valid[int(c)] = true
+	}
+	for _, ex := range s.Examples {
+		if ex.Image == nil {
+			t.Fatal("nil image")
+		}
+		for _, o := range ex.Objects {
+			if !valid[o.Class] {
+				t.Errorf("object class %d not in task classes", o.Class)
+			}
+		}
+	}
+}
+
+func TestBuildMixedInterleaves(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	tasks := StandardTasks()
+	s := BuildMixed(tasks, 3, scene.DefaultGenConfig(), rng)
+	if s.Len() != 3*len(tasks) {
+		t.Fatalf("mixed size %d", s.Len())
+	}
+}
+
+func TestBuildFewShot(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	task, _ := TaskByName("inspect")
+	k := 4
+	s := BuildFewShot(task, k, scene.DefaultGenConfig(), rng)
+	if s.Len() != k*len(task.Classes) {
+		t.Fatalf("few-shot size %d, want %d", s.Len(), k*len(task.Classes))
+	}
+	// Every example has exactly one object.
+	counts := map[int]int{}
+	for _, ex := range s.Examples {
+		if len(ex.Objects) != 1 {
+			t.Fatalf("few-shot example has %d objects", len(ex.Objects))
+		}
+		counts[ex.Objects[0].Class]++
+	}
+	for _, c := range task.Classes {
+		if counts[int(c)] != k {
+			t.Errorf("class %v has %d examples, want %d", c, counts[int(c)], k)
+		}
+	}
+}
+
+func TestPackShapes(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	task, _ := TaskByName("triage")
+	s := Build(task, 5, scene.DefaultGenConfig(), rng)
+	cfg := vit.StudentConfig(int(scene.NumClasses))
+	b := Pack(cfg, s.Examples)
+	if b.Patches.Shape[0] != 5*cfg.Tokens() || b.Patches.Shape[1] != cfg.PatchDim() {
+		t.Fatalf("patches shape %v", b.Patches.Shape)
+	}
+	if len(b.Targets) != 5 || len(b.SceneLabels) != 5 {
+		t.Fatalf("targets/labels %d/%d", len(b.Targets), len(b.SceneLabels))
+	}
+	for _, l := range b.SceneLabels {
+		if l < -1 || l >= int(scene.NumClasses) {
+			t.Errorf("scene label %d out of range", l)
+		}
+	}
+}
+
+func TestMajorityClass(t *testing.T) {
+	if got := majorityClass(nil); got != -1 {
+		t.Errorf("empty majority = %d", got)
+	}
+	objs := []vit.Object{{Class: 2}, {Class: 2}, {Class: 5}}
+	if got := majorityClass(objs); got != 2 {
+		t.Errorf("majority = %d, want 2", got)
+	}
+}
+
+func TestBatchesPartitionAndDeterminism(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	task, _ := TaskByName("harvest")
+	s := Build(task, 10, scene.DefaultGenConfig(), rng)
+	batches := s.Batches(4, tensor.NewRNG(9))
+	if len(batches) != 3 {
+		t.Fatalf("batch count %d", len(batches))
+	}
+	if len(batches[0]) != 4 || len(batches[2]) != 2 {
+		t.Errorf("batch sizes %d/%d/%d", len(batches[0]), len(batches[1]), len(batches[2]))
+	}
+	// Deterministic with same seed.
+	again := s.Batches(4, tensor.NewRNG(9))
+	if batches[0][0].Image != again[0][0].Image {
+		t.Error("batch shuffle not deterministic")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("batch size 0 should panic")
+			}
+		}()
+		s.Batches(0, rng)
+	}()
+}
+
+func TestFlipHorizontal(t *testing.T) {
+	img := tensor.New(1, 2, 4)
+	for i := range img.Data {
+		img.Data[i] = float32(i)
+	}
+	ex := Example{Image: img, Objects: []vit.Object{
+		{Box: geom.Box{X: 0.25, Y: 0.5, W: 0.2, H: 0.2}, Class: 3},
+	}}
+	f := FlipHorizontal(ex)
+	// Row 0 was [0 1 2 3] -> [3 2 1 0].
+	if f.Image.At(0, 0, 0) != 3 || f.Image.At(0, 0, 3) != 0 {
+		t.Errorf("row not mirrored: %v", f.Image.Data[:4])
+	}
+	if f.Objects[0].Box.X != 0.75 {
+		t.Errorf("box center X = %v, want 0.75", f.Objects[0].Box.X)
+	}
+	if f.Objects[0].Box.Y != 0.5 || f.Objects[0].Class != 3 {
+		t.Error("Y/class must be unchanged")
+	}
+	// Involution: flipping twice restores the original.
+	ff := FlipHorizontal(f)
+	if !ff.Image.Equal(ex.Image) || ff.Objects[0].Box != ex.Objects[0].Box {
+		t.Error("double flip is not the identity")
+	}
+	// Original untouched.
+	if img.At(0, 0, 0) != 0 {
+		t.Error("FlipHorizontal mutated its input")
+	}
+}
+
+func TestAugmentDoubles(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	task, _ := TaskByName("patrol")
+	s := Build(task, 5, scene.DefaultGenConfig(), rng)
+	a := Augment(s)
+	if a.Len() != 10 {
+		t.Fatalf("augmented size %d, want 10", a.Len())
+	}
+	// First half is the original examples (shared images).
+	if a.Examples[0].Image != s.Examples[0].Image {
+		t.Error("originals should be preserved by reference")
+	}
+}
+
+func TestGroundTruthsAndClassInts(t *testing.T) {
+	ex := Example{Objects: []vit.Object{{Class: 3}, {Class: 7}}}
+	gts := GroundTruths(ex)
+	if len(gts) != 2 || gts[0].Class != 3 || gts[1].Class != 7 {
+		t.Errorf("GroundTruths = %+v", gts)
+	}
+	ints := ClassInts([]scene.ClassID{scene.Car, scene.Gear})
+	if len(ints) != 2 || ints[0] != int(scene.Car) || ints[1] != int(scene.Gear) {
+		t.Errorf("ClassInts = %v", ints)
+	}
+}

@@ -1,0 +1,232 @@
+package distill
+
+import (
+	"fmt"
+	"io"
+
+	"itask/internal/dataset"
+	"itask/internal/nn"
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+// DistillConfig controls teacher→student knowledge distillation.
+type DistillConfig struct {
+	Train TrainConfig
+	// Temp is the softmax temperature for soft class targets.
+	Temp float32
+	// Alpha blends soft (teacher) vs hard (label) supervision:
+	// loss = alpha*soft + (1-alpha)*hard.
+	Alpha float32
+	// SoftWeight scales the whole response-distillation term.
+	SoftWeight float32
+	// FeatureWeight scales the pooled feature-matching loss (0 disables);
+	// a learned projection aligns the student and teacher widths.
+	FeatureWeight float32
+	// Log receives one line per epoch when non-nil.
+	Log io.Writer
+}
+
+// DefaultDistillConfig returns the distillation settings used in the
+// experiments (both soft and feature losses on).
+func DefaultDistillConfig() DistillConfig {
+	tc := DefaultTrainConfig()
+	tc.Epochs = 20
+	return DistillConfig{
+		Train:         tc,
+		Temp:          2,
+		Alpha:         0.5,
+		SoftWeight:    1,
+		FeatureWeight: 0.5,
+	}
+}
+
+// Validate checks the configuration.
+func (c DistillConfig) Validate() error {
+	if err := c.Train.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Temp <= 0:
+		return fmt.Errorf("distill: temperature %v", c.Temp)
+	case c.Alpha < 0 || c.Alpha > 1:
+		return fmt.Errorf("distill: alpha %v outside [0,1]", c.Alpha)
+	case c.SoftWeight < 0 || c.FeatureWeight < 0:
+		return fmt.Errorf("distill: negative loss weight")
+	}
+	return nil
+}
+
+// Distill trains student to mimic teacher on set. The teacher is run in
+// inference mode and never modified. Returns the training report.
+//
+// The response-distillation term matches, per token, the student's class
+// distribution (tempered KL), objectness (soft BCE), and box geometry
+// (sigmoid-space MSE weighted by teacher objectness). The optional feature
+// term matches mean-pooled trunk features through a learned projection.
+func Distill(teacher, student *vit.Model, set dataset.Set, cfg DistillConfig) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	if set.Len() == 0 {
+		return Report{}, fmt.Errorf("distill: empty dataset")
+	}
+	if teacher.Cfg.Classes != student.Cfg.Classes {
+		return Report{}, fmt.Errorf("distill: class count mismatch teacher=%d student=%d",
+			teacher.Cfg.Classes, student.Cfg.Classes)
+	}
+	if teacher.Cfg.Tokens() != student.Cfg.Tokens() || teacher.Cfg.ImageSize != student.Cfg.ImageSize {
+		return Report{}, fmt.Errorf("distill: teacher/student geometry mismatch")
+	}
+	rng := tensor.NewRNG(cfg.Train.Seed + 1000)
+	var proj *nn.Linear
+	params := student.Params()
+	if cfg.FeatureWeight > 0 {
+		proj = nn.NewLinear("distill.proj", student.Cfg.Dim, teacher.Cfg.Dim, rng)
+		params = append(params, proj.Params()...)
+	}
+	opt := nn.NewAdamW(cfg.Train.LR, cfg.Train.WeightDecay)
+	stepsPerEpoch := (set.Len() + cfg.Train.BatchSize - 1) / cfg.Train.BatchSize
+	total := stepsPerEpoch * cfg.Train.Epochs
+	var rep Report
+	step := 0
+	for epoch := 0; epoch < cfg.Train.Epochs; epoch++ {
+		var epochLoss float64
+		batches := set.Batches(cfg.Train.BatchSize, rng)
+		for _, batch := range batches {
+			opt.SetLR(nn.CosineSchedule(cfg.Train.LR, cfg.Train.FloorLR, cfg.Train.WarmupSteps, total, step))
+			loss := distillStep(teacher, student, proj, batch, cfg, opt, params)
+			epochLoss += float64(loss)
+			step++
+		}
+		mean := float32(epochLoss / float64(len(batches)))
+		rep.EpochLoss = append(rep.EpochLoss, mean)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "distill epoch %3d  loss %.4f\n", epoch, mean)
+		}
+	}
+	rep.Steps = step
+	return rep, nil
+}
+
+func distillStep(teacher, student *vit.Model, proj *nn.Linear, examples []dataset.Example,
+	cfg DistillConfig, opt nn.Optimizer, params []*nn.Param) float32 {
+
+	b := dataset.Pack(student.Cfg, examples)
+	// Teacher pass (inference mode: no caches, no grads).
+	tFeats := teacher.Forward(b.Patches, false)
+	tDet := teacher.DetHead(tFeats, false)
+
+	// Student pass.
+	sFeats := student.Forward(b.Patches, true)
+	sDet := student.DetHead(sFeats, true)
+
+	// Hard supervision.
+	hardLoss, dDet := vit.DetLoss(student.Cfg, sDet, b.Targets, cfg.Train.DetWeights)
+	dDet.ScaleInPlace(1 - cfg.Alpha)
+	loss := (1 - cfg.Alpha) * hardLoss
+
+	// Soft response distillation.
+	softLoss, dSoft := responseLoss(student.Cfg, sDet, tDet, cfg.Temp)
+	dSoft.ScaleInPlace(cfg.Alpha * cfg.SoftWeight)
+	dDet.AddInPlace(dSoft)
+	loss += cfg.Alpha * cfg.SoftWeight * softLoss
+
+	// Feature matching through the learned projection.
+	var dFeats *tensor.Tensor
+	if proj != nil && cfg.FeatureWeight > 0 {
+		sPooled := student.PoolFeats(sFeats)
+		tPooled := teacher.PoolFeats(tFeats)
+		projected := proj.Forward(sPooled, true)
+		featLoss, dProj := nn.MSE(projected, tPooled)
+		dProj.ScaleInPlace(cfg.FeatureWeight)
+		dPooled := proj.Backward(dProj) // (B, studentDim)
+		loss += cfg.FeatureWeight * featLoss
+		// Spread pooled gradient uniformly back over tokens.
+		t := student.Cfg.Tokens()
+		d := student.Cfg.Dim
+		bsz := dPooled.Shape[0]
+		dFeats = tensor.New(bsz*t, d)
+		inv := float32(1) / float32(t)
+		for bi := 0; bi < bsz; bi++ {
+			prow := dPooled.Data[bi*d : (bi+1)*d]
+			for ti := 0; ti < t; ti++ {
+				frow := dFeats.Data[(bi*t+ti)*d : (bi*t+ti+1)*d]
+				for j, v := range prow {
+					frow[j] += v * inv
+				}
+			}
+		}
+	}
+
+	student.BackwardExtra(dDet, nil, dFeats)
+	if cfg.Train.ClipNorm > 0 {
+		nn.ClipGradNorm(params, cfg.Train.ClipNorm)
+	}
+	opt.Step(params)
+	return loss
+}
+
+// responseLoss computes the per-token response-distillation loss between the
+// student's and teacher's raw detection outputs, returning the loss and its
+// gradient w.r.t. the student output.
+func responseLoss(cfg vit.Config, sDet, tDet *tensor.Tensor, temp float32) (float32, *tensor.Tensor) {
+	rows := sDet.Shape[0]
+	width := cfg.DetWidth()
+	c := cfg.Classes
+	grad := tensor.New(rows, width)
+
+	// Class slice: tempered KL.
+	sCls := tensor.New(rows, c)
+	tCls := tensor.New(rows, c)
+	for r := 0; r < rows; r++ {
+		copy(sCls.Data[r*c:(r+1)*c], sDet.Data[r*width+5:(r+1)*width])
+		copy(tCls.Data[r*c:(r+1)*c], tDet.Data[r*width+5:(r+1)*width])
+	}
+	klLoss, dKL := nn.KLDistill(sCls, tCls, temp)
+	for r := 0; r < rows; r++ {
+		copy(grad.Data[r*width+5:(r+1)*width], dKL.Data[r*c:(r+1)*c])
+	}
+
+	// Objectness: BCE against the teacher's probability.
+	sObj := tensor.New(rows)
+	tObj := tensor.New(rows)
+	for r := 0; r < rows; r++ {
+		sObj.Data[r] = sDet.Data[r*width]
+		tObj.Data[r] = nn.Sigmoid(tDet.Data[r*width])
+	}
+	objLoss, dObj := nn.BCEWithLogits(sObj, tObj, nil)
+	for r := 0; r < rows; r++ {
+		grad.Data[r*width] += dObj.Data[r]
+	}
+
+	// Box geometry: sigmoid-space MSE weighted by teacher objectness, so the
+	// student only copies geometry where the teacher sees something.
+	var boxLoss float64
+	var wsum float64
+	for r := 0; r < rows; r++ {
+		w := tObj.Data[r]
+		if w < 0.05 {
+			continue
+		}
+		wsum += float64(w)
+	}
+	if wsum > 0 {
+		for r := 0; r < rows; r++ {
+			w := tObj.Data[r]
+			if w < 0.05 {
+				continue
+			}
+			for k := 1; k <= 4; k++ {
+				sv := nn.Sigmoid(sDet.Data[r*width+k])
+				tv := nn.Sigmoid(tDet.Data[r*width+k])
+				d := sv - tv
+				boxLoss += float64(w) * float64(d) * float64(d)
+				grad.Data[r*width+k] += float32(float64(w)/wsum) * 2 * d * sv * (1 - sv)
+			}
+		}
+		boxLoss /= wsum
+	}
+
+	return klLoss + objLoss + float32(boxLoss), grad
+}

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"testing"
+
+	"itask/internal/dataset"
+	"itask/internal/geom"
+	"itask/internal/scene"
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+func TestDefaultThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	if th.Obj <= 0 || th.Obj >= 1 || th.NMSIoU <= 0 || th.MatchIoU <= 0 {
+		t.Errorf("degenerate thresholds %+v", th)
+	}
+}
+
+// oracleDetector returns the ground truth of each example, looked up by
+// image pointer — a perfect detector for testing Run.
+func oracleDetector(set dataset.Set) DetectFunc {
+	byImg := map[*tensor.Tensor][]geom.Scored{}
+	for _, ex := range set.Examples {
+		var dets []geom.Scored
+		for _, o := range ex.Objects {
+			dets = append(dets, geom.Scored{Box: o.Box, Class: o.Class, Score: 0.99})
+		}
+		byImg[ex.Image] = dets
+	}
+	return func(img *tensor.Tensor) []geom.Scored { return byImg[img] }
+}
+
+func TestRunPerfectDetector(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	task, _ := dataset.TaskByName("patrol")
+	set := dataset.Build(task, 10, scene.DefaultGenConfig(), rng)
+	th := DefaultThresholds()
+	s := Run(oracleDetector(set), set, dataset.ClassInts(task.Classes), th)
+	if s.Accuracy != 1 || s.Precision != 1 {
+		t.Errorf("oracle should be perfect: %+v", s)
+	}
+	if s.Images != 10 {
+		t.Errorf("images = %d", s.Images)
+	}
+}
+
+func TestRunBlindDetector(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	task, _ := dataset.TaskByName("triage")
+	set := dataset.Build(task, 5, scene.DefaultGenConfig(), rng)
+	blind := func(img *tensor.Tensor) []geom.Scored { return nil }
+	s := Run(blind, set, dataset.ClassInts(task.Classes), DefaultThresholds())
+	if s.Accuracy != 0 || s.Detections != 0 {
+		t.Errorf("blind detector should score 0: %+v", s)
+	}
+}
+
+func TestRunFiltersDisallowedClasses(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	task, _ := dataset.TaskByName("inspect")
+	set := dataset.Build(task, 5, scene.DefaultGenConfig(), rng)
+	// Detector emits one out-of-task detection per image on top of truth.
+	oracle := oracleDetector(set)
+	noisy := func(img *tensor.Tensor) []geom.Scored {
+		dets := oracle(img)
+		return append(dets, geom.Scored{
+			Box: geom.Box{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}, Class: int(scene.Car), Score: 0.9,
+		})
+	}
+	s := Run(noisy, set, dataset.ClassInts(task.Classes), DefaultThresholds())
+	// The Car detections must be filtered: precision stays perfect.
+	if s.Precision != 1 {
+		t.Errorf("out-of-task detections leaked: %+v", s)
+	}
+}
+
+func TestRunWithConfusion(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	task, _ := dataset.TaskByName("patrol")
+	set := dataset.Build(task, 6, scene.DefaultGenConfig(), rng)
+	classes := dataset.ClassInts(task.Classes)
+	th := DefaultThresholds()
+	s, conf := RunWithConfusion(oracleDetector(set), set, classes, th)
+	if s.Accuracy != 1 {
+		t.Fatalf("oracle accuracy %v", s.Accuracy)
+	}
+	if conf.Accuracy() != 1 {
+		t.Errorf("confusion accuracy %v, want 1", conf.Accuracy())
+	}
+	if _, _, _, ok := conf.MostConfused(); ok {
+		t.Error("oracle should have no confusions")
+	}
+}
+
+func TestDetectorOfRuns(t *testing.T) {
+	cfg := vit.TinyConfig(int(scene.NumClasses))
+	m := vit.New(cfg, tensor.NewRNG(4))
+	df := DetectorOf(m, DefaultThresholds())
+	img := tensor.Randn(tensor.NewRNG(5), 0.5, 3, cfg.ImageSize, cfg.ImageSize)
+	// Untrained model: just verify it runs and returns well-formed output.
+	for _, d := range df(img) {
+		if d.Score < 0 || d.Score > 1 {
+			t.Errorf("score out of range: %+v", d)
+		}
+		if d.Class < 0 || d.Class >= int(scene.NumClasses) {
+			t.Errorf("class out of range: %+v", d)
+		}
+	}
+}

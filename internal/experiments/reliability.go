@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"itask/internal/dataset"
+	"itask/internal/eval"
+	"itask/internal/geom"
+	"itask/internal/quant"
+	"itask/internal/tensor"
+)
+
+// E13Row is one point of the soft-error reliability study.
+type E13Row struct {
+	// RatePerBit is the independent flip probability per stored weight bit.
+	RatePerBit float64
+	// FlippedBits is the realized number of corrupted bits.
+	FlippedBits int
+	// MeanAcc is accuracy of the corrupted int8 generalist, mean over tasks.
+	MeanAcc float64
+	// DeltaVsClean is MeanAcc minus the fault-free accuracy.
+	DeltaVsClean float64
+}
+
+// E13FaultInjection measures how the deployed int8 generalist degrades
+// under weight-memory soft errors — the SRAM-reliability analysis a DAC
+// accelerator evaluation runs before choosing ECC/voltage margins.
+func E13FaultInjection(env *Env, rates []float64) ([]E13Row, error) {
+	// Pristine serialized copy to clone from.
+	var pristine bytes.Buffer
+	if err := env.Quant.Save(&pristine); err != nil {
+		return nil, err
+	}
+	meanAcc := func(qm *quant.Model) float64 {
+		df := eval.DetectFunc(func(img *tensor.Tensor) []geom.Scored {
+			return qm.Detect(img, env.Th.Obj, env.Th.NMSIoU)
+		})
+		var sum float64
+		for _, task := range env.Tasks {
+			sum += eval.Run(df, env.Val[task.Name], dataset.ClassInts(task.Classes), env.Th).Accuracy
+		}
+		return sum / float64(len(env.Tasks))
+	}
+	clean := meanAcc(env.Quant)
+
+	var rows []E13Row
+	for _, rate := range rates {
+		qm, err := quant.Load(bytes.NewReader(pristine.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		flips, err := quant.InjectBitFlips(qm, rate, 97)
+		if err != nil {
+			return nil, err
+		}
+		acc := meanAcc(qm)
+		rows = append(rows, E13Row{
+			RatePerBit:   rate,
+			FlippedBits:  flips,
+			MeanAcc:      acc,
+			DeltaVsClean: acc - clean,
+		})
+	}
+	return rows, nil
+}
+
+// FprintE13 renders the reliability series.
+func FprintE13(w io.Writer, rows []E13Row) {
+	fmt.Fprintf(w, "E13 — weight-SRAM soft-error injection (int8 generalist, mean over tasks)\n")
+	fmt.Fprintf(w, "%-12s %12s %10s %12s\n", "rate/bit", "bits flipped", "mean acc", "vs clean")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12.0e %12d %9.1f%% %+11.1f%%\n",
+			r.RatePerBit, r.FlippedBits, 100*r.MeanAcc, 100*r.DeltaVsClean)
+	}
+}

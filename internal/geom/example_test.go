@@ -1,0 +1,25 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"itask/internal/geom"
+)
+
+func ExampleIoU() {
+	a := geom.Box{X: 0.25, Y: 0.5, W: 0.5, H: 1.0}
+	b := geom.Box{X: 0.5, Y: 0.5, W: 0.5, H: 1.0}
+	fmt.Printf("%.3f\n", geom.IoU(a, b))
+	// Output: 0.333
+}
+
+func ExampleNMS() {
+	dets := []geom.Scored{
+		{Box: geom.Box{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}, Class: 1, Score: 0.9},
+		{Box: geom.Box{X: 0.51, Y: 0.5, W: 0.2, H: 0.2}, Class: 1, Score: 0.7}, // duplicate
+		{Box: geom.Box{X: 0.1, Y: 0.1, W: 0.1, H: 0.1}, Class: 1, Score: 0.6},
+	}
+	kept := geom.NMS(dets, 0.5)
+	fmt.Println(len(kept))
+	// Output: 2
+}

@@ -1,0 +1,145 @@
+package hwsim
+
+import "fmt"
+
+// AccelConfig describes the iTask acceleration circuit: a weight-stationary
+// systolic MAC array with double-buffered SRAM and a DMA path to DRAM, plus
+// a small fp32 vector unit for normalization/softmax/activation.
+type AccelConfig struct {
+	Name string
+	// Rows × Cols is the systolic array geometry. Rows map the reduction
+	// (K) dimension, Cols the output (N) dimension.
+	Rows, Cols int
+	// FreqMHz is the array clock.
+	FreqMHz float64
+	// VectorLanes is the fp32 vector unit width (elements per cycle).
+	VectorLanes int
+	// WeightSRAM and ActSRAM are on-chip buffer sizes in bytes.
+	WeightSRAM, ActSRAM int
+	// DRAMBandwidthGBs is the sustained DMA bandwidth.
+	DRAMBandwidthGBs float64
+	// StaticPowerW is leakage plus always-on logic (clock tree, DMA, ctrl).
+	StaticPowerW float64
+	// HostPowerW is the shared platform draw (host MCU, board, sensor I/O)
+	// during the inference window — included so accelerator energy is
+	// system-level, comparable to a wall measurement of the GPU board.
+	HostPowerW float64
+	// Energy is the per-operation energy table.
+	Energy EnergyTable
+}
+
+// DefaultAccel returns the iTask accelerator design point: a 32×32 int8
+// array at 800 MHz — 819 GOPS peak — with 256 KiB weight and 128 KiB
+// activation SRAM, typical of recent edge detection ASICs.
+func DefaultAccel() AccelConfig {
+	return AccelConfig{
+		Name: "itask-accel-32x32",
+		Rows: 32, Cols: 32,
+		FreqMHz:          800,
+		VectorLanes:      16,
+		WeightSRAM:       256 << 10,
+		ActSRAM:          128 << 10,
+		DRAMBandwidthGBs: 8,
+		StaticPowerW:     0.6,
+		HostPowerW:       2.0,
+		Energy:           DefaultEnergyTable(),
+	}
+}
+
+// Validate checks the design point.
+func (c AccelConfig) Validate() error {
+	switch {
+	case c.Rows <= 0 || c.Cols <= 0:
+		return fmt.Errorf("hwsim: array %dx%d", c.Rows, c.Cols)
+	case c.FreqMHz <= 0:
+		return fmt.Errorf("hwsim: frequency %v", c.FreqMHz)
+	case c.VectorLanes <= 0:
+		return fmt.Errorf("hwsim: vector lanes %d", c.VectorLanes)
+	case c.WeightSRAM <= 0 || c.ActSRAM <= 0:
+		return fmt.Errorf("hwsim: SRAM sizes %d/%d", c.WeightSRAM, c.ActSRAM)
+	case c.DRAMBandwidthGBs <= 0:
+		return fmt.Errorf("hwsim: DRAM bandwidth %v", c.DRAMBandwidthGBs)
+	case c.StaticPowerW < 0 || c.HostPowerW < 0:
+		return fmt.Errorf("hwsim: power %v/%v", c.StaticPowerW, c.HostPowerW)
+	}
+	return nil
+}
+
+// PeakGOPS returns the array's peak int8 throughput in GOPS (MACs/s × 1e-9).
+func (c AccelConfig) PeakGOPS() float64 {
+	return float64(c.Rows*c.Cols) * c.FreqMHz * 1e6 * 1e-9
+}
+
+// GPUConfig is the roofline model of the GPU baseline: an embedded-class
+// part (Jetson-like) running fp32 kernels at batch size 1.
+type GPUConfig struct {
+	Name string
+	// PeakGFLOPs is peak fp32 throughput.
+	PeakGFLOPs float64
+	// MemBWGBs is sustained memory bandwidth.
+	MemBWGBs float64
+	// LaunchOverheadUS is the per-kernel launch + sync cost.
+	LaunchOverheadUS float64
+	// SaturationOutputs is the number of output elements needed to reach
+	// full occupancy; smaller GEMMs run at proportionally lower utilization.
+	SaturationOutputs float64
+	// MinUtilization floors the occupancy roofline.
+	MinUtilization float64
+	// IdlePowerW is the board's static draw while a kernel sequence runs.
+	IdlePowerW float64
+	// Energy is the per-operation energy table (fp32 path).
+	Energy EnergyTable
+}
+
+// DefaultGPU returns the embedded GPU baseline.
+func DefaultGPU() GPUConfig {
+	return GPUConfig{
+		Name:              "edge-gpu-fp32",
+		PeakGFLOPs:        1000,
+		MemBWGBs:          60,
+		LaunchOverheadUS:  8,
+		SaturationOutputs: 65536,
+		MinUtilization:    0.02,
+		IdlePowerW:        4,
+		Energy:            DefaultEnergyTable(),
+	}
+}
+
+// Validate checks the GPU model.
+func (c GPUConfig) Validate() error {
+	switch {
+	case c.PeakGFLOPs <= 0 || c.MemBWGBs <= 0:
+		return fmt.Errorf("hwsim: GPU throughput %v/%v", c.PeakGFLOPs, c.MemBWGBs)
+	case c.LaunchOverheadUS < 0:
+		return fmt.Errorf("hwsim: GPU launch overhead %v", c.LaunchOverheadUS)
+	case c.SaturationOutputs <= 0:
+		return fmt.Errorf("hwsim: GPU saturation %v", c.SaturationOutputs)
+	case c.MinUtilization <= 0 || c.MinUtilization > 1:
+		return fmt.Errorf("hwsim: GPU min utilization %v", c.MinUtilization)
+	case c.IdlePowerW < 0:
+		return fmt.Errorf("hwsim: GPU idle power %v", c.IdlePowerW)
+	}
+	return nil
+}
+
+// CPUConfig is the scalar/SIMD CPU baseline (embedded quad-core with NEON).
+type CPUConfig struct {
+	Name string
+	// SustainedGFLOPs is achievable fp32 GEMM throughput.
+	SustainedGFLOPs float64
+	// PowerW is package power while computing.
+	PowerW float64
+}
+
+// DefaultCPU returns the embedded CPU baseline.
+func DefaultCPU() CPUConfig {
+	return CPUConfig{Name: "edge-cpu-neon", SustainedGFLOPs: 16, PowerW: 5}
+}
+
+// Validate checks the CPU model.
+func (c CPUConfig) Validate() error {
+	if c.SustainedGFLOPs <= 0 || c.PowerW < 0 {
+		return fmt.Errorf("hwsim: CPU config %+v", c)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package hwsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"itask/internal/scene"
+	"itask/internal/vit"
+)
+
+func TestDataflowString(t *testing.T) {
+	if WeightStationary.String() != "weight-stationary" || OutputStationary.String() != "output-stationary" {
+		t.Error("dataflow names wrong")
+	}
+}
+
+func TestWeightStationaryDelegates(t *testing.T) {
+	accel := DefaultAccel()
+	g := vit.GEMM{Name: "g", M: 64, K: 96, N: 96, Repeat: 1}
+	a := SimulateGEMM(accel, g)
+	b := SimulateGEMMDataflow(accel, g, WeightStationary)
+	if a != b {
+		t.Error("WeightStationary must match SimulateGEMM exactly")
+	}
+}
+
+func TestOutputStationaryInvariants(t *testing.T) {
+	accel := DefaultAccel()
+	f := func(ms, ks, ns uint8) bool {
+		g := vit.GEMM{
+			Name: "g",
+			M:    int(ms)%200 + 1, K: int(ks)%300 + 1, N: int(ns)%300 + 1,
+			Repeat: 1,
+		}
+		r := SimulateGEMMDataflow(accel, g, OutputStationary)
+		if r.Cycles < r.IdealCycles {
+			return false
+		}
+		if r.Utilization <= 0 || r.Utilization > 1 {
+			return false
+		}
+		return r.TimeUS > 0 && r.EnergyUJ() > 0 && r.DRAMBytes >= int64(g.K)*int64(g.N)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataflowTradeoffShape(t *testing.T) {
+	// Weight-stationary avoids weight re-streaming; output-stationary
+	// avoids partial-sum bounce. For a tall GEMM (many M tiles) WS must
+	// generate LESS SRAM weight traffic; for a deep-K GEMM (split-K in WS)
+	// OS must avoid the partial-sum traffic WS pays.
+	accel := DefaultAccel() // 32x32
+	tall := vit.GEMM{Name: "tall", M: 512, K: 32, N: 32, Repeat: 1}
+	ws := SimulateGEMMDataflow(accel, tall, WeightStationary)
+	os := SimulateGEMMDataflow(accel, tall, OutputStationary)
+	if os.SRAMBytes <= ws.SRAMBytes {
+		t.Errorf("tall GEMM: OS re-streams weights per M-tile, expected more SRAM traffic (ws=%d os=%d)",
+			ws.SRAMBytes, os.SRAMBytes)
+	}
+	deep := vit.GEMM{Name: "deep", M: 32, K: 1024, N: 32, Repeat: 1}
+	wsDeep := SimulateGEMMDataflow(accel, deep, WeightStationary)
+	osDeep := SimulateGEMMDataflow(accel, deep, OutputStationary)
+	// WS pays int32 partial-sum bounce for 32 K-tiles; OS keeps them in
+	// the accumulators.
+	if osDeep.SRAMBytes >= wsDeep.SRAMBytes {
+		t.Errorf("deep GEMM: WS pays split-K partial traffic, expected more SRAM traffic (ws=%d os=%d)",
+			wsDeep.SRAMBytes, osDeep.SRAMBytes)
+	}
+}
+
+func TestSimulateAccelDataflowModel(t *testing.T) {
+	model := vit.TeacherConfig(int(scene.NumClasses))
+	accel := DefaultAccel()
+	ws := SimulateAccelDataflow(accel, model, WeightStationary)
+	os := SimulateAccelDataflow(accel, model, OutputStationary)
+	for _, r := range []ModelReport{ws, os} {
+		if r.LatencyUS <= 0 || r.TotalUJ <= 0 || len(r.Layers) != len(model.Workload()) {
+			t.Fatalf("degenerate report %+v", r.Device)
+		}
+	}
+	if ws.Device == os.Device {
+		t.Error("reports should be labeled by dataflow")
+	}
+}

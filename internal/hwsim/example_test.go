@@ -1,0 +1,32 @@
+package hwsim_test
+
+import (
+	"fmt"
+
+	"itask/internal/hwsim"
+	"itask/internal/scene"
+	"itask/internal/vit"
+)
+
+// ExampleCompare reproduces the headline hardware claim: the accelerator
+// vs GPU/CPU baselines on the paper-scale generalist.
+func ExampleCompare() {
+	model := vit.TeacherConfig(int(scene.NumClasses))
+	c := hwsim.Compare(hwsim.DefaultAccel(), hwsim.DefaultGPU(), hwsim.DefaultCPU(), model)
+	fmt.Printf("speedup vs GPU: %.2fx\n", c.SpeedupVsGPU)
+	fmt.Printf("accelerator wins energy: %v\n", c.EnergyReductionVsGPU > 0)
+	// Output:
+	// speedup vs GPU: 3.58x
+	// accelerator wins energy: true
+}
+
+// ExampleFunctionalArray_RunGEMM shows the cycle-accurate functional
+// simulation computing a small int8 GEMM bit-exactly.
+func ExampleFunctionalArray_RunGEMM() {
+	fa := hwsim.NewFunctionalArray(2, 2)
+	a := []int8{1, 2, 3, 4} // 2x2
+	w := []int8{5, 6, 7, 8} // 2x2
+	out, _ := fa.RunGEMM(a, 2, 2, w, 2)
+	fmt.Println(out)
+	// Output: [19 22 43 50]
+}

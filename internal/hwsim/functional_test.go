@@ -1,0 +1,151 @@
+package hwsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+func randInt8(rng *tensor.RNG, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(rng.Intn(255) - 127)
+	}
+	return out
+}
+
+func TestFunctionalArrayTinyExact(t *testing.T) {
+	// 2x2 GEMM on a 2x2 array, worked by hand.
+	// A = [1 2; 3 4], W = [5 6; 7 8] -> A@W = [19 22; 43 50].
+	fa := NewFunctionalArray(2, 2)
+	a := []int8{1, 2, 3, 4}
+	w := []int8{5, 6, 7, 8}
+	out, cycles := fa.RunGEMM(a, 2, 2, w, 2)
+	want := []int32{19, 22, 43, 50}
+	for i, v := range want {
+		if out[i] != v {
+			t.Fatalf("out[%d] = %d, want %d (out=%v)", i, out[i], v, out)
+		}
+	}
+	if cycles <= 0 {
+		t.Error("no cycles counted")
+	}
+}
+
+func TestFunctionalMatchesReferenceProperty(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	f := func(ms, ks, ns, rs, cs uint8) bool {
+		m := int(ms)%13 + 1
+		k := int(ks)%17 + 1
+		n := int(ns)%15 + 1
+		rows := int(rs)%7 + 2
+		cols := int(cs)%7 + 2
+		a := randInt8(rng, m*k)
+		w := randInt8(rng, k*n)
+		fa := NewFunctionalArray(rows, cols)
+		got, _ := fa.RunGEMM(a, m, k, w, n)
+		want := RefGEMMInt8(a, m, k, w, n)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFunctionalCyclesMatchAnalyticalOnAlignedShapes(t *testing.T) {
+	// When K and N are multiples of the array dims, the functional cycle
+	// count must equal the analytical model's compute cycles exactly.
+	accel := DefaultAccel()
+	accel.Rows, accel.Cols = 8, 8
+	rng := tensor.NewRNG(2)
+	for _, shape := range []struct{ m, k, n int }{
+		{16, 8, 8}, {4, 16, 24}, {10, 32, 8},
+	} {
+		g := vit.GEMM{Name: "t", M: shape.m, K: shape.k, N: shape.n, Repeat: 1}
+		analytical := SimulateGEMM(accel, g).Cycles
+		fa := NewFunctionalArray(accel.Rows, accel.Cols)
+		a := randInt8(rng, shape.m*shape.k)
+		w := randInt8(rng, shape.k*shape.n)
+		_, functional := fa.RunGEMM(a, shape.m, shape.k, w, shape.n)
+		if functional != analytical {
+			t.Errorf("GEMM %dx%dx%d: functional %d cycles vs analytical %d",
+				shape.m, shape.k, shape.n, functional, analytical)
+		}
+	}
+}
+
+func TestFunctionalCyclesUpperBoundedByAnalytical(t *testing.T) {
+	// On ragged shapes the analytical model charges full padded tiles;
+	// the functional array drains partial tiles sooner.
+	accel := DefaultAccel()
+	accel.Rows, accel.Cols = 8, 8
+	rng := tensor.NewRNG(3)
+	f := func(ms, ks, ns uint8) bool {
+		m := int(ms)%20 + 1
+		k := int(ks)%30 + 1
+		n := int(ns)%30 + 1
+		g := vit.GEMM{Name: "t", M: m, K: k, N: n, Repeat: 1}
+		analytical := SimulateGEMM(accel, g).Cycles
+		fa := NewFunctionalArray(8, 8)
+		a := randInt8(rng, m*k)
+		w := randInt8(rng, k*n)
+		_, functional := fa.RunGEMM(a, m, k, w, n)
+		return functional <= analytical
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFunctionalArrayValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero-dim array should panic")
+			}
+		}()
+		NewFunctionalArray(0, 4)
+	}()
+	fa := NewFunctionalArray(4, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong A length should panic")
+			}
+		}()
+		fa.RunGEMM(make([]int8, 5), 2, 3, make([]int8, 6), 2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong W length should panic")
+			}
+		}()
+		fa.RunGEMM(make([]int8, 6), 2, 3, make([]int8, 5), 2)
+	}()
+}
+
+func TestFunctionalOverflowBehaviour(t *testing.T) {
+	// Extreme int8 values: int32 accumulation must not saturate for the
+	// reduction depths the models use (K up to a few hundred).
+	fa := NewFunctionalArray(4, 4)
+	k := 256
+	a := make([]int8, k)
+	w := make([]int8, k)
+	for i := 0; i < k; i++ {
+		a[i] = -128
+		w[i] = -128
+	}
+	out, _ := fa.RunGEMM(a, 1, k, w, 1)
+	want := int32(k) * 128 * 128
+	if out[0] != want {
+		t.Errorf("deep reduction = %d, want %d", out[0], want)
+	}
+}

@@ -1,0 +1,85 @@
+package hwsim
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestGenerateVerilogStructure(t *testing.T) {
+	v := GenerateVerilog(DefaultAccel())
+	for _, module := range []string{
+		"module itask_pe", "module itask_weight_loader",
+		"module itask_systolic_array", "module itask_accel_top",
+	} {
+		if !strings.Contains(v, module) {
+			t.Errorf("missing %q", module)
+		}
+	}
+	// Balanced module/endmodule.
+	if m, e := strings.Count(v, "\nmodule "), strings.Count(v, "endmodule"); m+1 != e && m != e {
+		// "module" also appears at line starts after comments; count
+		// endmodule against the 4 declared modules instead.
+		if e != 4 {
+			t.Errorf("expected 4 endmodule, got %d", e)
+		}
+	}
+	if strings.Count(v, "endmodule") != 4 {
+		t.Errorf("endmodule count = %d, want 4", strings.Count(v, "endmodule"))
+	}
+	// begin/end balance inside generate blocks and always blocks.
+	begins := regexp.MustCompile(`\bbegin\b`).FindAllString(v, -1)
+	ends := regexp.MustCompile(`\bend\b`).FindAllString(v, -1)
+	if len(begins) != len(ends) {
+		t.Errorf("begin/end imbalance: %d vs %d", len(begins), len(ends))
+	}
+}
+
+func TestGenerateVerilogParameters(t *testing.T) {
+	cfg := DefaultAccel()
+	cfg.Rows, cfg.Cols = 16, 24
+	v := GenerateVerilog(cfg)
+	if !strings.Contains(v, "parameter ROWS  = 16") {
+		t.Error("ROWS parameter not propagated")
+	}
+	if !strings.Contains(v, "parameter COLS  = 24") {
+		t.Error("COLS parameter not propagated")
+	}
+	// int8 datapath with int32 accumulation.
+	if !strings.Contains(v, "ACT_W = 8") || !strings.Contains(v, "ACC_W = 32") {
+		t.Error("datapath widths missing")
+	}
+}
+
+func TestGenerateVerilogDeterministic(t *testing.T) {
+	a := GenerateVerilog(DefaultAccel())
+	b := GenerateVerilog(DefaultAccel())
+	if a != b {
+		t.Error("RTL generation must be deterministic")
+	}
+	small := DefaultAccel()
+	small.Rows = 8
+	if GenerateVerilog(small) == a {
+		t.Error("different configs must generate different RTL")
+	}
+}
+
+func TestGenerateVerilogRejectsInvalidConfig(t *testing.T) {
+	bad := DefaultAccel()
+	bad.Rows = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid config")
+		}
+	}()
+	GenerateVerilog(bad)
+}
+
+func TestGenerateVerilogNoTodoLeftovers(t *testing.T) {
+	v := GenerateVerilog(DefaultAccel())
+	for _, bad := range []string{"TODO", "FIXME", "%!"} {
+		if strings.Contains(v, bad) {
+			t.Errorf("generated RTL contains %q", bad)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"itask/internal/vit"
+)
+
+// GEMMReport is the simulated execution of one GEMM on the accelerator.
+type GEMMReport struct {
+	Name string
+	// MACs is the arithmetic work.
+	MACs int64
+	// Cycles is the array-busy cycle count including pipeline fill/drain
+	// and weight-load stalls.
+	Cycles int64
+	// IdealCycles is MACs / (Rows*Cols): the 100%-utilization floor.
+	IdealCycles int64
+	// TimeUS is wall time, the max of compute time and DRAM streaming time
+	// (weights are double-buffered against compute).
+	TimeUS float64
+	// Utilization is IdealCycles / Cycles, in (0, 1].
+	Utilization float64
+	// SRAMBytes and DRAMBytes are the memory traffic.
+	SRAMBytes, DRAMBytes int64
+	// EnergyUJ breaks out energy by source (static energy is accounted at
+	// the model level where total time is known).
+	ComputeUJ, SRAMUJ, DRAMUJ float64
+}
+
+// EnergyUJ is the layer's dynamic energy.
+func (r GEMMReport) EnergyUJ() float64 { return r.ComputeUJ + r.SRAMUJ + r.DRAMUJ }
+
+// SimulateGEMM runs the cycle/traffic model for one (M,K,N)×Repeat GEMM on
+// the weight-stationary array.
+//
+// Tiling: the array holds a (Rows≤K, Cols≤N) weight tile. For each of the
+// ceil(K/Rows)×ceil(N/Cols) tiles, loading weights costs Rows cycles
+// (one row broadcast per cycle) and computing costs M + Rows + Cols cycles
+// (M activations streamed through, plus pipeline fill/drain). Partial sums
+// for split-K accumulate in the output SRAM.
+//
+// Traffic: weights stream from DRAM once (int8, K·N bytes per repeat);
+// activations are SRAM-resident (M·K bytes read per N-tile); outputs are
+// written back as int8 after requantization (M·N bytes, int32 partials
+// bounce in accumulator SRAM for split-K tiles).
+func SimulateGEMM(cfg AccelConfig, g vit.GEMM) GEMMReport {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if g.M <= 0 || g.K <= 0 || g.N <= 0 || g.Repeat <= 0 {
+		panic(fmt.Sprintf("hwsim: degenerate GEMM %+v", g))
+	}
+	tilesK := ceilDiv(g.K, cfg.Rows)
+	tilesN := ceilDiv(g.N, cfg.Cols)
+
+	perRepeatCycles := int64(0)
+	for tk := 0; tk < tilesK; tk++ {
+		for tn := 0; tn < tilesN; tn++ {
+			load := int64(cfg.Rows)
+			compute := int64(g.M + cfg.Rows + cfg.Cols)
+			perRepeatCycles += load + compute
+		}
+	}
+	cycles := perRepeatCycles * int64(g.Repeat)
+	ideal := ceilDiv64(g.MACs(), int64(cfg.Rows*cfg.Cols))
+
+	// Traffic per repeat.
+	weightBytes := int64(g.K) * int64(g.N)              // int8 weights from DRAM
+	actReads := int64(g.M) * int64(g.K) * int64(tilesN) // SRAM activation reads
+	outWrites := int64(g.M) * int64(g.N)                // final int8 outputs
+	partials := int64(0)
+	if tilesK > 1 {
+		// split-K: int32 partial sums read+written per extra K tile
+		partials = int64(g.M) * int64(g.N) * 4 * 2 * int64(tilesK-1)
+	}
+	sramBytes := (actReads + outWrites + partials + weightBytes) * int64(g.Repeat)
+	dramBytes := weightBytes * int64(g.Repeat)
+
+	computeTimeUS := float64(cycles) / (cfg.FreqMHz * 1e6) * 1e6
+	dramTimeUS := float64(dramBytes) / (cfg.DRAMBandwidthGBs * 1e9) * 1e6
+	timeUS := computeTimeUS
+	if dramTimeUS > timeUS {
+		timeUS = dramTimeUS // weight streaming not hidden: DMA-bound layer
+	}
+
+	util := float64(ideal) / float64(cycles)
+	e := cfg.Energy
+	return GEMMReport{
+		Name:        g.Name,
+		MACs:        g.MACs(),
+		Cycles:      cycles,
+		IdealCycles: ideal,
+		TimeUS:      timeUS,
+		Utilization: util,
+		SRAMBytes:   sramBytes,
+		DRAMBytes:   dramBytes,
+		ComputeUJ:   float64(g.MACs()) * e.MACInt8PJ * 1e-6,
+		SRAMUJ:      float64(sramBytes) * e.SRAMPerBytePJ * 1e-6,
+		DRAMUJ:      float64(dramBytes) * e.DRAMPerBytePJ * 1e-6,
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }

@@ -1,0 +1,56 @@
+package kg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for visualization:
+// task nodes as double octagons, concepts as boxes, attributes as ellipses,
+// edges labeled with relation and weight. Output is deterministic.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph itask_kg {\n  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes() {
+		shape := "ellipse"
+		switch n.Kind {
+		case TaskNode:
+			shape = "doubleoctagon"
+		case ConceptNode:
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  %s [label=%s, shape=%s];\n", dotID(n.ID), dotString(n.Label), shape)
+	}
+	for _, e := range g.Edges() {
+		style := "solid"
+		if e.Rel == Avoids {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %s -> %s [label=%s, style=%s];\n",
+			dotID(e.From), dotID(e.To),
+			dotString(fmt.Sprintf("%s %.2f", e.Rel, e.Weight)), style)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// dotID turns a node ID into a safe DOT identifier.
+func dotID(id string) string {
+	var b strings.Builder
+	b.WriteByte('n')
+	for _, r := range id {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// dotString quotes a label.
+func dotString(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}

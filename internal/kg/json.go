@@ -1,0 +1,63 @@
+package kg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphJSON is the wire representation of a Graph.
+type graphJSON struct {
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+}
+
+// MarshalJSON serializes the graph deterministically (sorted nodes/edges).
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(graphJSON{Nodes: g.Nodes(), Edges: g.Edges()})
+}
+
+// UnmarshalJSON parses a graph, validating node references and weights.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var gj graphJSON
+	if err := json.Unmarshal(data, &gj); err != nil {
+		return err
+	}
+	fresh := New()
+	for _, n := range gj.Nodes {
+		if n.ID == "" {
+			return fmt.Errorf("kg: node with empty id")
+		}
+		fresh.AddNode(n.ID, n.Kind, n.Label)
+	}
+	for _, e := range gj.Edges {
+		if _, ok := fresh.nodes[e.From]; !ok {
+			return fmt.Errorf("kg: edge from unknown node %q", e.From)
+		}
+		if _, ok := fresh.nodes[e.To]; !ok {
+			return fmt.Errorf("kg: edge to unknown node %q", e.To)
+		}
+		if e.Weight < 0 || e.Weight > 1 {
+			return fmt.Errorf("kg: edge weight %v outside [0,1]", e.Weight)
+		}
+		fresh.AddEdge(e.From, e.To, e.Rel, e.Weight)
+	}
+	*g = *fresh
+	return nil
+}
+
+// Write serializes the graph as indented JSON to w.
+func (g *Graph) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// Read parses a graph from JSON in r.
+func Read(r io.Reader) (*Graph, error) {
+	g := New()
+	if err := json.NewDecoder(r).Decode(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,29 @@
+package llm_test
+
+import (
+	"fmt"
+
+	"itask/internal/kg"
+	"itask/internal/llm"
+	"itask/internal/scene"
+)
+
+// ExampleSimLLM_Generate shows the front half of the iTask pipeline: a
+// natural-language mission becomes a knowledge graph, and the graph yields
+// per-class relevance priors.
+func ExampleSimLLM_Generate() {
+	gen := llm.New(llm.DefaultOptions())
+	g, err := gen.Generate("harvest", "Find ripe apples, ignore leaves")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	priors := kg.ClassPriors(g, "task:harvest")
+	fmt.Printf("ripe_fruit relevant: %v\n", priors[scene.RipeFruit] > 0.5)
+	fmt.Printf("leaf_cluster masked: %v\n", priors[scene.LeafCluster] == 0)
+	fmt.Printf("car relevant: %v\n", priors[scene.Car] > 0.5)
+	// Output:
+	// ripe_fruit relevant: true
+	// leaf_cluster masked: true
+	// car relevant: false
+}

@@ -1,0 +1,183 @@
+// Package llm implements the simulated large language model that turns a
+// natural-language mission description into an iTask knowledge graph.
+//
+// Substitution note (documented in DESIGN.md): the paper uses a real LLM to
+// generate the abstract knowledge graph; the detector only ever consumes the
+// graph. This package produces the same kind of graph deterministically: a
+// lexicon of concepts and attribute words, a small rule engine for
+// target/avoid scoping and adjective attachment, and a character-trigram
+// fuzzy matcher that generalizes to unseen word forms the way an LLM's
+// embedding space would (morphological variants, close synonyms).
+package llm
+
+// AttrAssertion is one attribute the lexicon asserts about a concept.
+type AttrAssertion struct {
+	Family string  // "shape" | "color" | "texture" | "size"
+	Value  string  // renderer vocabulary value, e.g. "disc"
+	Weight float64 // confidence in [0,1]
+}
+
+// ConceptTemplate is the lexicon's prior knowledge about a concept word: the
+// attribute signature an LLM would associate with it.
+type ConceptTemplate struct {
+	Name  string
+	Attrs []AttrAssertion
+}
+
+// conceptLexicon maps concept words (including synonyms) to templates.
+// Weights encode how discriminative the association is.
+var conceptLexicon = map[string]ConceptTemplate{
+	// --- driving ---
+	"vehicle": {Name: "vehicle", Attrs: []AttrAssertion{
+		{"shape", "square", 0.9}, {"size", "medium", 0.6}, {"size", "large", 0.6},
+	}},
+	"car": {Name: "car", Attrs: []AttrAssertion{
+		{"shape", "square", 0.95}, {"color", "blue", 0.8}, {"size", "medium", 0.8},
+	}},
+	"truck": {Name: "truck", Attrs: []AttrAssertion{
+		{"shape", "square", 0.95}, {"color", "gray", 0.8}, {"size", "large", 0.9},
+	}},
+	"pedestrian": {Name: "pedestrian", Attrs: []AttrAssertion{
+		{"shape", "triangle", 0.9}, {"color", "orange", 0.8}, {"texture", "solid", 0.6}, {"size", "medium", 0.7},
+	}},
+	"person": {Name: "pedestrian", Attrs: []AttrAssertion{
+		{"shape", "triangle", 0.9}, {"color", "orange", 0.8}, {"size", "medium", 0.7},
+	}},
+	"cyclist": {Name: "cyclist", Attrs: []AttrAssertion{
+		{"shape", "diamond", 0.9}, {"color", "cyan", 0.85}, {"size", "small", 0.8},
+	}},
+	"bicycle": {Name: "cyclist", Attrs: []AttrAssertion{
+		{"shape", "diamond", 0.9}, {"color", "cyan", 0.85}, {"size", "small", 0.8},
+	}},
+	"cone": {Name: "traffic_cone", Attrs: []AttrAssertion{
+		{"shape", "triangle", 0.9}, {"color", "yellow", 0.85}, {"texture", "striped", 0.9}, {"size", "small", 0.8},
+	}},
+	// --- medical ---
+	"lesion": {Name: "lesion", Attrs: []AttrAssertion{
+		{"shape", "disc", 0.9}, {"color", "red", 0.85}, {"texture", "dotted", 0.9}, {"size", "small", 0.85},
+	}},
+	"tumor": {Name: "lesion", Attrs: []AttrAssertion{
+		{"shape", "disc", 0.9}, {"color", "red", 0.85}, {"texture", "dotted", 0.9}, {"size", "small", 0.85},
+	}},
+	"anomaly": {Name: "lesion", Attrs: []AttrAssertion{
+		{"shape", "disc", 0.7}, {"color", "red", 0.7}, {"texture", "dotted", 0.7}, {"size", "small", 0.6},
+	}},
+	"instrument": {Name: "instrument", Attrs: []AttrAssertion{
+		{"shape", "cross", 0.9}, {"color", "white", 0.85}, {"size", "medium", 0.7},
+	}},
+	"scalpel": {Name: "instrument", Attrs: []AttrAssertion{
+		{"shape", "cross", 0.9}, {"color", "white", 0.85}, {"size", "medium", 0.7},
+	}},
+	"vial": {Name: "vial", Attrs: []AttrAssertion{
+		{"shape", "square", 0.9}, {"color", "purple", 0.9}, {"size", "small", 0.85},
+	}},
+	"sample": {Name: "vial", Attrs: []AttrAssertion{
+		{"shape", "square", 0.8}, {"color", "purple", 0.8}, {"size", "small", 0.8},
+	}},
+	// --- industrial ---
+	"gear": {Name: "gear", Attrs: []AttrAssertion{
+		{"shape", "ring", 0.95}, {"color", "gray", 0.8}, {"size", "medium", 0.8},
+	}},
+	"cog": {Name: "gear", Attrs: []AttrAssertion{
+		{"shape", "ring", 0.95}, {"color", "gray", 0.8}, {"size", "medium", 0.8},
+	}},
+	"bolt": {Name: "bolt", Attrs: []AttrAssertion{
+		{"shape", "disc", 0.85}, {"color", "gray", 0.85}, {"size", "small", 0.9},
+	}},
+	"screw": {Name: "bolt", Attrs: []AttrAssertion{
+		{"shape", "disc", 0.85}, {"color", "gray", 0.85}, {"size", "small", 0.9},
+	}},
+	"crack": {Name: "crack_defect", Attrs: []AttrAssertion{
+		{"shape", "cross", 0.85}, {"color", "red", 0.8}, {"texture", "striped", 0.85}, {"size", "medium", 0.7},
+	}},
+	"defect": {Name: "crack_defect", Attrs: []AttrAssertion{
+		{"shape", "cross", 0.8}, {"color", "red", 0.75}, {"texture", "striped", 0.8}, {"size", "medium", 0.6},
+	}},
+	"damage": {Name: "crack_defect", Attrs: []AttrAssertion{
+		{"shape", "cross", 0.75}, {"color", "red", 0.7}, {"texture", "striped", 0.75}, {"size", "medium", 0.6},
+	}},
+	// --- orchard ---
+	"fruit": {Name: "fruit", Attrs: []AttrAssertion{
+		{"shape", "disc", 0.9}, {"texture", "solid", 0.7}, {"size", "medium", 0.8},
+	}},
+	"apple": {Name: "fruit", Attrs: []AttrAssertion{
+		{"shape", "disc", 0.95}, {"color", "red", 0.8}, {"texture", "solid", 0.8}, {"size", "medium", 0.8},
+	}},
+	"leaf": {Name: "foliage", Attrs: []AttrAssertion{
+		{"shape", "diamond", 0.85}, {"color", "green", 0.9}, {"texture", "dotted", 0.8}, {"size", "medium", 0.6},
+	}},
+	// "leave" is the (imperfect) stem of "leaves"; alias it to foliage.
+	"leave": {Name: "foliage", Attrs: []AttrAssertion{
+		{"shape", "diamond", 0.85}, {"color", "green", 0.9}, {"texture", "dotted", 0.8}, {"size", "medium", 0.6},
+	}},
+	"vegetation": {Name: "foliage", Attrs: []AttrAssertion{
+		{"shape", "diamond", 0.8}, {"color", "green", 0.9}, {"texture", "dotted", 0.7},
+	}},
+	"foliage": {Name: "foliage", Attrs: []AttrAssertion{
+		{"shape", "diamond", 0.8}, {"color", "green", 0.9}, {"texture", "dotted", 0.7},
+	}},
+}
+
+// adjectiveLexicon maps modifier words to attribute assertions applied to
+// the next concept in the sentence.
+var adjectiveLexicon = map[string]AttrAssertion{
+	// colors
+	"red":     {"color", "red", 0.95},
+	"crimson": {"color", "red", 0.9},
+	"green":   {"color", "green", 0.95},
+	"blue":    {"color", "blue", 0.95},
+	"yellow":  {"color", "yellow", 0.95},
+	"orange":  {"color", "orange", 0.95},
+	"purple":  {"color", "purple", 0.95},
+	"violet":  {"color", "purple", 0.9},
+	"white":   {"color", "white", 0.95},
+	"gray":    {"color", "gray", 0.95},
+	"grey":    {"color", "gray", 0.95},
+	"cyan":    {"color", "cyan", 0.95},
+	"ripe":    {"color", "red", 0.9},
+	"unripe":  {"color", "green", 0.9},
+	// sizes
+	"small":  {"size", "small", 0.9},
+	"tiny":   {"size", "small", 0.95},
+	"little": {"size", "small", 0.85},
+	"medium": {"size", "medium", 0.9},
+	"large":  {"size", "large", 0.9},
+	"big":    {"size", "large", 0.9},
+	"huge":   {"size", "large", 0.95},
+	// textures
+	"striped": {"texture", "striped", 0.95},
+	"banded":  {"texture", "striped", 0.85},
+	"dotted":  {"texture", "dotted", 0.95},
+	"spotted": {"texture", "dotted", 0.9},
+	"solid":   {"texture", "solid", 0.9},
+	"plain":   {"texture", "solid", 0.8},
+	// shapes
+	"round":      {"shape", "disc", 0.9},
+	"circular":   {"shape", "disc", 0.9},
+	"square":     {"shape", "square", 0.95},
+	"boxy":       {"shape", "square", 0.85},
+	"triangular": {"shape", "triangle", 0.9},
+	"annular":    {"shape", "ring", 0.9},
+}
+
+// negationWords flip the parser into avoid mode for subsequent concepts.
+var negationWords = map[string]bool{
+	"ignore": true, "avoid": true, "except": true, "not": true,
+	"without": true, "exclude": true, "excluding": true, "skip": true,
+}
+
+// assertionWords flip the parser back into target mode.
+var assertionWords = map[string]bool{
+	"detect": true, "find": true, "locate": true, "report": true,
+	"identify": true, "spot": true, "flag": true, "track": true,
+	"monitor": true, "count": true, "inspect": true,
+}
+
+// stopWords are skipped entirely and also reset pending adjectives at
+// clause boundaries.
+var clauseBreakers = map[string]bool{
+	"and": false, "or": false, "the": false, "a": false, "an": false,
+	"all": false, "any": false, "of": false, "in": false, "on": false,
+	"for": false, "with": false, "near": false, "to": false, "is": false,
+	"are": false, "that": false, "which": false, "then": false,
+}

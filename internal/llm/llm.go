@@ -1,0 +1,170 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+
+	"itask/internal/kg"
+)
+
+// Options tunes the simulated LLM.
+type Options struct {
+	// FuzzyMinSim is the minimum trigram similarity for out-of-vocabulary
+	// words to be adopted; 0 disables fuzzy matching.
+	FuzzyMinSim float64
+	// MinEdgeWeight prunes weaker assertions from the final graph.
+	MinEdgeWeight float64
+}
+
+// DefaultOptions returns the settings used in the experiments.
+func DefaultOptions() Options {
+	return Options{FuzzyMinSim: 0.55, MinEdgeWeight: 0.2}
+}
+
+// SimLLM is the deterministic mission-description-to-knowledge-graph
+// generator. It is stateless and safe for concurrent use.
+type SimLLM struct {
+	opts Options
+}
+
+// New creates a simulated LLM.
+func New(opts Options) *SimLLM { return &SimLLM{opts: opts} }
+
+// Tokenize lowercases and splits a description on non-letter boundaries.
+func Tokenize(text string) []string {
+	var toks []string
+	var cur strings.Builder
+	for _, r := range strings.ToLower(text) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '_' {
+			cur.WriteRune(r)
+			continue
+		}
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+		// Punctuation is a clause boundary; represent it with a marker so
+		// the parser can reset adjective state.
+		if r == ',' || r == ';' || r == '.' {
+			toks = append(toks, "|")
+		}
+	}
+	if cur.Len() > 0 {
+		toks = append(toks, cur.String())
+	}
+	return toks
+}
+
+// Generate parses a mission description into a knowledge graph rooted at a
+// task node "task:<taskName>". The description's recognized concepts become
+// concept nodes with attribute edges; parser mode (target vs avoid) follows
+// assertion and negation verbs; adjectives modify the next concept.
+func (l *SimLLM) Generate(taskName, description string) (*kg.Graph, error) {
+	if taskName == "" {
+		return nil, fmt.Errorf("llm: empty task name")
+	}
+	g := kg.New()
+	taskID := "task:" + taskName
+	g.AddNode(taskID, kg.TaskNode, description)
+
+	mode := kg.Targets
+	var pending []AttrAssertion
+	matched := 0
+
+	emitConcept := func(tmpl ConceptTemplate, conf float64) {
+		conceptID := "concept:" + tmpl.Name
+		g.AddNode(conceptID, kg.ConceptNode, tmpl.Name)
+		g.AddEdge(taskID, conceptID, mode, conf)
+		for _, a := range tmpl.Attrs {
+			id := kg.AddAttrValue(g, a.Family, a.Value)
+			g.AddEdge(conceptID, id, relFor(a.Family), clamp01(a.Weight*conf))
+		}
+		// Pending adjectives override/extend the template.
+		for _, a := range pending {
+			id := kg.AddAttrValue(g, a.Family, a.Value)
+			g.AddEdge(conceptID, id, relFor(a.Family), clamp01(a.Weight*conf))
+		}
+		pending = nil
+		matched++
+	}
+
+	for _, tok := range Tokenize(description) {
+		if tok == "|" {
+			pending = nil
+			mode = kg.Targets
+			continue
+		}
+		if negationWords[tok] {
+			mode = kg.Avoids
+			pending = nil
+			continue
+		}
+		if assertionWords[tok] {
+			mode = kg.Targets
+			pending = nil
+			continue
+		}
+		if isBreakerWord(tok) {
+			continue
+		}
+		word := stem(tok)
+		if adj, ok := adjectiveLexicon[word]; ok {
+			pending = append(pending, adj)
+			continue
+		}
+		if tmpl, ok := conceptLexicon[word]; ok {
+			emitConcept(tmpl, 1.0)
+			continue
+		}
+		// Out-of-vocabulary: fuzzy match against the lexicon, weight scaled
+		// by similarity — the LLM-embedding-space stand-in.
+		if l.opts.FuzzyMinSim > 0 {
+			if key, isConcept, sim, ok := fuzzyMatch(word, l.opts.FuzzyMinSim); ok {
+				if isConcept {
+					emitConcept(conceptLexicon[key], sim)
+				} else {
+					a := adjectiveLexicon[key]
+					a.Weight = clamp01(a.Weight * sim)
+					pending = append(pending, a)
+				}
+			}
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("llm: no concepts recognized in %q", description)
+	}
+	if l.opts.MinEdgeWeight > 0 {
+		g.Prune(l.opts.MinEdgeWeight)
+	}
+	return g, nil
+}
+
+// isBreakerWord reports whether tok is in the clause-breaker stop list.
+func isBreakerWord(tok string) bool {
+	_, ok := clauseBreakers[tok]
+	return ok
+}
+
+func relFor(family string) kg.Relation {
+	switch family {
+	case "shape":
+		return kg.HasShape
+	case "color":
+		return kg.HasColor
+	case "texture":
+		return kg.HasTexture
+	case "size":
+		return kg.HasSize
+	}
+	panic(fmt.Sprintf("llm: unknown attribute family %q", family))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,276 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"itask/internal/kg"
+	"itask/internal/scene"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Detect red cars, ignore the green leaves.")
+	want := []string{"detect", "red", "cars", "|", "ignore", "the", "green", "leaves", "|"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i, w := range want {
+		if toks[i] != w {
+			t.Fatalf("token %d = %q, want %q (%v)", i, toks[i], w, toks)
+		}
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"cars":        "car",
+		"cones":       "cone",
+		"boxes":       "box",
+		"leaves":      "leave", // imperfect stem; covered by an explicit lexicon synonym
+		"anomalies":   "anomaly",
+		"tracking":    "track",
+		"damaged":     "damag",
+		"gear":        "gear",
+		"grass":       "grass", // -ss preserved
+		"vehicles":    "vehicle",
+		"instruments": "instrument",
+	}
+	for in, want := range cases {
+		if got := stem(in); got != want {
+			t.Errorf("stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTrigramSimProperties(t *testing.T) {
+	if s := trigramSim("vehicle", "vehicle"); s < 0.999 {
+		t.Errorf("self similarity = %v", s)
+	}
+	if s := trigramSim("vehicle", "vehicl"); s < 0.6 {
+		t.Errorf("near-variant similarity = %v, want high", s)
+	}
+	if s := trigramSim("vehicle", "xyzzy"); s > 0.1 {
+		t.Errorf("unrelated similarity = %v, want ~0", s)
+	}
+	// Symmetry.
+	if trigramSim("gear", "gears") != trigramSim("gears", "gear") {
+		t.Error("trigram similarity not symmetric")
+	}
+}
+
+func TestGenerateSimpleTask(t *testing.T) {
+	l := New(DefaultOptions())
+	g, err := l.Generate("patrol", "Detect cars and trucks on the road")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Node("task:patrol"); !ok {
+		t.Fatal("missing task node")
+	}
+	targets := g.TargetConcepts("task:patrol")
+	if len(targets) != 2 {
+		t.Fatalf("targets = %v", targets)
+	}
+	priors := kg.ClassPriors(g, "task:patrol")
+	if priors[scene.Car] < 0.5 || priors[scene.Truck] < 0.5 {
+		t.Errorf("vehicle priors too low: car=%v truck=%v", priors[scene.Car], priors[scene.Truck])
+	}
+	if priors[scene.Lesion] > 0.4 {
+		t.Errorf("lesion prior should be low for a driving task: %v", priors[scene.Lesion])
+	}
+}
+
+func TestGenerateWithNegation(t *testing.T) {
+	l := New(DefaultOptions())
+	g, err := l.Generate("harvest", "Find ripe apples, ignore vegetation and leaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors := kg.ClassPriors(g, "task:harvest")
+	if priors[scene.RipeFruit] < 0.5 {
+		t.Errorf("ripe fruit prior = %v, want high", priors[scene.RipeFruit])
+	}
+	if priors[scene.LeafCluster] != 0 {
+		t.Errorf("avoided foliage prior = %v, want 0", priors[scene.LeafCluster])
+	}
+}
+
+func TestGenerateAdjectiveBinding(t *testing.T) {
+	l := New(DefaultOptions())
+	g, err := l.Generate("qa", "Inspect for small gray bolts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := kg.ConceptProfile(g, "concept:bolt")
+	if cp.Size[scene.Small] < 0.8 {
+		t.Errorf("adjective 'small' not bound: %v", cp.Size)
+	}
+	if cp.Color[scene.Gray] < 0.8 {
+		t.Errorf("adjective 'gray' not bound: %v", cp.Color)
+	}
+	priors := kg.ClassPriors(g, "task:qa")
+	if priors[scene.Bolt] < 0.7 {
+		t.Errorf("bolt prior = %v", priors[scene.Bolt])
+	}
+}
+
+func TestGenerateAdjectivesResetAcrossClauses(t *testing.T) {
+	l := New(DefaultOptions())
+	// "red" before the comma must NOT color the gears after it.
+	g, err := l.Generate("mixed", "Find red cracks, then count gears")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := kg.ConceptProfile(g, "concept:gear")
+	if cp.Color[scene.Red] > 0 {
+		t.Errorf("adjective leaked across clause boundary: %v", cp.Color)
+	}
+}
+
+func TestGeneratePluralsAndVariants(t *testing.T) {
+	l := New(DefaultOptions())
+	// Plural and morphological variants must resolve via stemming/fuzzy.
+	for _, desc := range []string{
+		"Detect vehicles",
+		"Find pedestrians and cyclists",
+		"Count the gears and bolts",
+		"Locate lesions",
+	} {
+		g, err := l.Generate("t", desc)
+		if err != nil {
+			t.Errorf("Generate(%q) failed: %v", desc, err)
+			continue
+		}
+		if len(g.TargetConcepts("task:t")) == 0 {
+			t.Errorf("Generate(%q) found no targets", desc)
+		}
+	}
+}
+
+func TestGenerateFuzzyOOV(t *testing.T) {
+	l := New(DefaultOptions())
+	// "scalpels" is in-lexicon via stem; "vialz" is a typo needing trigram.
+	g, err := l.Generate("surgery", "locate scalpels and vialz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := g.TargetConcepts("task:surgery")
+	names := map[string]bool{}
+	for _, c := range targets {
+		n, _ := g.Node(c)
+		names[n.Label] = true
+	}
+	if !names["instrument"] {
+		t.Errorf("scalpels not mapped to instrument: %v", names)
+	}
+	if !names["vial"] {
+		t.Errorf("vialz not fuzzy-matched to vial: %v", names)
+	}
+}
+
+func TestGenerateFuzzyDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FuzzyMinSim = 0
+	l := New(opts)
+	if _, err := l.Generate("x", "locate vialz"); err == nil {
+		t.Error("unknown-only description should fail with fuzzy disabled")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	l := New(DefaultOptions())
+	if _, err := l.Generate("", "detect cars"); err == nil {
+		t.Error("empty task name should fail")
+	}
+	if _, err := l.Generate("t", "the quick brown fox"); err == nil {
+		t.Error("no recognizable concepts should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	l := New(DefaultOptions())
+	desc := "Detect cars, trucks and pedestrians, avoid vegetation"
+	g1, err := l.Generate("p", desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := l.Generate("p", desc)
+	j1, _ := g1.MarshalJSON()
+	j2, _ := g2.MarshalJSON()
+	if string(j1) != string(j2) {
+		t.Error("generation must be deterministic")
+	}
+}
+
+func TestGenerateAllDomainsProduceUsefulPriors(t *testing.T) {
+	// One mission per domain; the top-prior classes must be the domain's.
+	l := New(DefaultOptions())
+	missions := map[scene.DomainID]string{
+		scene.Driving:    "Detect cars, trucks, pedestrians, cyclists and cones on the road",
+		scene.Medical:    "Locate lesions, instruments and vials in the operating room",
+		scene.Industrial: "Inspect for gears, bolts and cracks on the line",
+		scene.Orchard:    "Find ripe fruit and unripe fruit, ignore leaves",
+	}
+	for domID, desc := range missions {
+		g, err := l.Generate("m", desc)
+		if err != nil {
+			t.Fatalf("%v: %v", domID, err)
+		}
+		priors := kg.ClassPriors(g, "task:m")
+		dom := scene.GetDomain(domID)
+		for _, want := range dom.Classes {
+			if domID == scene.Orchard && want == scene.LeafCluster {
+				continue // explicitly avoided in the mission
+			}
+			if priors[want] < 0.4 {
+				t.Errorf("%s: class %s prior = %v, want >= 0.4", dom.Name, want.Name(), priors[want])
+			}
+		}
+	}
+}
+
+func TestLexiconValuesAreRenderable(t *testing.T) {
+	// Every lexicon assertion must reference a value the renderer knows;
+	// kg.AddAttrValue panics otherwise, so just exercise them all.
+	g := kg.New()
+	for word, tmpl := range conceptLexicon {
+		for _, a := range tmpl.Attrs {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("concept %q attr %+v: %v", word, a, r)
+					}
+				}()
+				kg.AddAttrValue(g, a.Family, a.Value)
+			}()
+		}
+	}
+	for word, a := range adjectiveLexicon {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("adjective %q: %v", word, r)
+				}
+			}()
+			kg.AddAttrValue(g, a.Family, a.Value)
+		}()
+		if a.Weight <= 0 || a.Weight > 1 {
+			t.Errorf("adjective %q weight %v", word, a.Weight)
+		}
+	}
+}
+
+func TestFuzzyMatchBehaviour(t *testing.T) {
+	key, isConcept, sim, ok := fuzzyMatch("vehicl", 0.5)
+	if !ok || !isConcept || key != "vehicle" {
+		t.Errorf("fuzzyMatch(vehicl) = %q concept=%v sim=%v ok=%v", key, isConcept, sim, ok)
+	}
+	if _, _, _, ok := fuzzyMatch("qqqq", 0.5); ok {
+		t.Error("nonsense should not match")
+	}
+	// Adjective variants.
+	key, isConcept, _, ok = fuzzyMatch("stripey", 0.5)
+	if !ok || isConcept || !strings.HasPrefix(key, "strip") {
+		t.Errorf("fuzzyMatch(stripey) = %q concept=%v ok=%v", key, isConcept, ok)
+	}
+}

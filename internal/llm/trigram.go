@@ -1,0 +1,102 @@
+package llm
+
+import "strings"
+
+// trigrams returns the character-trigram multiset of a word, padded with
+// boundary markers so short words still produce features. This is the
+// hashed-pseudo-embedding stand-in for an LLM's subword representation:
+// morphological variants ("vehicles" / "vehicle") land close together.
+func trigrams(word string) map[string]int {
+	w := "^" + strings.ToLower(word) + "$"
+	out := map[string]int{}
+	if len(w) < 3 {
+		out[w]++
+		return out
+	}
+	for i := 0; i+3 <= len(w); i++ {
+		out[w[i:i+3]]++
+	}
+	return out
+}
+
+// trigramSim is the cosine similarity between the trigram multisets of two
+// words, in [0,1].
+func trigramSim(a, b string) float64 {
+	ta, tb := trigrams(a), trigrams(b)
+	var dot, na, nb float64
+	for g, ca := range ta {
+		na += float64(ca * ca)
+		if cb, ok := tb[g]; ok {
+			dot += float64(ca * cb)
+		}
+	}
+	for _, cb := range tb {
+		nb += float64(cb * cb)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (sqrt(na) * sqrt(nb))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton's method; plenty for similarity scoring and avoids pulling
+	// math into the hot tokenizer path... (math.Sqrt would be fine too;
+	// this keeps the function inlineable).
+	z := x
+	for i := 0; i < 20; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}
+
+// stem strips common English suffixes: plural s/es, -ing, -ed. Applied
+// before lexicon lookup so surface forms match base entries.
+func stem(word string) string {
+	w := strings.ToLower(word)
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "es") && len(w) > 4:
+		// "boxes" -> "box", but "cones" -> "cone" needs plain s-strip;
+		// try the es-strip only for sibilant stems.
+		base := w[:len(w)-2]
+		if strings.HasSuffix(base, "x") || strings.HasSuffix(base, "s") ||
+			strings.HasSuffix(base, "ch") || strings.HasSuffix(base, "sh") {
+			return base
+		}
+		return w[:len(w)-1]
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && len(w) > 3:
+		return w[:len(w)-1]
+	case strings.HasSuffix(w, "ing") && len(w) > 5:
+		return w[:len(w)-3]
+	case strings.HasSuffix(w, "ed") && len(w) > 4:
+		return w[:len(w)-2]
+	}
+	return w
+}
+
+// fuzzyMatch finds the best lexicon key for an out-of-vocabulary word via
+// trigram similarity over both concept and adjective lexicons. Returns the
+// matched key, whether it is a concept (vs adjective), the similarity, and
+// ok=false when nothing clears minSim.
+func fuzzyMatch(word string, minSim float64) (key string, isConcept bool, sim float64, ok bool) {
+	best := 0.0
+	for k := range conceptLexicon {
+		if s := trigramSim(word, k); s > best {
+			best, key, isConcept = s, k, true
+		}
+	}
+	for k := range adjectiveLexicon {
+		if s := trigramSim(word, k); s > best {
+			best, key, isConcept = s, k, false
+		}
+	}
+	if best < minSim {
+		return "", false, best, false
+	}
+	return key, isConcept, best, true
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"itask/internal/geom"
+)
+
+// Confusion is a detection confusion matrix over a class vocabulary:
+// Counts[gt][pred] counts ground-truth objects of class gt matched (by IoU,
+// class-agnostic) to a detection of class pred. Two synthetic indices
+// complete the bookkeeping: missed ground truths and background false
+// positives.
+type Confusion struct {
+	// Classes is the vocabulary, in the order rows/columns use.
+	Classes []int
+	// Counts[gt][pred] over len(Classes) real classes.
+	Counts [][]int
+	// Missed[gt] counts ground truths with no matching detection.
+	Missed []int
+	// Ghost[pred] counts detections matching no ground truth.
+	Ghost []int
+
+	index map[int]int
+}
+
+// NewConfusion creates an empty matrix over the given classes.
+func NewConfusion(classes []int) *Confusion {
+	c := &Confusion{
+		Classes: append([]int(nil), classes...),
+		Counts:  make([][]int, len(classes)),
+		Missed:  make([]int, len(classes)),
+		Ghost:   make([]int, len(classes)),
+		index:   map[int]int{},
+	}
+	for i, cls := range classes {
+		c.Counts[i] = make([]int, len(classes))
+		c.index[cls] = i
+	}
+	return c
+}
+
+// Add folds one image's detections and ground truths into the matrix.
+// Matching is greedy best-IoU and deliberately class-AGNOSTIC, so class
+// confusions become visible (class-aware matching would file them as
+// miss + ghost).
+func (c *Confusion) Add(dets []geom.Scored, gts []GroundTruth, iouThresh float64) {
+	type cand struct {
+		di, gi int
+		iou    float64
+	}
+	var cands []cand
+	for di, d := range dets {
+		for gi, gt := range gts {
+			if iou := geom.IoU(d.Box, gt.Box); iou >= iouThresh {
+				cands = append(cands, cand{di, gi, iou})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].iou > cands[j].iou })
+	usedD := make([]bool, len(dets))
+	usedG := make([]bool, len(gts))
+	for _, cd := range cands {
+		if usedD[cd.di] || usedG[cd.gi] {
+			continue
+		}
+		usedD[cd.di] = true
+		usedG[cd.gi] = true
+		gi, ok1 := c.index[gts[cd.gi].Class]
+		pi, ok2 := c.index[dets[cd.di].Class]
+		if ok1 && ok2 {
+			c.Counts[gi][pi]++
+		}
+	}
+	for gi, gt := range gts {
+		if !usedG[gi] {
+			if idx, ok := c.index[gt.Class]; ok {
+				c.Missed[idx]++
+			}
+		}
+	}
+	for di, d := range dets {
+		if !usedD[di] {
+			if idx, ok := c.index[d.Class]; ok {
+				c.Ghost[idx]++
+			}
+		}
+	}
+}
+
+// Accuracy returns the trace ratio: correctly classified matches over all
+// ground truths (missed included).
+func (c *Confusion) Accuracy() float64 {
+	var correct, total int
+	for i := range c.Classes {
+		for j := range c.Classes {
+			total += c.Counts[i][j]
+			if i == j {
+				correct += c.Counts[i][j]
+			}
+		}
+		total += c.Missed[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// MostConfused returns the off-diagonal (gt, pred) pair with the highest
+// count, or ok=false if there are no confusions.
+func (c *Confusion) MostConfused() (gt, pred, count int, ok bool) {
+	best := 0
+	for i := range c.Classes {
+		for j := range c.Classes {
+			if i != j && c.Counts[i][j] > best {
+				best = c.Counts[i][j]
+				gt, pred = c.Classes[i], c.Classes[j]
+			}
+		}
+	}
+	return gt, pred, best, best > 0
+}
+
+// Render prints the matrix with the provided class namer.
+func (c *Confusion) Render(name func(int) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "gt \\ pred")
+	for _, cls := range c.Classes {
+		fmt.Fprintf(&b, " %8.8s", name(cls))
+	}
+	fmt.Fprintf(&b, " %8s\n", "missed")
+	for i, cls := range c.Classes {
+		fmt.Fprintf(&b, "%-14.14s", name(cls))
+		for j := range c.Classes {
+			fmt.Fprintf(&b, " %8d", c.Counts[i][j])
+		}
+		fmt.Fprintf(&b, " %8d\n", c.Missed[i])
+	}
+	fmt.Fprintf(&b, "%-14s", "ghost")
+	for j := range c.Classes {
+		fmt.Fprintf(&b, " %8d", c.Ghost[j])
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}

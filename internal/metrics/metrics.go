@@ -1,0 +1,281 @@
+// Package metrics implements the detection-quality and runtime statistics
+// used by every iTask experiment: greedy IoU matching, average precision and
+// mAP, recall-oriented "detection accuracy" (the headline metric the paper's
+// accuracy claims refer to), and latency/energy aggregation helpers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"itask/internal/geom"
+)
+
+// GroundTruth is a labeled object for evaluation.
+type GroundTruth struct {
+	Box   geom.Box
+	Class int
+}
+
+// ImageEval holds the detections and ground truth of one image.
+type ImageEval struct {
+	Dets []geom.Scored
+	GTs  []GroundTruth
+}
+
+// MatchResult marks each detection of one image as true/false positive and
+// records which ground truths were found.
+type MatchResult struct {
+	// TP[i] is true when detection i matched a ground truth.
+	TP []bool
+	// Matched[j] is true when ground truth j was found.
+	Matched []bool
+}
+
+// Match greedily assigns detections (in descending score order) to the
+// best-IoU unmatched ground truth of the same class. A detection is a true
+// positive when its best match clears iouThresh.
+func Match(dets []geom.Scored, gts []GroundTruth, iouThresh float64) MatchResult {
+	order := make([]int, len(dets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return dets[order[a]].Score > dets[order[b]].Score })
+	res := MatchResult{TP: make([]bool, len(dets)), Matched: make([]bool, len(gts))}
+	for _, di := range order {
+		d := dets[di]
+		best := -1
+		bestIoU := iouThresh
+		for gi, gt := range gts {
+			if res.Matched[gi] || gt.Class != d.Class {
+				continue
+			}
+			if iou := geom.IoU(d.Box, gt.Box); iou >= bestIoU {
+				bestIoU, best = iou, gi
+			}
+		}
+		if best >= 0 {
+			res.TP[di] = true
+			res.Matched[best] = true
+		}
+	}
+	return res
+}
+
+// PRPoint is one precision/recall operating point.
+type PRPoint struct {
+	Score     float64
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve computes the precision/recall curve for one class over a set of
+// images. Detections of other classes are ignored; ground truths of other
+// classes don't count toward recall.
+func PRCurve(images []ImageEval, class int, iouThresh float64) []PRPoint {
+	type flagged struct {
+		score float64
+		tp    bool
+	}
+	var all []flagged
+	totalGT := 0
+	for _, img := range images {
+		var dets []geom.Scored
+		for _, d := range img.Dets {
+			if d.Class == class {
+				dets = append(dets, d)
+			}
+		}
+		var gts []GroundTruth
+		for _, gt := range img.GTs {
+			if gt.Class == class {
+				gts = append(gts, gt)
+			}
+		}
+		totalGT += len(gts)
+		m := Match(dets, gts, iouThresh)
+		for i, d := range dets {
+			all = append(all, flagged{score: d.Score, tp: m.TP[i]})
+		}
+	}
+	if totalGT == 0 {
+		return nil
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].score > all[j].score })
+	var curve []PRPoint
+	tp, fp := 0, 0
+	for _, f := range all {
+		if f.tp {
+			tp++
+		} else {
+			fp++
+		}
+		curve = append(curve, PRPoint{
+			Score:     f.score,
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    float64(tp) / float64(totalGT),
+		})
+	}
+	return curve
+}
+
+// AP computes average precision from a PR curve using the standard
+// all-points interpolation (area under the precision-envelope).
+func AP(curve []PRPoint) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	// Precision envelope: for each point, the max precision at >= recall.
+	env := make([]float64, len(curve))
+	maxP := 0.0
+	for i := len(curve) - 1; i >= 0; i-- {
+		if curve[i].Precision > maxP {
+			maxP = curve[i].Precision
+		}
+		env[i] = maxP
+	}
+	ap := 0.0
+	prevRecall := 0.0
+	for i, p := range curve {
+		ap += (p.Recall - prevRecall) * env[i]
+		prevRecall = p.Recall
+	}
+	return ap
+}
+
+// MAP computes mean average precision over the given classes at iouThresh.
+// Classes with no ground truth anywhere are skipped (not counted as 0).
+func MAP(images []ImageEval, classes []int, iouThresh float64) float64 {
+	var sum float64
+	counted := 0
+	for _, c := range classes {
+		hasGT := false
+		for _, img := range images {
+			for _, gt := range img.GTs {
+				if gt.Class == c {
+					hasGT = true
+					break
+				}
+			}
+			if hasGT {
+				break
+			}
+		}
+		if !hasGT {
+			continue
+		}
+		sum += AP(PRCurve(images, c, iouThresh))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// Summary aggregates the headline numbers of one evaluation run.
+type Summary struct {
+	// Accuracy is object-level detection accuracy: the fraction of ground
+	// truth objects that were detected with the right class at the IoU
+	// threshold. This is the metric behind the paper's "% accuracy" claims.
+	Accuracy float64
+	// Precision is TP / (TP + FP) over all detections.
+	Precision float64
+	// Recall equals Accuracy (kept separate for readability at call sites).
+	Recall float64
+	// F1 is the harmonic mean of precision and recall.
+	F1 float64
+	// MAP is COCO-style mean average precision at the IoU threshold.
+	MAP float64
+	// Images, GTObjects, Detections count the evaluation size.
+	Images, GTObjects, Detections int
+}
+
+// Evaluate computes the full summary at iouThresh over the class set.
+func Evaluate(images []ImageEval, classes []int, iouThresh float64) Summary {
+	s := Summary{Images: len(images)}
+	tp, fp, totalGT := 0, 0, 0
+	for _, img := range images {
+		m := Match(img.Dets, img.GTs, iouThresh)
+		for _, isTP := range m.TP {
+			if isTP {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		totalGT += len(img.GTs)
+		s.Detections += len(img.Dets)
+	}
+	s.GTObjects = totalGT
+	if totalGT > 0 {
+		s.Recall = float64(tp) / float64(totalGT)
+	}
+	s.Accuracy = s.Recall
+	if tp+fp > 0 {
+		s.Precision = float64(tp) / float64(tp+fp)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	s.MAP = MAP(images, classes, iouThresh)
+	return s
+}
+
+// String renders the summary as a compact table row.
+func (s Summary) String() string {
+	return fmt.Sprintf("acc=%.3f prec=%.3f f1=%.3f mAP=%.3f (n=%d imgs, %d GT, %d dets)",
+		s.Accuracy, s.Precision, s.F1, s.MAP, s.Images, s.GTObjects, s.Detections)
+}
+
+// Stats holds simple distribution statistics for runtime measurements.
+type Stats struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// ComputeStats summarizes a sample set. Returns the zero value for empty
+// input.
+func ComputeStats(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Stats{
+		N: len(sorted), Mean: mean, Std: math.Sqrt(variance),
+		Min: sorted[0], Max: sorted[len(sorted)-1],
+		P50: percentile(sorted, 0.50),
+		P95: percentile(sorted, 0.95),
+		P99: percentile(sorted, 0.99),
+	}
+}
+
+// percentile interpolates the p-quantile of a sorted sample.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

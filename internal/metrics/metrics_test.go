@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"itask/internal/geom"
+)
+
+func box(x, y, w, h float64) geom.Box { return geom.Box{X: x, Y: y, W: w, H: h} }
+
+func TestMatchPerfectDetection(t *testing.T) {
+	gts := []GroundTruth{{Box: box(0.5, 0.5, 0.2, 0.2), Class: 1}}
+	dets := []geom.Scored{{Box: box(0.5, 0.5, 0.2, 0.2), Class: 1, Score: 0.9}}
+	m := Match(dets, gts, 0.5)
+	if !m.TP[0] || !m.Matched[0] {
+		t.Error("perfect detection should match")
+	}
+}
+
+func TestMatchClassMismatch(t *testing.T) {
+	gts := []GroundTruth{{Box: box(0.5, 0.5, 0.2, 0.2), Class: 1}}
+	dets := []geom.Scored{{Box: box(0.5, 0.5, 0.2, 0.2), Class: 2, Score: 0.9}}
+	m := Match(dets, gts, 0.5)
+	if m.TP[0] {
+		t.Error("wrong-class detection must be a false positive")
+	}
+}
+
+func TestMatchLowIoU(t *testing.T) {
+	gts := []GroundTruth{{Box: box(0.2, 0.2, 0.1, 0.1), Class: 0}}
+	dets := []geom.Scored{{Box: box(0.8, 0.8, 0.1, 0.1), Class: 0, Score: 0.9}}
+	if m := Match(dets, gts, 0.5); m.TP[0] {
+		t.Error("disjoint detection must not match")
+	}
+}
+
+func TestMatchGreedyByScore(t *testing.T) {
+	// Two detections on one GT: the higher-scoring one wins, the other is FP.
+	gts := []GroundTruth{{Box: box(0.5, 0.5, 0.2, 0.2), Class: 0}}
+	dets := []geom.Scored{
+		{Box: box(0.5, 0.5, 0.2, 0.2), Class: 0, Score: 0.3},
+		{Box: box(0.51, 0.5, 0.2, 0.2), Class: 0, Score: 0.8},
+	}
+	m := Match(dets, gts, 0.5)
+	if m.TP[0] || !m.TP[1] {
+		t.Errorf("greedy matching wrong: %+v", m.TP)
+	}
+}
+
+func TestMatchOneToOne(t *testing.T) {
+	// One detection cannot claim two GTs.
+	gts := []GroundTruth{
+		{Box: box(0.5, 0.5, 0.2, 0.2), Class: 0},
+		{Box: box(0.52, 0.5, 0.2, 0.2), Class: 0},
+	}
+	dets := []geom.Scored{{Box: box(0.5, 0.5, 0.2, 0.2), Class: 0, Score: 0.9}}
+	m := Match(dets, gts, 0.5)
+	matched := 0
+	for _, ok := range m.Matched {
+		if ok {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Errorf("one detection matched %d GTs", matched)
+	}
+}
+
+func TestAPPerfectDetector(t *testing.T) {
+	var images []ImageEval
+	for i := 0; i < 5; i++ {
+		gt := GroundTruth{Box: box(0.5, 0.5, 0.2, 0.2), Class: 0}
+		images = append(images, ImageEval{
+			GTs:  []GroundTruth{gt},
+			Dets: []geom.Scored{{Box: gt.Box, Class: 0, Score: 0.9}},
+		})
+	}
+	ap := AP(PRCurve(images, 0, 0.5))
+	if math.Abs(ap-1) > 1e-9 {
+		t.Errorf("perfect detector AP = %v, want 1", ap)
+	}
+}
+
+func TestAPNoDetections(t *testing.T) {
+	images := []ImageEval{{GTs: []GroundTruth{{Box: box(0.5, 0.5, 0.2, 0.2), Class: 0}}}}
+	if ap := AP(PRCurve(images, 0, 0.5)); ap != 0 {
+		t.Errorf("no detections AP = %v, want 0", ap)
+	}
+}
+
+func TestAPAllFalsePositives(t *testing.T) {
+	images := []ImageEval{{
+		GTs:  []GroundTruth{{Box: box(0.2, 0.2, 0.1, 0.1), Class: 0}},
+		Dets: []geom.Scored{{Box: box(0.8, 0.8, 0.1, 0.1), Class: 0, Score: 0.9}},
+	}}
+	if ap := AP(PRCurve(images, 0, 0.5)); ap != 0 {
+		t.Errorf("all-FP AP = %v, want 0", ap)
+	}
+}
+
+func TestAPHalfDetector(t *testing.T) {
+	// Detector finds 1 of 2 objects perfectly: AP = 0.5 (precision 1 up to
+	// recall 0.5, nothing beyond).
+	images := []ImageEval{{
+		GTs: []GroundTruth{
+			{Box: box(0.3, 0.3, 0.2, 0.2), Class: 0},
+			{Box: box(0.7, 0.7, 0.2, 0.2), Class: 0},
+		},
+		Dets: []geom.Scored{{Box: box(0.3, 0.3, 0.2, 0.2), Class: 0, Score: 0.9}},
+	}}
+	ap := AP(PRCurve(images, 0, 0.5))
+	if math.Abs(ap-0.5) > 1e-9 {
+		t.Errorf("half detector AP = %v, want 0.5", ap)
+	}
+}
+
+func TestPRCurveIgnoresOtherClasses(t *testing.T) {
+	images := []ImageEval{{
+		GTs:  []GroundTruth{{Box: box(0.5, 0.5, 0.2, 0.2), Class: 0}},
+		Dets: []geom.Scored{{Box: box(0.1, 0.1, 0.1, 0.1), Class: 1, Score: 0.99}},
+	}}
+	curve := PRCurve(images, 0, 0.5)
+	if len(curve) != 0 {
+		t.Errorf("class-1 detections leaked into class-0 curve: %v", curve)
+	}
+}
+
+func TestPRCurveNoGT(t *testing.T) {
+	images := []ImageEval{{Dets: []geom.Scored{{Box: box(0.5, 0.5, 0.2, 0.2), Class: 0, Score: 0.9}}}}
+	if c := PRCurve(images, 0, 0.5); c != nil {
+		t.Error("no-GT class should yield nil curve")
+	}
+}
+
+func TestMAPSkipsAbsentClasses(t *testing.T) {
+	images := []ImageEval{{
+		GTs:  []GroundTruth{{Box: box(0.5, 0.5, 0.2, 0.2), Class: 0}},
+		Dets: []geom.Scored{{Box: box(0.5, 0.5, 0.2, 0.2), Class: 0, Score: 0.9}},
+	}}
+	// Class 7 never appears; mAP should be AP of class 0 alone = 1.
+	m := MAP(images, []int{0, 7}, 0.5)
+	if math.Abs(m-1) > 1e-9 {
+		t.Errorf("mAP = %v, want 1", m)
+	}
+}
+
+func TestEvaluateSummary(t *testing.T) {
+	images := []ImageEval{{
+		GTs: []GroundTruth{
+			{Box: box(0.3, 0.3, 0.2, 0.2), Class: 0},
+			{Box: box(0.7, 0.7, 0.2, 0.2), Class: 1},
+		},
+		Dets: []geom.Scored{
+			{Box: box(0.3, 0.3, 0.2, 0.2), Class: 0, Score: 0.9}, // TP
+			{Box: box(0.1, 0.9, 0.1, 0.1), Class: 1, Score: 0.8}, // FP
+		},
+	}}
+	s := Evaluate(images, []int{0, 1}, 0.5)
+	if math.Abs(s.Accuracy-0.5) > 1e-9 {
+		t.Errorf("accuracy = %v, want 0.5", s.Accuracy)
+	}
+	if math.Abs(s.Precision-0.5) > 1e-9 {
+		t.Errorf("precision = %v, want 0.5", s.Precision)
+	}
+	if math.Abs(s.F1-0.5) > 1e-9 {
+		t.Errorf("f1 = %v, want 0.5", s.F1)
+	}
+	if s.Images != 1 || s.GTObjects != 2 || s.Detections != 2 {
+		t.Errorf("counts wrong: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	s := Evaluate(nil, []int{0}, 0.5)
+	if s.Accuracy != 0 || s.Precision != 0 || s.MAP != 0 {
+		t.Errorf("empty evaluation should be all zeros: %+v", s)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.Std-want) > 1e-9 {
+		t.Errorf("std = %v, want %v", s.Std, want)
+	}
+	if s.P95 < s.P50 || s.P99 < s.P95 || s.P99 > s.Max {
+		t.Errorf("percentiles out of order: %+v", s)
+	}
+}
+
+func TestComputeStatsEdgeCases(t *testing.T) {
+	if s := ComputeStats(nil); s.N != 0 {
+		t.Error("empty stats should be zero")
+	}
+	s := ComputeStats([]float64{42})
+	if s.Mean != 42 || s.P50 != 42 || s.P99 != 42 || s.Std != 0 {
+		t.Errorf("single-sample stats = %+v", s)
+	}
+}
+
+func TestComputeStatsDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	ComputeStats(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("ComputeStats sorted the caller's slice")
+	}
+}

@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"fmt"
+
+	"itask/internal/tensor"
+)
+
+// Conv2D is a same-geometry 2-D convolution over images packed as
+// (batch, C*H*W) rows. The spatial geometry is fixed at construction —
+// appropriate for the fixed-resolution detectors in this codebase — which
+// lets the layer keep the plain (rows, features) Layer contract.
+//
+// The implementation is im2col + GEMM: forward builds a column matrix of
+// receptive fields and multiplies by the (outC, inC*K*K) weight; backward
+// is the transposed GEMM plus col2im scatter. Padding is (K-1)/2 ("same")
+// and stride is configurable.
+type Conv2D struct {
+	InC, OutC int
+	K         int // kernel edge (odd)
+	Stride    int
+	H, W      int // input spatial dims
+
+	Weight *Param // (OutC, InC*K*K)
+	Bias   *Param // (OutC)
+
+	// cached columns for backward: one (outH*outW, InC*K*K) matrix per
+	// batch row.
+	cols  []*tensor.Tensor
+	batch int
+}
+
+// NewConv2D creates a convolution with He-normal weights.
+func NewConv2D(name string, inC, outC, k, stride, h, w int, rng *tensor.RNG) *Conv2D {
+	if k%2 == 0 || k <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D kernel %d must be odd", k))
+	}
+	if stride <= 0 || h <= 0 || w <= 0 || inC <= 0 || outC <= 0 {
+		panic("nn: Conv2D non-positive geometry")
+	}
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, H: h, W: w,
+		Weight: NewParam(name+".weight", tensor.KaimingNormal(rng, outC, inC*k*k)),
+		Bias:   NewParam(name+".bias", tensor.New(outC)),
+	}
+}
+
+// OutH returns the output height.
+func (c *Conv2D) OutH() int { return (c.H + c.Stride - 1) / c.Stride }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return (c.W + c.Stride - 1) / c.Stride }
+
+// OutFeatures returns the flattened output width OutC*OutH*OutW.
+func (c *Conv2D) OutFeatures() int { return c.OutC * c.OutH() * c.OutW() }
+
+// im2col expands one image (flattened C*H*W) into the (outH*outW, InC*K*K)
+// receptive-field matrix.
+func (c *Conv2D) im2col(img []float32) *tensor.Tensor {
+	oh, ow := c.OutH(), c.OutW()
+	pad := (c.K - 1) / 2
+	cols := tensor.New(oh*ow, c.InC*c.K*c.K)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := cols.Data[(oy*ow+ox)*c.InC*c.K*c.K:]
+			idx := 0
+			for ch := 0; ch < c.InC; ch++ {
+				base := ch * c.H * c.W
+				for ky := 0; ky < c.K; ky++ {
+					sy := oy*c.Stride + ky - pad
+					for kx := 0; kx < c.K; kx++ {
+						sx := ox*c.Stride + kx - pad
+						if sy >= 0 && sy < c.H && sx >= 0 && sx < c.W {
+							row[idx] = img[base+sy*c.W+sx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// col2im scatters column gradients back into an image gradient.
+func (c *Conv2D) col2im(cols *tensor.Tensor, img []float32) {
+	oh, ow := c.OutH(), c.OutW()
+	pad := (c.K - 1) / 2
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := cols.Data[(oy*ow+ox)*c.InC*c.K*c.K:]
+			idx := 0
+			for ch := 0; ch < c.InC; ch++ {
+				base := ch * c.H * c.W
+				for ky := 0; ky < c.K; ky++ {
+					sy := oy*c.Stride + ky - pad
+					for kx := 0; kx < c.K; kx++ {
+						sx := ox*c.Stride + kx - pad
+						if sy >= 0 && sy < c.H && sx >= 0 && sx < c.W {
+							img[base+sy*c.W+sx] += row[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward convolves a batch (rows, InC*H*W) -> (rows, OutC*OutH*OutW).
+// Output layout is channel-major per image, matching the input convention.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank("Conv2D.Forward", x, 2)
+	if x.Shape[1] != c.InC*c.H*c.W {
+		panic(fmt.Sprintf("nn: Conv2D input width %d, want %d", x.Shape[1], c.InC*c.H*c.W))
+	}
+	b := x.Shape[0]
+	oh, ow := c.OutH(), c.OutW()
+	out := tensor.New(b, c.OutFeatures())
+	if train {
+		c.cols = make([]*tensor.Tensor, b)
+		c.batch = b
+	}
+	for bi := 0; bi < b; bi++ {
+		cols := c.im2col(x.Data[bi*x.Shape[1] : (bi+1)*x.Shape[1]])
+		if train {
+			c.cols[bi] = cols
+		}
+		// (oh*ow, inC*K*K) @ (OutC, inC*K*K)ᵀ = (oh*ow, OutC)
+		y := tensor.MatMulT(cols, c.Weight.W)
+		y.AddRowVector(c.Bias.W)
+		// Transpose to channel-major (OutC, oh*ow) layout in the output row.
+		orow := out.Data[bi*c.OutFeatures():]
+		for p := 0; p < oh*ow; p++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				orow[oc*oh*ow+p] = y.Data[p*c.OutC+oc]
+			}
+		}
+	}
+	return out
+}
+
+// Backward propagates (rows, OutC*OutH*OutW) gradients.
+func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if c.cols == nil {
+		panic("nn: Conv2D.Backward before Forward(train=true)")
+	}
+	b := c.batch
+	oh, ow := c.OutH(), c.OutW()
+	dx := tensor.New(b, c.InC*c.H*c.W)
+	for bi := 0; bi < b; bi++ {
+		// Undo the channel-major transpose: dyMat (oh*ow, OutC).
+		dyMat := tensor.New(oh*ow, c.OutC)
+		drow := dy.Data[bi*c.OutFeatures():]
+		for p := 0; p < oh*ow; p++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				dyMat.Data[p*c.OutC+oc] = drow[oc*oh*ow+p]
+			}
+		}
+		// dW += dyMatᵀ @ cols ; db += column sums of dyMat.
+		c.Weight.G.AddInPlace(tensor.TMatMul(dyMat, c.cols[bi]))
+		c.Bias.G.AddInPlace(dyMat.SumRows())
+		// dCols = dyMat @ W ; scatter back to image.
+		dCols := tensor.MatMul(dyMat, c.Weight.W)
+		c.col2im(dCols, dx.Data[bi*c.InC*c.H*c.W:(bi+1)*c.InC*c.H*c.W])
+	}
+	return dx
+}
+
+// Params returns weight and bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// MaxPool2D is a 2×2/stride-2 max pooling over images packed as
+// (batch, C*H*W) rows with fixed geometry.
+type MaxPool2D struct {
+	C, H, W int
+
+	argmax []int
+	batch  int
+}
+
+// NewMaxPool2D creates a pooling layer. H and W must be even.
+func NewMaxPool2D(c, h, w int) *MaxPool2D {
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D dims %dx%d must be even", h, w))
+	}
+	return &MaxPool2D{C: c, H: h, W: w}
+}
+
+// OutFeatures returns C*(H/2)*(W/2).
+func (p *MaxPool2D) OutFeatures() int { return p.C * (p.H / 2) * (p.W / 2) }
+
+// Forward pools each 2×2 window to its max.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank("MaxPool2D.Forward", x, 2)
+	if x.Shape[1] != p.C*p.H*p.W {
+		panic(fmt.Sprintf("nn: MaxPool2D input width %d, want %d", x.Shape[1], p.C*p.H*p.W))
+	}
+	b := x.Shape[0]
+	oh, ow := p.H/2, p.W/2
+	out := tensor.New(b, p.OutFeatures())
+	if train {
+		p.argmax = make([]int, b*p.OutFeatures())
+		p.batch = b
+	}
+	for bi := 0; bi < b; bi++ {
+		in := x.Data[bi*x.Shape[1]:]
+		orow := out.Data[bi*p.OutFeatures():]
+		for ch := 0; ch < p.C; ch++ {
+			base := ch * p.H * p.W
+			obase := ch * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := base + (2*oy)*p.W + 2*ox
+					best := in[bestIdx]
+					for _, off := range [3]int{1, p.W, p.W + 1} {
+						if v := in[base+(2*oy)*p.W+2*ox+off]; v > best {
+							best = v
+							bestIdx = base + (2*oy)*p.W + 2*ox + off
+						}
+					}
+					orow[obase+oy*ow+ox] = best
+					if train {
+						p.argmax[bi*p.OutFeatures()+obase+oy*ow+ox] = bi*x.Shape[1] + bestIdx
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes gradients to the max positions.
+func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil {
+		panic("nn: MaxPool2D.Backward before Forward(train=true)")
+	}
+	dx := tensor.New(p.batch, p.C*p.H*p.W)
+	for i, v := range dy.Data {
+		dx.Data[p.argmax[i]] += v
+	}
+	return dx
+}
+
+// Params returns nil; pooling has no parameters.
+func (p *MaxPool2D) Params() []*Param { return nil }

@@ -1,0 +1,56 @@
+package nn
+
+import "itask/internal/tensor"
+
+// Dropout randomly zeroes activations during training with probability P and
+// rescales survivors by 1/(1-P) (inverted dropout), so inference needs no
+// correction. The layer draws from its own deterministic RNG stream, which
+// keeps whole training runs bit-reproducible from the experiment seed.
+type Dropout struct {
+	P   float64
+	rng *tensor.RNG
+
+	mask []float32
+}
+
+// NewDropout creates a dropout layer with drop probability p in [0,1).
+func NewDropout(p float64, rng *tensor.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0,1)")
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward applies dropout when train is true; otherwise it is the identity.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	keep := float32(1 / (1 - d.P))
+	d.mask = make([]float32, len(x.Data))
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			d.mask[i] = keep
+			y.Data[i] = v * keep
+		}
+	}
+	return y
+}
+
+// Backward applies the cached mask to the upstream gradient.
+func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		// Forward ran in eval mode (identity); gradient passes through.
+		return dy
+	}
+	dx := tensor.New(dy.Shape...)
+	for i, m := range d.mask {
+		dx.Data[i] = dy.Data[i] * m
+	}
+	return dx
+}
+
+// Params returns nil; dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,67 @@
+package nn
+
+import "itask/internal/tensor"
+
+// Sequential chains layers, feeding each layer's output to the next.
+// Backward runs the chain in reverse.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) {
+	s.Layers = append(s.Layers, layers...)
+}
+
+// Forward runs the chain front to back.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs the chain back to front.
+func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params returns the concatenated parameters of all layers, in order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Residual wraps a layer f as x + f(x), the transformer residual connection.
+type Residual struct {
+	Body Layer
+}
+
+// NewResidual wraps body in a residual connection.
+func NewResidual(body Layer) *Residual { return &Residual{Body: body} }
+
+// Forward computes x + Body(x).
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := r.Body.Forward(x, train)
+	return tensor.Add(x, y)
+}
+
+// Backward returns dy + Body.Backward(dy).
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := r.Body.Backward(dy)
+	return tensor.Add(dy, dx)
+}
+
+// Params returns the wrapped layer's parameters.
+func (r *Residual) Params() []*Param { return r.Body.Params() }

@@ -1,0 +1,163 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"itask/internal/nn"
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+// Observer accumulates the value distribution of an activation site across
+// calibration batches. A percentile clip discards outliers at Params time.
+type Observer struct {
+	values []float32
+}
+
+// Observe folds one activation tensor into the statistics.
+func (o *Observer) Observe(t *tensor.Tensor) {
+	o.values = append(o.values, t.Data...)
+}
+
+// Params computes the calibrated quantization parameters at the given bit
+// width; pct in (0,1] clips symmetric tails (1 = pure min/max).
+func (o *Observer) Params(bits int, pct float64) QParams {
+	if len(o.values) == 0 {
+		panic("quant: Observer.Params with no observations")
+	}
+	return PercentileParams(o.values, bits, pct)
+}
+
+// Samples returns the number of observed scalars.
+func (o *Observer) Samples() int { return len(o.values) }
+
+// StaticParams holds calibrated activation parameters for every linear site
+// of the quantized ViT. Attention-internal products (scores, context)
+// remain dynamically quantized: their ranges vary strongly per image and
+// head, which matches how production int8 transformer stacks split it.
+type StaticParams struct {
+	EmbedIn QParams
+	Blocks  []StaticBlockParams
+	DetIn   QParams
+	ClsIn   QParams
+}
+
+// StaticBlockParams are the per-block linear-input parameters.
+type StaticBlockParams struct {
+	QKVIn, ProjIn, MLP1In, MLP2In QParams
+}
+
+// floatAttentionContext computes the pre-projection attention output (the
+// concatenated head contexts) of a float MHSA layer on normalized input xn
+// — the activation the quantized model feeds to its projection GEMM.
+func floatAttentionContext(a *nn.MultiHeadAttention, xn *tensor.Tensor) *tensor.Tensor {
+	d := a.Dim
+	t := a.Tokens
+	h := a.Heads
+	dh := d / h
+	rows := xn.Shape[0]
+	batch := rows / t
+	qkv := a.QKV.Forward(xn, false)
+	out := tensor.New(rows, d)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	for bi := 0; bi < batch; bi++ {
+		for hi := 0; hi < h; hi++ {
+			qh := tensor.New(t, dh)
+			kh := tensor.New(t, dh)
+			vh := tensor.New(t, dh)
+			for ti := 0; ti < t; ti++ {
+				src := qkv.Data[(bi*t+ti)*3*d:]
+				copy(qh.Data[ti*dh:(ti+1)*dh], src[hi*dh:(hi+1)*dh])
+				copy(kh.Data[ti*dh:(ti+1)*dh], src[d+hi*dh:d+(hi+1)*dh])
+				copy(vh.Data[ti*dh:(ti+1)*dh], src[2*d+hi*dh:2*d+(hi+1)*dh])
+			}
+			scores := tensor.MatMulT(qh, kh)
+			scores.ScaleInPlace(scale)
+			ctx := tensor.MatMul(tensor.SoftmaxRows(scores), vh)
+			for ti := 0; ti < t; ti++ {
+				copy(out.Data[(bi*t+ti)*d+hi*dh:(bi*t+ti)*d+(hi+1)*dh], ctx.Data[ti*dh:(ti+1)*dh])
+			}
+		}
+	}
+	return out
+}
+
+// Calibrate runs calibration images through the FLOAT model, observes the
+// input of every linear site, and returns static activation parameters for
+// the scheme. pct is the percentile clip (0.999 is a good default).
+func Calibrate(m *vit.Model, images []*tensor.Tensor, qc Config, pct float64) (*StaticParams, error) {
+	if err := qc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(images) == 0 {
+		return nil, fmt.Errorf("quant: calibration needs at least one image")
+	}
+	bits := qc.actBits()
+	var embedIn, detIn, clsIn Observer
+	blockObs := make([]struct{ qkv, proj, mlp1, mlp2 Observer }, m.Cfg.Depth)
+
+	patches := vit.Patchify(m.Cfg, images)
+	embedIn.Observe(patches)
+	x := m.Embed.Forward(patches, false)
+	x = m.Pos.Forward(x, false)
+	layers := m.Trunk.Layers
+	if len(layers) != 2*m.Cfg.Depth+1 {
+		return nil, fmt.Errorf("quant: unexpected trunk length %d", len(layers))
+	}
+	for i := 0; i < m.Cfg.Depth; i++ {
+		attnSeq, err := residualBody(layers[2*i])
+		if err != nil {
+			return nil, err
+		}
+		mlpSeq, err := residualBody(layers[2*i+1])
+		if err != nil {
+			return nil, err
+		}
+		mhsa, ok := attnSeq.Layers[1].(*nn.MultiHeadAttention)
+		if !ok {
+			return nil, fmt.Errorf("quant: block %d missing attention", i)
+		}
+		xn := attnSeq.Layers[0].Forward(x, false)
+		blockObs[i].qkv.Observe(xn)
+		blockObs[i].proj.Observe(floatAttentionContext(mhsa, xn))
+		x = tensor.Add(x, mhsa.Forward(xn, false))
+
+		yn := mlpSeq.Layers[0].Forward(x, false)
+		blockObs[i].mlp1.Observe(yn)
+		h := mlpSeq.Layers[2].Forward(mlpSeq.Layers[1].Forward(yn, false), false)
+		blockObs[i].mlp2.Observe(h)
+		x = tensor.Add(x, mlpSeq.Layers[3].Forward(h, false))
+	}
+	feats := layers[len(layers)-1].Forward(x, false)
+	detIn.Observe(feats)
+	clsIn.Observe(m.PoolFeats(feats))
+
+	sp := &StaticParams{
+		EmbedIn: embedIn.Params(bits, pct),
+		DetIn:   detIn.Params(bits, pct),
+		ClsIn:   clsIn.Params(bits, pct),
+	}
+	for i := range blockObs {
+		sp.Blocks = append(sp.Blocks, StaticBlockParams{
+			QKVIn:  blockObs[i].qkv.Params(bits, pct),
+			ProjIn: blockObs[i].proj.Params(bits, pct),
+			MLP1In: blockObs[i].mlp1.Params(bits, pct),
+			MLP2In: blockObs[i].mlp2.Params(bits, pct),
+		})
+	}
+	return sp, nil
+}
+
+// residualBody unwraps Residual(Sequential(...)).
+func residualBody(l nn.Layer) (*nn.Sequential, error) {
+	res, ok := l.(*nn.Residual)
+	if !ok {
+		return nil, fmt.Errorf("quant: trunk layer is %T, want *nn.Residual", l)
+	}
+	seq, ok := res.Body.(*nn.Sequential)
+	if !ok {
+		return nil, fmt.Errorf("quant: residual body is %T, want *nn.Sequential", res.Body)
+	}
+	return seq, nil
+}

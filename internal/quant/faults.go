@@ -1,0 +1,82 @@
+package quant
+
+import (
+	"fmt"
+
+	"itask/internal/tensor"
+)
+
+// InjectBitFlips flips each stored weight bit independently with probability
+// ratePerBit — the standard model for SRAM soft errors and marginal-voltage
+// faults in accelerator weight buffers. Only the Bits bits a real weight
+// SRAM would store are eligible (codes are kept sign-extended in int8, so a
+// flipped stored sign bit re-sign-extends). Row sums are recomputed so the
+// zero-point correction stays consistent with the corrupted codes, exactly
+// as hardware computing them on the fly would behave.
+//
+// The model is modified in place; clone via Save/Load first to keep a
+// pristine copy. Returns the number of bits flipped.
+func InjectBitFlips(qm *Model, ratePerBit float64, seed uint64) (int, error) {
+	if ratePerBit < 0 || ratePerBit > 1 {
+		return 0, fmt.Errorf("quant: bit-flip rate %v outside [0,1]", ratePerBit)
+	}
+	rng := tensor.NewRNG(seed)
+	flips := 0
+	corrupt := func(l *qLinear) {
+		bits := l.w.Bits
+		mask := uint32(1)<<bits - 1
+		signBit := uint32(1) << (bits - 1)
+		for i, code := range l.w.Q {
+			u := uint32(uint8(code)) & mask
+			changed := false
+			for b := 0; b < bits; b++ {
+				if rng.Float64() < ratePerBit {
+					u ^= 1 << b
+					changed = true
+					flips++
+				}
+			}
+			if changed {
+				// Sign-extend the Bits-wide pattern back into int8.
+				if u&signBit != 0 {
+					u |= ^mask
+				}
+				l.w.Q[i] = int8(u)
+			}
+		}
+		for o := 0; o < l.w.Out; o++ {
+			var s int32
+			for _, q := range l.w.Q[o*l.w.In : (o+1)*l.w.In] {
+				s += int32(q)
+			}
+			l.w.RowSums[o] = s
+		}
+	}
+	corrupt(&qm.embed)
+	for i := range qm.blocks {
+		corrupt(&qm.blocks[i].qkv)
+		corrupt(&qm.blocks[i].proj)
+		corrupt(&qm.blocks[i].mlp1)
+		corrupt(&qm.blocks[i].mlp2)
+	}
+	corrupt(&qm.det)
+	corrupt(&qm.cls)
+	return flips, nil
+}
+
+// WeightBits returns the total number of stored weight bits — the fault
+// surface InjectBitFlips draws from.
+func (qm *Model) WeightBits() int {
+	n := 0
+	add := func(l qLinear) { n += len(l.w.Q) * l.w.Bits }
+	add(qm.embed)
+	for _, b := range qm.blocks {
+		add(b.qkv)
+		add(b.proj)
+		add(b.mlp1)
+		add(b.mlp2)
+	}
+	add(qm.det)
+	add(qm.cls)
+	return n
+}

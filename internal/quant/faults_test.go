@@ -1,0 +1,131 @@
+package quant
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+// cloneModel deep-copies a quantized model via the checkpoint format.
+func cloneModel(t *testing.T, qm *Model) *Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := qm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestInjectBitFlipsRateZeroIsNoop(t *testing.T) {
+	qm := serTestModel(t)
+	ref := cloneModel(t, qm)
+	flips, err := InjectBitFlips(qm, 0, 1)
+	if err != nil || flips != 0 {
+		t.Fatalf("flips=%d err=%v", flips, err)
+	}
+	img := tensor.Randn(tensor.NewRNG(2), 0.5, 3, 32, 32)
+	patches := vit.Patchify(qm.Cfg, []*tensor.Tensor{img})
+	if !qm.DetHead(qm.Forward(patches)).Equal(ref.DetHead(ref.Forward(patches))) {
+		t.Error("zero-rate injection changed the model")
+	}
+}
+
+func TestInjectBitFlipsCountMatchesRate(t *testing.T) {
+	qm := serTestModel(t)
+	total := qm.WeightBits()
+	if total <= 0 {
+		t.Fatal("no weight bits")
+	}
+	rate := 0.01
+	flips, err := InjectBitFlips(qm, rate, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := float64(total) * rate
+	if float64(flips) < expected/2 || float64(flips) > expected*2 {
+		t.Errorf("flips %d, expected ~%.0f of %d bits", flips, expected, total)
+	}
+}
+
+func TestInjectBitFlipsRowSumsConsistent(t *testing.T) {
+	qm := serTestModel(t)
+	if _, err := InjectBitFlips(qm, 0.05, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Row sums must equal the recomputed sums of the corrupted codes.
+	check := func(l qLinear) {
+		for o := 0; o < l.w.Out; o++ {
+			var s int32
+			for _, q := range l.w.Q[o*l.w.In : (o+1)*l.w.In] {
+				s += int32(q)
+			}
+			if s != l.w.RowSums[o] {
+				t.Fatalf("row sum stale after injection")
+			}
+		}
+	}
+	check(qm.embed)
+	check(qm.det)
+}
+
+func TestInjectBitFlipsCodesStayInRange(t *testing.T) {
+	// For a sub-8-bit model, corrupted codes must stay valid Bits-bit
+	// values after sign extension.
+	cfg := vit.TinyConfig(3)
+	m := vit.New(cfg, tensor.NewRNG(5))
+	qm, err := FromViT(m, Config{Bits: 4, PerChannel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InjectBitFlips(qm, 0.2, 6); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qm.embed.w.Q {
+		if q < -8 || q > 7 {
+			t.Fatalf("4-bit code %d out of range after injection", q)
+		}
+	}
+}
+
+func TestInjectBitFlipsDegradesGracefully(t *testing.T) {
+	qm := serTestModel(t)
+	img := tensor.Randn(tensor.NewRNG(7), 0.5, 3, 32, 32)
+	patches := vit.Patchify(qm.Cfg, []*tensor.Tensor{img})
+	ref := qm.DetHead(qm.Forward(patches))
+
+	rms := func(rate float64, seed uint64) float64 {
+		c := cloneModel(t, qm)
+		if _, err := InjectBitFlips(c, rate, seed); err != nil {
+			t.Fatal(err)
+		}
+		out := c.DetHead(c.Forward(patches))
+		var sum float64
+		for i := range out.Data {
+			d := float64(out.Data[i] - ref.Data[i])
+			sum += d * d
+		}
+		return math.Sqrt(sum / float64(len(out.Data)))
+	}
+	low := rms(1e-4, 8)
+	high := rms(1e-2, 8)
+	if high <= low {
+		t.Errorf("more faults should hurt more: rms(1e-4)=%v rms(1e-2)=%v", low, high)
+	}
+}
+
+func TestInjectBitFlipsValidation(t *testing.T) {
+	qm := serTestModel(t)
+	if _, err := InjectBitFlips(qm, -0.1, 1); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := InjectBitFlips(qm, 1.5, 1); err == nil {
+		t.Error("rate > 1 should fail")
+	}
+}

@@ -1,0 +1,152 @@
+package quant
+
+import (
+	"fmt"
+
+	"itask/internal/tensor"
+)
+
+// QWeight is a quantized weight matrix in (out,in) layout: symmetric
+// per-channel (per output row) or per-tensor integer codes plus scales.
+type QWeight struct {
+	Q       []int8    // len Out*In
+	Scales  []float32 // len Out (per-channel) or len 1 (per-tensor)
+	RowSums []int32   // Σ_k Q[o][k], precomputed for zero-point correction
+	Out, In int
+	Bits    int
+}
+
+// QuantizeWeight quantizes a float (out,in) matrix.
+func QuantizeWeight(w *tensor.Tensor, bits int, perChannel bool) QWeight {
+	if w.Dims() != 2 {
+		panic(fmt.Sprintf("quant: weight must be a matrix, got %v", w.Shape))
+	}
+	out, in := w.Shape[0], w.Shape[1]
+	qw := QWeight{
+		Q:       make([]int8, out*in),
+		RowSums: make([]int32, out),
+		Out:     out, In: in, Bits: bits,
+	}
+	if perChannel {
+		qw.Scales = make([]float32, out)
+		for o := 0; o < out; o++ {
+			row := w.Data[o*in : (o+1)*in]
+			qp := SymmetricParams(row, bits)
+			qw.Scales[o] = qp.Scale
+			qp.QuantizeSlice(qw.Q[o*in:(o+1)*in], row)
+		}
+	} else {
+		qp := SymmetricParams(w.Data, bits)
+		qw.Scales = []float32{qp.Scale}
+		qp.QuantizeSlice(qw.Q, w.Data)
+	}
+	for o := 0; o < out; o++ {
+		var s int32
+		for _, q := range qw.Q[o*in : (o+1)*in] {
+			s += int32(q)
+		}
+		qw.RowSums[o] = s
+	}
+	return qw
+}
+
+// scale returns the dequantization scale for output channel o.
+func (w QWeight) scale(o int) float32 {
+	if len(w.Scales) == 1 {
+		return w.Scales[0]
+	}
+	return w.Scales[o]
+}
+
+// Dequantize reconstructs the float weight matrix (for error analysis).
+func (w QWeight) Dequantize() *tensor.Tensor {
+	out := tensor.New(w.Out, w.In)
+	for o := 0; o < w.Out; o++ {
+		s := w.scale(o)
+		for k := 0; k < w.In; k++ {
+			out.Data[o*w.In+k] = float32(w.Q[o*w.In+k]) * s
+		}
+	}
+	return out
+}
+
+// QActivation is a dynamically quantized activation matrix (rows,cols) with
+// one asymmetric parameter set for the whole tensor.
+type QActivation struct {
+	Q          []int8
+	QP         QParams
+	Rows, Cols int
+}
+
+// QuantizeActivation quantizes a float activation with per-tensor
+// asymmetric parameters at the given bit width.
+func QuantizeActivation(x *tensor.Tensor, bits int) QActivation {
+	if x.Dims() != 2 {
+		panic(fmt.Sprintf("quant: activation must be a matrix, got %v", x.Shape))
+	}
+	qa := QActivation{
+		Q:    make([]int8, x.Size()),
+		QP:   AsymmetricParams(x.Data, bits),
+		Rows: x.Shape[0], Cols: x.Shape[1],
+	}
+	qa.QP.QuantizeSlice(qa.Q, x.Data)
+	return qa
+}
+
+// GEMM computes out = dequant(qa @ qwᵀ) + bias, with int32 accumulation:
+//
+//	out[i][o] = sa*sw[o] * (Σ_k qa[i][k]*qw[o][k] − za*rowSum[o]) + bias[o]
+//
+// bias may be nil. out must be (Rows, Out).
+func GEMM(qa QActivation, qw QWeight, bias []float32, out *tensor.Tensor) {
+	if qa.Cols != qw.In {
+		panic(fmt.Sprintf("quant: GEMM inner dim %d vs %d", qa.Cols, qw.In))
+	}
+	if out.Dims() != 2 || out.Shape[0] != qa.Rows || out.Shape[1] != qw.Out {
+		panic(fmt.Sprintf("quant: GEMM out shape %v, want (%d,%d)", out.Shape, qa.Rows, qw.Out))
+	}
+	if bias != nil && len(bias) != qw.Out {
+		panic("quant: GEMM bias length mismatch")
+	}
+	k := qa.Cols
+	for i := 0; i < qa.Rows; i++ {
+		arow := qa.Q[i*k : (i+1)*k]
+		orow := out.Data[i*qw.Out : (i+1)*qw.Out]
+		for o := 0; o < qw.Out; o++ {
+			wrow := qw.Q[o*k : (o+1)*k]
+			var acc int32
+			for j, av := range arow {
+				acc += int32(av) * int32(wrow[j])
+			}
+			acc -= qa.QP.Zero * qw.RowSums[o]
+			v := qa.QP.Scale * qw.scale(o) * float32(acc)
+			if bias != nil {
+				v += bias[o]
+			}
+			orow[o] = v
+		}
+	}
+}
+
+// Linear runs a full dynamically-quantized linear layer: quantize x, integer
+// GEMM against the prequantized weight, dequantize, add bias.
+func Linear(x *tensor.Tensor, qw QWeight, bias []float32, actBits int) *tensor.Tensor {
+	qa := QuantizeActivation(x, actBits)
+	out := tensor.New(qa.Rows, qw.Out)
+	GEMM(qa, qw, bias, out)
+	return out
+}
+
+// LinearWithQP is Linear with precomputed (statically calibrated)
+// activation parameters instead of dynamic per-tensor range estimation —
+// the cheap-hardware path where no runtime min/max scan is needed.
+func LinearWithQP(x *tensor.Tensor, qp QParams, qw QWeight, bias []float32) *tensor.Tensor {
+	if x.Dims() != 2 {
+		panic(fmt.Sprintf("quant: LinearWithQP activation must be a matrix, got %v", x.Shape))
+	}
+	qa := QActivation{Q: make([]int8, x.Size()), QP: qp, Rows: x.Shape[0], Cols: x.Shape[1]}
+	qp.QuantizeSlice(qa.Q, x.Data)
+	out := tensor.New(qa.Rows, qw.Out)
+	GEMM(qa, qw, bias, out)
+	return out
+}

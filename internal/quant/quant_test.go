@@ -1,0 +1,356 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+func TestQRange(t *testing.T) {
+	cases := map[int][2]int32{
+		8: {-128, 127},
+		6: {-32, 31},
+		4: {-8, 7},
+	}
+	for bits, want := range cases {
+		lo, hi := qRange(bits)
+		if lo != want[0] || hi != want[1] {
+			t.Errorf("qRange(%d) = %d,%d", bits, lo, hi)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bits=1 should panic")
+			}
+		}()
+		qRange(1)
+	}()
+}
+
+func TestSymmetricRoundTripErrorBound(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	f := func(seed uint8) bool {
+		data := tensor.Randn(rng, 2, 64).Data
+		for _, bits := range []int{4, 6, 8} {
+			qp := SymmetricParams(data, bits)
+			for _, v := range data {
+				got := qp.Dequantize(qp.Quantize(v))
+				if float64(abs32(got-v)) > float64(qp.Scale)/2+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestAsymmetricRoundTripErrorBound(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	// Skewed positive data (post-GELU-like).
+	data := make([]float32, 256)
+	for i := range data {
+		v := float32(rng.Norm())
+		if v < 0 {
+			v *= 0.1
+		}
+		data[i] = v
+	}
+	for _, bits := range []int{4, 6, 8} {
+		qp := AsymmetricParams(data, bits)
+		for _, v := range data {
+			got := qp.Dequantize(qp.Quantize(v))
+			if abs32(got-v) > qp.Scale/2+1e-6 {
+				t.Fatalf("bits=%d: |%v - %v| > scale/2=%v", bits, got, v, qp.Scale/2)
+			}
+		}
+	}
+}
+
+func TestAsymmetricBeatsSymmetricOnSkewedData(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	data := make([]float32, 512)
+	for i := range data {
+		data[i] = float32(rng.Float64()) * 4 // all in [0,4)
+	}
+	sym := SymmetricParams(data, 8)
+	asym := AsymmetricParams(data, 8)
+	if asym.Scale >= sym.Scale {
+		t.Errorf("asymmetric scale %v should beat symmetric %v on one-sided data", asym.Scale, sym.Scale)
+	}
+}
+
+func TestPercentileClipsOutliers(t *testing.T) {
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = float32(i%10) * 0.1
+	}
+	data[0] = 1000 // outlier
+	full := AsymmetricParams(data, 8)
+	clipped := PercentileParams(data, 8, 0.99)
+	if clipped.Scale >= full.Scale {
+		t.Errorf("percentile calibration should shrink scale: %v vs %v", clipped.Scale, full.Scale)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("pct=0 should panic")
+			}
+		}()
+		PercentileParams(data, 8, 0)
+	}()
+}
+
+func TestAllZeroTensor(t *testing.T) {
+	data := make([]float32, 16)
+	qp := SymmetricParams(data, 8)
+	if qp.Scale <= 0 {
+		t.Error("zero tensor must still get a positive scale")
+	}
+	if got := qp.Dequantize(qp.Quantize(0)); got != 0 {
+		t.Errorf("0 round trips to %v", got)
+	}
+}
+
+func TestQuantizeWeightPerChannel(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	w := tensor.Randn(rng, 1, 6, 10)
+	// Give one row a much larger magnitude.
+	for k := 0; k < 10; k++ {
+		w.Data[k] *= 50
+	}
+	pc := QuantizeWeight(w, 8, true)
+	pt := QuantizeWeight(w, 8, false)
+	if len(pc.Scales) != 6 || len(pt.Scales) != 1 {
+		t.Fatalf("scales: pc=%d pt=%d", len(pc.Scales), len(pt.Scales))
+	}
+	// Per-channel reconstruction must be better on the small rows.
+	errPC := tensor.Sub(pc.Dequantize(), w).Norm2()
+	errPT := tensor.Sub(pt.Dequantize(), w).Norm2()
+	if errPC >= errPT {
+		t.Errorf("per-channel error %v should beat per-tensor %v", errPC, errPT)
+	}
+	// Row sums correct.
+	for o := 0; o < 6; o++ {
+		var s int32
+		for k := 0; k < 10; k++ {
+			s += int32(pc.Q[o*10+k])
+		}
+		if s != pc.RowSums[o] {
+			t.Fatalf("row sum %d wrong", o)
+		}
+	}
+}
+
+func TestGEMMMatchesFloatReference(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	x := tensor.Randn(rng, 1, 7, 12)
+	w := tensor.Randn(rng, 0.5, 9, 12)
+	bias := make([]float32, 9)
+	for i := range bias {
+		bias[i] = float32(rng.Norm())
+	}
+	want := tensor.MatMulT(x, w)
+	want.AddRowVector(tensor.FromSlice(bias, 9))
+
+	qw := QuantizeWeight(w, 8, true)
+	got := Linear(x, qw, bias, 8)
+	// int8 dynamic quantization: expect close but not exact.
+	maxErr := float32(0)
+	for i := range got.Data {
+		if e := abs32(got.Data[i] - want.Data[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	scaleOfInputs := x.AbsMax() * w.AbsMax()
+	if maxErr > scaleOfInputs*0.1 {
+		t.Errorf("int8 GEMM error %v too large (ref scale %v)", maxErr, scaleOfInputs)
+	}
+}
+
+func TestGEMMLowerBitsHigherError(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	x := tensor.Randn(rng, 1, 8, 16)
+	w := tensor.Randn(rng, 0.5, 8, 16)
+	want := tensor.MatMulT(x, w)
+	var errs []float32
+	for _, bits := range []int{8, 6, 4} {
+		qw := QuantizeWeight(w, bits, true)
+		got := Linear(x, qw, nil, bits)
+		var sum float64
+		for i := range got.Data {
+			d := float64(got.Data[i] - want.Data[i])
+			sum += d * d
+		}
+		errs = append(errs, float32(math.Sqrt(sum)))
+	}
+	if !(errs[0] < errs[1] && errs[1] < errs[2]) {
+		t.Errorf("quantization error should grow as bits shrink: %v", errs)
+	}
+}
+
+func TestGEMMValidation(t *testing.T) {
+	x := tensor.New(2, 3)
+	qw := QuantizeWeight(tensor.New(4, 5), 8, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("inner-dim mismatch should panic")
+		}
+	}()
+	Linear(x, qw, nil, 8)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{{Bits: 3}, {Bits: 16}, {Bits: 8, ActBits: 5}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v should fail", bad)
+		}
+	}
+	if (Config{Bits: 8}).actBits() != 8 {
+		t.Error("ActBits should default to Bits")
+	}
+}
+
+func TestFromViTStructure(t *testing.T) {
+	cfg := vit.TinyConfig(4)
+	m := vit.New(cfg, tensor.NewRNG(7))
+	qm, err := FromViT(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qm.blocks) != cfg.Depth {
+		t.Errorf("blocks = %d, want %d", len(qm.blocks), cfg.Depth)
+	}
+	if qm.WeightBytes() <= 0 {
+		t.Error("weight bytes must be positive")
+	}
+	// int8 model must be roughly 4x smaller than float32 params.
+	floatBytes := m.NumParams() * 4
+	if qm.WeightBytes() >= floatBytes/2 {
+		t.Errorf("quantized %dB vs float %dB: not compressed", qm.WeightBytes(), floatBytes)
+	}
+}
+
+// TestQuantizedCloseToFloat is the central fidelity test: int8 inference
+// must track the float model closely; int4 must degrade more.
+func TestQuantizedCloseToFloat(t *testing.T) {
+	cfg := vit.Config{
+		ImageSize: 32, Channels: 3, PatchSize: 8,
+		Dim: 32, Depth: 2, Heads: 4, MLPRatio: 2, Classes: 5,
+	}
+	rng := tensor.NewRNG(8)
+	m := vit.New(cfg, rng)
+	img := tensor.Randn(rng, 0.5, 3, 32, 32)
+	patches := vit.Patchify(cfg, []*tensor.Tensor{img})
+	ref := m.DetHead(m.Forward(patches, false), false)
+
+	errFor := func(bits int) float64 {
+		qm, err := FromViT(m, Config{Bits: bits, PerChannel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := qm.DetHead(qm.Forward(patches))
+		var sum float64
+		for i := range out.Data {
+			d := float64(out.Data[i] - ref.Data[i])
+			sum += d * d
+		}
+		return math.Sqrt(sum / float64(len(out.Data)))
+	}
+	e8 := errFor(8)
+	e4 := errFor(4)
+	refScale := float64(ref.Norm2()) / math.Sqrt(float64(ref.Size()))
+	if e8 > 0.25*refScale {
+		t.Errorf("int8 RMS error %v too large vs signal %v", e8, refScale)
+	}
+	if e4 <= e8 {
+		t.Errorf("int4 error %v should exceed int8 error %v", e4, e8)
+	}
+}
+
+func TestQuantizedDeterministic(t *testing.T) {
+	cfg := vit.TinyConfig(3)
+	m := vit.New(cfg, tensor.NewRNG(9))
+	qm, err := FromViT(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.Randn(tensor.NewRNG(10), 0.5, 3, cfg.ImageSize, cfg.ImageSize)
+	d1 := qm.Detect(img, 0.1, 0.5)
+	d2 := qm.Detect(img, 0.1, 0.5)
+	if len(d1) != len(d2) {
+		t.Fatal("quantized inference not deterministic")
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("quantized detections differ between runs")
+		}
+	}
+}
+
+func TestApproxVectorCloseToExact(t *testing.T) {
+	cfg := vit.Config{
+		ImageSize: 32, Channels: 3, PatchSize: 8,
+		Dim: 32, Depth: 2, Heads: 4, MLPRatio: 2, Classes: 5,
+	}
+	m := vit.New(cfg, tensor.NewRNG(21))
+	qm, err := FromViT(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.Randn(tensor.NewRNG(22), 0.5, 3, 32, 32)
+	patches := vit.Patchify(cfg, []*tensor.Tensor{img})
+	exact := qm.DetHead(qm.Forward(patches))
+	qm.SetApproxVector(true)
+	approxOut := qm.DetHead(qm.Forward(patches))
+	qm.SetApproxVector(false)
+	back := qm.DetHead(qm.Forward(patches))
+
+	var diff, sig float64
+	for i := range exact.Data {
+		d := float64(approxOut.Data[i] - exact.Data[i])
+		diff += d * d
+		sig += float64(exact.Data[i]) * float64(exact.Data[i])
+	}
+	if math.Sqrt(diff) > 0.2*math.Sqrt(sig) {
+		t.Errorf("approximate vector unit deviates too much: %.4f vs %.4f",
+			math.Sqrt(diff), math.Sqrt(sig))
+	}
+	if !back.Equal(exact) {
+		t.Error("toggling approx off did not restore exact inference")
+	}
+}
+
+func TestClsHeadShape(t *testing.T) {
+	cfg := vit.TinyConfig(6)
+	m := vit.New(cfg, tensor.NewRNG(11))
+	qm, err := FromViT(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := []*tensor.Tensor{
+		tensor.Randn(tensor.NewRNG(1), 0.5, 3, cfg.ImageSize, cfg.ImageSize),
+		tensor.Randn(tensor.NewRNG(2), 0.5, 3, cfg.ImageSize, cfg.ImageSize),
+	}
+	feats := qm.Forward(vit.Patchify(cfg, imgs))
+	cls := qm.ClsHead(feats)
+	if cls.Shape[0] != 2 || cls.Shape[1] != 6 {
+		t.Errorf("cls shape %v", cls.Shape)
+	}
+}

@@ -1,0 +1,136 @@
+// Package quant implements post-training quantization for the iTask ViT:
+// the "quantized configuration" of the paper. Weights are quantized
+// per-channel (or per-tensor) to 4/6/8-bit symmetric integers; activations
+// are quantized dynamically per tensor with an asymmetric range. All GEMMs
+// — including the attention score and context products — run in integer
+// arithmetic with int32 accumulation, exactly the arithmetic the hardware
+// accelerator model executes, so measured accuracy corresponds to the
+// simulated silicon.
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QParams describes one quantization mapping q = round(x/Scale) + Zero,
+// clamped to the signed range of Bits bits.
+type QParams struct {
+	Scale float32
+	Zero  int32
+	Bits  int
+}
+
+// qRange returns the inclusive integer range for a signed Bits-bit value.
+func qRange(bits int) (lo, hi int32) {
+	if bits < 2 || bits > 8 {
+		panic(fmt.Sprintf("quant: unsupported bit width %d", bits))
+	}
+	hi = int32(1)<<(bits-1) - 1
+	return -hi - 1, hi
+}
+
+// SymmetricParams computes symmetric (zero-point-free) parameters covering
+// [-absMax, absMax]. Used for weights.
+func SymmetricParams(data []float32, bits int) QParams {
+	_, hi := qRange(bits)
+	var absMax float32
+	for _, v := range data {
+		if v < 0 {
+			v = -v
+		}
+		if v > absMax {
+			absMax = v
+		}
+	}
+	if absMax == 0 {
+		absMax = 1 // all-zero tensor: any scale works; avoid div by zero
+	}
+	return QParams{Scale: absMax / float32(hi), Zero: 0, Bits: bits}
+}
+
+// AsymmetricParams computes parameters covering [min, max] with a zero
+// point. Used for activations (e.g. post-GELU distributions are skewed).
+func AsymmetricParams(data []float32, bits int) QParams {
+	lo, hi := qRange(bits)
+	mn, mx := float32(0), float32(0) // ranges always include 0
+	for _, v := range data {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx == mn {
+		mx = mn + 1
+	}
+	scale := (mx - mn) / float32(int32(hi)-lo)
+	zero := int32(math.Round(float64(lo) - float64(mn)/float64(scale)))
+	if zero < lo {
+		zero = lo
+	}
+	if zero > hi {
+		zero = hi
+	}
+	return QParams{Scale: scale, Zero: zero, Bits: bits}
+}
+
+// PercentileParams is AsymmetricParams over a clipped range that discards
+// the top/bottom (1-pct)/2 mass, robust to activation outliers.
+// pct must be in (0,1].
+func PercentileParams(data []float32, bits int, pct float64) QParams {
+	if pct <= 0 || pct > 1 {
+		panic(fmt.Sprintf("quant: percentile %v outside (0,1]", pct))
+	}
+	if pct == 1 || len(data) < 8 {
+		return AsymmetricParams(data, bits)
+	}
+	sorted := append([]float32(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	k := int(float64(len(sorted)) * (1 - pct) / 2)
+	clipped := sorted[k : len(sorted)-k]
+	return AsymmetricParams(clipped, bits)
+}
+
+// Quantize maps x to its integer representation under qp.
+func (qp QParams) Quantize(x float32) int8 {
+	lo, hi := qRange(qp.Bits)
+	q := int32(math.Round(float64(x)/float64(qp.Scale))) + qp.Zero
+	if q < lo {
+		q = lo
+	}
+	if q > hi {
+		q = hi
+	}
+	return int8(q)
+}
+
+// Dequantize maps an integer representation back to float.
+func (qp QParams) Dequantize(q int8) float32 {
+	return float32(int32(q)-qp.Zero) * qp.Scale
+}
+
+// QuantizeSlice quantizes src into dst (must be same length).
+func (qp QParams) QuantizeSlice(dst []int8, src []float32) {
+	if len(dst) != len(src) {
+		panic("quant: QuantizeSlice length mismatch")
+	}
+	lo, hi := qRange(qp.Bits)
+	inv := 1 / float64(qp.Scale)
+	for i, v := range src {
+		q := int32(math.Round(float64(v)*inv)) + qp.Zero
+		if q < lo {
+			q = lo
+		}
+		if q > hi {
+			q = hi
+		}
+		dst[i] = int8(q)
+	}
+}
+
+// MaxAbsError returns the worst-case round-trip error bound for qp:
+// half a scale step (plus clipping, which this bound excludes).
+func (qp QParams) MaxAbsError() float32 { return qp.Scale / 2 }

@@ -1,0 +1,372 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"itask/internal/approx"
+	"itask/internal/geom"
+	"itask/internal/nn"
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+// Config selects the quantization scheme.
+type Config struct {
+	// Bits is the weight bit width (4, 6 or 8).
+	Bits int
+	// ActBits is the activation bit width; 0 means same as Bits.
+	ActBits int
+	// PerChannel enables per-output-channel weight scales (vs per-tensor).
+	PerChannel bool
+}
+
+// DefaultConfig is the int8 per-channel scheme used for the paper's
+// quantized configuration.
+func DefaultConfig() Config { return Config{Bits: 8, PerChannel: true} }
+
+// Validate checks the scheme.
+func (c Config) Validate() error {
+	check := func(b int) error {
+		switch b {
+		case 4, 6, 8:
+			return nil
+		}
+		return fmt.Errorf("quant: unsupported bit width %d", b)
+	}
+	if err := check(c.Bits); err != nil {
+		return err
+	}
+	if c.ActBits != 0 {
+		return check(c.ActBits)
+	}
+	return nil
+}
+
+func (c Config) actBits() int {
+	if c.ActBits == 0 {
+		return c.Bits
+	}
+	return c.ActBits
+}
+
+// qLinear is a quantized linear layer.
+type qLinear struct {
+	w    QWeight
+	bias []float32
+}
+
+func quantLinear(l *nn.Linear, qc Config) qLinear {
+	ql := qLinear{w: QuantizeWeight(l.Weight.W, qc.Bits, qc.PerChannel)}
+	if l.Bias != nil {
+		ql.bias = append([]float32(nil), l.Bias.W.Data...)
+	}
+	return ql
+}
+
+func (l qLinear) forward(x *tensor.Tensor, actBits int) *tensor.Tensor {
+	return Linear(x, l.w, l.bias, actBits)
+}
+
+// forwardWith uses static parameters when qp is non-nil, else dynamic.
+func (l qLinear) forwardWith(x *tensor.Tensor, qp *QParams, actBits int) *tensor.Tensor {
+	if qp != nil {
+		return LinearWithQP(x, *qp, l.w, l.bias)
+	}
+	return Linear(x, l.w, l.bias, actBits)
+}
+
+// lnParams is a float LayerNorm (normalization stays in float on the
+// accelerator's vector unit, as in production int8 transformer stacks).
+type lnParams struct {
+	gamma, beta []float32
+	eps         float32
+}
+
+func fromLayerNorm(ln *nn.LayerNorm) lnParams {
+	return lnParams{
+		gamma: append([]float32(nil), ln.Gamma.W.Data...),
+		beta:  append([]float32(nil), ln.Beta.W.Data...),
+		eps:   ln.Eps,
+	}
+}
+
+func (p lnParams) apply(x *tensor.Tensor) *tensor.Tensor {
+	rows, d := x.Shape[0], x.Shape[1]
+	y := tensor.New(rows, d)
+	for i := 0; i < rows; i++ {
+		row := x.Data[i*d : (i+1)*d]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(d)
+		var variance float64
+		for _, v := range row {
+			dv := float64(v) - mean
+			variance += dv * dv
+		}
+		variance /= float64(d)
+		inv := float32(1 / math.Sqrt(variance+float64(p.eps)))
+		out := y.Data[i*d : (i+1)*d]
+		for j, v := range row {
+			out[j] = p.gamma[j]*((v-float32(mean))*inv) + p.beta[j]
+		}
+	}
+	return y
+}
+
+func geluApply(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.Apply(x, func(v float32) float32 {
+		fv := float64(v)
+		return float32(0.5 * fv * (1 + math.Tanh(0.7978845608028654*(fv+0.044715*fv*fv*fv))))
+	})
+}
+
+// qBlock is one quantized transformer block.
+type qBlock struct {
+	ln1        lnParams
+	qkv, proj  qLinear
+	ln2        lnParams
+	mlp1, mlp2 qLinear
+}
+
+// Model is the quantized ViT. It is immutable after construction and safe
+// for concurrent inference.
+type Model struct {
+	Cfg    vit.Config
+	QC     Config
+	embed  qLinear
+	pos    *tensor.Tensor
+	blocks []qBlock
+	normF  lnParams
+	det    qLinear
+	cls    qLinear
+	// static, when non-nil, switches the linear sites from dynamic
+	// activation quantization to the calibrated parameters.
+	static *StaticParams
+	// approxVector switches LayerNorm/softmax/GELU to the hardware vector
+	// unit's approximations (internal/approx).
+	approxVector bool
+}
+
+// SetApproxVector toggles the approximate vector-unit math (experiment E11).
+func (qm *Model) SetApproxVector(on bool) { qm.approxVector = on }
+
+// applyLN runs a LayerNorm with exact or approximate arithmetic.
+func (qm *Model) applyLN(p lnParams, x *tensor.Tensor) *tensor.Tensor {
+	if qm.approxVector {
+		return approx.LayerNormRows(x, p.gamma, p.beta, p.eps)
+	}
+	return p.apply(x)
+}
+
+// softmaxRows runs a row softmax with exact or approximate exponentials.
+func (qm *Model) softmaxRows(x *tensor.Tensor) *tensor.Tensor {
+	if qm.approxVector {
+		return approx.SoftmaxRows(x)
+	}
+	return tensor.SoftmaxRows(x)
+}
+
+// applyGELU runs the activation with exact or approximate math.
+func (qm *Model) applyGELU(x *tensor.Tensor) *tensor.Tensor {
+	if qm.approxVector {
+		return tensor.Apply(x, approx.GELU)
+	}
+	return geluApply(x)
+}
+
+// SetStatic installs calibrated activation parameters (from Calibrate).
+// Pass nil to return to dynamic quantization.
+func (qm *Model) SetStatic(sp *StaticParams) error {
+	if sp != nil && len(sp.Blocks) != qm.Cfg.Depth {
+		return fmt.Errorf("quant: static params for %d blocks, model has %d", len(sp.Blocks), qm.Cfg.Depth)
+	}
+	qm.static = sp
+	return nil
+}
+
+// siteQP returns the static parameters for a site, or nil when dynamic.
+func (qm *Model) siteQP(get func(*StaticParams) QParams) *QParams {
+	if qm.static == nil {
+		return nil
+	}
+	qp := get(qm.static)
+	return &qp
+}
+
+// FromViT quantizes a trained float model. The float model is not modified.
+func FromViT(m *vit.Model, qc Config) (*Model, error) {
+	if err := qc.Validate(); err != nil {
+		return nil, err
+	}
+	qm := &Model{
+		Cfg:   m.Cfg,
+		QC:    qc,
+		embed: quantLinear(m.Embed, qc),
+		pos:   m.Pos.Emb.W.Clone(),
+		det:   quantLinear(m.Det, qc),
+		cls:   quantLinear(m.Cls, qc),
+	}
+	layers := m.Trunk.Layers
+	if len(layers) != 2*m.Cfg.Depth+1 {
+		return nil, fmt.Errorf("quant: unexpected trunk length %d for depth %d", len(layers), m.Cfg.Depth)
+	}
+	finalLN, ok := layers[len(layers)-1].(*nn.LayerNorm)
+	if !ok {
+		return nil, fmt.Errorf("quant: trunk does not end in LayerNorm")
+	}
+	qm.normF = fromLayerNorm(finalLN)
+	for i := 0; i+1 < len(layers); i += 2 {
+		attnRes, ok1 := layers[i].(*nn.Residual)
+		mlpRes, ok2 := layers[i+1].(*nn.Residual)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("quant: trunk layer %d is not a residual pair", i)
+		}
+		attnSeq, ok1 := attnRes.Body.(*nn.Sequential)
+		mlpSeq, ok2 := mlpRes.Body.(*nn.Sequential)
+		if !ok1 || !ok2 || len(attnSeq.Layers) < 2 || len(mlpSeq.Layers) < 4 {
+			return nil, fmt.Errorf("quant: block %d has unexpected structure", i/2)
+		}
+		ln1, ok1 := attnSeq.Layers[0].(*nn.LayerNorm)
+		mhsa, ok2 := attnSeq.Layers[1].(*nn.MultiHeadAttention)
+		ln2, ok3 := mlpSeq.Layers[0].(*nn.LayerNorm)
+		fc1, ok4 := mlpSeq.Layers[1].(*nn.Linear)
+		fc2, ok5 := mlpSeq.Layers[3].(*nn.Linear)
+		if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+			return nil, fmt.Errorf("quant: block %d has unexpected layer types", i/2)
+		}
+		qm.blocks = append(qm.blocks, qBlock{
+			ln1:  fromLayerNorm(ln1),
+			qkv:  quantLinear(mhsa.QKV, qc),
+			proj: quantLinear(mhsa.Proj, qc),
+			ln2:  fromLayerNorm(ln2),
+			mlp1: quantLinear(fc1, qc),
+			mlp2: quantLinear(fc2, qc),
+		})
+	}
+	return qm, nil
+}
+
+// attention runs integer-GEMM multi-head self-attention on normalized
+// input xn (B*T, Dim). blk is the block index (for static site lookup).
+func (qm *Model) attention(blk int, b qBlock, xn *tensor.Tensor) *tensor.Tensor {
+	ab := qm.QC.actBits()
+	d := qm.Cfg.Dim
+	t := qm.Cfg.Tokens()
+	h := qm.Cfg.Heads
+	dh := d / h
+	rows := xn.Shape[0]
+	batch := rows / t
+	qkv := b.qkv.forwardWith(xn, qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[blk].QKVIn }), ab)
+	out := tensor.New(rows, d)
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	for bi := 0; bi < batch; bi++ {
+		for hi := 0; hi < h; hi++ {
+			qh := tensor.New(t, dh)
+			kh := tensor.New(t, dh)
+			vh := tensor.New(t, dh)
+			for ti := 0; ti < t; ti++ {
+				src := qkv.Data[(bi*t+ti)*3*d:]
+				copy(qh.Data[ti*dh:(ti+1)*dh], src[hi*dh:(hi+1)*dh])
+				copy(kh.Data[ti*dh:(ti+1)*dh], src[d+hi*dh:d+(hi+1)*dh])
+				copy(vh.Data[ti*dh:(ti+1)*dh], src[2*d+hi*dh:2*d+(hi+1)*dh])
+			}
+			// scores = qh @ khᵀ, integer GEMM with kh as per-row weights.
+			kw := QuantizeWeight(kh, qm.QC.Bits, qm.QC.PerChannel)
+			scores := Linear(qh, kw, nil, ab)
+			scores.ScaleInPlace(scale)
+			p := qm.softmaxRows(scores)
+			// context = p @ vh = p @ (vhᵀ)ᵀ.
+			vw := QuantizeWeight(vh.Transpose(), qm.QC.Bits, qm.QC.PerChannel)
+			ctx := Linear(p, vw, nil, ab) // (t, dh)
+			for ti := 0; ti < t; ti++ {
+				dst := out.Data[(bi*t+ti)*d+hi*dh:]
+				copy(dst[:dh], ctx.Data[ti*dh:(ti+1)*dh])
+			}
+		}
+	}
+	return b.proj.forwardWith(out, qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[blk].ProjIn }), ab)
+}
+
+// Forward runs the quantized trunk on packed patches, returning token
+// features (B*Tokens, Dim).
+func (qm *Model) Forward(patches *tensor.Tensor) *tensor.Tensor {
+	ab := qm.QC.actBits()
+	x := qm.embed.forwardWith(patches, qm.siteQP(func(s *StaticParams) QParams { return s.EmbedIn }), ab)
+	// position embedding
+	d := qm.Cfg.Dim
+	t := qm.Cfg.Tokens()
+	for i := 0; i < x.Shape[0]; i++ {
+		tok := i % t
+		row := x.Data[i*d : (i+1)*d]
+		pos := qm.pos.Data[tok*d : (tok+1)*d]
+		for j, p := range pos {
+			row[j] += p
+		}
+	}
+	for i, b := range qm.blocks {
+		x = tensor.Add(x, qm.attention(i, b, qm.applyLN(b.ln1, x)))
+		h := b.mlp1.forwardWith(qm.applyLN(b.ln2, x),
+			qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[i].MLP1In }), ab)
+		mlp := b.mlp2.forwardWith(qm.applyGELU(h),
+			qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[i].MLP2In }), ab)
+		x = tensor.Add(x, mlp)
+	}
+	return qm.applyLN(qm.normF, x)
+}
+
+// DetHead applies the quantized detection head.
+func (qm *Model) DetHead(feats *tensor.Tensor) *tensor.Tensor {
+	return qm.det.forwardWith(feats, qm.siteQP(func(s *StaticParams) QParams { return s.DetIn }), qm.QC.actBits())
+}
+
+// ClsHead mean-pools and applies the quantized classification head.
+func (qm *Model) ClsHead(feats *tensor.Tensor) *tensor.Tensor {
+	t := qm.Cfg.Tokens()
+	b := feats.Shape[0] / t
+	d := qm.Cfg.Dim
+	pooled := tensor.New(b, d)
+	inv := float32(1) / float32(t)
+	for bi := 0; bi < b; bi++ {
+		orow := pooled.Data[bi*d : (bi+1)*d]
+		for ti := 0; ti < t; ti++ {
+			frow := feats.Data[(bi*t+ti)*d : (bi*t+ti+1)*d]
+			for j, v := range frow {
+				orow[j] += v * inv
+			}
+		}
+	}
+	return qm.cls.forwardWith(pooled, qm.siteQP(func(s *StaticParams) QParams { return s.ClsIn }), qm.QC.actBits())
+}
+
+// Detect runs end-to-end quantized detection on one (C,H,W) image.
+func (qm *Model) Detect(img *tensor.Tensor, objThresh, nmsIoU float64) []geom.Scored {
+	patches := vit.Patchify(qm.Cfg, []*tensor.Tensor{img})
+	feats := qm.Forward(patches)
+	det := qm.DetHead(feats)
+	return vit.Decode(qm.Cfg, det, objThresh, nmsIoU)
+}
+
+// WeightBytes returns the quantized weight storage footprint in bytes,
+// the figure the edge scheduler budgets against.
+func (qm *Model) WeightBytes() int {
+	bits := 0
+	add := func(l qLinear) {
+		bits += len(l.w.Q) * l.w.Bits
+		bits += 32 * (len(l.w.Scales) + len(l.bias))
+	}
+	add(qm.embed)
+	add(qm.det)
+	add(qm.cls)
+	for _, b := range qm.blocks {
+		add(b.qkv)
+		add(b.proj)
+		add(b.mlp1)
+		add(b.mlp2)
+		bits += 32 * (len(b.ln1.gamma) + len(b.ln1.beta) + len(b.ln2.gamma) + len(b.ln2.beta))
+	}
+	bits += 32 * (len(qm.normF.gamma) + len(qm.normF.beta) + qm.pos.Size())
+	return bits / 8
+}

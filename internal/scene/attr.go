@@ -1,0 +1,186 @@
+// Package scene generates the synthetic imagery that stands in for the
+// paper's real-world datasets (driving, healthcare, industrial automation).
+// Every object class is defined purely by abstract attributes — shape,
+// color, texture, size — which is exactly the level at which the iTask
+// knowledge graph reasons, so detection-by-attributes is measurable with
+// full control over the data distribution.
+package scene
+
+import "fmt"
+
+// Shape is the geometric silhouette of an object.
+type Shape int
+
+// Shape values cover the silhouettes the renderer can draw.
+const (
+	Disc Shape = iota
+	Square
+	Triangle
+	Cross
+	Ring
+	Diamond
+	numShapes
+)
+
+// String returns the lowercase shape name.
+func (s Shape) String() string {
+	names := [...]string{"disc", "square", "triangle", "cross", "ring", "diamond"}
+	if s < 0 || int(s) >= len(names) {
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+	return names[s]
+}
+
+// ShapeFromName returns the Shape with the given name.
+func ShapeFromName(name string) (Shape, bool) {
+	for s := Shape(0); s < numShapes; s++ {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Color is a named color drawn from a fixed palette.
+type Color int
+
+// Color values cover the palette the renderer and the knowledge graph share.
+const (
+	Red Color = iota
+	Green
+	Blue
+	Yellow
+	Orange
+	Purple
+	White
+	Gray
+	Cyan
+	numColors
+)
+
+// String returns the lowercase color name.
+func (c Color) String() string {
+	names := [...]string{"red", "green", "blue", "yellow", "orange", "purple", "white", "gray", "cyan"}
+	if c < 0 || int(c) >= len(names) {
+		return fmt.Sprintf("color(%d)", int(c))
+	}
+	return names[c]
+}
+
+// ColorFromName returns the Color with the given name.
+func ColorFromName(name string) (Color, bool) {
+	for c := Color(0); c < numColors; c++ {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// RGB returns the palette color as three [0,1] channel values.
+func (c Color) RGB() [3]float32 {
+	switch c {
+	case Red:
+		return [3]float32{0.85, 0.15, 0.15}
+	case Green:
+		return [3]float32{0.15, 0.75, 0.20}
+	case Blue:
+		return [3]float32{0.15, 0.25, 0.85}
+	case Yellow:
+		return [3]float32{0.90, 0.85, 0.15}
+	case Orange:
+		return [3]float32{0.95, 0.55, 0.10}
+	case Purple:
+		return [3]float32{0.60, 0.20, 0.75}
+	case White:
+		return [3]float32{0.95, 0.95, 0.95}
+	case Gray:
+		return [3]float32{0.55, 0.55, 0.55}
+	case Cyan:
+		return [3]float32{0.15, 0.80, 0.85}
+	}
+	return [3]float32{0, 0, 0}
+}
+
+// Texture is the fill pattern of an object.
+type Texture int
+
+// Texture values cover the fill patterns the renderer can draw.
+const (
+	Solid Texture = iota
+	Striped
+	Dotted
+	numTextures
+)
+
+// String returns the lowercase texture name.
+func (t Texture) String() string {
+	names := [...]string{"solid", "striped", "dotted"}
+	if t < 0 || int(t) >= len(names) {
+		return fmt.Sprintf("texture(%d)", int(t))
+	}
+	return names[t]
+}
+
+// TextureFromName returns the Texture with the given name.
+func TextureFromName(name string) (Texture, bool) {
+	for x := Texture(0); x < numTextures; x++ {
+		if x.String() == name {
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+// SizeClass is the coarse object scale bucket.
+type SizeClass int
+
+// SizeClass values bucket object scale relative to the image.
+const (
+	Small SizeClass = iota
+	Medium
+	Large
+	numSizes
+)
+
+// String returns the lowercase size-class name.
+func (s SizeClass) String() string {
+	names := [...]string{"small", "medium", "large"}
+	if s < 0 || int(s) >= len(names) {
+		return fmt.Sprintf("size(%d)", int(s))
+	}
+	return names[s]
+}
+
+// SizeFromName returns the SizeClass with the given name.
+func SizeFromName(name string) (SizeClass, bool) {
+	for s := SizeClass(0); s < numSizes; s++ {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Range returns the normalized [min,max) box-edge range for the size class.
+func (s SizeClass) Range() (lo, hi float64) {
+	switch s {
+	case Small:
+		return 0.14, 0.22
+	case Medium:
+		return 0.22, 0.34
+	case Large:
+		return 0.34, 0.48
+	}
+	return 0.2, 0.3
+}
+
+// Profile is the abstract attribute signature of an object class — the
+// ground truth the simulated LLM's knowledge graph tries to recover from
+// task descriptions.
+type Profile struct {
+	Shape   Shape
+	Color   Color
+	Texture Texture
+	Size    SizeClass
+}

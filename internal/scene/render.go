@@ -1,0 +1,159 @@
+package scene
+
+import (
+	"fmt"
+
+	"itask/internal/geom"
+	"itask/internal/tensor"
+)
+
+// Canvas is a square RGB image under construction, channel-major (3,H,W)
+// with values nominally in [0,1].
+type Canvas struct {
+	Size int
+	Img  *tensor.Tensor
+}
+
+// NewCanvas allocates a black canvas of edge size px.
+func NewCanvas(size int) *Canvas {
+	if size <= 0 {
+		panic(fmt.Sprintf("scene: canvas size %d", size))
+	}
+	return &Canvas{Size: size, Img: tensor.New(3, size, size)}
+}
+
+// set writes an RGB value at pixel (x,y) without bounds checking beyond the
+// canvas clip.
+func (c *Canvas) set(x, y int, rgb [3]float32) {
+	if x < 0 || y < 0 || x >= c.Size || y >= c.Size {
+		return
+	}
+	n := c.Size * c.Size
+	c.Img.Data[y*c.Size+x] = rgb[0]
+	c.Img.Data[n+y*c.Size+x] = rgb[1]
+	c.Img.Data[2*n+y*c.Size+x] = rgb[2]
+}
+
+// At reads the RGB value at pixel (x,y).
+func (c *Canvas) At(x, y int) [3]float32 {
+	n := c.Size * c.Size
+	return [3]float32{
+		c.Img.Data[y*c.Size+x],
+		c.Img.Data[n+y*c.Size+x],
+		c.Img.Data[2*n+y*c.Size+x],
+	}
+}
+
+// FillBackground paints the base color with a vertical luminance gradient
+// (±10%) to break translational symmetry, then adds Gaussian pixel noise.
+func (c *Canvas) FillBackground(base [3]float32, noiseStd float32, rng *tensor.RNG) {
+	for y := 0; y < c.Size; y++ {
+		grad := 0.9 + 0.2*float32(y)/float32(c.Size)
+		for x := 0; x < c.Size; x++ {
+			var rgb [3]float32
+			for ch := 0; ch < 3; ch++ {
+				v := base[ch]*grad + noiseStd*float32(rng.Norm())
+				rgb[ch] = clamp01f(v)
+			}
+			c.set(x, y, rgb)
+		}
+	}
+}
+
+func clamp01f(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// inShape reports whether the normalized point (u,v) in [-1,1]² (relative to
+// the object's box, x right, y down) is inside the silhouette.
+func inShape(s Shape, u, v float64) bool {
+	switch s {
+	case Disc:
+		return u*u+v*v <= 1
+	case Square:
+		return u >= -1 && u <= 1 && v >= -1 && v <= 1
+	case Triangle:
+		// Upright triangle: apex at top, base at bottom.
+		if v < -1 || v > 1 {
+			return false
+		}
+		halfWidth := (v + 1) / 2 // 0 at apex, 1 at base
+		return u >= -halfWidth && u <= halfWidth
+	case Cross:
+		const arm = 0.34
+		return (u >= -arm && u <= arm) || (v >= -arm && v <= arm)
+	case Ring:
+		r2 := u*u + v*v
+		return r2 <= 1 && r2 >= 0.45
+	case Diamond:
+		return abs64(u)+abs64(v) <= 1
+	}
+	return false
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// textured returns the pixel color for a texture at integer pixel (x,y):
+// striped alternates bright/dark bands, dotted punches background-colored
+// holes on a grid.
+func textured(t Texture, rgb [3]float32, x, y int) ([3]float32, bool) {
+	switch t {
+	case Solid:
+		return rgb, true
+	case Striped:
+		if (y/2)%2 == 0 {
+			return rgb, true
+		}
+		return [3]float32{rgb[0] * 0.35, rgb[1] * 0.35, rgb[2] * 0.35}, true
+	case Dotted:
+		if x%3 == 1 && y%3 == 1 {
+			return rgb, false // hole: keep background
+		}
+		return rgb, true
+	}
+	return rgb, true
+}
+
+// DrawObject rasterizes one object into the canvas. Color is jittered by
+// colorJitter (std of per-channel Gaussian) to model appearance variation.
+func (c *Canvas) DrawObject(p Profile, box geom.Box, colorJitter float32, rng *tensor.RNG) {
+	rgb := p.Color.RGB()
+	for ch := 0; ch < 3; ch++ {
+		rgb[ch] = clamp01f(rgb[ch] + colorJitter*float32(rng.Norm()))
+	}
+	x0 := int(box.Left() * float64(c.Size))
+	x1 := int(box.Right() * float64(c.Size))
+	y0 := int(box.Top() * float64(c.Size))
+	y1 := int(box.Bottom() * float64(c.Size))
+	cx := box.X * float64(c.Size)
+	cy := box.Y * float64(c.Size)
+	hw := box.W * float64(c.Size) / 2
+	hh := box.H * float64(c.Size) / 2
+	if hw <= 0 || hh <= 0 {
+		return
+	}
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			u := (float64(x) + 0.5 - cx) / hw
+			v := (float64(y) + 0.5 - cy) / hh
+			if !inShape(p.Shape, u, v) {
+				continue
+			}
+			px, draw := textured(p.Texture, rgb, x, y)
+			if draw {
+				c.set(x, y, px)
+			}
+		}
+	}
+}

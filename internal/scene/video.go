@@ -1,0 +1,119 @@
+package scene
+
+import (
+	"fmt"
+
+	"itask/internal/geom"
+	"itask/internal/tensor"
+)
+
+// MovingObject is an object with a stable identity and a velocity, used by
+// the video generator.
+type MovingObject struct {
+	// TrackID is stable across frames — the ground truth for tracking.
+	TrackID int
+	Class   ClassID
+	Box     geom.Box
+	// VX, VY are the per-frame center displacement (normalized units).
+	VX, VY float64
+}
+
+// Frame is one rendered video frame with per-object track identities.
+type Frame struct {
+	Image   *tensor.Tensor
+	Objects []MovingObject
+}
+
+// VideoConfig controls synthetic video generation.
+type VideoConfig struct {
+	Gen GenConfig
+	// Frames is the sequence length.
+	Frames int
+	// MaxSpeed is the per-frame displacement bound.
+	MaxSpeed float64
+}
+
+// DefaultVideoConfig returns 30-frame sequences with gentle motion.
+func DefaultVideoConfig() VideoConfig {
+	return VideoConfig{Gen: DefaultGenConfig(), Frames: 30, MaxSpeed: 0.03}
+}
+
+// Validate checks the configuration.
+func (v VideoConfig) Validate() error {
+	if err := v.Gen.Validate(); err != nil {
+		return err
+	}
+	if v.Frames <= 0 {
+		return fmt.Errorf("scene: video frames %d", v.Frames)
+	}
+	if v.MaxSpeed < 0 || v.MaxSpeed > 0.5 {
+		return fmt.Errorf("scene: video max speed %v", v.MaxSpeed)
+	}
+	return nil
+}
+
+// GenerateVideo renders a sequence: objects are placed once (with stable
+// track IDs), move with constant velocity, and bounce off the image bounds.
+// Per-frame appearance jitter (noise, color) still varies, so the detector
+// sees realistic frame-to-frame variation.
+func GenerateVideo(dom Domain, cfg VideoConfig, rng *tensor.RNG) []Frame {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	classes := dom.Classes
+	if len(cfg.Gen.OnlyClasses) > 0 {
+		classes = cfg.Gen.OnlyClasses
+	}
+	n := cfg.Gen.MinObjects
+	if cfg.Gen.MaxObjects > cfg.Gen.MinObjects {
+		n += rng.Intn(cfg.Gen.MaxObjects - cfg.Gen.MinObjects + 1)
+	}
+	// Initial cast.
+	var cast []MovingObject
+	var placed []geom.Box
+	for i := 0; i < n; i++ {
+		cls := classes[rng.Intn(len(classes))]
+		box := sampleBox(cls.Profile(), cfg.Gen, rng, placed)
+		placed = append(placed, box)
+		cast = append(cast, MovingObject{
+			TrackID: i,
+			Class:   cls,
+			Box:     box,
+			VX:      rng.Range(-cfg.MaxSpeed, cfg.MaxSpeed),
+			VY:      rng.Range(-cfg.MaxSpeed, cfg.MaxSpeed),
+		})
+	}
+
+	frames := make([]Frame, cfg.Frames)
+	for f := 0; f < cfg.Frames; f++ {
+		canvas := NewCanvas(cfg.Gen.Size)
+		canvas.FillBackground(dom.Background, dom.NoiseStd, rng)
+		fr := Frame{Image: canvas.Img}
+		for i := range cast {
+			o := &cast[i]
+			canvas.DrawObject(o.Class.Profile(), o.Box, cfg.Gen.ColorJitter, rng)
+			fr.Objects = append(fr.Objects, *o)
+			// Advance and bounce for the next frame.
+			o.Box.X += o.VX
+			o.Box.Y += o.VY
+			if o.Box.X-o.Box.W/2 < 0 {
+				o.Box.X = o.Box.W / 2
+				o.VX = -o.VX
+			}
+			if o.Box.X+o.Box.W/2 > 1 {
+				o.Box.X = 1 - o.Box.W/2
+				o.VX = -o.VX
+			}
+			if o.Box.Y-o.Box.H/2 < 0 {
+				o.Box.Y = o.Box.H / 2
+				o.VY = -o.VY
+			}
+			if o.Box.Y+o.Box.H/2 > 1 {
+				o.Box.Y = 1 - o.Box.H/2
+				o.VY = -o.VY
+			}
+		}
+		frames[f] = fr
+	}
+	return frames
+}

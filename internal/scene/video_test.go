@@ -1,0 +1,97 @@
+package scene
+
+import (
+	"testing"
+
+	"itask/internal/geom"
+	"itask/internal/tensor"
+)
+
+func TestVideoConfigValidate(t *testing.T) {
+	if err := DefaultVideoConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultVideoConfig()
+	bad.Frames = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("0 frames should fail")
+	}
+	bad = DefaultVideoConfig()
+	bad.MaxSpeed = 0.9
+	if err := bad.Validate(); err == nil {
+		t.Error("absurd speed should fail")
+	}
+}
+
+func TestGenerateVideoBasics(t *testing.T) {
+	cfg := DefaultVideoConfig()
+	cfg.Frames = 10
+	frames := GenerateVideo(GetDomain(Driving), cfg, tensor.NewRNG(1))
+	if len(frames) != 10 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	// Cast is stable: same track IDs, same classes in every frame.
+	first := frames[0].Objects
+	for f, fr := range frames {
+		if len(fr.Objects) != len(first) {
+			t.Fatalf("frame %d has %d objects, frame 0 has %d", f, len(fr.Objects), len(first))
+		}
+		for i, o := range fr.Objects {
+			if o.TrackID != first[i].TrackID || o.Class != first[i].Class {
+				t.Fatalf("identity not stable at frame %d", f)
+			}
+		}
+	}
+}
+
+func TestGenerateVideoMotionAndBounds(t *testing.T) {
+	cfg := DefaultVideoConfig()
+	cfg.Frames = 40
+	cfg.MaxSpeed = 0.05
+	frames := GenerateVideo(GetDomain(Orchard), cfg, tensor.NewRNG(2))
+	moved := false
+	for _, fr := range frames {
+		for i, o := range fr.Objects {
+			// Objects stay inside the image.
+			if o.Box.Left() < -1e-9 || o.Box.Right() > 1+1e-9 ||
+				o.Box.Top() < -1e-9 || o.Box.Bottom() > 1+1e-9 {
+				t.Fatalf("object %d escaped: %+v", i, o.Box)
+			}
+			if o.Box.X != frames[0].Objects[i].Box.X {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Error("no object ever moved")
+	}
+}
+
+func TestGenerateVideoFrameToFrameCoherence(t *testing.T) {
+	cfg := DefaultVideoConfig()
+	cfg.Frames = 5
+	cfg.MaxSpeed = 0.02
+	frames := GenerateVideo(GetDomain(Industrial), cfg, tensor.NewRNG(3))
+	// Consecutive frames should have high IoU per object (small motion).
+	for f := 1; f < len(frames); f++ {
+		for i := range frames[f].Objects {
+			prev := frames[f-1].Objects[i].Box
+			cur := frames[f].Objects[i].Box
+			if geom.IoU(prev, cur) < 0.3 {
+				t.Fatalf("object %d teleported between frames %d and %d", i, f-1, f)
+			}
+		}
+	}
+}
+
+func TestGenerateVideoDeterministic(t *testing.T) {
+	cfg := DefaultVideoConfig()
+	cfg.Frames = 3
+	a := GenerateVideo(GetDomain(Medical), cfg, tensor.NewRNG(7))
+	b := GenerateVideo(GetDomain(Medical), cfg, tensor.NewRNG(7))
+	for f := range a {
+		if !a[f].Image.Equal(b[f].Image) {
+			t.Fatal("video generation not deterministic")
+		}
+	}
+}

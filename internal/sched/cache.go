@@ -1,0 +1,80 @@
+// Package sched implements iTask's situational runtime: a registry of model
+// variants (task-specific distilled students and the quantized multi-task
+// generalist), an LRU model cache under an edge memory budget, and the
+// selection policy that picks a configuration per mission request — the
+// "situational adaptability" component of the paper.
+package sched
+
+import (
+	"fmt"
+)
+
+// CacheStats counts cache behaviour for the runtime experiments.
+type CacheStats struct {
+	Hits, Misses, Evictions int
+	// BytesLoaded is the cumulative weight traffic from storage to RAM.
+	BytesLoaded int64
+}
+
+// lruCache is a byte-budgeted LRU of loaded models.
+type lruCache struct {
+	budget int64
+	used   int64
+	// order holds names from least to most recently used.
+	order []string
+	sizes map[string]int64
+	stats CacheStats
+}
+
+func newLRUCache(budgetBytes int64) *lruCache {
+	return &lruCache{budget: budgetBytes, sizes: map[string]int64{}}
+}
+
+// touch marks name as most recently used. It must be resident.
+func (c *lruCache) touch(name string) {
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), name)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sched: touch of non-resident model %q", name))
+}
+
+// resident reports whether name is loaded.
+func (c *lruCache) resident(name string) bool {
+	_, ok := c.sizes[name]
+	return ok
+}
+
+// ensure makes name resident, evicting LRU entries as needed, and returns
+// whether it was a cache hit. Returns an error when the model alone exceeds
+// the budget.
+func (c *lruCache) ensure(name string, size int64) (hit bool, err error) {
+	if c.resident(name) {
+		c.stats.Hits++
+		c.touch(name)
+		return true, nil
+	}
+	if size > c.budget {
+		return false, fmt.Errorf("sched: model %q (%d B) exceeds cache budget (%d B)", name, size, c.budget)
+	}
+	c.stats.Misses++
+	for c.used+size > c.budget {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		c.used -= c.sizes[victim]
+		delete(c.sizes, victim)
+		c.stats.Evictions++
+	}
+	c.sizes[name] = size
+	c.used += size
+	c.order = append(c.order, name)
+	c.stats.BytesLoaded += size
+	return false, nil
+}
+
+// Resident returns the names of loaded models, LRU first.
+func (c *lruCache) Resident() []string {
+	return append([]string(nil), c.order...)
+}

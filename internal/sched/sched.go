@@ -1,0 +1,175 @@
+package sched
+
+import (
+	"fmt"
+
+	"itask/internal/geom"
+	"itask/internal/tensor"
+)
+
+// Kind distinguishes the two iTask model configurations.
+type Kind int
+
+// The configuration kinds of the paper's dual-configuration design.
+const (
+	// TaskSpecific is a distilled per-task student: highest in-task
+	// accuracy, one copy per task.
+	TaskSpecific Kind = iota
+	// Generalist is the quantized multi-task model: lower per-task
+	// accuracy, works for every mission.
+	Generalist
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == TaskSpecific {
+		return "task-specific"
+	}
+	return "generalist"
+}
+
+// DetectFunc is the inference entry point of a registered model.
+type DetectFunc func(img *tensor.Tensor) []geom.Scored
+
+// Model is one deployable variant in the registry.
+type Model struct {
+	Name string
+	Kind Kind
+	// Task is the mission this model serves (empty for generalists).
+	Task string
+	// Bytes is the weight footprint counted against the RAM budget.
+	Bytes int64
+	// LatencyUS is the per-inference latency on the accelerator (from
+	// hwsim), used to enforce request latency budgets.
+	LatencyUS float64
+	// Detect runs inference.
+	Detect DetectFunc
+}
+
+// Scheduler owns the registry, the model cache, and the selection policy.
+// It is not safe for concurrent use; the edge runtime serializes requests.
+type Scheduler struct {
+	// LoadBandwidthMBs models weight loading from storage to RAM, charged
+	// on cache misses.
+	LoadBandwidthMBs float64
+
+	models     map[string]*Model
+	generalist string
+	byTask     map[string]string
+	cache      *lruCache
+
+	// Switches counts model changes between consecutive requests.
+	Switches int
+	last     string
+	// LoadTimeUS accumulates time spent loading weights on misses.
+	LoadTimeUS float64
+}
+
+// New creates a scheduler with the given RAM budget for model weights.
+func New(budgetBytes int64) *Scheduler {
+	return &Scheduler{
+		LoadBandwidthMBs: 100,
+		models:           map[string]*Model{},
+		byTask:           map[string]string{},
+		cache:            newLRUCache(budgetBytes),
+	}
+}
+
+// Register adds a model to the registry (storage, not RAM).
+func (s *Scheduler) Register(m Model) error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("sched: empty model name")
+	case m.Detect == nil:
+		return fmt.Errorf("sched: model %q has no Detect", m.Name)
+	case m.Bytes <= 0:
+		return fmt.Errorf("sched: model %q has non-positive size", m.Name)
+	}
+	if _, dup := s.models[m.Name]; dup {
+		return fmt.Errorf("sched: duplicate model %q", m.Name)
+	}
+	mm := m
+	s.models[m.Name] = &mm
+	switch m.Kind {
+	case Generalist:
+		if s.generalist != "" {
+			return fmt.Errorf("sched: second generalist %q (have %q)", m.Name, s.generalist)
+		}
+		s.generalist = m.Name
+	case TaskSpecific:
+		if m.Task == "" {
+			return fmt.Errorf("sched: task-specific model %q without task", m.Name)
+		}
+		if prev, dup := s.byTask[m.Task]; dup {
+			return fmt.Errorf("sched: task %q already served by %q", m.Task, prev)
+		}
+		s.byTask[m.Task] = m.Name
+	}
+	return nil
+}
+
+// Request describes one mission inference call.
+type Request struct {
+	Task string
+	// LatencyBudgetUS, when > 0, rejects models whose inference latency
+	// exceeds it (the real-time constraint of the paper's edge setting).
+	LatencyBudgetUS float64
+}
+
+// Select picks the model for a request: the task-specific student when one
+// exists, fits the cache, and meets the latency budget; otherwise the
+// quantized generalist. Selection loads the model (LRU-evicting as needed)
+// and accounts load time.
+func (s *Scheduler) Select(req Request) (*Model, error) {
+	var candidates []string
+	if name, ok := s.byTask[req.Task]; ok {
+		candidates = append(candidates, name)
+	}
+	if s.generalist != "" {
+		candidates = append(candidates, s.generalist)
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("sched: no model can serve task %q", req.Task)
+	}
+	var lastErr error
+	for _, name := range candidates {
+		m := s.models[name]
+		if req.LatencyBudgetUS > 0 && m.LatencyUS > req.LatencyBudgetUS {
+			lastErr = fmt.Errorf("sched: model %q latency %.0fus over budget %.0fus",
+				name, m.LatencyUS, req.LatencyBudgetUS)
+			continue
+		}
+		hit, err := s.cache.ensure(name, m.Bytes)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !hit {
+			s.LoadTimeUS += float64(m.Bytes) / (s.LoadBandwidthMBs * 1e6) * 1e6
+		}
+		if s.last != "" && s.last != name {
+			s.Switches++
+		}
+		s.last = name
+		return m, nil
+	}
+	return nil, lastErr
+}
+
+// Detect selects a model for the request and runs it.
+func (s *Scheduler) Detect(req Request, img *tensor.Tensor) ([]geom.Scored, *Model, error) {
+	m, err := s.Select(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m.Detect(img), m, nil
+}
+
+// Stats returns cache statistics.
+func (s *Scheduler) Stats() CacheStats { return s.cache.stats }
+
+// Resident returns loaded model names, least recently used first.
+func (s *Scheduler) Resident() []string { return s.cache.Resident() }
+
+// Models returns the registered model count.
+func (s *Scheduler) Models() int { return len(s.models) }

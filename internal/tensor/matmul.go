@@ -1,0 +1,203 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the matrix-size (in multiply-adds) above which MatMul
+// spreads rows across goroutines. Below it the goroutine overhead dominates.
+const parallelThreshold = 1 << 16
+
+// MatMul returns a @ b for a (M,K) matrix a and (K,N) matrix b.
+// The kernel is an ikj loop with the inner loop over contiguous rows of b,
+// which keeps both streams sequential and lets the compiler vectorize.
+// Large products are parallelized across rows of a.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := mmDims(a, b)
+	out := New(m, n)
+	matMulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// MatMulInto computes out = a @ b, reusing out's storage.
+// out must already have shape (M,N).
+func MatMulInto(out, a, b *Tensor) {
+	m, k, n := mmDims(a, b)
+	if len(out.Shape) != 2 || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want (%d,%d)", out.Shape, m, n))
+	}
+	out.Zero()
+	matMulInto(out.Data, a.Data, b.Data, m, k, n)
+}
+
+func mmDims(a, b *Tensor) (m, k, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul on shapes %v, %v (need matrices)", a.Shape, b.Shape))
+	}
+	if a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %v @ %v", a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1], b.Shape[1]
+}
+
+func matMulInto(out, a, b []float32, m, k, n int) {
+	work := m * k * n
+	if work < parallelThreshold || m < 2 {
+		matMulRows(out, a, b, 0, m, k, n)
+		return
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > m {
+		nw = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + nw - 1) / nw
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(out, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRows computes rows [lo,hi) of out = a @ b.
+func matMulRows(out, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		oi := out[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				oi[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT returns a @ bᵀ for a (M,K) matrix a and (N,K) matrix b.
+// This form has unit-stride access for both operands and is the natural
+// layout for Linear layers whose weight is stored (out,in).
+func MatMulT(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulT on shapes %v, %v", a.Shape, b.Shape))
+	}
+	if a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulT inner dim mismatch %v @ %vᵀ", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	out := New(m, n)
+	work := m * k * n
+	if work < parallelThreshold || m < 2 {
+		matMulTRows(out.Data, a.Data, b.Data, 0, m, k, n)
+		return out
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > m {
+		nw = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + nw - 1) / nw
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulTRows(out.Data, a.Data, b.Data, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matMulTRows(out, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		oi := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			oi[j] = s
+		}
+	}
+}
+
+// TMatMul returns aᵀ @ b for a (K,M) matrix a and (K,N) matrix b, producing
+// (M,N). This is the shape needed for weight gradients (xᵀ @ dy).
+func TMatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: TMatMul on shapes %v, %v", a.Shape, b.Shape))
+	}
+	if a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: TMatMul inner dim mismatch %vᵀ @ %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	// out[i,j] = sum_p a[p,i]*b[p,j]; iterate p outer so both reads stream.
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			oi := out.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				oi[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns a @ x for a (M,N) matrix and length-N vector, as a
+// length-M vector.
+func MatVec(a, x *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(x.Shape) != 1 || a.Shape[1] != x.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec %v @ %v", a.Shape, x.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		var s float32
+		for j, v := range row {
+			s += v * x.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// Outer returns the outer product x ⊗ y of two vectors as an (len(x),len(y))
+// matrix.
+func Outer(x, y *Tensor) *Tensor {
+	if len(x.Shape) != 1 || len(y.Shape) != 1 {
+		panic(fmt.Sprintf("tensor: Outer on shapes %v, %v", x.Shape, y.Shape))
+	}
+	m, n := x.Shape[0], y.Shape[0]
+	out := New(m, n)
+	for i, xv := range x.Data {
+		row := out.Data[i*n : (i+1)*n]
+		for j, yv := range y.Data {
+			row[j] = xv * yv
+		}
+	}
+	return out
+}

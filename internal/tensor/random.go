@@ -1,0 +1,152 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator
+// (SplitMix64 core). Every stochastic component in iTask takes an explicit
+// *RNG so that experiments are exactly reproducible from a seed; the global
+// math/rand state is never used.
+type RNG struct {
+	state uint64
+	// spare holds a cached second Gaussian sample from Box-Muller.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed. Two RNGs with the same seed
+// produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits (SplitMix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split returns a new RNG whose stream is independent of r's future output.
+// Useful for giving each subsystem its own deterministic stream.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Float32 returns a uniform sample in [0,1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Intn returns a uniform sample in [0,n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: RNG.Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform float64 in [lo,hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Norm returns a standard-normal sample (Box-Muller with caching).
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// Perm returns a random permutation of [0,n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Choice returns a uniformly random element index weighted by w
+// (w need not be normalized; all weights must be >= 0 and not all zero).
+func (r *RNG) Choice(w []float64) int {
+	var total float64
+	for _, v := range w {
+		if v < 0 {
+			panic("tensor: RNG.Choice negative weight")
+		}
+		total += v
+	}
+	if total == 0 {
+		panic("tensor: RNG.Choice all-zero weights")
+	}
+	x := r.Float64() * total
+	for i, v := range w {
+		x -= v
+		if x < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Randn fills a new tensor of the given shape with N(0, std²) samples.
+func Randn(r *RNG, std float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = std * float32(r.Norm())
+	}
+	return t
+}
+
+// Uniform fills a new tensor with samples uniform in [lo,hi).
+func Uniform(r *RNG, lo, hi float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + (hi-lo)*r.Float32()
+	}
+	return t
+}
+
+// XavierUniform returns a (fanOut,fanIn)-shaped weight matrix initialized
+// with the Glorot/Xavier uniform scheme, the default for linear layers.
+func XavierUniform(r *RNG, fanOut, fanIn int) *Tensor {
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	return Uniform(r, -limit, limit, fanOut, fanIn)
+}
+
+// KaimingNormal returns a (fanOut,fanIn)-shaped weight matrix with
+// He-normal initialization, appropriate before ReLU-family activations.
+func KaimingNormal(r *RNG, fanOut, fanIn int) *Tensor {
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	return Randn(r, std, fanOut, fanIn)
+}

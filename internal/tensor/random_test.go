@@ -1,0 +1,172 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestRNGFloatRanges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if f := r.Float32(); f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of range: %v", f)
+		}
+		if n := r.Intn(7); n < 0 || n >= 7 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+		if v := r.Range(-2, 3); v < -2 || v >= 3 {
+			t.Fatalf("Range out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(7)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGChoice(t *testing.T) {
+	r := NewRNG(5)
+	counts := make([]int, 3)
+	w := []float64{0, 1, 3}
+	for i := 0; i < 4000; i++ {
+		counts[r.Choice(w)]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Errorf("weight ratio ~3 expected, got %v", ratio)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for all-zero weights")
+			}
+		}()
+		r.Choice([]float64{0, 0})
+	}()
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(9)
+	s1 := r.Split()
+	s2 := r.Split()
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("split streams should differ")
+	}
+}
+
+func TestRandnShapeAndSpread(t *testing.T) {
+	r := NewRNG(11)
+	x := Randn(r, 2, 50, 50)
+	if x.Shape[0] != 50 || x.Shape[1] != 50 {
+		t.Fatalf("shape = %v", x.Shape)
+	}
+	var sumSq float64
+	for _, v := range x.Data {
+		sumSq += float64(v) * float64(v)
+	}
+	std := math.Sqrt(sumSq / float64(x.Size()))
+	if std < 1.8 || std > 2.2 {
+		t.Errorf("Randn std = %v, want ~2", std)
+	}
+}
+
+func TestXavierUniformBounds(t *testing.T) {
+	r := NewRNG(13)
+	w := XavierUniform(r, 30, 50)
+	if w.Shape[0] != 30 || w.Shape[1] != 50 {
+		t.Fatalf("shape = %v", w.Shape)
+	}
+	limit := float32(math.Sqrt(6.0 / 80.0))
+	for _, v := range w.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("value %v outside Xavier limit %v", v, limit)
+		}
+	}
+}
+
+func TestKaimingNormalStd(t *testing.T) {
+	r := NewRNG(17)
+	w := KaimingNormal(r, 100, 200)
+	var sumSq float64
+	for _, v := range w.Data {
+		sumSq += float64(v) * float64(v)
+	}
+	std := math.Sqrt(sumSq / float64(w.Size()))
+	want := math.Sqrt(2.0 / 200.0)
+	if math.Abs(std-want)/want > 0.1 {
+		t.Errorf("Kaiming std = %v, want ~%v", std, want)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := NewRNG(19)
+	u := Uniform(r, -3, -1, 100)
+	for _, v := range u.Data {
+		if v < -3 || v >= -1 {
+			t.Fatalf("Uniform value %v outside [-3,-1)", v)
+		}
+	}
+}

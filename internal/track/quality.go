@@ -1,0 +1,100 @@
+package track
+
+import "itask/internal/geom"
+
+// GT is one ground-truth object in one frame, with its stable identity.
+type GT struct {
+	TrackID int
+	Box     geom.Box
+	Class   int
+}
+
+// Quality summarizes tracking performance over a sequence, MOT-style.
+type Quality struct {
+	// Recall is the fraction of GT boxes covered by a confirmed track.
+	Recall float64
+	// Precision is the fraction of emitted track boxes that cover a GT.
+	Precision float64
+	// IDSwitches counts frames where a GT identity changed tracker ID.
+	IDSwitches int
+	// MostlyTracked is the number of GT identities covered in >= 80% of
+	// their frames.
+	MostlyTracked int
+	// GTIdentities is the number of distinct ground-truth tracks.
+	GTIdentities int
+}
+
+// EvaluateTracking scores emitted tracks against per-frame ground truth.
+// Matching is greedy best-IoU per frame at iouThresh, class-aware.
+func EvaluateTracking(gtFrames [][]GT, outFrames [][]Track, iouThresh float64) Quality {
+	if len(gtFrames) != len(outFrames) {
+		panic("track: frame count mismatch")
+	}
+	var q Quality
+	lastID := map[int]int{}  // GT track -> last tracker ID
+	covered := map[int]int{} // GT track -> frames covered
+	total := map[int]int{}   // GT track -> frames present
+	var gtBoxes, matchedGT, outBoxes, matchedOut int
+
+	for f := range gtFrames {
+		gts := gtFrames[f]
+		outs := outFrames[f]
+		gtBoxes += len(gts)
+		outBoxes += len(outs)
+		for _, gt := range gts {
+			total[gt.TrackID]++
+		}
+		type cand struct {
+			gi, oi int
+			iou    float64
+		}
+		var cands []cand
+		for gi, gt := range gts {
+			for oi, o := range outs {
+				if o.Class != gt.Class {
+					continue
+				}
+				if iou := geom.IoU(gt.Box, o.Box); iou >= iouThresh {
+					cands = append(cands, cand{gi, oi, iou})
+				}
+			}
+		}
+		// Greedy best-IoU.
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && cands[j].iou > cands[j-1].iou; j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+		usedG := map[int]bool{}
+		usedO := map[int]bool{}
+		for _, c := range cands {
+			if usedG[c.gi] || usedO[c.oi] {
+				continue
+			}
+			usedG[c.gi] = true
+			usedO[c.oi] = true
+			matchedGT++
+			matchedOut++
+			gtID := gts[c.gi].TrackID
+			trkID := outs[c.oi].ID
+			if prev, seen := lastID[gtID]; seen && prev != trkID {
+				q.IDSwitches++
+			}
+			lastID[gtID] = trkID
+			covered[gtID]++
+		}
+	}
+	if gtBoxes > 0 {
+		q.Recall = float64(matchedGT) / float64(gtBoxes)
+	}
+	if outBoxes > 0 {
+		q.Precision = float64(matchedOut) / float64(outBoxes)
+	}
+	q.GTIdentities = len(total)
+	for id, n := range total {
+		if float64(covered[id]) >= 0.8*float64(n) {
+			q.MostlyTracked++
+		}
+	}
+	return q
+}

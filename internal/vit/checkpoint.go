@@ -1,0 +1,179 @@
+package vit
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"itask/internal/nn"
+)
+
+// Checkpoint format: a simple little-endian binary stream —
+//
+//	magic "ITSK" | version u32 | paramCount u32 |
+//	per param: nameLen u32, name, rank u32, dims []u32, data []f32
+//
+// Parameters are matched by name on load, so a checkpoint survives
+// reorderings of Params() but not renames.
+const (
+	ckptMagic   = "ITSK"
+	ckptVersion = 1
+)
+
+// SaveParams writes the parameters to w in checkpoint format.
+func SaveParams(w io.Writer, params []*nn.Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(ckptVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.W.Shape))); err != nil {
+			return err
+		}
+		for _, d := range p.W.Shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range p.W.Data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads a checkpoint from r into params, matching by name.
+// Every parameter in params must be present in the stream with an identical
+// shape; extra parameters in the stream are an error too, so a checkpoint
+// can never silently half-load.
+func LoadParams(r io.Reader, params []*nn.Param) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("vit: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return fmt.Errorf("vit: bad checkpoint magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != ckptVersion {
+		return fmt.Errorf("vit: unsupported checkpoint version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	byName := make(map[string]*nn.Param, len(params))
+	for _, p := range params {
+		if _, dup := byName[p.Name]; dup {
+			return fmt.Errorf("vit: duplicate parameter name %q", p.Name)
+		}
+		byName[p.Name] = p
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("vit: checkpoint has %d params, model has %d", count, len(params))
+	}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen > 1<<16 {
+			return fmt.Errorf("vit: implausible name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return err
+		}
+		name := string(nameBuf)
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("vit: checkpoint param %q not in model", name)
+		}
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return err
+		}
+		if int(rank) != len(p.W.Shape) {
+			return fmt.Errorf("vit: param %q rank %d, model has %d", name, rank, len(p.W.Shape))
+		}
+		for d := 0; d < int(rank); d++ {
+			var dim uint32
+			if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+				return err
+			}
+			if int(dim) != p.W.Shape[d] {
+				return fmt.Errorf("vit: param %q dim %d is %d, model has %d", name, d, dim, p.W.Shape[d])
+			}
+		}
+		buf := make([]byte, 4*p.W.Size())
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("vit: reading param %q data: %w", name, err)
+		}
+		for j := range p.W.Data {
+			p.W.Data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		delete(byName, name)
+	}
+	return nil
+}
+
+// SaveFile writes a model checkpoint to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveParams(f, m.Params()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile loads a model checkpoint from path.
+func (m *Model) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadParams(f, m.Params())
+}
+
+// CloneWeightsTo copies this model's weights into dst, which must have the
+// same architecture. Used to snapshot a teacher for inference while training
+// continues, and to build per-goroutine inference copies.
+func (m *Model) CloneWeightsTo(dst *Model) error {
+	src := m.Params()
+	dp := dst.Params()
+	if len(src) != len(dp) {
+		return fmt.Errorf("vit: clone param count mismatch %d vs %d", len(src), len(dp))
+	}
+	for i, p := range src {
+		if dp[i].Name != p.Name || !dp[i].W.SameShape(p.W) {
+			return fmt.Errorf("vit: clone mismatch at %q", p.Name)
+		}
+		dp[i].W.CopyFrom(p.W)
+	}
+	return nil
+}

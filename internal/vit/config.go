@@ -1,0 +1,147 @@
+// Package vit implements the vision transformer at the heart of iTask: a
+// patch-embedding trunk of pre-norm transformer blocks with two heads — a
+// per-token detection head (objectness + box + class) and a mean-pooled
+// scene-classification head. The same architecture serves as the large
+// multi-task "teacher", the distilled task-specific "student", and (through
+// internal/quant) the int8 quantized generalist.
+package vit
+
+import "fmt"
+
+// Config describes a ViT variant. iTask uses three presets: TeacherConfig
+// (the full vision-language-scale model stand-in), StudentConfig (the
+// distilled task-specific model), and TinyConfig for fast tests.
+type Config struct {
+	// ImageSize is the square input resolution in pixels.
+	ImageSize int
+	// Channels is the number of input channels (3 for RGB scenes).
+	Channels int
+	// PatchSize is the square patch edge; ImageSize must be divisible by it.
+	PatchSize int
+	// Dim is the embedding width.
+	Dim int
+	// Depth is the number of transformer blocks.
+	Depth int
+	// Heads is the number of attention heads; must divide Dim.
+	Heads int
+	// MLPRatio scales the hidden width of each block's MLP (usually 4).
+	MLPRatio int
+	// Classes is the number of object classes the heads predict.
+	Classes int
+	// Dropout is the train-time dropout probability in blocks.
+	Dropout float64
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.ImageSize <= 0 || c.Channels <= 0 || c.PatchSize <= 0:
+		return fmt.Errorf("vit: non-positive geometry in config %+v", c)
+	case c.ImageSize%c.PatchSize != 0:
+		return fmt.Errorf("vit: image size %d not divisible by patch size %d", c.ImageSize, c.PatchSize)
+	case c.Dim <= 0 || c.Depth <= 0 || c.Heads <= 0:
+		return fmt.Errorf("vit: non-positive dimensions in config %+v", c)
+	case c.Dim%c.Heads != 0:
+		return fmt.Errorf("vit: dim %d not divisible by heads %d", c.Dim, c.Heads)
+	case c.MLPRatio <= 0:
+		return fmt.Errorf("vit: MLP ratio must be positive")
+	case c.Classes <= 0:
+		return fmt.Errorf("vit: need at least one class")
+	case c.Dropout < 0 || c.Dropout >= 1:
+		return fmt.Errorf("vit: dropout %v out of [0,1)", c.Dropout)
+	}
+	return nil
+}
+
+// Grid returns the number of patches along one edge.
+func (c Config) Grid() int { return c.ImageSize / c.PatchSize }
+
+// Tokens returns the total patch count (sequence length).
+func (c Config) Tokens() int { return c.Grid() * c.Grid() }
+
+// PatchDim returns the flattened patch vector width.
+func (c Config) PatchDim() int { return c.Channels * c.PatchSize * c.PatchSize }
+
+// DetWidth returns the per-token detection head output width:
+// 1 objectness + 4 box offsets + Classes logits.
+func (c Config) DetWidth() int { return 5 + c.Classes }
+
+// TeacherConfig is the multi-task generalist stand-in for the paper's large
+// vision-language model: deeper and wider than the student.
+func TeacherConfig(classes int) Config {
+	return Config{
+		ImageSize: 32, Channels: 3, PatchSize: 4,
+		Dim: 96, Depth: 6, Heads: 6, MLPRatio: 4,
+		Classes: classes, Dropout: 0.0,
+	}
+}
+
+// StudentConfig is the distilled task-specific model: small enough for
+// real-time edge inference.
+func StudentConfig(classes int) Config {
+	return Config{
+		ImageSize: 32, Channels: 3, PatchSize: 4,
+		Dim: 48, Depth: 3, Heads: 4, MLPRatio: 4,
+		Classes: classes, Dropout: 0.0,
+	}
+}
+
+// TinyConfig is a minimal model for unit tests.
+func TinyConfig(classes int) Config {
+	return Config{
+		ImageSize: 16, Channels: 3, PatchSize: 8,
+		Dim: 16, Depth: 1, Heads: 2, MLPRatio: 2,
+		Classes: classes, Dropout: 0.0,
+	}
+}
+
+// GEMM describes one matrix multiply of an inference pass, the unit the
+// hardware simulator schedules. M is the row count (tokens), K the reduction
+// width, N the output width; Repeat is how many times the GEMM runs per
+// inference (e.g. per attention head).
+type GEMM struct {
+	Name    string
+	M, K, N int
+	Repeat  int
+}
+
+// MACs returns the total multiply-accumulate count for this GEMM.
+func (g GEMM) MACs() int64 {
+	return int64(g.M) * int64(g.K) * int64(g.N) * int64(g.Repeat)
+}
+
+// Workload enumerates the GEMMs of one single-image inference pass, in
+// execution order. The hardware simulator maps exactly these shapes onto the
+// systolic array; keeping the enumeration next to the model definition means
+// the simulated workload can never drift from the executed one.
+func (c Config) Workload() []GEMM {
+	t := c.Tokens()
+	dh := c.Dim / c.Heads
+	var w []GEMM
+	w = append(w, GEMM{Name: "patch_embed", M: t, K: c.PatchDim(), N: c.Dim, Repeat: 1})
+	for i := 0; i < c.Depth; i++ {
+		p := fmt.Sprintf("block%d.", i)
+		w = append(w,
+			GEMM{Name: p + "qkv", M: t, K: c.Dim, N: 3 * c.Dim, Repeat: 1},
+			GEMM{Name: p + "scores", M: t, K: dh, N: t, Repeat: c.Heads},
+			GEMM{Name: p + "context", M: t, K: t, N: dh, Repeat: c.Heads},
+			GEMM{Name: p + "proj", M: t, K: c.Dim, N: c.Dim, Repeat: 1},
+			GEMM{Name: p + "mlp1", M: t, K: c.Dim, N: c.MLPRatio * c.Dim, Repeat: 1},
+			GEMM{Name: p + "mlp2", M: t, K: c.MLPRatio * c.Dim, N: c.Dim, Repeat: 1},
+		)
+	}
+	w = append(w,
+		GEMM{Name: "det_head", M: t, K: c.Dim, N: c.DetWidth(), Repeat: 1},
+		GEMM{Name: "cls_head", M: 1, K: c.Dim, N: c.Classes, Repeat: 1},
+	)
+	return w
+}
+
+// TotalMACs sums the MAC count over the whole workload.
+func (c Config) TotalMACs() int64 {
+	var n int64
+	for _, g := range c.Workload() {
+		n += g.MACs()
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+package vit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"itask/internal/tensor"
+)
+
+func TestAttentionRolloutBasics(t *testing.T) {
+	cfg := Config{
+		ImageSize: 32, Channels: 3, PatchSize: 8,
+		Dim: 32, Depth: 2, Heads: 4, MLPRatio: 2, Classes: 4,
+	}
+	m := New(cfg, tensor.NewRNG(1))
+	img := tensor.Randn(tensor.NewRNG(2), 0.5, 3, 32, 32)
+	s := m.AttentionRollout(img)
+	if len(s) != cfg.Tokens() {
+		t.Fatalf("saliency length %d, want %d", len(s), cfg.Tokens())
+	}
+	var sum float64
+	for _, v := range s {
+		if v < 0 {
+			t.Fatalf("negative saliency %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("saliency sums to %v, want 1", sum)
+	}
+}
+
+func TestAttentionRolloutDeterministic(t *testing.T) {
+	cfg := TinyConfig(3)
+	m := New(cfg, tensor.NewRNG(3))
+	img := tensor.Randn(tensor.NewRNG(4), 0.5, 3, cfg.ImageSize, cfg.ImageSize)
+	a := m.AttentionRollout(img)
+	b := m.AttentionRollout(img)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("rollout not deterministic")
+		}
+	}
+}
+
+func TestAttentionRolloutDoesNotPerturbWeights(t *testing.T) {
+	cfg := TinyConfig(2)
+	m := New(cfg, tensor.NewRNG(5))
+	img := tensor.Randn(tensor.NewRNG(6), 0.5, 3, cfg.ImageSize, cfg.ImageSize)
+	patches := Patchify(cfg, []*tensor.Tensor{img})
+	before := m.DetHead(m.Forward(patches, false), false).Clone()
+	m.AttentionRollout(img)
+	after := m.DetHead(m.Forward(patches, false), false)
+	if !after.Equal(before) {
+		t.Error("rollout changed inference results")
+	}
+}
+
+func TestRenderSaliencyASCII(t *testing.T) {
+	cfg := TinyConfig(2) // 2x2 grid
+	s := []float64{0.7, 0.1, 0.1, 0.1}
+	out := RenderSaliencyASCII(cfg, s)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	// The hottest cell renders the heaviest glyph.
+	if !strings.HasPrefix(lines[0], "@@") {
+		t.Errorf("hot cell not rendered heavy: %q", lines[0])
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong saliency length should panic")
+			}
+		}()
+		RenderSaliencyASCII(cfg, []float64{1})
+	}()
+}

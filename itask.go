@@ -1,0 +1,446 @@
+package itask
+
+import (
+	"fmt"
+	"sort"
+
+	"itask/internal/dataset"
+	"itask/internal/distill"
+	"itask/internal/eval"
+	"itask/internal/geom"
+	"itask/internal/hwsim"
+	"itask/internal/kg"
+	"itask/internal/llm"
+	"itask/internal/quant"
+	"itask/internal/scene"
+	"itask/internal/sched"
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+// Detection is one detected object, with the class resolved to its name.
+type Detection struct {
+	Box       geom.Box
+	Class     string
+	ClassID   int
+	Score     float64
+	Relevance float64 // knowledge-graph prior of the class for the task
+}
+
+// Options configures a Pipeline.
+type Options struct {
+	// Seed drives every random choice in the pipeline.
+	Seed uint64
+	// TeacherCfg and StudentCfg are the two model architectures. The class
+	// count of both must be scene.NumClasses.
+	TeacherCfg, StudentCfg vit.Config
+	// Quant selects the generalist's quantization scheme.
+	Quant quant.Config
+	// Gen controls synthetic scene generation for training.
+	Gen scene.GenConfig
+	// TrainSamplesPerTask and TrainCfg control generalist training.
+	TrainSamplesPerTask int
+	TrainCfg            distill.TrainConfig
+	// DistillSamples and DistillCfg control per-task student distillation.
+	DistillSamples int
+	DistillCfg     distill.DistillConfig
+	// PriorThreshold is the KG relevance below which detections are
+	// filtered out for a task.
+	PriorThreshold float64
+	// Thresholds is the decode/eval operating point.
+	Thresholds eval.Thresholds
+	// Accel is the hardware design point used for latency/energy reports.
+	Accel hwsim.AccelConfig
+	// MemoryBudgetBytes is the edge RAM budget for the model cache.
+	MemoryBudgetBytes int64
+}
+
+// DefaultOptions returns a laptop-scale configuration that trains in
+// seconds per task and reproduces the experiment shapes.
+func DefaultOptions() Options {
+	classes := int(scene.NumClasses)
+	teacher := vit.Config{
+		ImageSize: 32, Channels: 3, PatchSize: 8,
+		Dim: 48, Depth: 3, Heads: 4, MLPRatio: 2, Classes: classes,
+	}
+	student := vit.Config{
+		ImageSize: 32, Channels: 3, PatchSize: 8,
+		Dim: 32, Depth: 2, Heads: 4, MLPRatio: 2, Classes: classes,
+	}
+	tc := distill.DefaultTrainConfig()
+	tc.Epochs = 12
+	dc := distill.DefaultDistillConfig()
+	dc.Train.Epochs = 12
+	return Options{
+		Seed:                1,
+		TeacherCfg:          teacher,
+		StudentCfg:          student,
+		Quant:               quant.DefaultConfig(),
+		Gen:                 scene.DefaultGenConfig(),
+		TrainSamplesPerTask: 48,
+		TrainCfg:            tc,
+		DistillSamples:      64,
+		DistillCfg:          dc,
+		PriorThreshold:      0.45,
+		Thresholds:          eval.DefaultThresholds(),
+		Accel:               hwsim.DefaultAccel(),
+		MemoryBudgetBytes:   2 << 20,
+	}
+}
+
+// taskState is everything the pipeline knows about one defined task.
+type taskState struct {
+	name        string
+	description string
+	graph       *kg.Graph
+	priors      []float64
+	student     *vit.Model
+}
+
+// Pipeline is the end-to-end iTask system: simulated LLM, knowledge graphs,
+// the trained generalist (float teacher + quantized deployment), per-task
+// distilled students, and the situational scheduler.
+type Pipeline struct {
+	opts Options
+	llm  *llm.SimLLM
+	rng  *tensor.RNG
+
+	teacher   *vit.Model
+	quantized *quant.Model
+	// genStudent is the student-architecture multi-task base used by
+	// AdaptStudent, distilled lazily from the teacher.
+	genStudent *vit.Model
+	tasks      map[string]*taskState
+	scheduler  *sched.Scheduler
+}
+
+// New creates a pipeline. Call TrainGeneralist before Detect.
+func New(opts Options) *Pipeline {
+	if opts.TeacherCfg.Classes != int(scene.NumClasses) || opts.StudentCfg.Classes != int(scene.NumClasses) {
+		panic(fmt.Sprintf("itask: model class count must be %d", scene.NumClasses))
+	}
+	return &Pipeline{
+		opts:      opts,
+		llm:       llm.New(llm.DefaultOptions()),
+		rng:       tensor.NewRNG(opts.Seed),
+		tasks:     map[string]*taskState{},
+		scheduler: sched.New(opts.MemoryBudgetBytes),
+	}
+}
+
+// TrainGeneralist trains the multi-task teacher on a mixture of the given
+// tasks (nil means the four standard tasks), quantizes it into the
+// deployable generalist, and registers it with the scheduler.
+func (p *Pipeline) TrainGeneralist(tasks []dataset.Task) error {
+	if p.teacher != nil {
+		return fmt.Errorf("itask: generalist already trained")
+	}
+	if tasks == nil {
+		tasks = dataset.StandardTasks()
+	}
+	mixed := dataset.BuildMixed(tasks, p.opts.TrainSamplesPerTask, p.opts.Gen, p.rng.Split())
+	teacher := vit.New(p.opts.TeacherCfg, p.rng.Split())
+	cfg := p.opts.TrainCfg
+	cfg.Seed = p.rng.Uint64()
+	if _, err := distill.Train(teacher, mixed, cfg); err != nil {
+		return fmt.Errorf("itask: training generalist: %w", err)
+	}
+	qm, err := quant.FromViT(teacher, p.opts.Quant)
+	if err != nil {
+		return fmt.Errorf("itask: quantizing generalist: %w", err)
+	}
+	p.teacher = teacher
+	p.quantized = qm
+	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.TeacherCfg).LatencyUS
+	return p.scheduler.Register(sched.Model{
+		Name:      "generalist-q" + fmt.Sprint(p.opts.Quant.Bits),
+		Kind:      sched.Generalist,
+		Bytes:     int64(qm.WeightBytes()),
+		LatencyUS: lat,
+		Detect: func(img *tensor.Tensor) []geom.Scored {
+			return qm.Detect(img, p.opts.Thresholds.Obj, p.opts.Thresholds.NMSIoU)
+		},
+	})
+}
+
+// LoadGeneralist initializes the generalist from a teacher checkpoint
+// (written by itask-train or vit.SaveParams) instead of training: the
+// checkpoint is loaded into the teacher architecture, quantized, and
+// registered with the scheduler.
+func (p *Pipeline) LoadGeneralist(checkpointPath string) error {
+	if p.teacher != nil {
+		return fmt.Errorf("itask: generalist already initialized")
+	}
+	teacher := vit.New(p.opts.TeacherCfg, p.rng.Split())
+	if err := teacher.LoadFile(checkpointPath); err != nil {
+		return fmt.Errorf("itask: loading generalist checkpoint: %w", err)
+	}
+	qm, err := quant.FromViT(teacher, p.opts.Quant)
+	if err != nil {
+		return fmt.Errorf("itask: quantizing generalist: %w", err)
+	}
+	p.teacher = teacher
+	p.quantized = qm
+	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.TeacherCfg).LatencyUS
+	return p.scheduler.Register(sched.Model{
+		Name:      "generalist-q" + fmt.Sprint(p.opts.Quant.Bits),
+		Kind:      sched.Generalist,
+		Bytes:     int64(qm.WeightBytes()),
+		LatencyUS: lat,
+		Detect: func(img *tensor.Tensor) []geom.Scored {
+			return qm.Detect(img, p.opts.Thresholds.Obj, p.opts.Thresholds.NMSIoU)
+		},
+	})
+}
+
+// LoadStudent registers a task-specific student from a checkpoint written
+// by itask-train. The task must already be defined.
+func (p *Pipeline) LoadStudent(taskName, checkpointPath string) error {
+	ts, ok := p.tasks[taskName]
+	if !ok {
+		return fmt.Errorf("itask: task %q not defined", taskName)
+	}
+	if ts.student != nil {
+		return fmt.Errorf("itask: task %q already has a student", taskName)
+	}
+	student := vit.New(p.opts.StudentCfg, p.rng.Split())
+	if err := student.LoadFile(checkpointPath); err != nil {
+		return fmt.Errorf("itask: loading student checkpoint: %w", err)
+	}
+	if err := distill.ApplyClassPriors(student, ts.priors, 0.5); err != nil {
+		return err
+	}
+	ts.student = student
+	th := p.opts.Thresholds
+	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.StudentCfg).LatencyUS
+	return p.scheduler.Register(sched.Model{
+		Name:      taskName + "-student",
+		Kind:      sched.TaskSpecific,
+		Task:      taskName,
+		Bytes:     int64(student.NumParams() * 4),
+		LatencyUS: lat,
+		Detect:    sched.DetectFunc(eval.DetectorOf(student, th)),
+	})
+}
+
+// DefineTask runs the simulated LLM over a mission description, stores the
+// resulting knowledge graph and class priors, and makes the task servable
+// (by the generalist until a student is distilled).
+func (p *Pipeline) DefineTask(name, description string) error {
+	if name == "" {
+		return fmt.Errorf("itask: empty task name")
+	}
+	if _, dup := p.tasks[name]; dup {
+		return fmt.Errorf("itask: task %q already defined", name)
+	}
+	g, err := p.llm.Generate(name, description)
+	if err != nil {
+		return fmt.Errorf("itask: generating knowledge graph: %w", err)
+	}
+	p.tasks[name] = &taskState{
+		name:        name,
+		description: description,
+		graph:       g,
+		priors:      kg.ClassPriors(g, "task:"+name),
+	}
+	return nil
+}
+
+// DistillStudent builds the task-specific configuration for a defined task:
+// a student distilled from the teacher on task-domain data, conditioned with
+// the task's KG priors, and registered with the scheduler.
+func (p *Pipeline) DistillStudent(taskName string, domain scene.DomainID) error {
+	ts, ok := p.tasks[taskName]
+	if !ok {
+		return fmt.Errorf("itask: task %q not defined", taskName)
+	}
+	if p.teacher == nil {
+		return fmt.Errorf("itask: train the generalist first")
+	}
+	if ts.student != nil {
+		return fmt.Errorf("itask: task %q already has a student", taskName)
+	}
+	task := dataset.Task{Name: taskName, Domain: domain, Description: ts.description}
+	set := dataset.Build(task, p.opts.DistillSamples, p.opts.Gen, p.rng.Split())
+	student := vit.New(p.opts.StudentCfg, p.rng.Split())
+	dcfg := p.opts.DistillCfg
+	dcfg.Train.Seed = p.rng.Uint64()
+	if _, err := distill.Distill(p.teacher, student, set, dcfg); err != nil {
+		return fmt.Errorf("itask: distilling student for %q: %w", taskName, err)
+	}
+	// Task specialization: a supervised fine-tune on the task data after
+	// distillation ("optimized for high accuracy in defined tasks").
+	ftcfg := distill.DefaultTrainConfig()
+	ftcfg.Epochs = dcfg.Train.Epochs
+	ftcfg.LR = 1e-3
+	ftcfg.Seed = p.rng.Uint64()
+	if _, err := distill.Train(student, set, ftcfg); err != nil {
+		return fmt.Errorf("itask: fine-tuning student for %q: %w", taskName, err)
+	}
+	if err := distill.ApplyClassPriors(student, ts.priors, 0.5); err != nil {
+		return err
+	}
+	ts.student = student
+	th := p.opts.Thresholds
+	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.StudentCfg).LatencyUS
+	return p.scheduler.Register(sched.Model{
+		Name:      taskName + "-student",
+		Kind:      sched.TaskSpecific,
+		Task:      taskName,
+		Bytes:     int64(student.NumParams() * 4),
+		LatencyUS: lat,
+		Detect:    sched.DetectFunc(eval.DetectorOf(student, th)),
+	})
+}
+
+// AdaptStudent builds a task-specific configuration from only `shots`
+// support scenes per class — the few-shot path (claim C5): a
+// student-architecture multi-task base (distilled once from the teacher) is
+// cloned, conditioned with the task's knowledge-graph priors, and
+// fine-tuned on the tiny support set. Use DistillStudent instead when
+// abundant task data is available.
+func (p *Pipeline) AdaptStudent(taskName string, domain scene.DomainID, shots int) error {
+	ts, ok := p.tasks[taskName]
+	if !ok {
+		return fmt.Errorf("itask: task %q not defined", taskName)
+	}
+	if p.teacher == nil {
+		return fmt.Errorf("itask: train the generalist first")
+	}
+	if ts.student != nil {
+		return fmt.Errorf("itask: task %q already has a student", taskName)
+	}
+	if shots <= 0 {
+		return fmt.Errorf("itask: shots must be positive")
+	}
+	if p.genStudent == nil {
+		base := vit.New(p.opts.StudentCfg, p.rng.Split())
+		mixed := dataset.BuildMixed(dataset.StandardTasks(), p.opts.TrainSamplesPerTask, p.opts.Gen, p.rng.Split())
+		dcfg := p.opts.DistillCfg
+		dcfg.Train.Seed = p.rng.Uint64()
+		if _, err := distill.Distill(p.teacher, base, mixed, dcfg); err != nil {
+			return fmt.Errorf("itask: building few-shot base: %w", err)
+		}
+		p.genStudent = base
+	}
+	student := vit.New(p.opts.StudentCfg, p.rng.Split())
+	if err := p.genStudent.CloneWeightsTo(student); err != nil {
+		return err
+	}
+	task := dataset.Task{Name: taskName, Domain: domain, Description: ts.description}
+	task.Classes = scene.GetDomain(domain).Classes
+	support := dataset.BuildFewShot(task, shots, p.opts.Gen, p.rng.Split())
+	fcfg := distill.DefaultFewShotConfig()
+	fcfg.Train.Seed = p.rng.Uint64()
+	if _, err := distill.FewShotAdapt(student, ts.priors, support, fcfg); err != nil {
+		return fmt.Errorf("itask: few-shot adapting %q: %w", taskName, err)
+	}
+	ts.student = student
+	th := p.opts.Thresholds
+	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.StudentCfg).LatencyUS
+	return p.scheduler.Register(sched.Model{
+		Name:      taskName + "-student",
+		Kind:      sched.TaskSpecific,
+		Task:      taskName,
+		Bytes:     int64(student.NumParams() * 4),
+		LatencyUS: lat,
+		Detect:    sched.DetectFunc(eval.DetectorOf(student, th)),
+	})
+}
+
+// ModelInfo describes which configuration served a detection call.
+type ModelInfo struct {
+	Name string
+	Kind string
+	// LatencyUS and EnergyUJ are the simulated accelerator cost of the
+	// inference that produced the detections.
+	LatencyUS float64
+	EnergyUJ  float64
+}
+
+// Detect runs task-conditioned detection on one (3,H,W) image: the
+// scheduler picks the configuration, the model detects, and the task's KG
+// priors filter irrelevant classes.
+func (p *Pipeline) Detect(taskName string, img *tensor.Tensor) ([]Detection, ModelInfo, error) {
+	ts, ok := p.tasks[taskName]
+	if !ok {
+		return nil, ModelInfo{}, fmt.Errorf("itask: task %q not defined", taskName)
+	}
+	if p.teacher == nil {
+		return nil, ModelInfo{}, fmt.Errorf("itask: train the generalist first")
+	}
+	raw, model, err := p.scheduler.Detect(sched.Request{Task: taskName}, img)
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	var out []Detection
+	for _, d := range raw {
+		rel := ts.priors[d.Class]
+		if rel < p.opts.PriorThreshold {
+			continue
+		}
+		out = append(out, Detection{
+			Box:       d.Box,
+			Class:     scene.ClassID(d.Class).Name(),
+			ClassID:   d.Class,
+			Score:     d.Score,
+			Relevance: rel,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	cfg := p.opts.TeacherCfg
+	if model.Kind == sched.TaskSpecific {
+		cfg = p.opts.StudentCfg
+	}
+	rep := hwsim.SimulateAccel(p.opts.Accel, cfg)
+	info := ModelInfo{
+		Name:      model.Name,
+		Kind:      model.Kind.String(),
+		LatencyUS: rep.LatencyUS,
+		EnergyUJ:  rep.TotalUJ,
+	}
+	return out, info, nil
+}
+
+// Priors returns the knowledge-graph class priors of a defined task,
+// indexed by scene.ClassID.
+func (p *Pipeline) Priors(taskName string) ([]float64, error) {
+	ts, ok := p.tasks[taskName]
+	if !ok {
+		return nil, fmt.Errorf("itask: task %q not defined", taskName)
+	}
+	return append([]float64(nil), ts.priors...), nil
+}
+
+// Graph returns the knowledge graph of a defined task.
+func (p *Pipeline) Graph(taskName string) (*kg.Graph, error) {
+	ts, ok := p.tasks[taskName]
+	if !ok {
+		return nil, fmt.Errorf("itask: task %q not defined", taskName)
+	}
+	return ts.graph, nil
+}
+
+// Teacher exposes the trained float generalist (nil before training); used
+// by the experiment harness.
+func (p *Pipeline) Teacher() *vit.Model { return p.teacher }
+
+// Quantized exposes the deployed quantized generalist (nil before training).
+func (p *Pipeline) Quantized() *quant.Model { return p.quantized }
+
+// Student returns the distilled model for a task, or nil.
+func (p *Pipeline) Student(taskName string) *vit.Model {
+	if ts, ok := p.tasks[taskName]; ok {
+		return ts.student
+	}
+	return nil
+}
+
+// SchedulerStats reports model-cache behaviour.
+func (p *Pipeline) SchedulerStats() sched.CacheStats { return p.scheduler.Stats() }
+
+// HardwareComparison simulates the deployed generalist on the accelerator,
+// the GPU baseline, and the CPU baseline.
+func (p *Pipeline) HardwareComparison() hwsim.Comparison {
+	return hwsim.Compare(p.opts.Accel, hwsim.DefaultGPU(), hwsim.DefaultCPU(), p.opts.TeacherCfg)
+}

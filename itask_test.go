@@ -1,0 +1,251 @@
+package itask
+
+import (
+	"sync"
+	"testing"
+
+	"itask/internal/dataset"
+	"itask/internal/eval"
+	"itask/internal/geom"
+	"itask/internal/scene"
+	"itask/internal/tensor"
+)
+
+// fastOptions shrinks training so the integration tests run in seconds.
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.TrainSamplesPerTask = 40
+	o.TrainCfg.Epochs = 14
+	o.DistillSamples = 64
+	o.DistillCfg.Train.Epochs = 14
+	return o
+}
+
+// sharedPipe builds one trained pipeline reused by the integration tests
+// (training is the expensive part; the tests only read).
+var (
+	sharedPipeOnce sync.Once
+	sharedPipe     *Pipeline
+	sharedPipeErr  error
+)
+
+func trainedPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	sharedPipeOnce.Do(func() {
+		p := New(fastOptions())
+		if err := p.TrainGeneralist(nil); err != nil {
+			sharedPipeErr = err
+			return
+		}
+		if err := p.DefineTask("patrol", "Detect cars, trucks, pedestrians, cyclists and cones on the road"); err != nil {
+			sharedPipeErr = err
+			return
+		}
+		if err := p.DistillStudent("patrol", scene.Driving); err != nil {
+			sharedPipeErr = err
+			return
+		}
+		sharedPipe = p
+	})
+	if sharedPipeErr != nil {
+		t.Fatal(sharedPipeErr)
+	}
+	return sharedPipe
+}
+
+func TestPipelineLifecycleErrors(t *testing.T) {
+	p := New(fastOptions())
+	if _, _, err := p.Detect("x", tensor.New(3, 32, 32)); err == nil {
+		t.Error("detect before task definition should fail")
+	}
+	if err := p.DefineTask("", "detect cars"); err == nil {
+		t.Error("empty task name should fail")
+	}
+	if err := p.DefineTask("bad", "lorem ipsum dolor"); err == nil {
+		t.Error("unintelligible mission should fail")
+	}
+	if err := p.DefineTask("t", "detect cars"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DefineTask("t", "detect cars"); err == nil {
+		t.Error("duplicate task should fail")
+	}
+	if err := p.DistillStudent("t", scene.Driving); err == nil {
+		t.Error("distill before generalist should fail")
+	}
+	if _, _, err := p.Detect("t", tensor.New(3, 32, 32)); err == nil {
+		t.Error("detect before generalist training should fail")
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	p := trainedPipeline(t)
+
+	// Graph and priors exist and favour driving classes.
+	priors, err := p.Priors("patrol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priors[scene.Car] < 0.5 {
+		t.Errorf("car prior = %v", priors[scene.Car])
+	}
+	g, err := p.Graph("patrol")
+	if err != nil || g.NumNodes() == 0 {
+		t.Fatalf("graph missing: %v", err)
+	}
+
+	// Detection on a driving scene via the task-specific student.
+	sc := scene.Generate(scene.GetDomain(scene.Driving), scene.DefaultGenConfig(), tensor.NewRNG(99))
+	dets, info, err := p.Detect("patrol", sc.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "task-specific" {
+		t.Errorf("expected student to serve patrol, got %s (%s)", info.Name, info.Kind)
+	}
+	if info.LatencyUS <= 0 || info.EnergyUJ <= 0 {
+		t.Errorf("hardware cost missing: %+v", info)
+	}
+	for _, d := range dets {
+		if d.Relevance < fastOptions().PriorThreshold {
+			t.Errorf("irrelevant class %s leaked through prior filter", d.Class)
+		}
+		if d.Class == "" || d.Score <= 0 {
+			t.Errorf("malformed detection %+v", d)
+		}
+	}
+
+	// An undefined-but-described task is served by the generalist.
+	if err := p.DefineTask("triage", "Locate lesions, instruments and vials"); err != nil {
+		t.Fatal(err)
+	}
+	med := scene.Generate(scene.GetDomain(scene.Medical), scene.DefaultGenConfig(), tensor.NewRNG(7))
+	_, info2, err := p.Detect("triage", med.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Kind != "generalist" {
+		t.Errorf("triage should fall back to generalist, got %s", info2.Kind)
+	}
+}
+
+func TestPipelineDetectionQuality(t *testing.T) {
+	p := trainedPipeline(t)
+	task, _ := dataset.TaskByName("patrol")
+	val := dataset.Build(task, 20, scene.DefaultGenConfig(), tensor.NewRNG(123))
+	th := eval.DefaultThresholds()
+	// Wrap the pipeline as an eval.DetectFunc.
+	df := func(img *tensor.Tensor) []geom.Scored {
+		dets, _, err := p.Detect("patrol", img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]geom.Scored, len(dets))
+		for i, d := range dets {
+			out[i] = geom.Scored{Box: d.Box, Class: d.ClassID, Score: d.Score}
+		}
+		return out
+	}
+	summary := eval.Run(df, val, dataset.ClassInts(task.Classes), th)
+	if summary.Accuracy < 0.2 {
+		t.Errorf("end-to-end patrol accuracy %v too low", summary.Accuracy)
+	}
+}
+
+func TestSchedulerStatsExposed(t *testing.T) {
+	p := trainedPipeline(t)
+	sc := scene.Generate(scene.GetDomain(scene.Driving), scene.DefaultGenConfig(), tensor.NewRNG(5))
+	if _, _, err := p.Detect("patrol", sc.Image); err != nil {
+		t.Fatal(err)
+	}
+	st := p.SchedulerStats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("scheduler stats should record activity")
+	}
+}
+
+func TestLoadGeneralistAndStudentFromCheckpoint(t *testing.T) {
+	src := trainedPipeline(t)
+	dir := t.TempDir()
+	if err := src.Teacher().SaveFile(dir + "/teacher.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Student("patrol").SaveFile(dir + "/student.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+
+	p := New(fastOptions())
+	if err := p.LoadGeneralist(dir + "/teacher.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadGeneralist(dir + "/teacher.ckpt"); err == nil {
+		t.Error("double load should fail")
+	}
+	if err := p.DefineTask("patrol", "Detect cars, trucks, pedestrians, cyclists and cones"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadStudent("patrol", dir+"/student.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	sc := scene.Generate(scene.GetDomain(scene.Driving), scene.DefaultGenConfig(), tensor.NewRNG(9))
+	_, info, err := p.Detect("patrol", sc.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "task-specific" {
+		t.Errorf("loaded student should serve, got %s", info.Kind)
+	}
+	// Error paths.
+	if err := p.LoadStudent("nope", dir+"/student.ckpt"); err == nil {
+		t.Error("undefined task should fail")
+	}
+	if err := p.LoadStudent("patrol", dir+"/student.ckpt"); err == nil {
+		t.Error("double student load should fail")
+	}
+	fresh := New(fastOptions())
+	if err := fresh.LoadGeneralist(dir + "/missing.ckpt"); err == nil {
+		t.Error("missing checkpoint should fail")
+	}
+}
+
+func TestAdaptStudentFewShot(t *testing.T) {
+	p := trainedPipeline(t)
+	if err := p.DefineTask("harvest", "Find ripe fruit and unripe fruit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AdaptStudent("harvest", scene.Orchard, 4); err != nil {
+		t.Fatal(err)
+	}
+	sc := scene.Generate(scene.GetDomain(scene.Orchard), scene.DefaultGenConfig(), tensor.NewRNG(31))
+	_, info, err := p.Detect("harvest", sc.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != "task-specific" {
+		t.Errorf("few-shot student should serve harvest, got %s", info.Kind)
+	}
+	// Error paths.
+	if err := p.AdaptStudent("harvest", scene.Orchard, 4); err == nil {
+		t.Error("second adapt for same task should fail")
+	}
+	if err := p.AdaptStudent("undefined", scene.Orchard, 4); err == nil {
+		t.Error("undefined task should fail")
+	}
+	if err := p.DefineTask("inspect2", "Inspect for gears and bolts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AdaptStudent("inspect2", scene.Industrial, 0); err == nil {
+		t.Error("zero shots should fail")
+	}
+}
+
+func TestHardwareComparisonShape(t *testing.T) {
+	p := New(fastOptions())
+	c := p.HardwareComparison()
+	if c.SpeedupVsGPU <= 1 {
+		t.Errorf("accelerator should beat GPU: %v", c.SpeedupVsGPU)
+	}
+	if c.EnergyReductionVsGPU <= 0 {
+		t.Errorf("accelerator should save energy: %v", c.EnergyReductionVsGPU)
+	}
+}

@@ -1,0 +1,64 @@
+package itask
+
+import (
+	"itask/internal/geom"
+	"itask/internal/scene"
+	"itask/internal/tensor"
+)
+
+// This file re-exports the types the Pipeline API surfaces, so downstream
+// users of the module never need to import internal packages: boxes, image
+// tensors, domains, and a synthetic-scene helper for demos and tests.
+
+// Box is an axis-aligned box with normalized center coordinates; see the
+// methods on geom.Box (Left/Right/Top/Bottom, Area, IoU via itask.IoU).
+type Box = geom.Box
+
+// IoU returns the intersection-over-union of two boxes in [0,1].
+func IoU(a, b Box) float64 { return geom.IoU(a, b) }
+
+// Image is a dense channel-major (3,H,W) float32 image tensor, the input
+// type of Pipeline.Detect.
+type Image = tensor.Tensor
+
+// NewImage allocates a zeroed (channels, size, size) image.
+func NewImage(channels, size int) *Image { return tensor.New(channels, size, size) }
+
+// Domain identifies an application domain for synthetic scene generation.
+type Domain = scene.DomainID
+
+// The four evaluation domains.
+const (
+	Driving    = scene.Driving
+	Medical    = scene.Medical
+	Industrial = scene.Industrial
+	Orchard    = scene.Orchard
+)
+
+// GroundTruth is one labeled object of a generated scene.
+type GroundTruth struct {
+	Box   Box
+	Class string
+}
+
+// GenerateScene renders one synthetic scene from a domain with the default
+// generation settings, returning the image and its labeled objects.
+// Deterministic in seed.
+func GenerateScene(d Domain, seed uint64) (*Image, []GroundTruth) {
+	sc := scene.Generate(scene.GetDomain(d), scene.DefaultGenConfig(), tensor.NewRNG(seed))
+	gts := make([]GroundTruth, len(sc.Objects))
+	for i, o := range sc.Objects {
+		gts[i] = GroundTruth{Box: o.Box, Class: o.Class.Name()}
+	}
+	return sc.Image, gts
+}
+
+// ClassNames returns the global detection vocabulary in class-ID order —
+// Detection.ClassID indexes into it.
+func ClassNames() []string {
+	out := make([]string, scene.NumClasses)
+	for c := scene.ClassID(0); c < scene.NumClasses; c++ {
+		out[c] = c.Name()
+	}
+	return out
+}

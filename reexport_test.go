@@ -1,0 +1,58 @@
+package itask
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateSceneHelper(t *testing.T) {
+	img, gts := GenerateScene(Driving, 5)
+	if img.Shape[0] != 3 || img.Shape[1] != img.Shape[2] {
+		t.Fatalf("image shape %v", img.Shape)
+	}
+	if len(gts) == 0 {
+		t.Fatal("no ground truth")
+	}
+	names := map[string]bool{}
+	for _, n := range ClassNames() {
+		names[n] = true
+	}
+	for _, gt := range gts {
+		if !names[gt.Class] {
+			t.Errorf("unknown class %q", gt.Class)
+		}
+		if gt.Box.W <= 0 || gt.Box.H <= 0 {
+			t.Errorf("degenerate box %+v", gt.Box)
+		}
+	}
+	// Deterministic.
+	img2, _ := GenerateScene(Driving, 5)
+	if !img.Equal(img2) {
+		t.Error("GenerateScene not deterministic")
+	}
+}
+
+func TestReexportedGeometry(t *testing.T) {
+	a := Box{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}
+	if math.Abs(IoU(a, a)-1) > 1e-9 {
+		t.Errorf("IoU(a,a) = %v, want 1", IoU(a, a))
+	}
+	img := NewImage(3, 16)
+	if img.Size() != 3*16*16 {
+		t.Errorf("NewImage size %d", img.Size())
+	}
+}
+
+func TestClassNamesStable(t *testing.T) {
+	names := ClassNames()
+	if len(names) == 0 || names[0] != "car" {
+		t.Errorf("vocabulary unexpected: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate class name %q", n)
+		}
+		seen[n] = true
+	}
+}
