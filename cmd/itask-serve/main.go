@@ -1,0 +1,264 @@
+// Command itask-serve runs the iTask pipeline behind an HTTP front end: it
+// trains (or loads) the quantized generalist, defines the standard tasks,
+// and serves concurrent task-conditioned detection with dynamic
+// micro-batching, admission control, and graceful shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/detect   run detection; body {"task": "...", "scene": {...}}
+//	                  or {"task": "...", "image": {"shape": [3,H,W], "data": [...]}}
+//	GET  /v1/tasks    list the defined tasks
+//	GET  /healthz     200 while serving, 503 once draining
+//	GET  /metricsz    serving metrics snapshot (latency percentiles,
+//	                  throughput, batch histogram, shed/reject counts,
+//	                  model-cache hit rate)
+//
+// Usage:
+//
+//	itask-serve [-addr :8080] [-models dir] [-students] \
+//	            [-workers 2] [-max-batch 8] [-batch-delay 2ms] \
+//	            [-queue-cap 256] [-timeout 0]
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/detect -d '{"task":"patrol","scene":{"domain":"driving","seed":7}}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"itask"
+	"itask/internal/dataset"
+	"itask/internal/scene"
+	"itask/internal/serve"
+	"itask/internal/tensor"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	models := flag.String("models", "", "load teacher.ckpt from this directory (itask-train output) instead of training")
+	students := flag.Bool("students", false, "distill a task-specific student per standard task (slow)")
+	workers := flag.Int("workers", 2, "inference worker goroutines")
+	maxBatch := flag.Int("max-batch", 8, "micro-batch size cap")
+	batchDelay := flag.Duration("batch-delay", 2*time.Millisecond, "max coalescing wait before a lane flushes")
+	queueCap := flag.Int("queue-cap", 256, "admission queue bound (beyond it: HTTP 429)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
+	flag.Parse()
+
+	pipe := itask.New(itask.DefaultOptions())
+	if *models != "" {
+		fmt.Fprintf(os.Stderr, "loading generalist from %s/teacher.ckpt...\n", *models)
+		if err := pipe.LoadGeneralist(*models + "/teacher.ckpt"); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "training quantized generalist on the standard task mixture...")
+		if err := pipe.TrainGeneralist(nil); err != nil {
+			fatal(err)
+		}
+	}
+	for _, t := range dataset.StandardTasks() {
+		if err := pipe.DefineTask(t.Name, t.Description); err != nil {
+			fatal(err)
+		}
+		if *students {
+			fmt.Fprintf(os.Stderr, "distilling student for %q...\n", t.Name)
+			if err := pipe.DistillStudent(t.Name, t.Domain); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	cfg := serve.Config{
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		BatchDelay:     *batchDelay,
+		QueueCap:       *queueCap,
+		DefaultTimeout: *timeout,
+		LatencyWindow:  serve.DefaultConfig().LatencyWindow,
+	}
+	srv, err := serve.New(pipe.ServeBackend(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	h := &handler{pipe: pipe, srv: srv, imageSize: itask.DefaultOptions().TeacherCfg.ImageSize}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/detect", h.detect)
+	mux.HandleFunc("/v1/tasks", h.tasks)
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/metricsz", h.metricsz)
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "itask-serve: draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		// Stop accepting HTTP first, then drain the batcher.
+		_ = httpSrv.Shutdown(ctx)
+		_ = srv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "itask-serve: listening on %s (workers=%d max-batch=%d batch-delay=%v)\n",
+		*addr, *workers, *maxBatch, *batchDelay)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "itask-serve: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "itask-serve: %v\n", err)
+	os.Exit(1)
+}
+
+type handler struct {
+	pipe      *itask.Pipeline
+	srv       *serve.Server
+	imageSize int
+}
+
+// detectRequest is the POST /v1/detect body. Exactly one of Image and Scene
+// must be set: Image carries raw pixels, Scene renders a synthetic scene
+// server-side (handy for curl demos).
+type detectRequest struct {
+	Task  string `json:"task"`
+	Image *struct {
+		Shape []int     `json:"shape"`
+		Data  []float32 `json:"data"`
+	} `json:"image,omitempty"`
+	Scene *struct {
+		Domain string `json:"domain"`
+		Seed   uint64 `json:"seed"`
+	} `json:"scene,omitempty"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+type detectResponse struct {
+	Task       string            `json:"task"`
+	Model      string            `json:"model"`
+	BatchSize  int               `json:"batch_size"`
+	QueuedUS   float64           `json:"queued_us"`
+	TotalUS    float64           `json:"total_us"`
+	Detections []itask.Detection `json:"detections"`
+}
+
+func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var dr detectRequest
+	if err := json.NewDecoder(r.Body).Decode(&dr); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	img, err := h.buildImage(dr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req := serve.Request{Task: dr.Task, Image: img}
+	if dr.TimeoutMS > 0 {
+		req.Deadline = time.Now().Add(time.Duration(dr.TimeoutMS) * time.Millisecond)
+	}
+	res, err := h.srv.Detect(r.Context(), req)
+	if err != nil {
+		httpError(w, statusOf(err), err.Error())
+		return
+	}
+	dets, _ := res.Payload.([]itask.Detection)
+	if dets == nil {
+		dets = []itask.Detection{}
+	}
+	writeJSON(w, http.StatusOK, detectResponse{
+		Task:       dr.Task,
+		Model:      res.Model,
+		BatchSize:  res.BatchSize,
+		QueuedUS:   float64(res.Queued.Microseconds()),
+		TotalUS:    float64(res.Total.Microseconds()),
+		Detections: dets,
+	})
+}
+
+// buildImage turns the request's image or scene spec into a (3,S,S) tensor.
+func (h *handler) buildImage(dr detectRequest) (*tensor.Tensor, error) {
+	switch {
+	case dr.Image != nil && dr.Scene != nil:
+		return nil, fmt.Errorf("set either image or scene, not both")
+	case dr.Image != nil:
+		s := h.imageSize
+		sh := dr.Image.Shape
+		if len(sh) != 3 || sh[0] != 3 || sh[1] != s || sh[2] != s {
+			return nil, fmt.Errorf("image shape must be [3,%d,%d], got %v", s, s, sh)
+		}
+		if len(dr.Image.Data) != 3*s*s {
+			return nil, fmt.Errorf("image data has %d values, want %d", len(dr.Image.Data), 3*s*s)
+		}
+		return tensor.FromSlice(dr.Image.Data, 3, s, s), nil
+	case dr.Scene != nil:
+		dom, ok := scene.DomainByName(dr.Scene.Domain)
+		if !ok {
+			return nil, fmt.Errorf("unknown domain %q", dr.Scene.Domain)
+		}
+		sc := scene.Generate(dom, scene.DefaultGenConfig(), tensor.NewRNG(dr.Scene.Seed))
+		return sc.Image, nil
+	default:
+		return nil, fmt.Errorf("set image or scene")
+	}
+}
+
+func (h *handler) tasks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tasks": h.pipe.Tasks()})
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if h.srv.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *handler) metricsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.srv.Snapshot())
+}
+
+// statusOf maps serving-layer errors onto HTTP status codes: queue full is
+// backpressure (429), draining is unavailability (503), a missed deadline
+// is a gateway timeout (504), and anything else from admission is the
+// caller's fault (404: unknown task).
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusNotFound
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -40,6 +40,29 @@ func DetectorOf(m *vit.Model, th Thresholds) DetectFunc {
 	}
 }
 
+// BatchDetectFunc maps a batch of (C,H,W) images to per-image detections.
+type BatchDetectFunc func(imgs []*tensor.Tensor) [][]geom.Scored
+
+// BatchDetectorOf wraps a float ViT model as a BatchDetectFunc: the whole
+// batch is packed into one Patchify/Forward/DetHead pass and decoded per
+// image. This is the entry point the serving layer's micro-batcher calls.
+func BatchDetectorOf(m *vit.Model, th Thresholds) BatchDetectFunc {
+	return func(imgs []*tensor.Tensor) [][]geom.Scored {
+		if len(imgs) == 0 {
+			return nil
+		}
+		t := m.Cfg.Tokens()
+		patches := vit.Patchify(m.Cfg, imgs)
+		feats := m.Forward(patches, false)
+		det := m.DetHead(feats, false)
+		out := make([][]geom.Scored, len(imgs))
+		for i := range imgs {
+			out[i] = vit.Decode(m.Cfg, det.Slice2D(i*t, (i+1)*t), th.Obj, th.NMSIoU)
+		}
+		return out
+	}
+}
+
 // Run evaluates a detector over a dataset, restricted to the given class
 // set: detections outside the class set are dropped (the task-conditioned
 // pipeline never reports irrelevant classes), and the summary is computed at

@@ -77,6 +77,56 @@ func SimulateAccel(accel AccelConfig, model vit.Config) ModelReport {
 	return rep
 }
 
+// SimulateAccelBatch models the accelerator executing a micro-batch of
+// `batch` images back to back, the execution mode of the serving layer's
+// dynamic batcher. Static-weight GEMMs (patch embed, QKV/proj, MLPs, heads)
+// keep their weight tiles stationary across the whole batch — M grows by
+// the batch factor while the per-tile weight loads, pipeline fill/drain,
+// and DRAM weight streaming are paid once — which is exactly the
+// weight-stationary amortization that makes micro-batching profitable on
+// this design. GEMMs marked Dynamic (attention scores/context, whose
+// stationary operand is a per-image activation) repeat per image and gain
+// nothing. The report is normalized per image: LatencyUS = total/batch,
+// FPS = batch/total. SimulateAccelBatch(a, m, 1) equals SimulateAccel(a, m).
+func SimulateAccelBatch(accel AccelConfig, model vit.Config, batch int) ModelReport {
+	if batch <= 0 {
+		panic("hwsim: batch must be positive")
+	}
+	if err := accel.Validate(); err != nil {
+		panic(err)
+	}
+	rep := ModelReport{Device: accel.Name}
+	var macWeightedUtil, totalMACs float64
+	for _, g := range model.Workload() {
+		if g.Dynamic {
+			g.Repeat *= batch
+		} else {
+			g.M *= batch
+		}
+		lr := SimulateGEMM(accel, g)
+		rep.Layers = append(rep.Layers, lr)
+		rep.LatencyUS += lr.TimeUS
+		rep.DynamicUJ += lr.EnergyUJ()
+		macWeightedUtil += lr.Utilization * float64(lr.MACs)
+		totalMACs += float64(lr.MACs)
+	}
+	rep.VectorOps = vectorOpCount(model) * int64(batch)
+	vecTimeUS := float64(rep.VectorOps) / (float64(accel.VectorLanes) * accel.FreqMHz * 1e6) * 1e6
+	rep.LatencyUS += vecTimeUS
+	rep.DynamicUJ += float64(rep.VectorOps) * accel.Energy.VectorOpPJ * 1e-6
+	rep.StaticUJ = (accel.StaticPowerW + accel.HostPowerW) * rep.LatencyUS
+	// Normalize to per-image figures at this batch size.
+	rep.LatencyUS /= float64(batch)
+	rep.DynamicUJ /= float64(batch)
+	rep.StaticUJ /= float64(batch)
+	rep.TotalUJ = rep.DynamicUJ + rep.StaticUJ
+	rep.FPS = 1e6 / rep.LatencyUS
+	if totalMACs > 0 {
+		rep.MeanUtilization = macWeightedUtil / totalMACs
+	}
+	return rep
+}
+
 // SimulateGPU models the fp32 GPU baseline at the given batch size: each
 // GEMM is one kernel with launch overhead, an occupancy-scaled compute
 // roofline, and a bandwidth roofline; elementwise work is fused into a few

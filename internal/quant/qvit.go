@@ -349,6 +349,24 @@ func (qm *Model) Detect(img *tensor.Tensor, objThresh, nmsIoU float64) []geom.Sc
 	return vit.Decode(qm.Cfg, det, objThresh, nmsIoU)
 }
 
+// DetectBatch runs end-to-end quantized detection on a micro-batch of
+// (C,H,W) images in one packed forward pass, returning one detection set
+// per image.
+func (qm *Model) DetectBatch(imgs []*tensor.Tensor, objThresh, nmsIoU float64) [][]geom.Scored {
+	if len(imgs) == 0 {
+		return nil
+	}
+	t := qm.Cfg.Tokens()
+	patches := vit.Patchify(qm.Cfg, imgs)
+	feats := qm.Forward(patches)
+	det := qm.DetHead(feats)
+	out := make([][]geom.Scored, len(imgs))
+	for i := range imgs {
+		out[i] = vit.Decode(qm.Cfg, det.Slice2D(i*t, (i+1)*t), objThresh, nmsIoU)
+	}
+	return out
+}
+
 // WeightBytes returns the quantized weight storage footprint in bytes,
 // the figure the edge scheduler budgets against.
 func (qm *Model) WeightBytes() int {

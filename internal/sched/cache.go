@@ -6,6 +6,7 @@
 package sched
 
 import (
+	"container/list"
 	"fmt"
 )
 
@@ -16,34 +17,49 @@ type CacheStats struct {
 	BytesLoaded int64
 }
 
-// lruCache is a byte-budgeted LRU of loaded models.
+// entry is one resident model in the LRU list.
+type entry struct {
+	name string
+	size int64
+}
+
+// lruCache is a byte-budgeted LRU of loaded models. Recency order lives in a
+// doubly-linked list (front = least recently used) with an index map from
+// model name to list element, so touch/ensure are O(1) — the cache sits on
+// the per-request hot path of the serving layer.
+//
+// lruCache is not self-synchronizing: the owning Scheduler's mutex guards
+// every call.
 type lruCache struct {
 	budget int64
 	used   int64
-	// order holds names from least to most recently used.
-	order []string
-	sizes map[string]int64
+	// order lists *entry values from least to most recently used.
+	order *list.List
+	// index maps a resident model name to its list element.
+	index map[string]*list.Element
 	stats CacheStats
 }
 
 func newLRUCache(budgetBytes int64) *lruCache {
-	return &lruCache{budget: budgetBytes, sizes: map[string]int64{}}
+	return &lruCache{
+		budget: budgetBytes,
+		order:  list.New(),
+		index:  map[string]*list.Element{},
+	}
 }
 
 // touch marks name as most recently used. It must be resident.
 func (c *lruCache) touch(name string) {
-	for i, n := range c.order {
-		if n == name {
-			c.order = append(append(c.order[:i:i], c.order[i+1:]...), name)
-			return
-		}
+	el, ok := c.index[name]
+	if !ok {
+		panic(fmt.Sprintf("sched: touch of non-resident model %q", name))
 	}
-	panic(fmt.Sprintf("sched: touch of non-resident model %q", name))
+	c.order.MoveToBack(el)
 }
 
 // resident reports whether name is loaded.
 func (c *lruCache) resident(name string) bool {
-	_, ok := c.sizes[name]
+	_, ok := c.index[name]
 	return ok
 }
 
@@ -61,20 +77,24 @@ func (c *lruCache) ensure(name string, size int64) (hit bool, err error) {
 	}
 	c.stats.Misses++
 	for c.used+size > c.budget {
-		victim := c.order[0]
-		c.order = c.order[1:]
-		c.used -= c.sizes[victim]
-		delete(c.sizes, victim)
+		front := c.order.Front()
+		victim := front.Value.(*entry)
+		c.order.Remove(front)
+		delete(c.index, victim.name)
+		c.used -= victim.size
 		c.stats.Evictions++
 	}
-	c.sizes[name] = size
+	c.index[name] = c.order.PushBack(&entry{name: name, size: size})
 	c.used += size
-	c.order = append(c.order, name)
 	c.stats.BytesLoaded += size
 	return false, nil
 }
 
 // Resident returns the names of loaded models, LRU first.
 func (c *lruCache) Resident() []string {
-	return append([]string(nil), c.order...)
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).name)
+	}
+	return out
 }

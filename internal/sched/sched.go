@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"itask/internal/geom"
 	"itask/internal/tensor"
@@ -31,7 +32,12 @@ func (k Kind) String() string {
 // DetectFunc is the inference entry point of a registered model.
 type DetectFunc func(img *tensor.Tensor) []geom.Scored
 
-// Model is one deployable variant in the registry.
+// BatchDetectFunc runs inference on a coalesced batch of images, returning
+// one detection set per image.
+type BatchDetectFunc func(imgs []*tensor.Tensor) [][]geom.Scored
+
+// Model is one deployable variant in the registry. Its fields are immutable
+// after Register, so a *Model returned by Select may be used concurrently.
 type Model struct {
 	Name string
 	Kind Kind
@@ -44,15 +50,26 @@ type Model struct {
 	LatencyUS float64
 	// Detect runs inference.
 	Detect DetectFunc
+	// DetectBatch, when non-nil, runs inference on a whole micro-batch in
+	// one pass (amortizing per-call overhead); when nil the scheduler falls
+	// back to calling Detect per image.
+	DetectBatch BatchDetectFunc
 }
 
 // Scheduler owns the registry, the model cache, and the selection policy.
-// It is not safe for concurrent use; the edge runtime serializes requests.
+//
+// Concurrency: all methods are safe for concurrent use. A single mutex
+// guards the registry, the LRU cache, and the accounting counters; model
+// inference itself (Detect/DetectBatch) runs outside the lock, so many
+// requests can execute concurrently while selection stays serialized. The
+// exported Switches and LoadTimeUS fields are written under the lock — read
+// them via Snapshot (or only after concurrent use has quiesced).
 type Scheduler struct {
 	// LoadBandwidthMBs models weight loading from storage to RAM, charged
 	// on cache misses.
 	LoadBandwidthMBs float64
 
+	mu         sync.Mutex
 	models     map[string]*Model
 	generalist string
 	byTask     map[string]string
@@ -85,17 +102,16 @@ func (s *Scheduler) Register(m Model) error {
 	case m.Bytes <= 0:
 		return fmt.Errorf("sched: model %q has non-positive size", m.Name)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.models[m.Name]; dup {
 		return fmt.Errorf("sched: duplicate model %q", m.Name)
 	}
-	mm := m
-	s.models[m.Name] = &mm
 	switch m.Kind {
 	case Generalist:
 		if s.generalist != "" {
 			return fmt.Errorf("sched: second generalist %q (have %q)", m.Name, s.generalist)
 		}
-		s.generalist = m.Name
 	case TaskSpecific:
 		if m.Task == "" {
 			return fmt.Errorf("sched: task-specific model %q without task", m.Name)
@@ -103,6 +119,13 @@ func (s *Scheduler) Register(m Model) error {
 		if prev, dup := s.byTask[m.Task]; dup {
 			return fmt.Errorf("sched: task %q already served by %q", m.Task, prev)
 		}
+	}
+	mm := m
+	s.models[m.Name] = &mm
+	switch m.Kind {
+	case Generalist:
+		s.generalist = m.Name
+	case TaskSpecific:
 		s.byTask[m.Task] = m.Name
 	}
 	return nil
@@ -116,23 +139,61 @@ type Request struct {
 	LatencyBudgetUS float64
 }
 
+// candidates returns the model names that could serve the request, preferred
+// first. Caller must hold s.mu.
+func (s *Scheduler) candidates(req Request) []string {
+	var out []string
+	if name, ok := s.byTask[req.Task]; ok {
+		out = append(out, name)
+	}
+	if s.generalist != "" {
+		out = append(out, s.generalist)
+	}
+	return out
+}
+
+// Route reports which model variant Select would pick for the request, by
+// name, without loading it or perturbing the cache. The serving layer uses
+// this to coalesce requests targeting the same variant before committing to
+// a load.
+func (s *Scheduler) Route(req Request) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cands := s.candidates(req)
+	if len(cands) == 0 {
+		return "", fmt.Errorf("sched: no model can serve task %q", req.Task)
+	}
+	var lastErr error
+	for _, name := range cands {
+		m := s.models[name]
+		if req.LatencyBudgetUS > 0 && m.LatencyUS > req.LatencyBudgetUS {
+			lastErr = fmt.Errorf("sched: model %q latency %.0fus over budget %.0fus",
+				name, m.LatencyUS, req.LatencyBudgetUS)
+			continue
+		}
+		if m.Bytes > s.cache.budget {
+			lastErr = fmt.Errorf("sched: model %q (%d B) exceeds cache budget (%d B)",
+				name, m.Bytes, s.cache.budget)
+			continue
+		}
+		return name, nil
+	}
+	return "", lastErr
+}
+
 // Select picks the model for a request: the task-specific student when one
 // exists, fits the cache, and meets the latency budget; otherwise the
 // quantized generalist. Selection loads the model (LRU-evicting as needed)
 // and accounts load time.
 func (s *Scheduler) Select(req Request) (*Model, error) {
-	var candidates []string
-	if name, ok := s.byTask[req.Task]; ok {
-		candidates = append(candidates, name)
-	}
-	if s.generalist != "" {
-		candidates = append(candidates, s.generalist)
-	}
-	if len(candidates) == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cands := s.candidates(req)
+	if len(cands) == 0 {
 		return nil, fmt.Errorf("sched: no model can serve task %q", req.Task)
 	}
 	var lastErr error
-	for _, name := range candidates {
+	for _, name := range cands {
 		m := s.models[name]
 		if req.LatencyBudgetUS > 0 && m.LatencyUS > req.LatencyBudgetUS {
 			lastErr = fmt.Errorf("sched: model %q latency %.0fus over budget %.0fus",
@@ -156,7 +217,9 @@ func (s *Scheduler) Select(req Request) (*Model, error) {
 	return nil, lastErr
 }
 
-// Detect selects a model for the request and runs it.
+// Detect selects a model for the request and runs it. Inference executes
+// outside the scheduler lock; the Detect closure must not depend on the
+// model still being cache-resident (a concurrent request may evict it).
 func (s *Scheduler) Detect(req Request, img *tensor.Tensor) ([]geom.Scored, *Model, error) {
 	m, err := s.Select(req)
 	if err != nil {
@@ -165,11 +228,58 @@ func (s *Scheduler) Detect(req Request, img *tensor.Tensor) ([]geom.Scored, *Mod
 	return m.Detect(img), m, nil
 }
 
+// DetectBatch selects a model once for the request and runs it over the
+// whole batch, returning one detection set per image. A single selection
+// per micro-batch is what makes coalescing pay: one lock acquisition, one
+// cache touch, and at most one weight load for the entire batch, instead of
+// one per image.
+func (s *Scheduler) DetectBatch(req Request, imgs []*tensor.Tensor) ([][]geom.Scored, *Model, error) {
+	m, err := s.Select(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m.DetectBatch != nil {
+		return m.DetectBatch(imgs), m, nil
+	}
+	out := make([][]geom.Scored, len(imgs))
+	for i, img := range imgs {
+		out[i] = m.Detect(img)
+	}
+	return out, m, nil
+}
+
 // Stats returns cache statistics.
-func (s *Scheduler) Stats() CacheStats { return s.cache.stats }
+func (s *Scheduler) Stats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.stats
+}
+
+// Snapshot bundles the scheduler's accounting counters, read atomically
+// with respect to concurrent requests.
+type Snapshot struct {
+	Cache      CacheStats
+	Switches   int
+	LoadTimeUS float64
+}
+
+// Snapshot returns all scheduler counters under one lock acquisition.
+func (s *Scheduler) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{Cache: s.cache.stats, Switches: s.Switches, LoadTimeUS: s.LoadTimeUS}
+}
 
 // Resident returns loaded model names, least recently used first.
-func (s *Scheduler) Resident() []string { return s.cache.Resident() }
+func (s *Scheduler) Resident() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Resident()
+}
 
 // Models returns the registered model count.
-func (s *Scheduler) Models() int { return len(s.models) }
+func (s *Scheduler) Models() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.models)
+}

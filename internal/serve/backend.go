@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"time"
+
+	"itask/internal/sched"
+	"itask/internal/tensor"
+)
+
+// Backend executes routed micro-batches. The root itask package implements
+// it over Pipeline + sched.Scheduler; tests use in-memory fakes. A Backend
+// must be safe for concurrent use: every worker calls DetectBatch
+// concurrently, and Route runs on every admission.
+type Backend interface {
+	// Route resolves a task to the name of the model variant that would
+	// serve it right now, without loading the model or perturbing the
+	// cache. Requests that resolve to the same (variant, task) pair may be
+	// coalesced into a single DetectBatch call.
+	Route(task string) (variant string, err error)
+
+	// DetectBatch runs one coalesced batch of same-task images and returns
+	// one backend-defined payload per image (e.g. []itask.Detection) plus
+	// the name of the model that served the batch. len(payloads) must
+	// equal len(imgs) on success.
+	DetectBatch(task string, imgs []*tensor.Tensor) (payloads []any, model string, err error)
+}
+
+// CacheStatser is optionally implemented by backends that sit on a model
+// cache; the server surfaces the stats in its metrics snapshot.
+type CacheStatser interface {
+	CacheStats() sched.CacheStats
+}
+
+// Request is one detection call entering the serving layer.
+type Request struct {
+	// Task names the mission; it must be defined on the backend.
+	Task string
+	// Image is the (C,H,W) input tensor.
+	Image *tensor.Tensor
+	// Deadline, when non-zero, is the admission-to-execution deadline:
+	// requests still waiting past it are shed instead of executed.
+	Deadline time.Time
+}
+
+// Result is the successful outcome of one request.
+type Result struct {
+	// Payload is the backend's per-image result (for the pipeline backend,
+	// []itask.Detection).
+	Payload any
+	// Model names the variant that served the request.
+	Model string
+	// BatchSize is the size of the micro-batch the request rode in.
+	BatchSize int
+	// Queued is the time spent between admission and execution start.
+	Queued time.Duration
+	// Total is the admission-to-completion latency.
+	Total time.Duration
+}
+
+// Outcome is the terminal state of a submitted request: a Result or an
+// error, never both.
+type Outcome struct {
+	Res Result
+	Err error
+}

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"itask/internal/tensor"
+)
+
+// pending is one admitted request waiting in a lane or executing.
+type pending struct {
+	image    *tensor.Tensor
+	deadline time.Time
+	enq      time.Time
+	done     chan Outcome // buffered(1): delivery never blocks a worker
+}
+
+// batch is a flushed micro-batch bound for the worker pool.
+type batch struct {
+	variant string
+	task    string
+	items   []*pending
+}
+
+// lane coalesces admitted requests that share a (variant, task) key. The
+// key includes the task (not just the model variant) because the pipeline's
+// post-inference knowledge-graph filtering is task-specific: two tasks
+// served by the same generalist still decode against different priors.
+type lane struct {
+	variant string
+	task    string
+	items   []*pending
+	// gen invalidates flush timers armed for a previous filling of this
+	// lane: takeLocked bumps it, so a stale time.AfterFunc finds a
+	// different generation and does nothing.
+	gen uint64
+}
+
+// state is the mutex-guarded queue/batcher core of the Server.
+type state struct {
+	mu    sync.Mutex
+	lanes map[string]*lane
+	// queued counts admitted requests not yet handed to a worker — both
+	// those waiting in lanes and those in flushed batches still queuing
+	// for the worker channel. It is decremented only when a batch lands on
+	// batchCh, so QueueCap genuinely bounds pending work even when every
+	// worker is busy and dispatches are blocked.
+	queued int
+	closed bool
+
+	// dispatchWG counts batches taken from lanes but not yet handed to
+	// batchCh; Shutdown waits for it before closing the channel.
+	dispatchWG sync.WaitGroup
+	workerWG   sync.WaitGroup
+}
+
+func newState() *state {
+	return &state{lanes: map[string]*lane{}}
+}
+
+// takeLocked empties a lane into a batch (nil when the lane is empty) and
+// bumps its generation. Caller holds st.mu.
+func (st *state) takeLocked(ln *lane) *batch {
+	if len(ln.items) == 0 {
+		return nil
+	}
+	b := &batch{variant: ln.variant, task: ln.task, items: ln.items}
+	ln.items = nil
+	ln.gen++
+	return b
+}
+
+// enqueue admits p into the lane for (variant, task), flushing the lane if
+// it reached MaxBatch and arming the BatchDelay flush timer when p is the
+// first occupant.
+func (s *Server) enqueue(variant, task string, p *pending) error {
+	st := s.st
+	key := variant + "\x1f" + task
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		s.m.add(&s.m.rejectedClosed, 1)
+		return ErrShuttingDown
+	}
+	if st.queued >= s.cfg.QueueCap {
+		st.mu.Unlock()
+		s.m.add(&s.m.rejectedFull, 1)
+		return ErrQueueFull
+	}
+	st.queued++
+	ln := st.lanes[key]
+	if ln == nil {
+		ln = &lane{variant: variant, task: task}
+		st.lanes[key] = ln
+	}
+	ln.items = append(ln.items, p)
+	var ready *batch
+	switch {
+	case len(ln.items) >= s.cfg.MaxBatch || s.cfg.BatchDelay == 0:
+		ready = st.takeLocked(ln)
+	case len(ln.items) == 1:
+		gen := ln.gen
+		time.AfterFunc(s.cfg.BatchDelay, func() { s.flushLane(key, gen) })
+	}
+	if ready != nil {
+		st.dispatchWG.Add(1)
+	}
+	st.mu.Unlock()
+	if ready != nil {
+		// Async so a submitter that happens to trigger the flush is not
+		// blocked waiting for a free worker; the batch stays counted in
+		// queued until a worker accepts it, so QueueCap still bounds the
+		// number of these goroutines.
+		go s.dispatch(ready)
+	}
+	return nil
+}
+
+// flushLane is the BatchDelay timer callback: it flushes the lane if it
+// still holds the generation the timer was armed for.
+func (s *Server) flushLane(key string, gen uint64) {
+	st := s.st
+	st.mu.Lock()
+	ln := st.lanes[key]
+	if ln == nil || ln.gen != gen || st.closed {
+		st.mu.Unlock()
+		return
+	}
+	b := st.takeLocked(ln)
+	if b != nil {
+		st.dispatchWG.Add(1)
+	}
+	st.mu.Unlock()
+	if b != nil {
+		go s.dispatch(b)
+	}
+}
+
+// dispatch hands a flushed batch to the worker pool, blocking while all
+// workers are busy and the channel is full — that is the backpressure that
+// keeps total in-flight work bounded by QueueCap + Workers·(1+MaxBatch).
+// Only once a worker lane accepts the batch do its requests stop counting
+// against QueueCap.
+func (s *Server) dispatch(b *batch) {
+	defer s.st.dispatchWG.Done()
+	s.batchCh <- b
+	s.st.mu.Lock()
+	s.st.queued -= len(b.items)
+	s.st.mu.Unlock()
+}
+
+// worker drains flushed batches until the channel closes at shutdown.
+func (s *Server) worker() {
+	defer s.st.workerWG.Done()
+	for b := range s.batchCh {
+		s.run(b)
+	}
+}
+
+// run executes one batch: sheds requests whose deadline passed while they
+// queued, runs the backend once for the survivors, and delivers outcomes.
+func (s *Server) run(b *batch) {
+	started := time.Now()
+	live := make([]*pending, 0, len(b.items))
+	imgs := make([]*tensor.Tensor, 0, len(b.items))
+	for _, p := range b.items {
+		if !p.deadline.IsZero() && started.After(p.deadline) {
+			s.m.add(&s.m.shedExpired, 1)
+			p.done <- Outcome{Err: ErrDeadlineExceeded}
+			continue
+		}
+		live = append(live, p)
+		imgs = append(imgs, p.image)
+	}
+	if len(live) == 0 {
+		return
+	}
+	payloads, model, err := s.backend.DetectBatch(b.task, imgs)
+	if err == nil && len(payloads) != len(imgs) {
+		err = fmt.Errorf("serve: backend returned %d payloads for %d images", len(payloads), len(imgs))
+	}
+	if err != nil {
+		s.m.add(&s.m.failed, uint64(len(live)))
+		for _, p := range live {
+			p.done <- Outcome{Err: err}
+		}
+		return
+	}
+	finished := time.Now()
+	s.m.observeBatch(len(live))
+	for i, p := range live {
+		total := finished.Sub(p.enq)
+		s.m.observeLatency(total)
+		p.done <- Outcome{Res: Result{
+			Payload:   payloads[i],
+			Model:     model,
+			BatchSize: len(live),
+			Queued:    started.Sub(p.enq),
+			Total:     total,
+		}}
+	}
+	s.m.add(&s.m.completed, uint64(len(live)))
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"itask/internal/sched"
+)
+
+// metrics accumulates serving counters and a sliding window of request
+// latencies. A single mutex is fine here: observations are O(1) and the
+// expensive percentile sort happens only in snapshot().
+type metrics struct {
+	mu sync.Mutex
+
+	accepted       uint64
+	completed      uint64
+	failed         uint64
+	rejectedFull   uint64
+	rejectedClosed uint64
+	rejectedRoute  uint64
+	shedExpired    uint64
+
+	batches   uint64
+	batchHist []uint64 // index i counts batches of size i+1
+
+	latUS    []float64 // ring buffer of recent latencies, microseconds
+	latNext  int
+	latCount uint64 // total latencies ever observed
+}
+
+func newMetrics(maxBatch, window int) *metrics {
+	return &metrics{
+		batchHist: make([]uint64, maxBatch),
+		latUS:     make([]float64, 0, window),
+	}
+}
+
+func (m *metrics) add(field *uint64, n uint64) {
+	m.mu.Lock()
+	*field += n
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeBatch(size int) {
+	m.mu.Lock()
+	m.batches++
+	if size >= 1 && size <= len(m.batchHist) {
+		m.batchHist[size-1]++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	m.mu.Lock()
+	if len(m.latUS) < cap(m.latUS) {
+		m.latUS = append(m.latUS, us)
+	} else {
+		m.latUS[m.latNext] = us
+		m.latNext = (m.latNext + 1) % len(m.latUS)
+	}
+	m.latCount++
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time view of the serving layer, shaped for the
+// /metricsz endpoint.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Admission counters.
+	Accepted       uint64 `json:"accepted"`
+	Completed      uint64 `json:"completed"`
+	Failed         uint64 `json:"failed"`
+	RejectedFull   uint64 `json:"rejected_queue_full"`
+	RejectedClosed uint64 `json:"rejected_shutting_down"`
+	RejectedRoute  uint64 `json:"rejected_unroutable"`
+	ShedExpired    uint64 `json:"shed_deadline_expired"`
+
+	// QueueDepth is the number of admitted requests waiting in lanes.
+	QueueDepth int `json:"queue_depth"`
+
+	// ThroughputRPS is completed requests per second of uptime.
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Latency percentiles over the recent window, microseconds.
+	LatencyP50US float64 `json:"latency_p50_us"`
+	LatencyP95US float64 `json:"latency_p95_us"`
+	LatencyP99US float64 `json:"latency_p99_us"`
+
+	// Batching behaviour: total batches, mean executed batch size, and the
+	// batch-size histogram (index i counts batches of size i+1).
+	Batches   uint64   `json:"batches"`
+	MeanBatch float64  `json:"mean_batch"`
+	BatchHist []uint64 `json:"batch_hist"`
+
+	// Cache surfaces the scheduler's model-cache stats when the backend
+	// exposes them (nil otherwise); CacheHitRate is Hits/(Hits+Misses).
+	Cache        *sched.CacheStats `json:"cache,omitempty"`
+	CacheHitRate float64           `json:"cache_hit_rate"`
+}
+
+func (m *metrics) snapshot(uptime time.Duration, queueDepth int) Snapshot {
+	m.mu.Lock()
+	snap := Snapshot{
+		UptimeSeconds:  uptime.Seconds(),
+		Accepted:       m.accepted,
+		Completed:      m.completed,
+		Failed:         m.failed,
+		RejectedFull:   m.rejectedFull,
+		RejectedClosed: m.rejectedClosed,
+		RejectedRoute:  m.rejectedRoute,
+		ShedExpired:    m.shedExpired,
+		QueueDepth:     queueDepth,
+		Batches:        m.batches,
+		BatchHist:      append([]uint64(nil), m.batchHist...),
+	}
+	lat := append([]float64(nil), m.latUS...)
+	m.mu.Unlock()
+
+	if uptime > 0 {
+		snap.ThroughputRPS = float64(snap.Completed) / uptime.Seconds()
+	}
+	if snap.Batches > 0 {
+		// batches counts successfully executed batches, completed their
+		// member requests.
+		snap.MeanBatch = float64(snap.Completed) / float64(snap.Batches)
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		snap.LatencyP50US = percentile(lat, 0.50)
+		snap.LatencyP95US = percentile(lat, 0.95)
+		snap.LatencyP99US = percentile(lat, 0.99)
+	}
+	return snap
+}
+
+// percentile reads the q-quantile from sorted by nearest rank.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"itask/internal/geom"
+	"itask/internal/sched"
+	"itask/internal/tensor"
+)
+
+// schedBackend adapts a real sched.Scheduler as a serve.Backend, mirroring
+// how the root itask package wires the pipeline in — so this hammer test
+// exercises the actual scheduler lock under the actual serving layer.
+type schedBackend struct {
+	s *sched.Scheduler
+}
+
+func (b *schedBackend) Route(task string) (string, error) {
+	return b.s.Route(sched.Request{Task: task})
+}
+
+func (b *schedBackend) DetectBatch(task string, imgs []*tensor.Tensor) ([]any, string, error) {
+	dets, m, err := b.s.DetectBatch(sched.Request{Task: task}, imgs)
+	if err != nil {
+		return nil, "", err
+	}
+	out := make([]any, len(dets))
+	for i := range dets {
+		out[i] = dets[i]
+	}
+	return out, m.Name, nil
+}
+
+func (b *schedBackend) CacheStats() sched.CacheStats { return b.s.Stats() }
+
+// TestServeSchedulerRaceHammer floods a server backed by a real scheduler
+// from many goroutines across many tasks (forcing cache contention and
+// eviction), while other goroutines concurrently register late models and
+// poll stats. Run with -race. Afterwards the books must balance: every
+// admitted request is accounted completed/failed/shed, and the scheduler's
+// CacheStats saw exactly one hit-or-miss per executed batch.
+func TestServeSchedulerRaceHammer(t *testing.T) {
+	const (
+		tasks      = 4
+		goroutines = 8
+		iters      = 40
+	)
+	dummy := func(img *tensor.Tensor) []geom.Scored {
+		return []geom.Scored{{Class: 1, Score: 0.9}}
+	}
+	scheduler := sched.New(2500) // fits 2 of the 1000-byte students: eviction churn
+	if err := scheduler.Register(sched.Model{Name: "gen", Kind: sched.Generalist, Bytes: 500, Detect: dummy}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tasks; i++ {
+		err := scheduler.Register(sched.Model{
+			Name: fmt.Sprintf("student-%d", i), Kind: sched.TaskSpecific,
+			Task: fmt.Sprintf("task-%d", i), Bytes: 1000, Detect: dummy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg := Config{Workers: 3, MaxBatch: 4, BatchDelay: 500 * time.Microsecond, QueueCap: 128, LatencyWindow: 1024}
+	s, err := New(&schedBackend{s: scheduler}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	img := tensor.New(1)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				task := fmt.Sprintf("task-%d", (g+i)%tasks)
+				res, err := s.Detect(context.Background(), Request{Task: task, Image: img})
+				switch {
+				case err == nil:
+					if res.Payload == nil || res.Model == "" {
+						t.Errorf("empty result for %s", task)
+					}
+				case errors.Is(err, ErrQueueFull):
+					// acceptable under burst
+				default:
+					t.Errorf("detect %s: %v", task, err)
+				}
+				if i%10 == 0 {
+					_ = s.Snapshot()
+					_ = scheduler.Snapshot()
+				}
+			}
+		}(g)
+	}
+	// Concurrent late registrations racing the serving path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			name := fmt.Sprintf("late-%d", i)
+			if err := scheduler.Register(sched.Model{
+				Name: name, Kind: sched.TaskSpecific, Task: name, Bytes: 200, Detect: dummy,
+			}); err != nil {
+				t.Errorf("late register: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	snap := s.Snapshot()
+	if got := snap.Completed + snap.Failed + snap.ShedExpired; got != snap.Accepted {
+		t.Errorf("unbalanced books: accepted %d, terminal %d (%+v)", snap.Accepted, got, snap)
+	}
+	if snap.QueueDepth != 0 {
+		t.Errorf("queue depth %d after shutdown", snap.QueueDepth)
+	}
+	st := scheduler.Stats()
+	if got, want := uint64(st.Hits+st.Misses), snap.Batches; got != want {
+		t.Errorf("scheduler selections %d != executed batches %d (lost CacheStats updates)", got, want)
+	}
+	if snap.CacheHitRate <= 0 {
+		t.Errorf("cache hit rate %f, want > 0", snap.CacheHitRate)
+	}
+}

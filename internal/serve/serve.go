@@ -1,0 +1,258 @@
+// Package serve is iTask's online serving layer: it accepts concurrent
+// detection requests, routes them through the situational scheduler's model
+// selection, coalesces requests that target the same model variant into
+// micro-batches (flushing on batch-size or a wait deadline), and executes
+// the batches on a bounded worker pool.
+//
+// The design is queue → batcher → worker pool:
+//
+//   - Admission: a bounded queue with backpressure. Requests beyond
+//     QueueCap are rejected immediately with ErrQueueFull (reject-with-
+//     reason rather than unbounded growth), requests whose deadline has
+//     already passed are refused, and a draining server refuses everything
+//     with ErrShuttingDown.
+//   - Batching: per-(variant, task) lanes coalesce compatible requests. A
+//     lane flushes when it reaches MaxBatch or when its oldest request has
+//     waited BatchDelay — bounded added latency in exchange for the
+//     weight-stationary amortization batched execution gets on the
+//     accelerator (see hwsim.SimulateAccelBatch).
+//   - Execution: Workers goroutines drain flushed batches. Requests whose
+//     deadline passed while queued are shed at execution time (their slot
+//     is not wasted on work nobody is waiting for).
+//   - Shutdown: Shutdown flushes every lane, stops admissions, drains
+//     in-flight batches, and waits for the workers to exit.
+//
+// All latency accounting is wall-clock from admission, and the server keeps
+// a metrics snapshot (p50/p95/p99 latency, throughput, batch-size
+// histogram, queue depth, shed/reject counts, model-cache hit rate) for the
+// /metricsz endpoint of cmd/itask-serve.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors returned by the admission path.
+var (
+	// ErrQueueFull reports that the admission queue is at QueueCap; the
+	// caller should back off (HTTP 429).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrShuttingDown reports that the server is draining and refuses new
+	// work (HTTP 503).
+	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrDeadlineExceeded reports that the request's deadline expired
+	// before execution — either refused at admission or shed while queued
+	// (HTTP 504).
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded before execution")
+)
+
+// Config sizes the serving layer.
+type Config struct {
+	// Workers is the number of inference workers draining batches.
+	Workers int
+	// MaxBatch caps the size of a coalesced micro-batch.
+	MaxBatch int
+	// BatchDelay is how long the first request of a lane may wait for
+	// company before the lane is flushed anyway. Zero flushes on every
+	// submission (no added latency, batching only under bursts already in
+	// the queue).
+	BatchDelay time.Duration
+	// QueueCap bounds requests admitted but not yet dispatched to a
+	// worker; beyond it submissions fail fast with ErrQueueFull.
+	QueueCap int
+	// DefaultTimeout is applied as the deadline of requests that carry
+	// none. Zero means no implicit deadline.
+	DefaultTimeout time.Duration
+	// LatencyWindow is how many recent request latencies the metrics
+	// snapshot computes percentiles over.
+	LatencyWindow int
+}
+
+// DefaultConfig returns a configuration sized for the laptop-scale models:
+// two workers, batches of up to 8, and a 2ms coalescing window.
+func DefaultConfig() Config {
+	return Config{
+		Workers:       2,
+		MaxBatch:      8,
+		BatchDelay:    2 * time.Millisecond,
+		QueueCap:      256,
+		LatencyWindow: 4096,
+	}
+}
+
+// Validate rejects configurations that cannot serve: a server with zero
+// workers would admit requests and never run them.
+func (c Config) Validate() error {
+	switch {
+	case c.Workers <= 0:
+		return fmt.Errorf("serve: Workers must be positive, got %d", c.Workers)
+	case c.MaxBatch <= 0:
+		return fmt.Errorf("serve: MaxBatch must be positive, got %d", c.MaxBatch)
+	case c.QueueCap < c.MaxBatch:
+		return fmt.Errorf("serve: QueueCap %d below MaxBatch %d", c.QueueCap, c.MaxBatch)
+	case c.BatchDelay < 0:
+		return fmt.Errorf("serve: negative BatchDelay %v", c.BatchDelay)
+	case c.DefaultTimeout < 0:
+		return fmt.Errorf("serve: negative DefaultTimeout %v", c.DefaultTimeout)
+	case c.LatencyWindow <= 0:
+		return fmt.Errorf("serve: LatencyWindow must be positive, got %d", c.LatencyWindow)
+	}
+	return nil
+}
+
+// Server is the serving layer. Create with New; all methods are safe for
+// concurrent use.
+type Server struct {
+	cfg     Config
+	backend Backend
+	start   time.Time
+
+	st *state
+
+	batchCh chan *batch
+	m       *metrics
+}
+
+// New validates the configuration and starts the worker pool. The returned
+// server accepts requests immediately.
+func New(b Backend, cfg Config) (*Server, error) {
+	if b == nil {
+		return nil, fmt.Errorf("serve: nil backend")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		backend: b,
+		start:   time.Now(),
+		st:      newState(),
+		batchCh: make(chan *batch, cfg.Workers),
+		m:       newMetrics(cfg.MaxBatch, cfg.LatencyWindow),
+	}
+	s.st.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit admits one request and returns the channel its outcome will be
+// delivered on (buffered: the result is never lost if the caller walks
+// away). Admission fails fast with ErrQueueFull, ErrShuttingDown,
+// ErrDeadlineExceeded, or the backend's routing error.
+func (s *Server) Submit(req Request) (<-chan Outcome, error) {
+	now := time.Now()
+	if req.Image == nil {
+		return nil, fmt.Errorf("serve: nil image")
+	}
+	deadline := req.Deadline
+	if deadline.IsZero() && s.cfg.DefaultTimeout > 0 {
+		deadline = now.Add(s.cfg.DefaultTimeout)
+	}
+	if !deadline.IsZero() && !now.Before(deadline) {
+		s.m.add(&s.m.shedExpired, 1)
+		return nil, ErrDeadlineExceeded
+	}
+	variant, err := s.backend.Route(req.Task)
+	if err != nil {
+		s.m.add(&s.m.rejectedRoute, 1)
+		return nil, err
+	}
+	p := &pending{
+		image:    req.Image,
+		deadline: deadline,
+		enq:      now,
+		done:     make(chan Outcome, 1),
+	}
+	if err := s.enqueue(variant, req.Task, p); err != nil {
+		return nil, err
+	}
+	s.m.add(&s.m.accepted, 1)
+	return p.done, nil
+}
+
+// Detect is the synchronous entry point: it submits the request and waits
+// for its outcome or for ctx. A ctx deadline doubles as the request
+// deadline when the request carries none.
+func (s *Server) Detect(ctx context.Context, req Request) (Result, error) {
+	if req.Deadline.IsZero() {
+		if d, ok := ctx.Deadline(); ok {
+			req.Deadline = d
+		}
+	}
+	ch, err := s.Submit(req)
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case out := <-ch:
+		return out.Res, out.Err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	return s.st.closed
+}
+
+// Shutdown stops admissions, flushes every lane, drains in-flight batches,
+// and waits for the workers to exit (or for ctx, whichever first; on ctx
+// expiry the drain keeps running in the background). Calling Shutdown on a
+// draining server returns ErrShuttingDown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.st.mu.Lock()
+	if s.st.closed {
+		s.st.mu.Unlock()
+		return ErrShuttingDown
+	}
+	s.st.closed = true
+	var ready []*batch
+	for _, ln := range s.st.lanes {
+		if b := s.st.takeLocked(ln); b != nil {
+			ready = append(ready, b)
+		}
+	}
+	s.st.dispatchWG.Add(len(ready))
+	s.st.mu.Unlock()
+
+	for _, b := range ready {
+		go s.dispatch(b)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.st.dispatchWG.Wait()
+		close(s.batchCh)
+		s.st.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Snapshot returns the current metrics. See the Snapshot type for fields.
+func (s *Server) Snapshot() Snapshot {
+	s.st.mu.Lock()
+	depth := s.st.queued
+	s.st.mu.Unlock()
+	snap := s.m.snapshot(time.Since(s.start), depth)
+	if cs, ok := s.backend.(CacheStatser); ok {
+		stats := cs.CacheStats()
+		snap.Cache = &stats
+		if total := stats.Hits + stats.Misses; total > 0 {
+			snap.CacheHitRate = float64(stats.Hits) / float64(total)
+		}
+	}
+	return snap
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"itask/internal/sched"
+	"itask/internal/tensor"
+)
+
+// fakeBackend is a controllable backend: routing maps task -> variant, and
+// DetectBatch records batch sizes, optionally sleeps, and returns the image
+// index as payload.
+type fakeBackend struct {
+	mu         sync.Mutex
+	variants   map[string]string
+	batchSizes []int
+	delay      time.Duration
+	fail       error
+	stats      sched.CacheStats
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{variants: map[string]string{"patrol": "gen", "inspect": "gen", "triage": "triage-student"}}
+}
+
+func (f *fakeBackend) Route(task string) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.variants[task]
+	if !ok {
+		return "", fmt.Errorf("fake: unknown task %q", task)
+	}
+	return v, nil
+}
+
+func (f *fakeBackend) DetectBatch(task string, imgs []*tensor.Tensor) ([]any, string, error) {
+	f.mu.Lock()
+	f.batchSizes = append(f.batchSizes, len(imgs))
+	delay, fail := f.delay, f.fail
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail != nil {
+		return nil, "", fail
+	}
+	out := make([]any, len(imgs))
+	for i := range imgs {
+		out[i] = i
+	}
+	f.mu.Lock()
+	f.stats.Hits++
+	f.mu.Unlock()
+	return out, "model-for-" + task, nil
+}
+
+func (f *fakeBackend) CacheStats() sched.CacheStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+func (f *fakeBackend) sizes() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int(nil), f.batchSizes...)
+}
+
+func testImage() *tensor.Tensor { return tensor.New(3, 4, 4) }
+
+func newTestServer(t *testing.T, b Backend, cfg Config) *Server {
+	t.Helper()
+	s, err := New(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func TestDetectRoundTrip(t *testing.T) {
+	fb := newFakeBackend()
+	cfg := DefaultConfig()
+	cfg.BatchDelay = 0
+	s := newTestServer(t, fb, cfg)
+
+	res, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "model-for-patrol" {
+		t.Errorf("model = %q", res.Model)
+	}
+	if res.BatchSize != 1 {
+		t.Errorf("batch size = %d, want 1", res.BatchSize)
+	}
+	if res.Payload.(int) != 0 {
+		t.Errorf("payload = %v", res.Payload)
+	}
+	snap := s.Snapshot()
+	if snap.Accepted != 1 || snap.Completed != 1 {
+		t.Errorf("snapshot counters: %+v", snap)
+	}
+	if snap.Cache == nil || snap.CacheHitRate != 1 {
+		t.Errorf("cache stats not surfaced: %+v", snap.Cache)
+	}
+	if snap.LatencyP50US <= 0 {
+		t.Errorf("p50 latency not recorded")
+	}
+}
+
+func TestUnknownTaskRejectedAtAdmission(t *testing.T) {
+	s := newTestServer(t, newFakeBackend(), DefaultConfig())
+	_, err := s.Detect(context.Background(), Request{Task: "nope", Image: testImage()})
+	if err == nil {
+		t.Fatal("expected routing error")
+	}
+	if snap := s.Snapshot(); snap.RejectedRoute != 1 {
+		t.Errorf("RejectedRoute = %d, want 1", snap.RejectedRoute)
+	}
+}
+
+func TestNilImageRejected(t *testing.T) {
+	s := newTestServer(t, newFakeBackend(), DefaultConfig())
+	if _, err := s.Submit(Request{Task: "patrol"}); err == nil {
+		t.Fatal("expected nil-image error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	fb := newFakeBackend()
+	base := DefaultConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero workers", func(c *Config) { c.Workers = 0 }},
+		{"negative workers", func(c *Config) { c.Workers = -1 }},
+		{"zero max batch", func(c *Config) { c.MaxBatch = 0 }},
+		{"queue below batch", func(c *Config) { c.QueueCap = c.MaxBatch - 1 }},
+		{"negative delay", func(c *Config) { c.BatchDelay = -time.Millisecond }},
+		{"negative timeout", func(c *Config) { c.DefaultTimeout = -time.Second }},
+		{"zero latency window", func(c *Config) { c.LatencyWindow = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := New(fb, cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+	if _, err := New(nil, base); err == nil {
+		t.Error("New accepted nil backend")
+	}
+}
+
+func TestBackendErrorPropagates(t *testing.T) {
+	fb := newFakeBackend()
+	fb.fail = errors.New("boom")
+	cfg := DefaultConfig()
+	cfg.BatchDelay = 0
+	s := newTestServer(t, fb, cfg)
+	_, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if snap := s.Snapshot(); snap.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", snap.Failed)
+	}
+}
+
+// TestCoalescing drives a burst through one slow worker and checks that
+// requests actually rode in shared batches.
+func TestCoalescing(t *testing.T) {
+	fb := newFakeBackend()
+	fb.delay = 20 * time.Millisecond
+	cfg := Config{Workers: 1, MaxBatch: 4, BatchDelay: 5 * time.Millisecond, QueueCap: 64, LatencyWindow: 128}
+	s := newTestServer(t, fb, cfg)
+
+	const n = 16
+	var wg sync.WaitGroup
+	var batched atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()})
+			if err != nil {
+				t.Errorf("detect: %v", err)
+				return
+			}
+			if res.BatchSize > 1 {
+				batched.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if batched.Load() == 0 {
+		t.Fatalf("no request rode a coalesced batch; backend batch sizes: %v", fb.sizes())
+	}
+	for _, sz := range fb.sizes() {
+		if sz > cfg.MaxBatch {
+			t.Errorf("batch size %d exceeds cap %d", sz, cfg.MaxBatch)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.MeanBatch <= 1 {
+		t.Errorf("mean batch %.2f, want > 1", snap.MeanBatch)
+	}
+}
+
+// Requests for different (variant, task) keys must never share a batch.
+func TestNoCrossTaskCoalescing(t *testing.T) {
+	fb := newFakeBackend()
+	fb.delay = 10 * time.Millisecond
+	cfg := Config{Workers: 1, MaxBatch: 8, BatchDelay: 20 * time.Millisecond, QueueCap: 64, LatencyWindow: 128}
+	s := newTestServer(t, fb, cfg)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		task := "patrol"
+		if i%2 == 1 {
+			task = "triage"
+		}
+		wg.Add(1)
+		go func(task string) {
+			defer wg.Done()
+			res, err := s.Detect(context.Background(), Request{Task: task, Image: testImage()})
+			if err != nil {
+				t.Errorf("detect %s: %v", task, err)
+				return
+			}
+			if want := "model-for-" + task; res.Model != want {
+				t.Errorf("task %s served by %s", task, res.Model)
+			}
+		}(task)
+	}
+	wg.Wait()
+}

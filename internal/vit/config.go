@@ -103,6 +103,11 @@ type GEMM struct {
 	Name    string
 	M, K, N int
 	Repeat  int
+	// Dynamic marks GEMMs whose stationary operand is itself a per-image
+	// activation (attention scores and context): batching more images
+	// repeats these GEMMs instead of growing M, so they see none of the
+	// weight-reuse amortization that the static-weight layers do.
+	Dynamic bool
 }
 
 // MACs returns the total multiply-accumulate count for this GEMM.
@@ -123,8 +128,8 @@ func (c Config) Workload() []GEMM {
 		p := fmt.Sprintf("block%d.", i)
 		w = append(w,
 			GEMM{Name: p + "qkv", M: t, K: c.Dim, N: 3 * c.Dim, Repeat: 1},
-			GEMM{Name: p + "scores", M: t, K: dh, N: t, Repeat: c.Heads},
-			GEMM{Name: p + "context", M: t, K: t, N: dh, Repeat: c.Heads},
+			GEMM{Name: p + "scores", M: t, K: dh, N: t, Repeat: c.Heads, Dynamic: true},
+			GEMM{Name: p + "context", M: t, K: t, N: dh, Repeat: c.Heads, Dynamic: true},
 			GEMM{Name: p + "proj", M: t, K: c.Dim, N: c.Dim, Repeat: 1},
 			GEMM{Name: p + "mlp1", M: t, K: c.Dim, N: c.MLPRatio * c.Dim, Repeat: 1},
 			GEMM{Name: p + "mlp2", M: t, K: c.MLPRatio * c.Dim, N: c.Dim, Repeat: 1},

@@ -3,6 +3,7 @@ package itask
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"itask/internal/dataset"
 	"itask/internal/distill"
@@ -14,6 +15,7 @@ import (
 	"itask/internal/quant"
 	"itask/internal/scene"
 	"itask/internal/sched"
+	"itask/internal/serve"
 	"itask/internal/tensor"
 	"itask/internal/vit"
 )
@@ -100,6 +102,12 @@ type taskState struct {
 // Pipeline is the end-to-end iTask system: simulated LLM, knowledge graphs,
 // the trained generalist (float teacher + quantized deployment), per-task
 // distilled students, and the situational scheduler.
+//
+// Concurrency: once the models are set up (TrainGeneralist/LoadGeneralist
+// plus any students), Detect, DetectBatch, DefineTask, Tasks, Priors,
+// Graph, and the serve.Backend adapter are safe to call concurrently — the
+// serving layer depends on this. The training/loading methods themselves
+// are setup-time operations and must not race each other.
 type Pipeline struct {
 	opts Options
 	llm  *llm.SimLLM
@@ -110,8 +118,11 @@ type Pipeline struct {
 	// genStudent is the student-architecture multi-task base used by
 	// AdaptStudent, distilled lazily from the teacher.
 	genStudent *vit.Model
-	tasks      map[string]*taskState
-	scheduler  *sched.Scheduler
+	// taskMu guards the tasks map: DefineTask writes while concurrent
+	// detection reads.
+	taskMu    sync.RWMutex
+	tasks     map[string]*taskState
+	scheduler *sched.Scheduler
 }
 
 // New creates a pipeline. Call TrainGeneralist before Detect.
@@ -126,6 +137,49 @@ func New(opts Options) *Pipeline {
 		tasks:     map[string]*taskState{},
 		scheduler: sched.New(opts.MemoryBudgetBytes),
 	}
+}
+
+// task looks up a defined task under the read lock.
+func (p *Pipeline) task(name string) (*taskState, bool) {
+	p.taskMu.RLock()
+	defer p.taskMu.RUnlock()
+	ts, ok := p.tasks[name]
+	return ts, ok
+}
+
+// registerGeneralist registers the quantized generalist with the scheduler,
+// wiring both the single-image and the micro-batched entry points.
+func (p *Pipeline) registerGeneralist(qm *quant.Model) error {
+	th := p.opts.Thresholds
+	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.TeacherCfg).LatencyUS
+	return p.scheduler.Register(sched.Model{
+		Name:      "generalist-q" + fmt.Sprint(p.opts.Quant.Bits),
+		Kind:      sched.Generalist,
+		Bytes:     int64(qm.WeightBytes()),
+		LatencyUS: lat,
+		Detect: func(img *tensor.Tensor) []geom.Scored {
+			return qm.Detect(img, th.Obj, th.NMSIoU)
+		},
+		DetectBatch: func(imgs []*tensor.Tensor) [][]geom.Scored {
+			return qm.DetectBatch(imgs, th.Obj, th.NMSIoU)
+		},
+	})
+}
+
+// registerStudent registers a task-specific student with the scheduler,
+// wiring both the single-image and the micro-batched entry points.
+func (p *Pipeline) registerStudent(taskName string, student *vit.Model) error {
+	th := p.opts.Thresholds
+	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.StudentCfg).LatencyUS
+	return p.scheduler.Register(sched.Model{
+		Name:        taskName + "-student",
+		Kind:        sched.TaskSpecific,
+		Task:        taskName,
+		Bytes:       int64(student.NumParams() * 4),
+		LatencyUS:   lat,
+		Detect:      sched.DetectFunc(eval.DetectorOf(student, th)),
+		DetectBatch: sched.BatchDetectFunc(eval.BatchDetectorOf(student, th)),
+	})
 }
 
 // TrainGeneralist trains the multi-task teacher on a mixture of the given
@@ -151,16 +205,7 @@ func (p *Pipeline) TrainGeneralist(tasks []dataset.Task) error {
 	}
 	p.teacher = teacher
 	p.quantized = qm
-	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.TeacherCfg).LatencyUS
-	return p.scheduler.Register(sched.Model{
-		Name:      "generalist-q" + fmt.Sprint(p.opts.Quant.Bits),
-		Kind:      sched.Generalist,
-		Bytes:     int64(qm.WeightBytes()),
-		LatencyUS: lat,
-		Detect: func(img *tensor.Tensor) []geom.Scored {
-			return qm.Detect(img, p.opts.Thresholds.Obj, p.opts.Thresholds.NMSIoU)
-		},
-	})
+	return p.registerGeneralist(qm)
 }
 
 // LoadGeneralist initializes the generalist from a teacher checkpoint
@@ -181,22 +226,13 @@ func (p *Pipeline) LoadGeneralist(checkpointPath string) error {
 	}
 	p.teacher = teacher
 	p.quantized = qm
-	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.TeacherCfg).LatencyUS
-	return p.scheduler.Register(sched.Model{
-		Name:      "generalist-q" + fmt.Sprint(p.opts.Quant.Bits),
-		Kind:      sched.Generalist,
-		Bytes:     int64(qm.WeightBytes()),
-		LatencyUS: lat,
-		Detect: func(img *tensor.Tensor) []geom.Scored {
-			return qm.Detect(img, p.opts.Thresholds.Obj, p.opts.Thresholds.NMSIoU)
-		},
-	})
+	return p.registerGeneralist(qm)
 }
 
 // LoadStudent registers a task-specific student from a checkpoint written
 // by itask-train. The task must already be defined.
 func (p *Pipeline) LoadStudent(taskName, checkpointPath string) error {
-	ts, ok := p.tasks[taskName]
+	ts, ok := p.task(taskName)
 	if !ok {
 		return fmt.Errorf("itask: task %q not defined", taskName)
 	}
@@ -211,16 +247,7 @@ func (p *Pipeline) LoadStudent(taskName, checkpointPath string) error {
 		return err
 	}
 	ts.student = student
-	th := p.opts.Thresholds
-	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.StudentCfg).LatencyUS
-	return p.scheduler.Register(sched.Model{
-		Name:      taskName + "-student",
-		Kind:      sched.TaskSpecific,
-		Task:      taskName,
-		Bytes:     int64(student.NumParams() * 4),
-		LatencyUS: lat,
-		Detect:    sched.DetectFunc(eval.DetectorOf(student, th)),
-	})
+	return p.registerStudent(taskName, student)
 }
 
 // DefineTask runs the simulated LLM over a mission description, stores the
@@ -230,12 +257,17 @@ func (p *Pipeline) DefineTask(name, description string) error {
 	if name == "" {
 		return fmt.Errorf("itask: empty task name")
 	}
-	if _, dup := p.tasks[name]; dup {
+	if _, dup := p.task(name); dup {
 		return fmt.Errorf("itask: task %q already defined", name)
 	}
 	g, err := p.llm.Generate(name, description)
 	if err != nil {
 		return fmt.Errorf("itask: generating knowledge graph: %w", err)
+	}
+	p.taskMu.Lock()
+	defer p.taskMu.Unlock()
+	if _, dup := p.tasks[name]; dup {
+		return fmt.Errorf("itask: task %q already defined", name)
 	}
 	p.tasks[name] = &taskState{
 		name:        name,
@@ -250,7 +282,7 @@ func (p *Pipeline) DefineTask(name, description string) error {
 // a student distilled from the teacher on task-domain data, conditioned with
 // the task's KG priors, and registered with the scheduler.
 func (p *Pipeline) DistillStudent(taskName string, domain scene.DomainID) error {
-	ts, ok := p.tasks[taskName]
+	ts, ok := p.task(taskName)
 	if !ok {
 		return fmt.Errorf("itask: task %q not defined", taskName)
 	}
@@ -281,16 +313,7 @@ func (p *Pipeline) DistillStudent(taskName string, domain scene.DomainID) error 
 		return err
 	}
 	ts.student = student
-	th := p.opts.Thresholds
-	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.StudentCfg).LatencyUS
-	return p.scheduler.Register(sched.Model{
-		Name:      taskName + "-student",
-		Kind:      sched.TaskSpecific,
-		Task:      taskName,
-		Bytes:     int64(student.NumParams() * 4),
-		LatencyUS: lat,
-		Detect:    sched.DetectFunc(eval.DetectorOf(student, th)),
-	})
+	return p.registerStudent(taskName, student)
 }
 
 // AdaptStudent builds a task-specific configuration from only `shots`
@@ -300,7 +323,7 @@ func (p *Pipeline) DistillStudent(taskName string, domain scene.DomainID) error 
 // fine-tuned on the tiny support set. Use DistillStudent instead when
 // abundant task data is available.
 func (p *Pipeline) AdaptStudent(taskName string, domain scene.DomainID, shots int) error {
-	ts, ok := p.tasks[taskName]
+	ts, ok := p.task(taskName)
 	if !ok {
 		return fmt.Errorf("itask: task %q not defined", taskName)
 	}
@@ -336,16 +359,7 @@ func (p *Pipeline) AdaptStudent(taskName string, domain scene.DomainID, shots in
 		return fmt.Errorf("itask: few-shot adapting %q: %w", taskName, err)
 	}
 	ts.student = student
-	th := p.opts.Thresholds
-	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.StudentCfg).LatencyUS
-	return p.scheduler.Register(sched.Model{
-		Name:      taskName + "-student",
-		Kind:      sched.TaskSpecific,
-		Task:      taskName,
-		Bytes:     int64(student.NumParams() * 4),
-		LatencyUS: lat,
-		Detect:    sched.DetectFunc(eval.DetectorOf(student, th)),
-	})
+	return p.registerStudent(taskName, student)
 }
 
 // ModelInfo describes which configuration served a detection call.
@@ -358,21 +372,10 @@ type ModelInfo struct {
 	EnergyUJ  float64
 }
 
-// Detect runs task-conditioned detection on one (3,H,W) image: the
-// scheduler picks the configuration, the model detects, and the task's KG
-// priors filter irrelevant classes.
-func (p *Pipeline) Detect(taskName string, img *tensor.Tensor) ([]Detection, ModelInfo, error) {
-	ts, ok := p.tasks[taskName]
-	if !ok {
-		return nil, ModelInfo{}, fmt.Errorf("itask: task %q not defined", taskName)
-	}
-	if p.teacher == nil {
-		return nil, ModelInfo{}, fmt.Errorf("itask: train the generalist first")
-	}
-	raw, model, err := p.scheduler.Detect(sched.Request{Task: taskName}, img)
-	if err != nil {
-		return nil, ModelInfo{}, err
-	}
+// filterByPriors applies a task's knowledge-graph priors to raw
+// detections: classes below PriorThreshold are dropped, survivors are
+// annotated with their relevance and sorted by score.
+func (p *Pipeline) filterByPriors(ts *taskState, raw []geom.Scored) []Detection {
 	var out []Detection
 	for _, d := range raw {
 		rel := ts.priors[d.Class]
@@ -388,24 +391,87 @@ func (p *Pipeline) Detect(taskName string, img *tensor.Tensor) ([]Detection, Mod
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// modelInfo builds the simulated accelerator cost report for an inference
+// served by `model` at the given micro-batch size (per-image figures).
+func (p *Pipeline) modelInfo(model *sched.Model, batch int) ModelInfo {
 	cfg := p.opts.TeacherCfg
 	if model.Kind == sched.TaskSpecific {
 		cfg = p.opts.StudentCfg
 	}
-	rep := hwsim.SimulateAccel(p.opts.Accel, cfg)
-	info := ModelInfo{
+	rep := hwsim.SimulateAccelBatch(p.opts.Accel, cfg, batch)
+	return ModelInfo{
 		Name:      model.Name,
 		Kind:      model.Kind.String(),
 		LatencyUS: rep.LatencyUS,
 		EnergyUJ:  rep.TotalUJ,
 	}
-	return out, info, nil
+}
+
+// Detect runs task-conditioned detection on one (3,H,W) image: the
+// scheduler picks the configuration, the model detects, and the task's KG
+// priors filter irrelevant classes.
+func (p *Pipeline) Detect(taskName string, img *tensor.Tensor) ([]Detection, ModelInfo, error) {
+	ts, ok := p.task(taskName)
+	if !ok {
+		return nil, ModelInfo{}, fmt.Errorf("itask: task %q not defined", taskName)
+	}
+	if p.teacher == nil {
+		return nil, ModelInfo{}, fmt.Errorf("itask: train the generalist first")
+	}
+	raw, model, err := p.scheduler.Detect(sched.Request{Task: taskName}, img)
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	return p.filterByPriors(ts, raw), p.modelInfo(model, 1), nil
+}
+
+// DetectBatch runs task-conditioned detection on a micro-batch of images
+// with a single scheduler selection and a single (batched) model forward —
+// the entry point the serving layer's dynamic batcher calls. The returned
+// ModelInfo carries per-image latency/energy at this batch size, so the
+// weight-stationary amortization of batching shows up directly in the
+// numbers.
+func (p *Pipeline) DetectBatch(taskName string, imgs []*tensor.Tensor) ([][]Detection, ModelInfo, error) {
+	if len(imgs) == 0 {
+		return nil, ModelInfo{}, fmt.Errorf("itask: empty batch")
+	}
+	ts, ok := p.task(taskName)
+	if !ok {
+		return nil, ModelInfo{}, fmt.Errorf("itask: task %q not defined", taskName)
+	}
+	if p.teacher == nil {
+		return nil, ModelInfo{}, fmt.Errorf("itask: train the generalist first")
+	}
+	raw, model, err := p.scheduler.DetectBatch(sched.Request{Task: taskName}, imgs)
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	out := make([][]Detection, len(raw))
+	for i, dets := range raw {
+		out[i] = p.filterByPriors(ts, dets)
+	}
+	return out, p.modelInfo(model, len(imgs)), nil
+}
+
+// Tasks returns the names of all defined tasks, sorted.
+func (p *Pipeline) Tasks() []string {
+	p.taskMu.RLock()
+	defer p.taskMu.RUnlock()
+	names := make([]string, 0, len(p.tasks))
+	for name := range p.tasks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Priors returns the knowledge-graph class priors of a defined task,
 // indexed by scene.ClassID.
 func (p *Pipeline) Priors(taskName string) ([]float64, error) {
-	ts, ok := p.tasks[taskName]
+	ts, ok := p.task(taskName)
 	if !ok {
 		return nil, fmt.Errorf("itask: task %q not defined", taskName)
 	}
@@ -414,7 +480,7 @@ func (p *Pipeline) Priors(taskName string) ([]float64, error) {
 
 // Graph returns the knowledge graph of a defined task.
 func (p *Pipeline) Graph(taskName string) (*kg.Graph, error) {
-	ts, ok := p.tasks[taskName]
+	ts, ok := p.task(taskName)
 	if !ok {
 		return nil, fmt.Errorf("itask: task %q not defined", taskName)
 	}
@@ -430,7 +496,7 @@ func (p *Pipeline) Quantized() *quant.Model { return p.quantized }
 
 // Student returns the distilled model for a task, or nil.
 func (p *Pipeline) Student(taskName string) *vit.Model {
-	if ts, ok := p.tasks[taskName]; ok {
+	if ts, ok := p.task(taskName); ok {
 		return ts.student
 	}
 	return nil
@@ -438,6 +504,37 @@ func (p *Pipeline) Student(taskName string) *vit.Model {
 
 // SchedulerStats reports model-cache behaviour.
 func (p *Pipeline) SchedulerStats() sched.CacheStats { return p.scheduler.Stats() }
+
+// serveBackend adapts the pipeline to the serving layer's Backend
+// interface. Payloads are []Detection per image.
+type serveBackend struct{ p *Pipeline }
+
+func (b serveBackend) Route(task string) (string, error) {
+	if _, ok := b.p.task(task); !ok {
+		return "", fmt.Errorf("itask: task %q not defined", task)
+	}
+	return b.p.scheduler.Route(sched.Request{Task: task})
+}
+
+func (b serveBackend) DetectBatch(task string, imgs []*tensor.Tensor) ([]any, string, error) {
+	dets, info, err := b.p.DetectBatch(task, imgs)
+	if err != nil {
+		return nil, "", err
+	}
+	payloads := make([]any, len(dets))
+	for i := range dets {
+		payloads[i] = dets[i]
+	}
+	return payloads, info.Name, nil
+}
+
+func (b serveBackend) CacheStats() sched.CacheStats { return b.p.scheduler.Stats() }
+
+// ServeBackend exposes the pipeline as a serve.Backend so a serve.Server
+// (or cmd/itask-serve) can run concurrent micro-batched inference over it.
+// The pipeline must be fully set up (generalist plus any students) before
+// serving starts.
+func (p *Pipeline) ServeBackend() serve.Backend { return serveBackend{p: p} }
 
 // HardwareComparison simulates the deployed generalist on the accelerator,
 // the GPU baseline, and the CPU baseline.
