@@ -1,0 +1,96 @@
+// Kernel benchmarks: the four hot-path measurements recorded in
+// BENCH_kernels.json (see DESIGN.md §8). These exercise exactly the code the
+// serving layer funnels batched work into — the float GEMM family, the int8
+// GEMM, multi-head attention, and the end-to-end single-image quantized
+// detect that itask.Pipeline.Detect runs for generalist traffic.
+//
+// Regenerate the JSON with:
+//
+//	go test -run=NONE -bench='BenchmarkMatMul$|BenchmarkQuantGEMM$|BenchmarkAttention$|BenchmarkPipelineDetect$' -benchtime=2s .
+package itask_test
+
+import (
+	"testing"
+
+	"itask/internal/nn"
+	"itask/internal/quant"
+	"itask/internal/scene"
+	"itask/internal/tensor"
+	"itask/internal/vit"
+)
+
+// benchTeacherCfg mirrors DefaultOptions().TeacherCfg: the architecture the
+// deployed quantized generalist runs at serve time.
+func benchTeacherCfg() vit.Config {
+	return vit.Config{
+		ImageSize: 32, Channels: 3, PatchSize: 8,
+		Dim: 48, Depth: 3, Heads: 4, MLPRatio: 2, Classes: int(scene.NumClasses),
+	}
+}
+
+// BenchmarkMatMul measures the dense float GEMM at 128³ — the tile-dispatched
+// kernel behind every Linear layer.
+func BenchmarkMatMul(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.Randn(rng, 1, 128, 128)
+	y := tensor.Randn(rng, 1, 128, 128)
+	out := tensor.New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, x, y)
+	}
+	b.SetBytes(2 * 128 * 128 * 128 * 4) // flops*4 so ns/op converts to GFLOP/s-ish
+}
+
+// BenchmarkQuantGEMM measures the int8 integer GEMM at a serving-shaped size
+// (a micro-batch of 8 images × 16 tokens against a 256→256 projection).
+func BenchmarkQuantGEMM(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	x := tensor.Randn(rng, 0.5, 128, 256)
+	w := tensor.Randn(rng, 0.1, 256, 256)
+	qw := quant.QuantizeWeight(w, 8, true)
+	qa := quant.QuantizeActivation(x, 8)
+	out := tensor.New(128, 256)
+	bias := make([]float32, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quant.GEMM(qa, qw, bias, out)
+	}
+}
+
+// BenchmarkAttention measures one float multi-head attention forward over a
+// packed micro-batch of 8 sequences (128 rows, dim 48, 4 heads).
+func BenchmarkAttention(b *testing.B) {
+	cfg := benchTeacherCfg()
+	rng := tensor.NewRNG(3)
+	mha := nn.NewMultiHeadAttention("bench", cfg.Dim, cfg.Heads, cfg.Tokens(), rng)
+	x := tensor.Randn(rng, 0.5, 8*cfg.Tokens(), cfg.Dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := mha.Forward(x, false)
+		benchSink += out.Size()
+	}
+}
+
+// BenchmarkPipelineDetect measures the end-to-end single-image quantized
+// detect — patchify, int8 trunk forward, detection head, decode — exactly
+// what Pipeline.Detect executes when the scheduler routes a request to the
+// deployed generalist.
+func BenchmarkPipelineDetect(b *testing.B) {
+	cfg := benchTeacherCfg()
+	m := vit.New(cfg, tensor.NewRNG(4))
+	qm, err := quant.FromViT(m, quant.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := tensor.Randn(tensor.NewRNG(5), 0.5, 3, cfg.ImageSize, cfg.ImageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dets := qm.Detect(img, 0.3, 0.5)
+		benchSink += len(dets)
+	}
+}

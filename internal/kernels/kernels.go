@@ -1,0 +1,147 @@
+// Package kernels holds the register-tiled micro-kernels at the bottom of
+// every GEMM in iTask: fused multiply-add dot/axpy primitives over float32
+// and the widening int8 dot product the quantized configuration runs on.
+//
+// Each primitive has two implementations: a portable Go version unrolled
+// 4-8× with independent accumulator chains (so the scalar pipeline can
+// overlap multiply-add latencies), and an AVX2+FMA assembly version selected
+// at startup by CPUID when the host supports it. The assembly carries the
+// serving hot path; the Go version is the reference the tests compare it
+// against, bit-exactly for int8 (int32 accumulation is associative) and
+// within float reassociation tolerance for float32.
+//
+// The package is dependency-free and imported by internal/tensor and
+// internal/quant; keep it that way.
+package kernels
+
+// useAsm reports whether the AVX2+FMA kernels are active. It is set once at
+// init by the amd64 feature probe and flipped only by tests (via
+// SetAsmEnabled) comparing the two implementations.
+var useAsm bool
+
+// AsmEnabled reports whether the assembly kernels are in use.
+func AsmEnabled() bool { return useAsm }
+
+// SetAsmEnabled forces the implementation choice; it returns the previous
+// setting. Enabling has no effect on hosts without AVX2+FMA. Only tests and
+// benchmarks should call this.
+func SetAsmEnabled(on bool) bool {
+	prev := useAsm
+	useAsm = on && asmSupported
+	return prev
+}
+
+// asmCutoff is the vector length below which the call overhead of the
+// assembly kernels outweighs their throughput; shorter vectors stay on the
+// unrolled Go path (measured: even with the 8-wide assembly tail step, a
+// 12-element int8 dot is no faster through the asm call).
+const asmCutoff = 16
+
+// Dot returns Σ x[i]*y[i] over len(x) elements. y must be at least as long
+// as x.
+func Dot(x, y []float32) float32 {
+	if useAsm && len(x) >= asmCutoff {
+		return dotAsm(&x[0], &y[0], len(x))
+	}
+	return dotGo(x, y)
+}
+
+func dotGo(x, y []float32) float32 {
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Dot4 computes four dot products of x against b0..b3 in one pass, loading
+// x once per step. All b slices must be at least len(x) long.
+func Dot4(x, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	if useAsm && len(x) >= asmCutoff {
+		var out [4]float32
+		dot4Asm(&x[0], &b0[0], &b1[0], &b2[0], &b3[0], len(x), &out[0])
+		return out[0], out[1], out[2], out[3]
+	}
+	return dot4Go(x, b0, b1, b2, b3)
+}
+
+func dot4Go(x, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	n := len(x)
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	for i, xv := range x {
+		s0 += xv * b0[i]
+		s1 += xv * b1[i]
+		s2 += xv * b2[i]
+		s3 += xv * b3[i]
+	}
+	return
+}
+
+// Axpy accumulates y += a*x over len(x) elements.
+func Axpy(a float32, x, y []float32) {
+	if useAsm && len(x) >= asmCutoff {
+		axpyAsm(a, &x[0], &y[0], len(x))
+		return
+	}
+	axpyGo(a, x, y)
+}
+
+func axpyGo(a float32, x, y []float32) {
+	y = y[:len(x)]
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Axpy4 accumulates y += a[0]*x0 + a[1]*x1 + a[2]*x2 + a[3]*x3 in a single
+// pass over y, the 4-way fused update the ikj GEMM kernel is built from:
+// one load+store of y amortizes four multiply-add streams.
+func Axpy4(a *[4]float32, x0, x1, x2, x3, y []float32) {
+	if useAsm && len(y) >= asmCutoff {
+		axpy4Asm(&a[0], &x0[0], &x1[0], &x2[0], &x3[0], &y[0], len(y))
+		return
+	}
+	axpy4Go(a, x0, x1, x2, x3, y)
+}
+
+func axpy4Go(a *[4]float32, x0, x1, x2, x3, y []float32) {
+	n := len(y)
+	x0, x1, x2, x3 = x0[:n], x1[:n], x2[:n], x3[:n]
+	a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+	for i := range y {
+		y[i] += a0*x0[i] + a1*x1[i] + a2*x2[i] + a3*x3[i]
+	}
+}
+
+// DotI8 returns Σ int32(a[i])*int32(b[i]) with exact int32 accumulation —
+// the inner product of the quantized GEMM. b must be at least len(a) long.
+func DotI8(a, b []int8) int32 {
+	if useAsm && len(a) >= asmCutoff {
+		return dotI8Asm(&a[0], &b[0], len(a))
+	}
+	return dotI8Go(a, b)
+}
+
+func dotI8Go(a, b []int8) int32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+		s2 += int32(a[i+2]) * int32(b[i+2])
+		s3 += int32(a[i+3]) * int32(b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return s0 + s1 + s2 + s3
+}

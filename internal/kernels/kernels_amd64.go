@@ -1,0 +1,51 @@
+package kernels
+
+// asmSupported reports AVX2+FMA availability (CPUID plus OS ymm-state
+// support via XGETBV). The assembly kernels require both.
+var asmSupported = detectAVX2FMA()
+
+func init() { useAsm = asmSupported }
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+	)
+	if c1&fmaBit == 0 || c1&osxsaveBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be set: the OS saves ymm state.
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return b7&avx2Bit != 0
+}
+
+// Implemented in kernels_amd64.s.
+
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv() (eax, edx uint32)
+
+//go:noescape
+func dotAsm(x, y *float32, n int) float32
+
+//go:noescape
+func dot4Asm(x, b0, b1, b2, b3 *float32, n int, out *float32)
+
+//go:noescape
+func axpyAsm(a float32, x, y *float32, n int)
+
+//go:noescape
+func axpy4Asm(a, x0, x1, x2, x3, y *float32, n int)
+
+//go:noescape
+func dotI8Asm(a, b *int8, n int) int32

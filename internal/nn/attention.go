@@ -63,14 +63,73 @@ func headSliceAdd(dst *tensor.Tensor, blk *tensor.Tensor, row0, t, c0, dh, w int
 }
 
 // Forward computes multi-head self-attention for x of shape (B*T, Dim).
+//
+// In training mode the per-head probability matrices (and q/k/v) are cached
+// on the layer for Backward and attention-rollout saliency, so they are
+// allocated normally. In inference mode nothing survives the call: every
+// intermediate comes from the tensor scratch arena, and the (batch × heads)
+// loop is tiled across the shared worker pool, one head per tile.
 func (a *MultiHeadAttention) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkRank("MHSA.Forward", x, 2)
 	rows := x.Shape[0]
 	if rows%a.Tokens != 0 {
 		panic(fmt.Sprintf("nn: MHSA rows %d not a multiple of tokens %d", rows, a.Tokens))
 	}
+	if train {
+		return a.forwardTrain(x)
+	}
 	b := rows / a.Tokens
-	qkv := a.QKV.Forward(x, train) // (rows, 3*Dim)
+	d := a.Dim
+	dh := d / a.Heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+
+	qkv := tensor.GetScratchNoZero(rows, 3*d)
+	a.QKV.ForwardInto(qkv, x)
+	out := tensor.GetScratchNoZero(rows, d)
+
+	// Each (batch, head) pair reads a disjoint column band of qkv and writes
+	// a disjoint (T,dh) block of out, so tiles are race-free. Head slices are
+	// copied out of the packed qkv directly (no intermediate q/k/v split).
+	tensor.ParallelFor(b*a.Heads, 1, func(lo, hi int) {
+		qh := tensor.GetScratchNoZero(a.Tokens, dh)
+		kh := tensor.GetScratchNoZero(a.Tokens, dh)
+		vh := tensor.GetScratchNoZero(a.Tokens, dh)
+		scores := tensor.GetScratchNoZero(a.Tokens, a.Tokens)
+		for u := lo; u < hi; u++ {
+			bi, h := u/a.Heads, u%a.Heads
+			row0 := bi * a.Tokens
+			c0 := h * dh
+			for i := 0; i < a.Tokens; i++ {
+				src := qkv.Data[(row0+i)*3*d : (row0+i+1)*3*d]
+				copy(qh.Data[i*dh:(i+1)*dh], src[c0:c0+dh])
+				copy(kh.Data[i*dh:(i+1)*dh], src[d+c0:d+c0+dh])
+				copy(vh.Data[i*dh:(i+1)*dh], src[2*d+c0:2*d+c0+dh])
+			}
+			tensor.MatMulTInto(scores, qh, kh)
+			scores.ScaleInPlace(scale)
+			tensor.SoftmaxRowsInto(scores, scores)
+			// Context: reuse qh as the (T,dh) destination — its values are
+			// dead once scores is computed.
+			tensor.MatMulInto(qh, scores, vh)
+			for i := 0; i < a.Tokens; i++ {
+				copy(out.Data[(row0+i)*d+c0:(row0+i)*d+c0+dh], qh.Data[i*dh:(i+1)*dh])
+			}
+		}
+		tensor.PutScratch(qh, kh, vh, scores)
+	})
+
+	y := a.Proj.Forward(out, false)
+	tensor.PutScratch(qkv, out)
+	return y
+}
+
+// forwardTrain is the training-mode forward: identical math, but q/k/v and
+// the per-head softmax probabilities are heap-allocated and retained for
+// Backward / LastProbs.
+func (a *MultiHeadAttention) forwardTrain(x *tensor.Tensor) *tensor.Tensor {
+	rows := x.Shape[0]
+	b := rows / a.Tokens
+	qkv := a.QKV.Forward(x, true) // (rows, 3*Dim)
 	d := a.Dim
 	q := tensor.New(rows, d)
 	k := tensor.New(rows, d)
@@ -84,10 +143,7 @@ func (a *MultiHeadAttention) Forward(x *tensor.Tensor, train bool) *tensor.Tenso
 	dh := d / a.Heads
 	scale := float32(1 / math.Sqrt(float64(dh)))
 	out := tensor.New(rows, d)
-	var probs []*tensor.Tensor
-	if train {
-		probs = make([]*tensor.Tensor, b*a.Heads)
-	}
+	probs := make([]*tensor.Tensor, b*a.Heads)
 	for bi := 0; bi < b; bi++ {
 		row0 := bi * a.Tokens
 		for h := 0; h < a.Heads; h++ {
@@ -98,19 +154,15 @@ func (a *MultiHeadAttention) Forward(x *tensor.Tensor, train bool) *tensor.Tenso
 			scores := tensor.MatMulT(qh, kh)
 			scores.ScaleInPlace(scale)
 			p := tensor.SoftmaxRows(scores)
-			if train {
-				probs[bi*a.Heads+h] = p
-			}
+			probs[bi*a.Heads+h] = p
 			oh := tensor.MatMul(p, vh)
 			headSliceAdd(out, oh, row0, a.Tokens, c0, dh, d)
 		}
 	}
-	if train {
-		a.q, a.k, a.v = q, k, v
-		a.probs = probs
-		a.batch = b
-	}
-	return a.Proj.Forward(out, train)
+	a.q, a.k, a.v = q, k, v
+	a.probs = probs
+	a.batch = b
+	return a.Proj.Forward(out, true)
 }
 
 // Backward propagates gradients through the projection, the attention

@@ -2,7 +2,9 @@ package quant
 
 import (
 	"fmt"
+	"sync"
 
+	"itask/internal/kernels"
 	"itask/internal/tensor"
 )
 
@@ -29,16 +31,29 @@ func QuantizeWeight(w *tensor.Tensor, bits int, perChannel bool) QWeight {
 	}
 	if perChannel {
 		qw.Scales = make([]float32, out)
+	} else {
+		qw.Scales = make([]float32, 1)
+	}
+	quantizeWeightInto(&qw, w.Data, perChannel)
+	return qw
+}
+
+// quantizeWeightInto fills a pre-sized QWeight from float data — the
+// buffer-reusing core of QuantizeWeight, also used by the attention path to
+// quantize per-head key/value blocks into pooled scratch.
+func quantizeWeightInto(qw *QWeight, data []float32, perChannel bool) {
+	out, in := qw.Out, qw.In
+	if perChannel {
 		for o := 0; o < out; o++ {
-			row := w.Data[o*in : (o+1)*in]
-			qp := SymmetricParams(row, bits)
+			row := data[o*in : (o+1)*in]
+			qp := SymmetricParams(row, qw.Bits)
 			qw.Scales[o] = qp.Scale
 			qp.QuantizeSlice(qw.Q[o*in:(o+1)*in], row)
 		}
 	} else {
-		qp := SymmetricParams(w.Data, bits)
-		qw.Scales = []float32{qp.Scale}
-		qp.QuantizeSlice(qw.Q, w.Data)
+		qp := SymmetricParams(data, qw.Bits)
+		qw.Scales[0] = qp.Scale
+		qp.QuantizeSlice(qw.Q, data)
 	}
 	for o := 0; o < out; o++ {
 		var s int32
@@ -47,7 +62,6 @@ func QuantizeWeight(w *tensor.Tensor, bits int, perChannel bool) QWeight {
 		}
 		qw.RowSums[o] = s
 	}
-	return qw
 }
 
 // scale returns the dequantization scale for output channel o.
@@ -81,23 +95,40 @@ type QActivation struct {
 // QuantizeActivation quantizes a float activation with per-tensor
 // asymmetric parameters at the given bit width.
 func QuantizeActivation(x *tensor.Tensor, bits int) QActivation {
+	var qa QActivation
+	QuantizeActivationInto(&qa, x, bits)
+	return qa
+}
+
+// QuantizeActivationInto quantizes x into qa, reusing qa.Q when it has
+// capacity — the pre-quantized-activation path the serving forward uses so
+// steady-state inference recycles its int8 staging buffers.
+func QuantizeActivationInto(qa *QActivation, x *tensor.Tensor, bits int) {
 	if x.Dims() != 2 {
 		panic(fmt.Sprintf("quant: activation must be a matrix, got %v", x.Shape))
 	}
-	qa := QActivation{
-		Q:    make([]int8, x.Size()),
-		QP:   AsymmetricParams(x.Data, bits),
-		Rows: x.Shape[0], Cols: x.Shape[1],
+	n := x.Size()
+	if cap(qa.Q) < n {
+		qa.Q = make([]int8, n)
 	}
+	qa.Q = qa.Q[:n]
+	qa.QP = AsymmetricParams(x.Data, bits)
+	qa.Rows, qa.Cols = x.Shape[0], x.Shape[1]
 	qa.QP.QuantizeSlice(qa.Q, x.Data)
-	return qa
 }
+
+// gemmParallelThreshold is the MAC count above which the integer GEMM is
+// tiled across the shared worker pool.
+const gemmParallelThreshold = 1 << 15
 
 // GEMM computes out = dequant(qa @ qwᵀ) + bias, with int32 accumulation:
 //
 //	out[i][o] = sa*sw[o] * (Σ_k qa[i][k]*qw[o][k] − za*rowSum[o]) + bias[o]
 //
-// bias may be nil. out must be (Rows, Out).
+// bias may be nil. out must be (Rows, Out). The row dimension is tiled
+// across the persistent worker pool (falling back to column tiles for
+// single-row activations), and the inner product runs on the unrolled
+// widening int8 dot micro-kernel.
 func GEMM(qa QActivation, qw QWeight, bias []float32, out *tensor.Tensor) {
 	if qa.Cols != qw.In {
 		panic(fmt.Sprintf("quant: GEMM inner dim %d vs %d", qa.Cols, qw.In))
@@ -108,18 +139,64 @@ func GEMM(qa QActivation, qw QWeight, bias []float32, out *tensor.Tensor) {
 	if bias != nil && len(bias) != qw.Out {
 		panic("quant: GEMM bias length mismatch")
 	}
+	work := qa.Rows * qa.Cols * qw.Out
+	switch {
+	case work < gemmParallelThreshold:
+		gemmRows(qa, qw, bias, out, 0, qa.Rows)
+	case qa.Rows >= 4:
+		grain := (qa.Rows/(2*tensor.Workers()) + 3) &^ 3
+		if grain < 4 {
+			grain = 4
+		}
+		tensor.ParallelFor(qa.Rows, grain, func(lo, hi int) {
+			gemmRows(qa, qw, bias, out, lo, hi)
+		})
+	default:
+		// Tall-thin activations (single image, few tokens): tile the output
+		// channels instead so the pool still has work to steal.
+		grain := (qw.Out/(2*tensor.Workers()) + 3) &^ 3
+		if grain < 4 {
+			grain = 4
+		}
+		tensor.ParallelFor(qw.Out, grain, func(lo, hi int) {
+			gemmCols(qa, qw, bias, out, lo, hi)
+		})
+	}
+}
+
+// gemmRows computes activation rows [lo,hi) of the integer GEMM.
+func gemmRows(qa QActivation, qw QWeight, bias []float32, out *tensor.Tensor, lo, hi int) {
 	k := qa.Cols
-	for i := 0; i < qa.Rows; i++ {
+	sa := qa.QP.Scale
+	za := qa.QP.Zero
+	for i := lo; i < hi; i++ {
 		arow := qa.Q[i*k : (i+1)*k]
 		orow := out.Data[i*qw.Out : (i+1)*qw.Out]
 		for o := 0; o < qw.Out; o++ {
-			wrow := qw.Q[o*k : (o+1)*k]
-			var acc int32
-			for j, av := range arow {
-				acc += int32(av) * int32(wrow[j])
+			acc := kernels.DotI8(arow, qw.Q[o*k:(o+1)*k])
+			acc -= za * qw.RowSums[o]
+			v := sa * qw.scale(o) * float32(acc)
+			if bias != nil {
+				v += bias[o]
 			}
-			acc -= qa.QP.Zero * qw.RowSums[o]
-			v := qa.QP.Scale * qw.scale(o) * float32(acc)
+			orow[o] = v
+		}
+	}
+}
+
+// gemmCols computes output channels [lo,hi) of the integer GEMM for every
+// activation row.
+func gemmCols(qa QActivation, qw QWeight, bias []float32, out *tensor.Tensor, lo, hi int) {
+	k := qa.Cols
+	sa := qa.QP.Scale
+	za := qa.QP.Zero
+	for i := 0; i < qa.Rows; i++ {
+		arow := qa.Q[i*k : (i+1)*k]
+		orow := out.Data[i*qw.Out : (i+1)*qw.Out]
+		for o := lo; o < hi; o++ {
+			acc := kernels.DotI8(arow, qw.Q[o*k:(o+1)*k])
+			acc -= za * qw.RowSums[o]
+			v := sa * qw.scale(o) * float32(acc)
 			if bias != nil {
 				v += bias[o]
 			}
@@ -131,22 +208,91 @@ func GEMM(qa QActivation, qw QWeight, bias []float32, out *tensor.Tensor) {
 // Linear runs a full dynamically-quantized linear layer: quantize x, integer
 // GEMM against the prequantized weight, dequantize, add bias.
 func Linear(x *tensor.Tensor, qw QWeight, bias []float32, actBits int) *tensor.Tensor {
-	qa := QuantizeActivation(x, actBits)
-	out := tensor.New(qa.Rows, qw.Out)
-	GEMM(qa, qw, bias, out)
+	out := tensor.New(x.Shape[0], qw.Out)
+	LinearInto(out, x, qw, bias, actBits)
 	return out
+}
+
+// LinearInto is Linear writing into a caller-provided (rows, Out) tensor,
+// staging the quantized activation in a pooled int8 buffer so the
+// steady-state path performs no per-call allocation.
+func LinearInto(out, x *tensor.Tensor, qw QWeight, bias []float32, actBits int) {
+	qa := getQA(x.Size())
+	QuantizeActivationInto(qa, x, actBits)
+	GEMM(*qa, qw, bias, out)
+	putQA(qa)
 }
 
 // LinearWithQP is Linear with precomputed (statically calibrated)
 // activation parameters instead of dynamic per-tensor range estimation —
 // the cheap-hardware path where no runtime min/max scan is needed.
 func LinearWithQP(x *tensor.Tensor, qp QParams, qw QWeight, bias []float32) *tensor.Tensor {
+	out := tensor.New(x.Shape[0], qw.Out)
+	LinearWithQPInto(out, x, qp, qw, bias)
+	return out
+}
+
+// LinearWithQPInto is LinearWithQP writing into a caller-provided tensor
+// with pooled int8 staging.
+func LinearWithQPInto(out, x *tensor.Tensor, qp QParams, qw QWeight, bias []float32) {
 	if x.Dims() != 2 {
 		panic(fmt.Sprintf("quant: LinearWithQP activation must be a matrix, got %v", x.Shape))
 	}
-	qa := QActivation{Q: make([]int8, x.Size()), QP: qp, Rows: x.Shape[0], Cols: x.Shape[1]}
+	qa := getQA(x.Size())
+	qa.QP = qp
+	qa.Rows, qa.Cols = x.Shape[0], x.Shape[1]
+	qa.Q = qa.Q[:x.Size()]
 	qp.QuantizeSlice(qa.Q, x.Data)
-	out := tensor.New(qa.Rows, qw.Out)
-	GEMM(qa, qw, bias, out)
-	return out
+	GEMM(*qa, qw, bias, out)
+	putQA(qa)
+}
+
+// qaPool recycles QActivation staging structs (with their int8 buffers)
+// across forwards; see the arena discipline note in tensor/arena.go.
+var qaPool = sync.Pool{New: func() any { return new(QActivation) }}
+
+func getQA(n int) *QActivation {
+	qa := qaPool.Get().(*QActivation)
+	if cap(qa.Q) < n {
+		qa.Q = make([]int8, n)
+	}
+	qa.Q = qa.Q[:n]
+	return qa
+}
+
+func putQA(qa *QActivation) { qaPool.Put(qa) }
+
+// qwPool recycles QWeight scratch for the attention path, which quantizes
+// per-head key/value blocks on the fly each forward.
+var qwPool = sync.Pool{New: func() any { return new(QWeight) }}
+
+// getQW returns a pooled QWeight resized for an (out,in) matrix; its contents
+// are arbitrary until quantizeWeightInto fills them.
+func getQW(out, in, bits int, perChannel bool) *QWeight {
+	qw := qwPool.Get().(*QWeight)
+	n := out * in
+	if cap(qw.Q) < n {
+		qw.Q = make([]int8, n)
+	}
+	qw.Q = qw.Q[:n]
+	if cap(qw.RowSums) < out {
+		qw.RowSums = make([]int32, out)
+	}
+	qw.RowSums = qw.RowSums[:out]
+	sc := 1
+	if perChannel {
+		sc = out
+	}
+	if cap(qw.Scales) < sc {
+		qw.Scales = make([]float32, sc)
+	}
+	qw.Scales = qw.Scales[:sc]
+	qw.Out, qw.In, qw.Bits = out, in, bits
+	return qw
+}
+
+func putQW(qws ...*QWeight) {
+	for _, q := range qws {
+		qwPool.Put(q)
+	}
 }

@@ -70,10 +70,19 @@ func (l qLinear) forward(x *tensor.Tensor, actBits int) *tensor.Tensor {
 
 // forwardWith uses static parameters when qp is non-nil, else dynamic.
 func (l qLinear) forwardWith(x *tensor.Tensor, qp *QParams, actBits int) *tensor.Tensor {
+	out := tensor.New(x.Shape[0], l.w.Out)
+	l.forwardWithInto(out, x, qp, actBits)
+	return out
+}
+
+// forwardWithInto is forwardWith writing into a caller-provided (rows, Out)
+// tensor, so trunk intermediates can live in the scratch arena.
+func (l qLinear) forwardWithInto(out, x *tensor.Tensor, qp *QParams, actBits int) {
 	if qp != nil {
-		return LinearWithQP(x, *qp, l.w, l.bias)
+		LinearWithQPInto(out, x, *qp, l.w, l.bias)
+		return
 	}
-	return Linear(x, l.w, l.bias, actBits)
+	LinearInto(out, x, l.w, l.bias, actBits)
 }
 
 // lnParams is a float LayerNorm (normalization stays in float on the
@@ -92,8 +101,15 @@ func fromLayerNorm(ln *nn.LayerNorm) lnParams {
 }
 
 func (p lnParams) apply(x *tensor.Tensor) *tensor.Tensor {
+	y := tensor.New(x.Shape[0], x.Shape[1])
+	p.applyInto(y, x)
+	return y
+}
+
+// applyInto writes the layer norm of x into y; y == x normalizes in place
+// (each row's statistics are computed before any element of it is written).
+func (p lnParams) applyInto(y, x *tensor.Tensor) {
 	rows, d := x.Shape[0], x.Shape[1]
-	y := tensor.New(rows, d)
 	for i := 0; i < rows; i++ {
 		row := x.Data[i*d : (i+1)*d]
 		var mean float64
@@ -113,14 +129,15 @@ func (p lnParams) apply(x *tensor.Tensor) *tensor.Tensor {
 			out[j] = p.gamma[j]*((v-float32(mean))*inv) + p.beta[j]
 		}
 	}
-	return y
+}
+
+func gelu(v float32) float32 {
+	fv := float64(v)
+	return float32(0.5 * fv * (1 + math.Tanh(0.7978845608028654*(fv+0.044715*fv*fv*fv))))
 }
 
 func geluApply(x *tensor.Tensor) *tensor.Tensor {
-	return tensor.Apply(x, func(v float32) float32 {
-		fv := float64(v)
-		return float32(0.5 * fv * (1 + math.Tanh(0.7978845608028654*(fv+0.044715*fv*fv*fv))))
-	})
+	return tensor.Apply(x, gelu)
 }
 
 // qBlock is one quantized transformer block.
@@ -161,6 +178,18 @@ func (qm *Model) applyLN(p lnParams, x *tensor.Tensor) *tensor.Tensor {
 	return p.apply(x)
 }
 
+// applyLNInto writes the (exact or approximate) LayerNorm of x into dst.
+// The approximate path is an accuracy experiment, not a serving path, so it
+// keeps its own allocation and copies through.
+func (qm *Model) applyLNInto(dst *tensor.Tensor, p lnParams, x *tensor.Tensor) {
+	if qm.approxVector {
+		y := approx.LayerNormRows(x, p.gamma, p.beta, p.eps)
+		copy(dst.Data, y.Data)
+		return
+	}
+	p.applyInto(dst, x)
+}
+
 // softmaxRows runs a row softmax with exact or approximate exponentials.
 func (qm *Model) softmaxRows(x *tensor.Tensor) *tensor.Tensor {
 	if qm.approxVector {
@@ -169,12 +198,30 @@ func (qm *Model) softmaxRows(x *tensor.Tensor) *tensor.Tensor {
 	return tensor.SoftmaxRows(x)
 }
 
+// softmaxRowsInPlace overwrites x with its row softmax.
+func (qm *Model) softmaxRowsInPlace(x *tensor.Tensor) {
+	if qm.approxVector {
+		copy(x.Data, approx.SoftmaxRows(x).Data)
+		return
+	}
+	tensor.SoftmaxRowsInto(x, x)
+}
+
 // applyGELU runs the activation with exact or approximate math.
 func (qm *Model) applyGELU(x *tensor.Tensor) *tensor.Tensor {
 	if qm.approxVector {
 		return tensor.Apply(x, approx.GELU)
 	}
 	return geluApply(x)
+}
+
+// applyGELUInPlace overwrites x with the activation.
+func (qm *Model) applyGELUInPlace(x *tensor.Tensor) {
+	if qm.approxVector {
+		x.ApplyInPlace(approx.GELU)
+		return
+	}
+	x.ApplyInPlace(gelu)
 }
 
 // SetStatic installs calibrated activation parameters (from Calibrate).
@@ -249,9 +296,17 @@ func FromViT(m *vit.Model, qc Config) (*Model, error) {
 	return qm, nil
 }
 
-// attention runs integer-GEMM multi-head self-attention on normalized
-// input xn (B*T, Dim). blk is the block index (for static site lookup).
-func (qm *Model) attention(blk int, b qBlock, xn *tensor.Tensor) *tensor.Tensor {
+// attentionInto runs integer-GEMM multi-head self-attention on normalized
+// input xn (B*T, Dim), writing the projected output into dst (B*T, Dim).
+// blk is the block index (for static site lookup).
+//
+// The (batch × heads) loop is tiled across the shared worker pool; each tile
+// stages its head slices, on-the-fly key/value quantizations, and score
+// matrix in pooled scratch, so the steady-state path performs no per-head
+// allocation. The score and context products always use dynamic per-head
+// weight quantization — those "weights" are activations, so no calibrated
+// static parameters exist for them.
+func (qm *Model) attentionInto(dst *tensor.Tensor, blk int, b qBlock, xn *tensor.Tensor) {
 	ab := qm.QC.actBits()
 	d := qm.Cfg.Dim
 	t := qm.Cfg.Tokens()
@@ -259,46 +314,62 @@ func (qm *Model) attention(blk int, b qBlock, xn *tensor.Tensor) *tensor.Tensor 
 	dh := d / h
 	rows := xn.Shape[0]
 	batch := rows / t
-	qkv := b.qkv.forwardWith(xn, qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[blk].QKVIn }), ab)
-	out := tensor.New(rows, d)
+	qkv := tensor.GetScratchNoZero(rows, 3*d)
+	b.qkv.forwardWithInto(qkv, xn, qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[blk].QKVIn }), ab)
+	out := tensor.GetScratchNoZero(rows, d)
 	scale := float32(1 / math.Sqrt(float64(dh)))
-	for bi := 0; bi < batch; bi++ {
-		for hi := 0; hi < h; hi++ {
-			qh := tensor.New(t, dh)
-			kh := tensor.New(t, dh)
-			vh := tensor.New(t, dh)
+	tensor.ParallelFor(batch*h, 1, func(lo, hi int) {
+		qh := tensor.GetScratchNoZero(t, dh)
+		kh := tensor.GetScratchNoZero(t, dh)
+		vt := tensor.GetScratchNoZero(dh, t)
+		scores := tensor.GetScratchNoZero(t, t)
+		kw := getQW(t, dh, qm.QC.Bits, qm.QC.PerChannel)
+		vw := getQW(dh, t, qm.QC.Bits, qm.QC.PerChannel)
+		for u := lo; u < hi; u++ {
+			bi, hd := u/h, u%h
 			for ti := 0; ti < t; ti++ {
 				src := qkv.Data[(bi*t+ti)*3*d:]
-				copy(qh.Data[ti*dh:(ti+1)*dh], src[hi*dh:(hi+1)*dh])
-				copy(kh.Data[ti*dh:(ti+1)*dh], src[d+hi*dh:d+(hi+1)*dh])
-				copy(vh.Data[ti*dh:(ti+1)*dh], src[2*d+hi*dh:2*d+(hi+1)*dh])
+				copy(qh.Data[ti*dh:(ti+1)*dh], src[hd*dh:(hd+1)*dh])
+				copy(kh.Data[ti*dh:(ti+1)*dh], src[d+hd*dh:d+(hd+1)*dh])
+				// v goes straight into its transpose (dh, t): the context
+				// product quantizes vᵀ as a per-row weight matrix.
+				for j := 0; j < dh; j++ {
+					vt.Data[j*t+ti] = src[2*d+hd*dh+j]
+				}
 			}
 			// scores = qh @ khᵀ, integer GEMM with kh as per-row weights.
-			kw := QuantizeWeight(kh, qm.QC.Bits, qm.QC.PerChannel)
-			scores := Linear(qh, kw, nil, ab)
+			quantizeWeightInto(kw, kh.Data, qm.QC.PerChannel)
+			LinearInto(scores, qh, *kw, nil, ab)
 			scores.ScaleInPlace(scale)
-			p := qm.softmaxRows(scores)
-			// context = p @ vh = p @ (vhᵀ)ᵀ.
-			vw := QuantizeWeight(vh.Transpose(), qm.QC.Bits, qm.QC.PerChannel)
-			ctx := Linear(p, vw, nil, ab) // (t, dh)
+			qm.softmaxRowsInPlace(scores)
+			// context = p @ vh = p @ (vhᵀ)ᵀ; qh's values are dead, reuse it
+			// as the (t, dh) context destination.
+			quantizeWeightInto(vw, vt.Data, qm.QC.PerChannel)
+			LinearInto(qh, scores, *vw, nil, ab)
 			for ti := 0; ti < t; ti++ {
-				dst := out.Data[(bi*t+ti)*d+hi*dh:]
-				copy(dst[:dh], ctx.Data[ti*dh:(ti+1)*dh])
+				o := out.Data[(bi*t+ti)*d+hd*dh:]
+				copy(o[:dh], qh.Data[ti*dh:(ti+1)*dh])
 			}
 		}
-	}
-	return b.proj.forwardWith(out, qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[blk].ProjIn }), ab)
+		putQW(kw, vw)
+		tensor.PutScratch(qh, kh, vt, scores)
+	})
+	b.proj.forwardWithInto(dst, out, qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[blk].ProjIn }), ab)
+	tensor.PutScratch(qkv, out)
 }
 
 // Forward runs the quantized trunk on packed patches, returning token
-// features (B*Tokens, Dim).
+// features (B*Tokens, Dim). Every trunk intermediate lives in the scratch
+// arena; only the returned feature tensor is heap-allocated.
 func (qm *Model) Forward(patches *tensor.Tensor) *tensor.Tensor {
 	ab := qm.QC.actBits()
-	x := qm.embed.forwardWith(patches, qm.siteQP(func(s *StaticParams) QParams { return s.EmbedIn }), ab)
-	// position embedding
+	rows := patches.Shape[0]
 	d := qm.Cfg.Dim
 	t := qm.Cfg.Tokens()
-	for i := 0; i < x.Shape[0]; i++ {
+	x := tensor.GetScratchNoZero(rows, d)
+	qm.embed.forwardWithInto(x, patches, qm.siteQP(func(s *StaticParams) QParams { return s.EmbedIn }), ab)
+	// position embedding
+	for i := 0; i < rows; i++ {
 		tok := i % t
 		row := x.Data[i*d : (i+1)*d]
 		pos := qm.pos.Data[tok*d : (tok+1)*d]
@@ -306,15 +377,31 @@ func (qm *Model) Forward(patches *tensor.Tensor) *tensor.Tensor {
 			row[j] += p
 		}
 	}
-	for i, b := range qm.blocks {
-		x = tensor.Add(x, qm.attention(i, b, qm.applyLN(b.ln1, x)))
-		h := b.mlp1.forwardWith(qm.applyLN(b.ln2, x),
-			qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[i].MLP1In }), ab)
-		mlp := b.mlp2.forwardWith(qm.applyGELU(h),
-			qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[i].MLP2In }), ab)
-		x = tensor.Add(x, mlp)
+	// xn holds each sublayer's normalized input, y its output (added back
+	// into the residual stream x); the MLP hidden buffer is shared across
+	// blocks since every block has the same expansion width.
+	xn := tensor.GetScratchNoZero(rows, d)
+	y := tensor.GetScratchNoZero(rows, d)
+	var hbuf *tensor.Tensor
+	if len(qm.blocks) > 0 {
+		hbuf = tensor.GetScratchNoZero(rows, qm.blocks[0].mlp1.w.Out)
 	}
-	return qm.applyLN(qm.normF, x)
+	for i, b := range qm.blocks {
+		qm.applyLNInto(xn, b.ln1, x)
+		qm.attentionInto(y, i, b, xn)
+		x.AddInPlace(y)
+		qm.applyLNInto(xn, b.ln2, x)
+		b.mlp1.forwardWithInto(hbuf, xn,
+			qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[i].MLP1In }), ab)
+		qm.applyGELUInPlace(hbuf)
+		b.mlp2.forwardWithInto(y, hbuf,
+			qm.siteQP(func(s *StaticParams) QParams { return s.Blocks[i].MLP2In }), ab)
+		x.AddInPlace(y)
+	}
+	feats := tensor.New(rows, d)
+	qm.applyLNInto(feats, qm.normF, x)
+	tensor.PutScratch(x, xn, y, hbuf)
+	return feats
 }
 
 // DetHead applies the quantized detection head.
@@ -327,7 +414,7 @@ func (qm *Model) ClsHead(feats *tensor.Tensor) *tensor.Tensor {
 	t := qm.Cfg.Tokens()
 	b := feats.Shape[0] / t
 	d := qm.Cfg.Dim
-	pooled := tensor.New(b, d)
+	pooled := tensor.GetScratch(b, d)
 	inv := float32(1) / float32(t)
 	for bi := 0; bi < b; bi++ {
 		orow := pooled.Data[bi*d : (bi+1)*d]
@@ -338,7 +425,9 @@ func (qm *Model) ClsHead(feats *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return qm.cls.forwardWith(pooled, qm.siteQP(func(s *StaticParams) QParams { return s.ClsIn }), qm.QC.actBits())
+	out := qm.cls.forwardWith(pooled, qm.siteQP(func(s *StaticParams) QParams { return s.ClsIn }), qm.QC.actBits())
+	tensor.PutScratch(pooled)
+	return out
 }
 
 // Detect runs end-to-end quantized detection on one (C,H,W) image.

@@ -1,0 +1,96 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch-buffer arena: sync.Pool-backed, size-classed free lists of float32
+// buffers that the inference hot path draws intermediate tensors from, so
+// steady-state forwards perform no large allocations. Capacities are rounded
+// up to powers of two; a Get that finds its class empty allocates once, and
+// the buffer then serves every subsequent request of that class after Put.
+//
+// Discipline: every GetScratch must be paired with a PutScratch once the
+// values are dead, and a tensor must never be Put while any live tensor
+// still aliases its Data. Tensors that escape to callers (layer outputs,
+// final features) are allocated normally with New and never pooled.
+
+// scratchClasses covers buffers up to 2^27 floats (512 MiB); larger requests
+// fall through to plain allocation and are never pooled.
+const scratchClasses = 28
+
+var scratchPools [scratchClasses]sync.Pool
+
+// GetScratch returns a zeroed scratch tensor of the given shape drawn from
+// the arena. Pair with PutScratch.
+func GetScratch(shape ...int) *Tensor {
+	n := checkShape(shape)
+	buf := getF32(n)
+	return &Tensor{Data: buf, Shape: append([]int(nil), shape...)}
+}
+
+// GetScratchNoZero returns a scratch tensor whose contents are arbitrary —
+// for destinations that are fully overwritten (Into-style kernels).
+func GetScratchNoZero(shape ...int) *Tensor {
+	n := checkShape(shape)
+	buf := getF32NoZero(n)
+	return &Tensor{Data: buf, Shape: append([]int(nil), shape...)}
+}
+
+// PutScratch returns tensors' storage to the arena. The tensors (and any
+// views sharing their data) must not be used afterwards. nil entries are
+// skipped.
+func PutScratch(ts ...*Tensor) {
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		putF32(t.Data)
+		t.Data = nil
+	}
+}
+
+// sizeClass returns the pool index whose buffers have cap 1<<class >= n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// getF32 returns a zeroed float32 slice of length n from the arena.
+func getF32(n int) []float32 {
+	buf := getF32NoZero(n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// getF32NoZero returns a float32 slice of length n with arbitrary contents.
+func getF32NoZero(n int) []float32 {
+	c := sizeClass(n)
+	if c >= scratchClasses {
+		return make([]float32, n)
+	}
+	if v := scratchPools[c].Get(); v != nil {
+		return (*v.(*[]float32))[:n]
+	}
+	return make([]float32, n, 1<<c)
+}
+
+// putF32 returns a slice's storage to its size class. Buffers whose capacity
+// is not an exact class size (not pool-born) are dropped for the GC.
+func putF32(buf []float32) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cls := sizeClass(c)
+	if cls >= scratchClasses {
+		return
+	}
+	b := buf[:0]
+	scratchPools[cls].Put(&b)
+}

@@ -268,11 +268,19 @@ func Clamp(t *Tensor, lo, hi float32) *Tensor {
 // SoftmaxRows applies a numerically-stable softmax to each row of an (R,C)
 // matrix, returning a new tensor.
 func SoftmaxRows(t *Tensor) *Tensor {
+	out := New(t.Shape...)
+	SoftmaxRowsInto(out, t)
+	return out
+}
+
+// SoftmaxRowsInto writes the row softmax of t into out. out must have t's
+// shape; out == t computes the softmax in place.
+func SoftmaxRowsInto(out, t *Tensor) {
 	if len(t.Shape) != 2 {
 		panic("tensor: SoftmaxRows on non-matrix")
 	}
+	mustSameShape("SoftmaxRowsInto", out, t)
 	r, c := t.Shape[0], t.Shape[1]
-	out := New(r, c)
 	for i := 0; i < r; i++ {
 		row := t.Data[i*c : (i+1)*c]
 		o := out.Data[i*c : (i+1)*c]
@@ -293,7 +301,6 @@ func SoftmaxRows(t *Tensor) *Tensor {
 			o[j] *= inv
 		}
 	}
-	return out
 }
 
 // LogSumExpRows returns, for each row of an (R,C) matrix, log(sum(exp(row))),

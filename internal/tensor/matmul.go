@@ -2,22 +2,50 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"itask/internal/kernels"
 )
 
-// parallelThreshold is the matrix-size (in multiply-adds) above which MatMul
-// spreads rows across goroutines. Below it the goroutine overhead dominates.
+// GEMM family. All three product forms (MatMul, MatMulT, TMatMul) share one
+// structure: the output rows are split into tiles and dispatched onto the
+// persistent worker pool (pool.go), and each tile runs a register-tiled
+// kernel built from the fused dot/axpy micro-kernels in internal/kernels —
+// a 4-wide k-unroll (Axpy4) for the row-streaming forms and a 4-wide
+// n-unroll (Dot4) for the transposed form. The kernels are dense: there is
+// deliberately no zero-skip branch (a data-dependent branch in the inner
+// loop defeats both the hardware prefetcher and the SIMD micro-kernels, and
+// none of the call sites feed provably sparse operands).
+
+// parallelThreshold is the matrix size (in multiply-adds) above which a
+// product is spread across the worker pool. Below it dispatch overhead
+// dominates and tiles run inline on the caller.
 const parallelThreshold = 1 << 16
 
+// dispatchRows is the shared tile dispatcher: it runs fn over row range
+// [0,m) either inline (small products) or tiled across the worker pool,
+// with tile grain sized for ~2 tiles per worker so the pool's tile stealing
+// can rebalance uneven progress.
+func dispatchRows(m, work int, fn func(lo, hi int)) {
+	if work < parallelThreshold || m < 2 {
+		fn(0, m)
+		return
+	}
+	grain := m / (2 * Workers())
+	// Round to a multiple of 4 so tiles align with the 4-row micro-kernels.
+	grain = (grain + 3) &^ 3
+	if grain < 4 {
+		grain = 4
+	}
+	ParallelFor(m, grain, fn)
+}
+
 // MatMul returns a @ b for a (M,K) matrix a and (K,N) matrix b.
-// The kernel is an ikj loop with the inner loop over contiguous rows of b,
-// which keeps both streams sequential and lets the compiler vectorize.
-// Large products are parallelized across rows of a.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k, n := mmDims(a, b)
 	out := New(m, n)
-	matMulInto(out.Data, a.Data, b.Data, m, k, n)
+	dispatchRows(m, m*k*n, func(lo, hi int) {
+		matMulRows(out.Data, a.Data, b.Data, lo, hi, k, n)
+	})
 	return out
 }
 
@@ -28,8 +56,9 @@ func MatMulInto(out, a, b *Tensor) {
 	if len(out.Shape) != 2 || out.Shape[0] != m || out.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want (%d,%d)", out.Shape, m, n))
 	}
-	out.Zero()
-	matMulInto(out.Data, a.Data, b.Data, m, k, n)
+	dispatchRows(m, m*k*n, func(lo, hi int) {
+		matMulRows(out.Data, a.Data, b.Data, lo, hi, k, n)
+	})
 }
 
 func mmDims(a, b *Tensor) (m, k, n int) {
@@ -42,45 +71,24 @@ func mmDims(a, b *Tensor) (m, k, n int) {
 	return a.Shape[0], a.Shape[1], b.Shape[1]
 }
 
-func matMulInto(out, a, b []float32, m, k, n int) {
-	work := m * k * n
-	if work < parallelThreshold || m < 2 {
-		matMulRows(out, a, b, 0, m, k, n)
-		return
-	}
-	nw := runtime.GOMAXPROCS(0)
-	if nw > m {
-		nw = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + nw - 1) / nw
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRows(out, a, b, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// matMulRows computes rows [lo,hi) of out = a @ b.
+// matMulRows computes rows [lo,hi) of out = a @ b with an ikj loop: each
+// output row accumulates k axpy updates over contiguous rows of b, taken
+// four at a time so one load+store pass over the output row carries four
+// multiply-add streams. Output rows are fully overwritten.
 func matMulRows(out, a, b []float32, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		oi := out[i*n : (i+1)*n]
+		for j := range oi {
+			oi[j] = 0
+		}
 		ai := a[i*k : (i+1)*k]
-		for p, av := range ai {
-			if av == 0 {
-				continue
-			}
-			bp := b[p*n : (p+1)*n]
-			for j, bv := range bp {
-				oi[j] += av * bv
-			}
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			alphas := [4]float32{ai[p], ai[p+1], ai[p+2], ai[p+3]}
+			kernels.Axpy4(&alphas, b[p*n:], b[(p+1)*n:], b[(p+2)*n:], b[(p+3)*n:], oi)
+		}
+		for ; p < k; p++ {
+			kernels.Axpy(ai[p], b[p*n:(p+1)*n], oi)
 		}
 	}
 }
@@ -89,51 +97,50 @@ func matMulRows(out, a, b []float32, lo, hi, k, n int) {
 // This form has unit-stride access for both operands and is the natural
 // layout for Linear layers whose weight is stored (out,in).
 func MatMulT(a, b *Tensor) *Tensor {
+	m, k, n := mmtDims(a, b)
+	out := New(m, n)
+	dispatchRows(m, m*k*n, func(lo, hi int) {
+		matMulTRows(out.Data, a.Data, b.Data, lo, hi, k, n)
+	})
+	return out
+}
+
+// MatMulTInto computes out = a @ bᵀ, reusing out's storage.
+// out must already have shape (M,N); it is fully overwritten.
+func MatMulTInto(out, a, b *Tensor) {
+	m, k, n := mmtDims(a, b)
+	if len(out.Shape) != 2 || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTInto out shape %v, want (%d,%d)", out.Shape, m, n))
+	}
+	dispatchRows(m, m*k*n, func(lo, hi int) {
+		matMulTRows(out.Data, a.Data, b.Data, lo, hi, k, n)
+	})
+}
+
+func mmtDims(a, b *Tensor) (m, k, n int) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMulT on shapes %v, %v", a.Shape, b.Shape))
 	}
 	if a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulT inner dim mismatch %v @ %vᵀ", a.Shape, b.Shape))
 	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
-	out := New(m, n)
-	work := m * k * n
-	if work < parallelThreshold || m < 2 {
-		matMulTRows(out.Data, a.Data, b.Data, 0, m, k, n)
-		return out
-	}
-	nw := runtime.GOMAXPROCS(0)
-	if nw > m {
-		nw = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + nw - 1) / nw
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulTRows(out.Data, a.Data, b.Data, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+	return a.Shape[0], a.Shape[1], b.Shape[0]
 }
 
+// matMulTRows computes rows [lo,hi) of out = a @ bᵀ as dot products, four
+// output columns at a time so each pass loads the a-row once against four
+// rows of b.
 func matMulTRows(out, a, b []float32, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		ai := a[i*k : (i+1)*k]
 		oi := out[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b[j*k : (j+1)*k]
-			var s float32
-			for p, av := range ai {
-				s += av * bj[p]
-			}
-			oi[j] = s
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0, s1, s2, s3 := kernels.Dot4(ai, b[j*k:], b[(j+1)*k:], b[(j+2)*k:], b[(j+3)*k:])
+			oi[j], oi[j+1], oi[j+2], oi[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			oi[j] = kernels.Dot(ai, b[j*k:(j+1)*k])
 		}
 	}
 }
@@ -141,29 +148,55 @@ func matMulTRows(out, a, b []float32, lo, hi, k, n int) {
 // TMatMul returns aᵀ @ b for a (K,M) matrix a and (K,N) matrix b, producing
 // (M,N). This is the shape needed for weight gradients (xᵀ @ dy).
 func TMatMul(a, b *Tensor) *Tensor {
+	k, m, n := tmmDims(a, b)
+	out := New(m, n)
+	dispatchRows(m, m*k*n, func(lo, hi int) {
+		tMatMulRows(out.Data, a.Data, b.Data, lo, hi, k, m, n)
+	})
+	return out
+}
+
+// TMatMulInto computes out = aᵀ @ b, reusing out's storage.
+// out must already have shape (M,N); it is fully overwritten.
+func TMatMulInto(out, a, b *Tensor) {
+	k, m, n := tmmDims(a, b)
+	if len(out.Shape) != 2 || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: TMatMulInto out shape %v, want (%d,%d)", out.Shape, m, n))
+	}
+	dispatchRows(m, m*k*n, func(lo, hi int) {
+		tMatMulRows(out.Data, a.Data, b.Data, lo, hi, k, m, n)
+	})
+}
+
+func tmmDims(a, b *Tensor) (k, m, n int) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic(fmt.Sprintf("tensor: TMatMul on shapes %v, %v", a.Shape, b.Shape))
 	}
 	if a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: TMatMul inner dim mismatch %vᵀ @ %v", a.Shape, b.Shape))
 	}
-	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	out := New(m, n)
-	// out[i,j] = sum_p a[p,i]*b[p,j]; iterate p outer so both reads stream.
-	for p := 0; p < k; p++ {
-		ap := a.Data[p*m : (p+1)*m]
-		bp := b.Data[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			oi := out.Data[i*n : (i+1)*n]
-			for j, bv := range bp {
-				oi[j] += av * bv
-			}
+	return a.Shape[0], a.Shape[1], b.Shape[1]
+}
+
+// tMatMulRows computes output rows [lo,hi) of out = aᵀ @ b. Output row i
+// accumulates a[p,i]*b[p,:] over p; the coefficients are strided loads but
+// both streamed operands (b rows, out row) stay unit-stride, and four p
+// steps share one pass over the output row.
+func tMatMulRows(out, a, b []float32, lo, hi, k, m, n int) {
+	for i := lo; i < hi; i++ {
+		oi := out[i*n : (i+1)*n]
+		for j := range oi {
+			oi[j] = 0
+		}
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			alphas := [4]float32{a[p*m+i], a[(p+1)*m+i], a[(p+2)*m+i], a[(p+3)*m+i]}
+			kernels.Axpy4(&alphas, b[p*n:], b[(p+1)*n:], b[(p+2)*n:], b[(p+3)*n:], oi)
+		}
+		for ; p < k; p++ {
+			kernels.Axpy(a[p*m+i], b[p*n:(p+1)*n], oi)
 		}
 	}
-	return out
 }
 
 // MatVec returns a @ x for a (M,N) matrix and length-N vector, as a
@@ -172,17 +205,35 @@ func MatVec(a, x *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(x.Shape) != 1 || a.Shape[1] != x.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatVec %v @ %v", a.Shape, x.Shape))
 	}
-	m, n := a.Shape[0], a.Shape[1]
-	out := New(m)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*n : (i+1)*n]
-		var s float32
-		for j, v := range row {
-			s += v * x.Data[j]
-		}
-		out.Data[i] = s
-	}
+	out := New(a.Shape[0])
+	matVecInto(out.Data, a.Data, x.Data, a.Shape[0], a.Shape[1])
 	return out
+}
+
+// MatVecInto computes out = a @ x, reusing out's storage (length M).
+func MatVecInto(out, a, x *Tensor) {
+	if len(a.Shape) != 2 || len(x.Shape) != 1 || a.Shape[1] != x.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatVecInto %v @ %v", a.Shape, x.Shape))
+	}
+	if len(out.Shape) != 1 || out.Shape[0] != a.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatVecInto out shape %v, want (%d)", out.Shape, a.Shape[0]))
+	}
+	matVecInto(out.Data, a.Data, x.Data, a.Shape[0], a.Shape[1])
+}
+
+// matVecInto computes out = a @ x four rows at a time (the vector is loaded
+// once per 4-row block), parallelized across row tiles for large matrices.
+func matVecInto(out, a, x []float32, m, n int) {
+	dispatchRows(m, m*n, func(lo, hi int) {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			out[i], out[i+1], out[i+2], out[i+3] =
+				kernels.Dot4(x, a[i*n:], a[(i+1)*n:], a[(i+2)*n:], a[(i+3)*n:])
+		}
+		for ; i < hi; i++ {
+			out[i] = kernels.Dot(x, a[i*n:(i+1)*n])
+		}
+	})
 }
 
 // Outer returns the outer product x ⊗ y of two vectors as an (len(x),len(y))
@@ -191,13 +242,47 @@ func Outer(x, y *Tensor) *Tensor {
 	if len(x.Shape) != 1 || len(y.Shape) != 1 {
 		panic(fmt.Sprintf("tensor: Outer on shapes %v, %v", x.Shape, y.Shape))
 	}
-	m, n := x.Shape[0], y.Shape[0]
-	out := New(m, n)
-	for i, xv := range x.Data {
-		row := out.Data[i*n : (i+1)*n]
-		for j, yv := range y.Data {
-			row[j] = xv * yv
-		}
-	}
+	out := New(x.Shape[0], y.Shape[0])
+	outerInto(out.Data, x.Data, y.Data, x.Shape[0], y.Shape[0])
 	return out
+}
+
+// OuterInto computes out = x ⊗ y, reusing out's storage (len(x),len(y));
+// out is fully overwritten.
+func OuterInto(out, x, y *Tensor) {
+	if len(x.Shape) != 1 || len(y.Shape) != 1 {
+		panic(fmt.Sprintf("tensor: OuterInto on shapes %v, %v", x.Shape, y.Shape))
+	}
+	if len(out.Shape) != 2 || out.Shape[0] != x.Shape[0] || out.Shape[1] != y.Shape[0] {
+		panic(fmt.Sprintf("tensor: OuterInto out shape %v, want (%d,%d)", out.Shape, x.Shape[0], y.Shape[0]))
+	}
+	outerInto(out.Data, x.Data, y.Data, x.Shape[0], y.Shape[0])
+}
+
+// outerInto writes x ⊗ y four rows at a time (each pass over y fills four
+// output rows), parallelized across row tiles for large products.
+func outerInto(out, x, y []float32, m, n int) {
+	dispatchRows(m, m*n, func(lo, hi int) {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			r0 := out[i*n : (i+1)*n]
+			r1 := out[(i+1)*n : (i+2)*n]
+			r2 := out[(i+2)*n : (i+3)*n]
+			r3 := out[(i+3)*n : (i+4)*n]
+			x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+			for j, yv := range y {
+				r0[j] = x0 * yv
+				r1[j] = x1 * yv
+				r2[j] = x2 * yv
+				r3[j] = x3 * yv
+			}
+		}
+		for ; i < hi; i++ {
+			row := out[i*n : (i+1)*n]
+			xv := x[i]
+			for j, yv := range y {
+				row[j] = xv * yv
+			}
+		}
+	})
 }

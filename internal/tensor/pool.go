@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The kernels in this package parallelize over row tiles on one persistent,
+// package-wide worker pool instead of spawning goroutines per call. Workers
+// self-schedule: every participant (the pool workers plus the submitting
+// goroutine) repeatedly claims the next unclaimed tile from a shared atomic
+// counter, so a worker that finishes early steals the remaining tiles of a
+// slow peer's range. The submitter always executes tiles itself, which makes
+// nested ParallelFor calls (e.g. a parallel MatMul inside a parallel
+// attention head) deadlock-free even when every pool worker is busy.
+
+// workerPool is a fixed set of goroutines consuming parallel-for jobs.
+type workerPool struct {
+	jobs    chan poolJob
+	workers int
+}
+
+// poolJob is one helper invitation: run claims tiles until none remain.
+type poolJob struct {
+	run func()
+	wg  *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	pool     *workerPool
+)
+
+// sharedPool lazily starts the worker goroutines on first use, sized to
+// GOMAXPROCS at that moment. The submitting goroutine always participates,
+// so the pool itself holds GOMAXPROCS-1 helpers.
+func sharedPool() *workerPool {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0) - 1
+		if n < 0 {
+			n = 0
+		}
+		pool = &workerPool{
+			jobs:    make(chan poolJob, 4*(n+1)),
+			workers: n,
+		}
+		for i := 0; i < n; i++ {
+			go pool.worker()
+		}
+	})
+	return pool
+}
+
+func (p *workerPool) worker() {
+	for j := range p.jobs {
+		j.run()
+		j.wg.Done()
+	}
+}
+
+// Workers returns the parallel width of the shared pool (including the
+// submitting goroutine). Kernels use it to size tile grains.
+func Workers() int { return sharedPool().workers + 1 }
+
+// ParallelFor runs fn over the index range [0,n) split into tiles of size
+// grain, distributing the tiles across the shared worker pool. fn is invoked
+// with half-open tile bounds [lo,hi) and must be safe for concurrent
+// invocation on disjoint ranges. The call returns only after every tile has
+// completed. When the range fits a single tile (or grain >= n) fn runs
+// inline on the caller with no synchronization at all.
+func ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	tiles := (n + grain - 1) / grain
+	p := sharedPool()
+	if tiles <= 1 || p.workers == 0 {
+		fn(0, n)
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= tiles {
+				return
+			}
+			lo := t * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	// Invite up to tiles-1 helpers; the caller covers the rest. Sends are
+	// non-blocking: if the queue is full every idle worker already has work,
+	// and the caller simply claims more tiles itself.
+	helpers := p.workers
+	if helpers > tiles-1 {
+		helpers = tiles - 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		select {
+		case p.jobs <- poolJob{run: run, wg: &wg}:
+		default:
+			wg.Done()
+			i = helpers // queue full: stop inviting
+		}
+	}
+	run()
+	wg.Wait()
+}
