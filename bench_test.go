@@ -452,7 +452,7 @@ type pacedBackend struct {
 
 func (p *pacedBackend) Route(task string) (string, error) { return "generalist", nil }
 
-func (p *pacedBackend) DetectBatch(task string, imgs []*tensor.Tensor) ([]any, string, error) {
+func (p *pacedBackend) DetectBatch(variant, task string, imgs []*tensor.Tensor) ([]any, string, error) {
 	rep := hwsim.SimulateAccelBatch(p.accel, p.cfg, len(imgs))
 	time.Sleep(time.Duration(rep.LatencyUS*float64(len(imgs))) * time.Microsecond)
 	out := make([]any, len(imgs))

@@ -1,7 +1,9 @@
 // Command itask-serve runs the iTask pipeline behind an HTTP front end: it
 // trains (or loads) the quantized generalist, defines the standard tasks,
 // and serves concurrent task-conditioned detection with dynamic
-// micro-batching, admission control, and graceful shutdown.
+// micro-batching, admission control, fault tolerance (panic isolation,
+// poison quarantine, per-lane circuit breakers with quantized-fallback
+// degradation), and graceful shutdown.
 //
 // Endpoints:
 //
@@ -10,14 +12,25 @@
 //	GET  /v1/tasks    list the defined tasks
 //	GET  /healthz     200 while serving, 503 once draining
 //	GET  /metricsz    serving metrics snapshot (latency percentiles,
-//	                  throughput, batch histogram, shed/reject counts,
-//	                  model-cache hit rate)
+//	                  throughput, batch histogram, shed/reject/fault
+//	                  counters, per-lane breaker states, model-cache
+//	                  hit rate)
+//
+// Failure modes map onto HTTP statuses: malformed input is 400, admission
+// backpressure is 429 with Retry-After, draining or an open circuit with no
+// healthy fallback is 503 (the breaker case carries Retry-After), an
+// isolated backend panic is 500, and a missed deadline or watchdog-abandoned
+// execution is 504. Requests served by the quantized fallback while their
+// preferred lane's breaker is open succeed with "degraded" set in the body
+// and an X-Itask-Degraded response header.
 //
 // Usage:
 //
 //	itask-serve [-addr :8080] [-models dir] [-students] \
 //	            [-workers 2] [-max-batch 8] [-batch-delay 2ms] \
-//	            [-queue-cap 256] [-timeout 0]
+//	            [-queue-cap 256] [-timeout 0] \
+//	            [-watchdog 10s] [-retry-budget 3] \
+//	            [-breaker-threshold 5] [-breaker-backoff 500ms] [-slo 0]
 //
 // Example:
 //
@@ -30,28 +43,34 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"itask"
 	"itask/internal/dataset"
-	"itask/internal/scene"
 	"itask/internal/serve"
-	"itask/internal/tensor"
 )
 
 func main() {
+	def := serve.DefaultConfig()
 	addr := flag.String("addr", ":8080", "listen address")
 	models := flag.String("models", "", "load teacher.ckpt from this directory (itask-train output) instead of training")
 	students := flag.Bool("students", false, "distill a task-specific student per standard task (slow)")
-	workers := flag.Int("workers", 2, "inference worker goroutines")
-	maxBatch := flag.Int("max-batch", 8, "micro-batch size cap")
-	batchDelay := flag.Duration("batch-delay", 2*time.Millisecond, "max coalescing wait before a lane flushes")
+	workers := flag.Int("workers", def.Workers, "inference worker goroutines")
+	maxBatch := flag.Int("max-batch", def.MaxBatch, "micro-batch size cap")
+	batchDelay := flag.Duration("batch-delay", def.BatchDelay, "max coalescing wait before a lane flushes")
 	queueCap := flag.Int("queue-cap", 256, "admission queue bound (beyond it: HTTP 429)")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
+	watchdog := flag.Duration("watchdog", def.Watchdog, "abandon a batch execution after this long (0 = no watchdog)")
+	retryBudget := flag.Int("retry-budget", def.RetryBudget, "max re-executions per request while quarantining a failed batch (0 = no quarantine)")
+	breakerThreshold := flag.Int("breaker-threshold", def.BreakerThreshold, "consecutive lane failures that trip its circuit breaker (0 = no breakers)")
+	breakerBackoff := flag.Duration("breaker-backoff", def.BreakerBackoff, "initial open-breaker backoff; doubles per failed probe")
+	slo := flag.Duration("slo", 0, "latency SLO; slower executions count as breaker failures (0 = none)")
 	flag.Parse()
 
 	pipe := itask.New(itask.DefaultOptions())
@@ -79,12 +98,18 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Workers:        *workers,
-		MaxBatch:       *maxBatch,
-		BatchDelay:     *batchDelay,
-		QueueCap:       *queueCap,
-		DefaultTimeout: *timeout,
-		LatencyWindow:  serve.DefaultConfig().LatencyWindow,
+		Workers:           *workers,
+		MaxBatch:          *maxBatch,
+		BatchDelay:        *batchDelay,
+		QueueCap:          *queueCap,
+		DefaultTimeout:    *timeout,
+		LatencyWindow:     def.LatencyWindow,
+		Watchdog:          *watchdog,
+		RetryBudget:       *retryBudget,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerBackoff:    *breakerBackoff,
+		BreakerMaxBackoff: def.BreakerMaxBackoff,
+		LatencySLO:        *slo,
 	}
 	srv, err := serve.New(pipe.ServeBackend(), cfg)
 	if err != nil {
@@ -111,8 +136,8 @@ func main() {
 		_ = srv.Shutdown(ctx)
 	}()
 
-	fmt.Fprintf(os.Stderr, "itask-serve: listening on %s (workers=%d max-batch=%d batch-delay=%v)\n",
-		*addr, *workers, *maxBatch, *batchDelay)
+	fmt.Fprintf(os.Stderr, "itask-serve: listening on %s (workers=%d max-batch=%d batch-delay=%v watchdog=%v breaker=%d)\n",
+		*addr, *workers, *maxBatch, *batchDelay, *watchdog, *breakerThreshold)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
@@ -130,28 +155,15 @@ type handler struct {
 	imageSize int
 }
 
-// detectRequest is the POST /v1/detect body. Exactly one of Image and Scene
-// must be set: Image carries raw pixels, Scene renders a synthetic scene
-// server-side (handy for curl demos).
-type detectRequest struct {
-	Task  string `json:"task"`
-	Image *struct {
-		Shape []int     `json:"shape"`
-		Data  []float32 `json:"data"`
-	} `json:"image,omitempty"`
-	Scene *struct {
-		Domain string `json:"domain"`
-		Seed   uint64 `json:"seed"`
-	} `json:"scene,omitempty"`
-	TimeoutMS int `json:"timeout_ms,omitempty"`
-}
-
 type detectResponse struct {
-	Task       string            `json:"task"`
-	Model      string            `json:"model"`
-	BatchSize  int               `json:"batch_size"`
-	QueuedUS   float64           `json:"queued_us"`
-	TotalUS    float64           `json:"total_us"`
+	Task      string  `json:"task"`
+	Model     string  `json:"model"`
+	BatchSize int     `json:"batch_size"`
+	QueuedUS  float64 `json:"queued_us"`
+	TotalUS   float64 `json:"total_us"`
+	// Degraded is set when the request was served by the quantized
+	// fallback because its preferred lane's circuit breaker was open.
+	Degraded   string            `json:"degraded,omitempty"`
 	Detections []itask.Detection `json:"detections"`
 }
 
@@ -160,12 +172,17 @@ func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var dr detectRequest
-	if err := json.NewDecoder(r.Body).Decode(&dr); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "body too large or unreadable")
 		return
 	}
-	img, err := h.buildImage(dr)
+	dr, err := parseDetectRequest(body, h.imageSize)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	img, err := dr.buildImage(h.imageSize)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -176,6 +193,9 @@ func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := h.srv.Detect(r.Context(), req)
 	if err != nil {
+		if ra, ok := retryAfter(err); ok {
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
+		}
 		httpError(w, statusOf(err), err.Error())
 		return
 	}
@@ -183,41 +203,18 @@ func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
 	if dets == nil {
 		dets = []itask.Detection{}
 	}
+	if res.Degraded != "" {
+		w.Header().Set("X-Itask-Degraded", res.Degraded)
+	}
 	writeJSON(w, http.StatusOK, detectResponse{
 		Task:       dr.Task,
 		Model:      res.Model,
 		BatchSize:  res.BatchSize,
 		QueuedUS:   float64(res.Queued.Microseconds()),
 		TotalUS:    float64(res.Total.Microseconds()),
+		Degraded:   res.Degraded,
 		Detections: dets,
 	})
-}
-
-// buildImage turns the request's image or scene spec into a (3,S,S) tensor.
-func (h *handler) buildImage(dr detectRequest) (*tensor.Tensor, error) {
-	switch {
-	case dr.Image != nil && dr.Scene != nil:
-		return nil, fmt.Errorf("set either image or scene, not both")
-	case dr.Image != nil:
-		s := h.imageSize
-		sh := dr.Image.Shape
-		if len(sh) != 3 || sh[0] != 3 || sh[1] != s || sh[2] != s {
-			return nil, fmt.Errorf("image shape must be [3,%d,%d], got %v", s, s, sh)
-		}
-		if len(dr.Image.Data) != 3*s*s {
-			return nil, fmt.Errorf("image data has %d values, want %d", len(dr.Image.Data), 3*s*s)
-		}
-		return tensor.FromSlice(dr.Image.Data, 3, s, s), nil
-	case dr.Scene != nil:
-		dom, ok := scene.DomainByName(dr.Scene.Domain)
-		if !ok {
-			return nil, fmt.Errorf("unknown domain %q", dr.Scene.Domain)
-		}
-		sc := scene.Generate(dom, scene.DefaultGenConfig(), tensor.NewRNG(dr.Scene.Seed))
-		return sc.Image, nil
-	default:
-		return nil, fmt.Errorf("set image or scene")
-	}
 }
 
 func (h *handler) tasks(w http.ResponseWriter, r *http.Request) {
@@ -236,21 +233,47 @@ func (h *handler) metricsz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.srv.Snapshot())
 }
 
-// statusOf maps serving-layer errors onto HTTP status codes: queue full is
-// backpressure (429), draining is unavailability (503), a missed deadline
-// is a gateway timeout (504), and anything else from admission is the
-// caller's fault (404: unknown task).
+// statusOf maps serving-layer errors onto HTTP status codes: malformed
+// input is the caller's fault (400), queue full is backpressure (429),
+// draining or an open breaker with no healthy fallback is unavailability
+// (503), an isolated backend panic is an internal error (500), a missed
+// deadline or watchdog-abandoned execution is a gateway timeout (504), and
+// anything else from admission is an unknown task (404).
 func statusOf(err error) int {
 	switch {
+	case errors.Is(err, serve.ErrBadShape):
+		return http.StatusBadRequest
 	case errors.Is(err, serve.ErrQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, serve.ErrShuttingDown):
+	case errors.Is(err, serve.ErrShuttingDown), errors.Is(err, serve.ErrBreakerOpen):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, serve.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, serve.ErrBackendPanic):
+		return http.StatusInternalServerError
+	case errors.Is(err, serve.ErrDeadlineExceeded),
+		errors.Is(err, serve.ErrWatchdog),
+		errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusNotFound
 	}
+}
+
+// retryAfter extracts the Retry-After hint for retryable rejections: the
+// breaker's own backoff for an open circuit (rounded up to a whole second,
+// minimum 1), a flat second for queue-full backpressure.
+func retryAfter(err error) (int, bool) {
+	var bo *serve.BreakerOpenError
+	if errors.As(err, &bo) {
+		secs := int((bo.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return secs, true
+	}
+	if errors.Is(err, serve.ErrQueueFull) {
+		return 1, true
+	}
+	return 0, false
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"itask/internal/scene"
+	"itask/internal/tensor"
+)
+
+// maxBodyBytes bounds a /v1/detect body. A 64×64×3 image serialized as
+// JSON floats is ~150 KiB; 4 MiB leaves ample headroom while keeping a
+// hostile request from ballooning the decoder.
+const maxBodyBytes = 4 << 20
+
+// detectRequest is the POST /v1/detect body. Exactly one of Image and Scene
+// must be set: Image carries raw pixels, Scene renders a synthetic scene
+// server-side (handy for curl demos).
+type detectRequest struct {
+	Task  string `json:"task"`
+	Image *struct {
+		Shape []int     `json:"shape"`
+		Data  []float32 `json:"data"`
+	} `json:"image,omitempty"`
+	Scene *struct {
+		Domain string `json:"domain"`
+		Seed   uint64 `json:"seed"`
+	} `json:"scene,omitempty"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// parseDetectRequest decodes and structurally validates a /v1/detect body
+// against the server's image size. Every return path is either a valid
+// request whose image spec can be materialized without allocation surprises,
+// or an error fit for HTTP 400 — the function must never panic, whatever the
+// bytes (it is fuzzed).
+func parseDetectRequest(body []byte, imageSize int) (*detectRequest, error) {
+	var dr detectRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	if err := dec.Decode(&dr); err != nil {
+		return nil, fmt.Errorf("bad JSON: %v", err)
+	}
+	if dr.Task == "" {
+		return nil, errors.New("missing task")
+	}
+	if dr.TimeoutMS < 0 {
+		return nil, fmt.Errorf("negative timeout_ms %d", dr.TimeoutMS)
+	}
+	switch {
+	case dr.Image != nil && dr.Scene != nil:
+		return nil, errors.New("set either image or scene, not both")
+	case dr.Image == nil && dr.Scene == nil:
+		return nil, errors.New("set image or scene")
+	case dr.Image != nil:
+		s := imageSize
+		sh := dr.Image.Shape
+		// Exact-shape check: dimension count, then each extent. Checking
+		// extents individually (rather than multiplying) sidesteps overflow
+		// on hostile dims like [3, 1<<40, 1<<40].
+		if len(sh) != 3 || sh[0] != 3 || sh[1] != s || sh[2] != s {
+			return nil, fmt.Errorf("image shape must be [3,%d,%d], got %v", s, s, sh)
+		}
+		if len(dr.Image.Data) != 3*s*s {
+			return nil, fmt.Errorf("image data has %d values, want %d", len(dr.Image.Data), 3*s*s)
+		}
+	case dr.Scene != nil:
+		if _, ok := scene.DomainByName(dr.Scene.Domain); !ok {
+			return nil, fmt.Errorf("unknown domain %q", dr.Scene.Domain)
+		}
+	}
+	return &dr, nil
+}
+
+// buildImage materializes the validated request's image or scene spec into
+// a (3,S,S) tensor. Must only be called on a request parseDetectRequest
+// accepted.
+func (dr *detectRequest) buildImage(imageSize int) (*tensor.Tensor, error) {
+	if dr.Image != nil {
+		return tensor.FromSlice(dr.Image.Data, 3, imageSize, imageSize), nil
+	}
+	dom, ok := scene.DomainByName(dr.Scene.Domain)
+	if !ok {
+		return nil, fmt.Errorf("unknown domain %q", dr.Scene.Domain)
+	}
+	sc := scene.Generate(dom, scene.DefaultGenConfig(), tensor.NewRNG(dr.Scene.Seed))
+	return sc.Image, nil
+}

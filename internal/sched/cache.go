@@ -90,6 +90,23 @@ func (c *lruCache) ensure(name string, size int64) (hit bool, err error) {
 	return false, nil
 }
 
+// evict drops name from the cache if resident, reporting whether it was.
+// Used to quarantine possibly-corrupt weights after the variant panicked or
+// hung: the entry must not stay cached as healthy, so the next ensure is a
+// miss that reloads from storage.
+func (c *lruCache) evict(name string) bool {
+	el, ok := c.index[name]
+	if !ok {
+		return false
+	}
+	victim := el.Value.(*entry)
+	c.order.Remove(el)
+	delete(c.index, name)
+	c.used -= victim.size
+	c.stats.Evictions++
+	return true
+}
+
 // Resident returns the names of loaded models, LRU first.
 func (c *lruCache) Resident() []string {
 	out := make([]string, 0, c.order.Len())

@@ -181,6 +181,74 @@ func (s *Scheduler) Route(req Request) (string, error) {
 	return "", lastErr
 }
 
+// RouteFallback reports the degraded-path variant for the request: the
+// quantized generalist, regardless of whether a task-specific student
+// exists. The serving layer uses it to keep a task servable when the
+// preferred variant's circuit breaker is open — the paper's dual-
+// configuration adaptability, driven by failure instead of situation.
+func (s *Scheduler) RouteFallback(req Request) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.generalist == "" {
+		return "", fmt.Errorf("sched: no generalist fallback for task %q", req.Task)
+	}
+	m := s.models[s.generalist]
+	if req.LatencyBudgetUS > 0 && m.LatencyUS > req.LatencyBudgetUS {
+		return "", fmt.Errorf("sched: fallback %q latency %.0fus over budget %.0fus",
+			m.Name, m.LatencyUS, req.LatencyBudgetUS)
+	}
+	if m.Bytes > s.cache.budget {
+		return "", fmt.Errorf("sched: fallback %q (%d B) exceeds cache budget (%d B)",
+			m.Name, m.Bytes, s.cache.budget)
+	}
+	return s.generalist, nil
+}
+
+// SelectByName loads a specific registered variant (LRU-evicting as needed)
+// and accounts load time — the forced-variant path the serving layer uses
+// to execute a batch on exactly the lane it was coalesced for, including
+// degraded batches pinned to the quantized fallback.
+func (s *Scheduler) SelectByName(name string) (*Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.models[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: no model %q registered", name)
+	}
+	hit, err := s.cache.ensure(name, m.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	if !hit {
+		s.LoadTimeUS += float64(m.Bytes) / (s.LoadBandwidthMBs * 1e6) * 1e6
+	}
+	if s.last != "" && s.last != name {
+		s.Switches++
+	}
+	s.last = name
+	return m, nil
+}
+
+// DetectBatchOn runs a whole micro-batch on a specific variant (one
+// selection, one cache touch, at most one weight load — see DetectBatch).
+func (s *Scheduler) DetectBatchOn(name string, imgs []*tensor.Tensor) ([][]geom.Scored, *Model, error) {
+	m, err := s.SelectByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runBatch(m, imgs), m, nil
+}
+
+// Evict drops a variant's weights from the model cache, reporting whether
+// it was resident. The serving layer calls this after a variant panics or
+// hangs: the resident copy can no longer be trusted as healthy, so the next
+// selection must reload it from storage rather than reuse it.
+func (s *Scheduler) Evict(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.evict(name)
+}
+
 // Select picks the model for a request: the task-specific student when one
 // exists, fits the cache, and meets the latency budget; otherwise the
 // quantized generalist. Selection loads the model (LRU-evicting as needed)
@@ -238,14 +306,20 @@ func (s *Scheduler) DetectBatch(req Request, imgs []*tensor.Tensor) ([][]geom.Sc
 	if err != nil {
 		return nil, nil, err
 	}
+	return runBatch(m, imgs), m, nil
+}
+
+// runBatch executes a selected model over a micro-batch, preferring its
+// batched entry point and falling back to per-image Detect.
+func runBatch(m *Model, imgs []*tensor.Tensor) [][]geom.Scored {
 	if m.DetectBatch != nil {
-		return m.DetectBatch(imgs), m, nil
+		return m.DetectBatch(imgs)
 	}
 	out := make([][]geom.Scored, len(imgs))
 	for i, img := range imgs {
 		out[i] = m.Detect(img)
 	}
-	return out, m, nil
+	return out
 }
 
 // Stats returns cache statistics.

@@ -18,11 +18,40 @@ type Backend interface {
 	// coalesced into a single DetectBatch call.
 	Route(task string) (variant string, err error)
 
-	// DetectBatch runs one coalesced batch of same-task images and returns
-	// one backend-defined payload per image (e.g. []itask.Detection) plus
-	// the name of the model that served the batch. len(payloads) must
-	// equal len(imgs) on success.
-	DetectBatch(task string, imgs []*tensor.Tensor) (payloads []any, model string, err error)
+	// DetectBatch runs one coalesced batch of same-task images on the
+	// named variant (the one a prior Route or RouteFallback returned) and
+	// returns one backend-defined payload per image (e.g.
+	// []itask.Detection) plus the name of the model that served the batch.
+	// len(payloads) must equal len(imgs) on success. The server executes
+	// DetectBatch under recover: a panicking backend fails the batch (and,
+	// after quarantine bisection, only the poison requests), never the
+	// server.
+	DetectBatch(variant, task string, imgs []*tensor.Tensor) (payloads []any, model string, err error)
+}
+
+// FallbackRouter is optionally implemented by backends that can serve a
+// task on a degraded configuration (the paper's quantized generalist) when
+// the preferred variant's circuit breaker is open. RouteFallback must not
+// load the model; an error means no fallback exists for the task.
+type FallbackRouter interface {
+	RouteFallback(task string) (variant string, err error)
+}
+
+// VariantEvicter is optionally implemented by backends that cache model
+// weights. The server calls EvictVariant after a variant panics or blows
+// the watchdog, so possibly-corrupt resident weights are dropped and the
+// next selection reloads them from storage instead of trusting the cached
+// copy as healthy.
+type VariantEvicter interface {
+	EvictVariant(variant string)
+}
+
+// ImageValidator is optionally implemented by backends that can check an
+// input tensor's shape without running it. The server calls ValidateImage
+// at admission so malformed input fails fast with ErrBadShape instead of
+// reaching a panicking kernel inside a shared micro-batch.
+type ImageValidator interface {
+	ValidateImage(img *tensor.Tensor) error
 }
 
 // CacheStatser is optionally implemented by backends that sit on a model
@@ -42,6 +71,10 @@ type Request struct {
 	Deadline time.Time
 }
 
+// DegradedBreakerOpen is the Result.Degraded reason for requests rerouted
+// to the fallback variant because the preferred lane's breaker was open.
+const DegradedBreakerOpen = "breaker-open"
+
 // Result is the successful outcome of one request.
 type Result struct {
 	// Payload is the backend's per-image result (for the pipeline backend,
@@ -51,6 +84,10 @@ type Result struct {
 	Model string
 	// BatchSize is the size of the micro-batch the request rode in.
 	BatchSize int
+	// Degraded is empty for requests served on their preferred variant,
+	// and a reason string (DegradedBreakerOpen) for requests the server
+	// rerouted to the fallback configuration.
+	Degraded string
 	// Queued is the time spent between admission and execution start.
 	Queued time.Duration
 	// Total is the admission-to-completion latency.

@@ -1,8 +1,8 @@
 package serve
 
 import (
-	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"itask/internal/tensor"
@@ -13,6 +13,16 @@ type pending struct {
 	image    *tensor.Tensor
 	deadline time.Time
 	enq      time.Time
+	// degraded is the non-empty degradation reason when admission rerouted
+	// this request to the fallback variant (see Result.Degraded).
+	degraded string
+	// cancelled is set by Detect when its context ends before the outcome
+	// arrives; execute sheds cancelled requests instead of running them.
+	cancelled atomic.Bool
+	// attempts counts quarantine re-executions, bounded by RetryBudget.
+	// Only the single worker goroutine running the request's batch touches
+	// it (quarantine recursion stays on that worker's stack).
+	attempts int
 	done     chan Outcome // buffered(1): delivery never blocks a worker
 }
 
@@ -76,7 +86,7 @@ func (st *state) takeLocked(ln *lane) *batch {
 // first occupant.
 func (s *Server) enqueue(variant, task string, p *pending) error {
 	st := s.st
-	key := variant + "\x1f" + task
+	key := laneKey(variant, task)
 	st.mu.Lock()
 	if st.closed {
 		st.mu.Unlock()
@@ -150,55 +160,12 @@ func (s *Server) dispatch(b *batch) {
 	s.st.mu.Unlock()
 }
 
-// worker drains flushed batches until the channel closes at shutdown.
+// worker drains flushed batches until the channel closes at shutdown. All
+// shedding, panic isolation, quarantine, and breaker accounting happens in
+// execute (exec.go).
 func (s *Server) worker() {
 	defer s.st.workerWG.Done()
 	for b := range s.batchCh {
-		s.run(b)
+		s.execute(b.variant, b.task, b.items)
 	}
-}
-
-// run executes one batch: sheds requests whose deadline passed while they
-// queued, runs the backend once for the survivors, and delivers outcomes.
-func (s *Server) run(b *batch) {
-	started := time.Now()
-	live := make([]*pending, 0, len(b.items))
-	imgs := make([]*tensor.Tensor, 0, len(b.items))
-	for _, p := range b.items {
-		if !p.deadline.IsZero() && started.After(p.deadline) {
-			s.m.add(&s.m.shedExpired, 1)
-			p.done <- Outcome{Err: ErrDeadlineExceeded}
-			continue
-		}
-		live = append(live, p)
-		imgs = append(imgs, p.image)
-	}
-	if len(live) == 0 {
-		return
-	}
-	payloads, model, err := s.backend.DetectBatch(b.task, imgs)
-	if err == nil && len(payloads) != len(imgs) {
-		err = fmt.Errorf("serve: backend returned %d payloads for %d images", len(payloads), len(imgs))
-	}
-	if err != nil {
-		s.m.add(&s.m.failed, uint64(len(live)))
-		for _, p := range live {
-			p.done <- Outcome{Err: err}
-		}
-		return
-	}
-	finished := time.Now()
-	s.m.observeBatch(len(live))
-	for i, p := range live {
-		total := finished.Sub(p.enq)
-		s.m.observeLatency(total)
-		p.done <- Outcome{Res: Result{
-			Payload:   payloads[i],
-			Model:     model,
-			BatchSize: len(live),
-			Queued:    started.Sub(p.enq),
-			Total:     total,
-		}}
-	}
-	s.m.add(&s.m.completed, uint64(len(live)))
 }

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"itask/internal/tensor"
+)
+
+// PanicError is a backend panic converted into a per-request error by the
+// server's recover wrapper. It unwraps to ErrBackendPanic.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("serve: backend panic: %v", e.Value)
+}
+
+func (e *PanicError) Unwrap() error { return ErrBackendPanic }
+
+// isPanicOrHang reports whether err is the kind of failure that suggests a
+// broken kernel or corrupt weights (rather than a clean refusal).
+func isPanicOrHang(err error) bool {
+	return errors.Is(err, ErrBackendPanic) || errors.Is(err, ErrWatchdog)
+}
+
+// execute runs one (sub-)batch end to end: it sheds cancelled and expired
+// requests, invokes the backend under the watchdog and recover, records the
+// lane's breaker outcome, and on failure bisects the batch to quarantine
+// the poison request(s) while the rest are retried and succeed. Recursion
+// depth is bounded by log2(len(items)) and each request re-executes at most
+// Config.RetryBudget times.
+func (s *Server) execute(variant, task string, items []*pending) {
+	started := time.Now()
+	live := make([]*pending, 0, len(items))
+	imgs := make([]*tensor.Tensor, 0, len(items))
+	for _, p := range items {
+		switch {
+		case p.cancelled.Load():
+			s.m.add(&s.m.shedCancelled, 1)
+			p.done <- Outcome{Err: context.Canceled}
+		case !p.deadline.IsZero() && started.After(p.deadline):
+			s.m.add(&s.m.shedExpired, 1)
+			p.done <- Outcome{Err: ErrDeadlineExceeded}
+		default:
+			live = append(live, p)
+			imgs = append(imgs, p.image)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	payloads, model, err := s.invoke(variant, task, imgs)
+	dur := time.Since(started)
+	s.recordExec(variant, task, err, dur)
+
+	if err == nil {
+		finished := time.Now()
+		s.m.observeBatch(len(live))
+		for i, p := range live {
+			total := finished.Sub(p.enq)
+			s.m.observeLatency(total)
+			if p.degraded != "" {
+				s.m.add(&s.m.degradedServed, 1)
+			}
+			p.done <- Outcome{Res: Result{
+				Payload:   payloads[i],
+				Model:     model,
+				BatchSize: len(live),
+				Degraded:  p.degraded,
+				Queued:    started.Sub(p.enq),
+				Total:     total,
+			}}
+		}
+		s.m.add(&s.m.completed, uint64(len(live)))
+		return
+	}
+
+	// Failure path: account the failure class, drop possibly-corrupt
+	// cached weights, then quarantine by bisection.
+	switch {
+	case errors.Is(err, ErrBackendPanic):
+		s.m.add(&s.m.panics, 1)
+		s.evictVariant(variant)
+	case errors.Is(err, ErrWatchdog):
+		s.m.add(&s.m.watchdogs, 1)
+		s.evictVariant(variant)
+	}
+	if len(live) == 1 || s.cfg.RetryBudget <= 0 {
+		for _, p := range live {
+			s.fail(p, err, len(live) == 1)
+		}
+		return
+	}
+	mid := len(live) / 2
+	for _, half := range [][]*pending{live[:mid], live[mid:]} {
+		retry := make([]*pending, 0, len(half))
+		for _, p := range half {
+			if p.attempts >= s.cfg.RetryBudget {
+				s.fail(p, err, false)
+				continue
+			}
+			p.attempts++
+			s.m.add(&s.m.retries, 1)
+			retry = append(retry, p)
+		}
+		if len(retry) > 0 {
+			s.execute(variant, task, retry)
+		}
+	}
+}
+
+// fail delivers a terminal error to one request. isolated marks requests
+// that failed alone (batch of one) — the quarantine verdict that this
+// specific request, not its batch-mates, is the poison.
+func (s *Server) fail(p *pending, err error, isolated bool) {
+	s.m.add(&s.m.failed, 1)
+	if isolated && isPanicOrHang(err) {
+		s.m.add(&s.m.quarantined, 1)
+	}
+	p.done <- Outcome{Err: err}
+}
+
+// invoke runs one backend call under the watchdog deadline. When the
+// backend hangs past Config.Watchdog the call is abandoned (its goroutine
+// finishes into a buffered channel nobody reads) and the batch fails with
+// ErrWatchdog.
+func (s *Server) invoke(variant, task string, imgs []*tensor.Tensor) ([]any, string, error) {
+	if s.cfg.Watchdog <= 0 {
+		return s.call(variant, task, imgs)
+	}
+	type result struct {
+		payloads []any
+		model    string
+		err      error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		p, m, e := s.call(variant, task, imgs)
+		ch <- result{p, m, e}
+	}()
+	timer := time.NewTimer(s.cfg.Watchdog)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.payloads, r.model, r.err
+	case <-timer.C:
+		return nil, "", fmt.Errorf("serve: batch of %d on lane %s/%s still executing after %v: %w",
+			len(imgs), variant, task, s.cfg.Watchdog, ErrWatchdog)
+	}
+}
+
+// call is the recover boundary around the backend: a kernel panic becomes a
+// *PanicError with the stack captured, so one poison request can never take
+// down a worker or the server.
+func (s *Server) call(variant, task string, imgs []*tensor.Tensor) (payloads []any, model string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	payloads, model, err = s.backend.DetectBatch(variant, task, imgs)
+	if err == nil && len(payloads) != len(imgs) {
+		err = fmt.Errorf("serve: backend returned %d payloads for %d images", len(payloads), len(imgs))
+	}
+	return payloads, model, err
+}
+
+// recordExec accounts one backend execution with the lane's breaker. A
+// successful execution that overran the latency SLO counts as a failure
+// ("slow is the new down"), so a lane that stops meeting its SLO trips open
+// and traffic degrades to the quantized fallback.
+func (s *Server) recordExec(variant, task string, err error, dur time.Duration) {
+	ok := err == nil
+	if ok && s.cfg.LatencySLO > 0 && dur > s.cfg.LatencySLO {
+		ok = false
+		s.m.add(&s.m.sloBreaches, 1)
+	}
+	if opened := s.h.record(laneKey(variant, task), ok, time.Now()); opened {
+		s.m.add(&s.m.breakerOpens, 1)
+	}
+}
+
+// evictVariant asks the backend to drop the variant's cached weights after
+// a panic or watchdog expiry, so the next selection reloads from storage
+// instead of trusting a possibly-corrupt resident copy.
+func (s *Server) evictVariant(variant string) {
+	if ev, ok := s.backend.(VariantEvicter); ok {
+		ev.EvictVariant(variant)
+		s.m.add(&s.m.variantEvictions, 1)
+	}
+}

@@ -1,0 +1,533 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"itask/internal/tensor"
+)
+
+// poisonMark in a test image's first element makes faultBackend panic when
+// the image appears in a batch — a deterministic per-request poison.
+const poisonMark = float32(13)
+
+// faultBackend is a controllable faulty backend implementing the full
+// optional interface surface: per-image poison panics, per-variant forced
+// failure modes, hangs, a fallback variant, and eviction recording.
+type faultBackend struct {
+	mu        sync.Mutex
+	variants  map[string]string // task -> preferred variant
+	fallback  string            // "" = no FallbackRouter behaviour
+	broken    map[string]string // variant -> "panic" | "error" | "hang"
+	hangFor   time.Duration
+	execs     map[string]int // per-variant executions
+	evicted   []string
+	execCount int
+}
+
+func newFaultBackend() *faultBackend {
+	return &faultBackend{
+		variants: map[string]string{"patrol": "student", "inspect": "gen"},
+		fallback: "gen",
+		broken:   map[string]string{},
+		execs:    map[string]int{},
+		hangFor:  time.Hour,
+	}
+}
+
+func (f *faultBackend) Route(task string) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.variants[task]
+	if !ok {
+		return "", fmt.Errorf("fault: unknown task %q", task)
+	}
+	return v, nil
+}
+
+func (f *faultBackend) RouteFallback(task string) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fallback == "" {
+		return "", fmt.Errorf("fault: no fallback")
+	}
+	return f.fallback, nil
+}
+
+func (f *faultBackend) EvictVariant(variant string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.evicted = append(f.evicted, variant)
+}
+
+func (f *faultBackend) DetectBatch(variant, task string, imgs []*tensor.Tensor) ([]any, string, error) {
+	f.mu.Lock()
+	f.execs[variant]++
+	f.execCount++
+	mode := f.broken[variant]
+	hang := f.hangFor
+	f.mu.Unlock()
+	switch mode {
+	case "panic":
+		panic(fmt.Sprintf("fault: variant %q broken", variant))
+	case "error":
+		return nil, "", fmt.Errorf("fault: variant %q erroring", variant)
+	case "hang":
+		time.Sleep(hang)
+	}
+	for _, img := range imgs {
+		if len(img.Data) > 0 && img.Data[0] == poisonMark {
+			panic("fault: poison image in batch")
+		}
+	}
+	out := make([]any, len(imgs))
+	for i := range imgs {
+		out[i] = i
+	}
+	return out, "model-" + variant, nil
+}
+
+func (f *faultBackend) executions(variant string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.execs[variant]
+}
+
+func (f *faultBackend) evictions() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.evicted...)
+}
+
+func poisonImage() *tensor.Tensor {
+	img := tensor.New(3, 4, 4)
+	img.Data[0] = poisonMark
+	return img
+}
+
+// faultConfig is a fault-tolerance-enabled config with breakers off by
+// default (individual tests opt in).
+func faultConfig() Config {
+	return Config{
+		Workers: 1, MaxBatch: 8, BatchDelay: time.Hour, QueueCap: 64,
+		LatencyWindow: 64, Watchdog: 0, RetryBudget: 3,
+	}
+}
+
+// A panicking backend must fail only the request, never the server.
+func TestPanicIsolatedToRequest(t *testing.T) {
+	fb := newFaultBackend()
+	cfg := faultConfig()
+	cfg.BatchDelay = 0
+	s := newTestServer(t, fb, cfg)
+
+	_, err := s.Detect(context.Background(), Request{Task: "patrol", Image: poisonImage()})
+	if !errors.Is(err, ErrBackendPanic) {
+		t.Fatalf("err = %v, want ErrBackendPanic", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T does not unwrap to *PanicError", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+	// The server must still serve.
+	if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()}); err != nil {
+		t.Fatalf("server broken after panic: %v", err)
+	}
+	snap := s.Snapshot()
+	if snap.PanicsRecovered == 0 {
+		t.Errorf("PanicsRecovered = 0; %+v", snap)
+	}
+	if snap.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1", snap.Quarantined)
+	}
+}
+
+// One poison request inside a coalesced batch must fail alone: quarantine
+// bisection retries the batch-mates, which all succeed.
+func TestQuarantineBisectsPoisonOutOfBatch(t *testing.T) {
+	fb := newFaultBackend()
+	s := newTestServer(t, fb, faultConfig())
+
+	const n = 8 // == MaxBatch: the lane flushes exactly once with all 8
+	chans := make([]<-chan Outcome, n)
+	poisonAt := 3
+	for i := 0; i < n; i++ {
+		img := testImage()
+		if i == poisonAt {
+			img = poisonImage()
+		}
+		ch, err := s.Submit(Request{Task: "patrol", Image: img})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		out := <-ch
+		if i == poisonAt {
+			if !errors.Is(out.Err, ErrBackendPanic) {
+				t.Errorf("poison request %d: err = %v, want ErrBackendPanic", i, out.Err)
+			}
+			continue
+		}
+		if out.Err != nil {
+			t.Errorf("healthy request %d failed: %v", i, out.Err)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1", snap.Quarantined)
+	}
+	if snap.Completed != n-1 {
+		t.Errorf("Completed = %d, want %d", snap.Completed, n-1)
+	}
+	if snap.QuarantineRetry == 0 {
+		t.Error("no quarantine retries recorded")
+	}
+	if snap.VariantEvictions == 0 || len(fb.evictions()) == 0 {
+		t.Error("panicking variant was not evicted from the cache")
+	}
+}
+
+// With RetryBudget 0 quarantine is disabled: a failed batch fails all its
+// requests (the pre-fault-tolerance behaviour, minus the crash).
+func TestRetryBudgetZeroFailsWholeBatch(t *testing.T) {
+	fb := newFaultBackend()
+	cfg := faultConfig()
+	cfg.RetryBudget = 0
+	s := newTestServer(t, fb, cfg)
+
+	chans := make([]<-chan Outcome, 4)
+	for i := range chans {
+		img := testImage()
+		if i == 0 {
+			img = poisonImage()
+		}
+		ch, err := s.Submit(Request{Task: "patrol", Image: img})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	// Flush the partially filled lane by shutting down.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+	for i, ch := range chans {
+		if out := <-ch; !errors.Is(out.Err, ErrBackendPanic) {
+			t.Errorf("request %d: err = %v, want ErrBackendPanic (no quarantine)", i, out.Err)
+		}
+	}
+}
+
+// A hung backend execution is abandoned by the watchdog and fails with
+// ErrWatchdog instead of wedging the worker forever.
+func TestWatchdogAbandonsHungExecution(t *testing.T) {
+	fb := newFaultBackend()
+	fb.broken["student"] = "hang"
+	fb.hangFor = 200 * time.Millisecond
+	cfg := faultConfig()
+	cfg.BatchDelay = 0
+	cfg.Watchdog = 20 * time.Millisecond
+	cfg.RetryBudget = 0
+	s := newTestServer(t, fb, cfg)
+
+	start := time.Now()
+	_, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()})
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want ErrWatchdog", err)
+	}
+	if waited := time.Since(start); waited > 150*time.Millisecond {
+		t.Errorf("watchdog took %v to fire (limit 20ms)", waited)
+	}
+	snap := s.Snapshot()
+	if snap.WatchdogTimeouts == 0 {
+		t.Errorf("WatchdogTimeouts = 0; %+v", snap)
+	}
+	if len(fb.evictions()) == 0 {
+		t.Error("hung variant was not evicted")
+	}
+}
+
+// Consecutive failures trip the lane's breaker; with no fallback the server
+// rejects with a BreakerOpenError carrying a Retry-After hint.
+func TestBreakerOpensAndRejectsWithoutFallback(t *testing.T) {
+	fb := newFaultBackend()
+	fb.broken["student"] = "error"
+	fb.fallback = "" // no fallback: open breaker means rejection
+	cfg := faultConfig()
+	cfg.BatchDelay = 0
+	cfg.RetryBudget = 0
+	cfg.BreakerThreshold = 2
+	cfg.BreakerBackoff = time.Hour
+	s := newTestServer(t, fb, cfg)
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()}); err == nil {
+			t.Fatalf("request %d should fail", i)
+		}
+	}
+	_, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	var bo *BreakerOpenError
+	if !errors.As(err, &bo) {
+		t.Fatalf("err %T is not *BreakerOpenError", err)
+	}
+	if bo.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", bo.RetryAfter)
+	}
+	snap := s.Snapshot()
+	if snap.BreakerOpens != 1 || snap.RejectedBreaker == 0 {
+		t.Errorf("breaker counters: opens=%d rejected=%d", snap.BreakerOpens, snap.RejectedBreaker)
+	}
+	found := false
+	for _, lb := range snap.Breakers {
+		if lb.Variant == "student" && lb.Task == "patrol" {
+			found = true
+			if lb.State != "open" {
+				t.Errorf("lane state = %q, want open", lb.State)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("student/patrol lane missing from breaker snapshot: %+v", snap.Breakers)
+	}
+	// Unrelated lanes stay unaffected.
+	if _, err := s.Detect(context.Background(), Request{Task: "inspect", Image: testImage()}); err != nil {
+		t.Errorf("healthy lane collateral damage: %v", err)
+	}
+}
+
+// With a fallback variant, an open breaker degrades traffic to the
+// quantized generalist instead of failing it, and the result says so.
+func TestBreakerOpenDegradesToFallback(t *testing.T) {
+	fb := newFaultBackend()
+	fb.broken["student"] = "panic"
+	cfg := faultConfig()
+	cfg.BatchDelay = 0
+	cfg.RetryBudget = 0
+	cfg.BreakerThreshold = 2
+	cfg.BreakerBackoff = time.Hour
+	s := newTestServer(t, fb, cfg)
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()}); !errors.Is(err, ErrBackendPanic) {
+			t.Fatalf("request %d: err = %v, want ErrBackendPanic", i, err)
+		}
+	}
+	res, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()})
+	if err != nil {
+		t.Fatalf("degraded request failed: %v", err)
+	}
+	if res.Model != "model-gen" {
+		t.Errorf("degraded request served by %q, want model-gen", res.Model)
+	}
+	if res.Degraded != DegradedBreakerOpen {
+		t.Errorf("Degraded = %q, want %q", res.Degraded, DegradedBreakerOpen)
+	}
+	snap := s.Snapshot()
+	if snap.DegradedRouted == 0 || snap.DegradedServed == 0 {
+		t.Errorf("degraded counters: routed=%d served=%d", snap.DegradedRouted, snap.DegradedServed)
+	}
+}
+
+// After the backoff elapses a half-open probe rides the real lane; when the
+// variant has healed, the probe closes the breaker and traffic returns to
+// the task-specific configuration.
+func TestBreakerHalfOpenProbeHeals(t *testing.T) {
+	fb := newFaultBackend()
+	fb.broken["student"] = "error"
+	cfg := faultConfig()
+	cfg.BatchDelay = 0
+	cfg.RetryBudget = 0
+	cfg.BreakerThreshold = 1
+	cfg.BreakerBackoff = 10 * time.Millisecond
+	s := newTestServer(t, fb, cfg)
+
+	if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()}); err == nil {
+		t.Fatal("first request should fail and trip the breaker")
+	}
+	// Heal the variant, wait out the backoff, and let the probe through.
+	fb.mu.Lock()
+	delete(fb.broken, "student")
+	fb.mu.Unlock()
+	time.Sleep(15 * time.Millisecond)
+
+	res, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()})
+	if err != nil {
+		t.Fatalf("probe request failed: %v", err)
+	}
+	if res.Model != "model-student" {
+		t.Errorf("probe served by %q, want model-student", res.Model)
+	}
+	res, err = s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()})
+	if err != nil || res.Degraded != "" {
+		t.Errorf("post-heal request: err=%v degraded=%q, want healthy primary", err, res.Degraded)
+	}
+	for _, lb := range s.Snapshot().Breakers {
+		if lb.Variant == "student" && lb.State != "closed" {
+			t.Errorf("healed lane state = %q, want closed", lb.State)
+		}
+	}
+}
+
+// A latency-SLO breach counts as a breaker failure, so a lane that goes
+// slow (not down) still degrades to the fallback.
+func TestLatencySLOBreachTripsBreaker(t *testing.T) {
+	fb := newFaultBackend()
+	fb.broken["student"] = "hang"
+	fb.hangFor = 30 * time.Millisecond // slow, not hung
+	cfg := faultConfig()
+	cfg.BatchDelay = 0
+	cfg.RetryBudget = 0
+	cfg.BreakerThreshold = 2
+	cfg.BreakerBackoff = time.Hour
+	cfg.LatencySLO = 5 * time.Millisecond
+	s := newTestServer(t, fb, cfg)
+
+	for i := 0; i < 2; i++ {
+		// The requests succeed — slowly.
+		if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()}); err != nil {
+			t.Fatalf("slow request %d failed: %v", i, err)
+		}
+	}
+	res, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()})
+	if err != nil {
+		t.Fatalf("degraded request failed: %v", err)
+	}
+	if res.Degraded != DegradedBreakerOpen || res.Model != "model-gen" {
+		t.Errorf("SLO breach did not degrade: model=%q degraded=%q", res.Model, res.Degraded)
+	}
+	if snap := s.Snapshot(); snap.SLOBreaches < 2 {
+		t.Errorf("SLOBreaches = %d, want >= 2", snap.SLOBreaches)
+	}
+}
+
+// Cancelling Detect's context before the lane flushes must shed the queued
+// request instead of executing it for nobody.
+func TestDetectCancelShedsQueuedRequest(t *testing.T) {
+	fb := newFaultBackend()
+	cfg := faultConfig()
+	cfg.BatchDelay = time.Hour // nothing flushes until shutdown
+	s, err := New(fb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Detect(ctx, Request{Task: "patrol", Image: testImage()})
+		done <- err
+	}()
+	// Wait until the request is queued, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Snapshot().Accepted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Detect err = %v, want context.Canceled", err)
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := fb.executions("student"); got != 0 {
+		t.Errorf("cancelled request executed anyway (%d executions)", got)
+	}
+	snap := s.Snapshot()
+	if snap.ShedCancelled != 1 {
+		t.Errorf("ShedCancelled = %d, want 1", snap.ShedCancelled)
+	}
+	if got := snap.Completed + snap.Failed + snap.ShedExpired + snap.ShedCancelled; got != snap.Accepted {
+		t.Errorf("books unbalanced with cancellation: accepted %d, terminal %d", snap.Accepted, got)
+	}
+}
+
+// badShapeBackend validates images, mimicking the pipeline backend.
+type badShapeBackend struct{ faultBackend }
+
+func (b *badShapeBackend) ValidateImage(img *tensor.Tensor) error {
+	if len(img.Shape) != 3 || img.Shape[0] != 3 {
+		return fmt.Errorf("image shape %v, want (3,H,W)", img.Shape)
+	}
+	return nil
+}
+
+// Malformed input is refused at admission with ErrBadShape, before it can
+// reach a kernel inside a shared batch.
+func TestBadShapeRejectedAtAdmission(t *testing.T) {
+	fb := &badShapeBackend{*newFaultBackend()}
+	cfg := faultConfig()
+	cfg.BatchDelay = 0
+	s := newTestServer(t, fb, cfg)
+
+	_, err := s.Detect(context.Background(), Request{Task: "patrol", Image: tensor.New(7)})
+	if !errors.Is(err, ErrBadShape) {
+		t.Fatalf("err = %v, want ErrBadShape", err)
+	}
+	if got := fb.executions("student"); got != 0 {
+		t.Errorf("malformed request reached the backend (%d executions)", got)
+	}
+	if snap := s.Snapshot(); snap.RejectedShape != 1 {
+		t.Errorf("RejectedShape = %d, want 1", snap.RejectedShape)
+	}
+	// A well-formed request still goes through.
+	if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()}); err != nil {
+		t.Fatalf("valid request failed: %v", err)
+	}
+}
+
+// A probe slot claimed at admission must be released when the request then
+// fails to enqueue, or the lane would be stuck half-open with no probe.
+func TestProbeSlotReleasedOnEnqueueFailure(t *testing.T) {
+	fb := newFaultBackend()
+	fb.broken["student"] = "error"
+	fb.fallback = ""
+	cfg := faultConfig()
+	cfg.BatchDelay = 0
+	cfg.RetryBudget = 0
+	cfg.BreakerThreshold = 1
+	cfg.BreakerBackoff = time.Millisecond
+	s, err := New(fb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()}); err == nil {
+		t.Fatal("first request should trip the breaker")
+	}
+	time.Sleep(5 * time.Millisecond) // backoff elapses: next admit claims the probe
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// This submission claims the probe slot, then fails with
+	// ErrShuttingDown; the slot must be released.
+	if _, err := s.Submit(Request{Task: "patrol", Image: testImage()}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("err = %v, want ErrShuttingDown", err)
+	}
+	s.h.mu.Lock()
+	br := s.h.lanes[laneKey("student", "patrol")]
+	probing := br != nil && br.probing
+	s.h.mu.Unlock()
+	if probing {
+		t.Error("probe slot leaked after enqueue failure")
+	}
+}

@@ -14,13 +14,27 @@ import (
 type metrics struct {
 	mu sync.Mutex
 
-	accepted       uint64
-	completed      uint64
-	failed         uint64
-	rejectedFull   uint64
-	rejectedClosed uint64
-	rejectedRoute  uint64
-	shedExpired    uint64
+	accepted        uint64
+	completed       uint64
+	failed          uint64
+	rejectedFull    uint64
+	rejectedClosed  uint64
+	rejectedRoute   uint64
+	rejectedShape   uint64
+	rejectedBreaker uint64
+	shedExpired     uint64
+	shedCancelled   uint64
+
+	// Fault-tolerance counters.
+	panics           uint64 // backend panics recovered
+	watchdogs        uint64 // executions abandoned by the watchdog
+	retries          uint64 // per-request quarantine re-executions
+	quarantined      uint64 // requests failed in isolation (batch of one)
+	sloBreaches      uint64 // successful executions slower than LatencySLO
+	breakerOpens     uint64 // closed/half-open -> open transitions
+	degradedRouted   uint64 // admissions rerouted to the fallback variant
+	degradedServed   uint64 // requests completed on the fallback variant
+	variantEvictions uint64 // cached variants dropped after panic/watchdog
 
 	batches   uint64
 	batchHist []uint64 // index i counts batches of size i+1
@@ -71,13 +85,34 @@ type Snapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
 	// Admission counters.
-	Accepted       uint64 `json:"accepted"`
-	Completed      uint64 `json:"completed"`
-	Failed         uint64 `json:"failed"`
-	RejectedFull   uint64 `json:"rejected_queue_full"`
-	RejectedClosed uint64 `json:"rejected_shutting_down"`
-	RejectedRoute  uint64 `json:"rejected_unroutable"`
-	ShedExpired    uint64 `json:"shed_deadline_expired"`
+	Accepted        uint64 `json:"accepted"`
+	Completed       uint64 `json:"completed"`
+	Failed          uint64 `json:"failed"`
+	RejectedFull    uint64 `json:"rejected_queue_full"`
+	RejectedClosed  uint64 `json:"rejected_shutting_down"`
+	RejectedRoute   uint64 `json:"rejected_unroutable"`
+	RejectedShape   uint64 `json:"rejected_bad_shape"`
+	RejectedBreaker uint64 `json:"rejected_breaker_open"`
+	ShedExpired     uint64 `json:"shed_deadline_expired"`
+	ShedCancelled   uint64 `json:"shed_cancelled"`
+
+	// Fault-tolerance counters: recovered backend panics, watchdog-
+	// abandoned executions, quarantine bisection retries, requests failed
+	// in isolation as the proven poison, latency-SLO breaches, breaker
+	// trips, traffic rerouted to / completed on the quantized fallback,
+	// and cached variants evicted after a panic or hang.
+	PanicsRecovered  uint64 `json:"panics_recovered"`
+	WatchdogTimeouts uint64 `json:"watchdog_timeouts"`
+	QuarantineRetry  uint64 `json:"quarantine_retries"`
+	Quarantined      uint64 `json:"quarantined_poison"`
+	SLOBreaches      uint64 `json:"slo_breaches"`
+	BreakerOpens     uint64 `json:"breaker_opens"`
+	DegradedRouted   uint64 `json:"degraded_routed"`
+	DegradedServed   uint64 `json:"degraded_served"`
+	VariantEvictions uint64 `json:"variant_evictions"`
+
+	// Breakers lists every (variant, task) lane's circuit-breaker state.
+	Breakers []LaneBreaker `json:"breakers,omitempty"`
 
 	// QueueDepth is the number of admitted requests waiting in lanes.
 	QueueDepth int `json:"queue_depth"`
@@ -105,17 +140,29 @@ type Snapshot struct {
 func (m *metrics) snapshot(uptime time.Duration, queueDepth int) Snapshot {
 	m.mu.Lock()
 	snap := Snapshot{
-		UptimeSeconds:  uptime.Seconds(),
-		Accepted:       m.accepted,
-		Completed:      m.completed,
-		Failed:         m.failed,
-		RejectedFull:   m.rejectedFull,
-		RejectedClosed: m.rejectedClosed,
-		RejectedRoute:  m.rejectedRoute,
-		ShedExpired:    m.shedExpired,
-		QueueDepth:     queueDepth,
-		Batches:        m.batches,
-		BatchHist:      append([]uint64(nil), m.batchHist...),
+		UptimeSeconds:    uptime.Seconds(),
+		Accepted:         m.accepted,
+		Completed:        m.completed,
+		Failed:           m.failed,
+		RejectedFull:     m.rejectedFull,
+		RejectedClosed:   m.rejectedClosed,
+		RejectedRoute:    m.rejectedRoute,
+		RejectedShape:    m.rejectedShape,
+		RejectedBreaker:  m.rejectedBreaker,
+		ShedExpired:      m.shedExpired,
+		ShedCancelled:    m.shedCancelled,
+		PanicsRecovered:  m.panics,
+		WatchdogTimeouts: m.watchdogs,
+		QuarantineRetry:  m.retries,
+		Quarantined:      m.quarantined,
+		SLOBreaches:      m.sloBreaches,
+		BreakerOpens:     m.breakerOpens,
+		DegradedRouted:   m.degradedRouted,
+		DegradedServed:   m.degradedServed,
+		VariantEvictions: m.variantEvictions,
+		QueueDepth:       queueDepth,
+		Batches:          m.batches,
+		BatchHist:        append([]uint64(nil), m.batchHist...),
 	}
 	lat := append([]float64(nil), m.latUS...)
 	m.mu.Unlock()

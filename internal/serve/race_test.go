@@ -24,8 +24,8 @@ func (b *schedBackend) Route(task string) (string, error) {
 	return b.s.Route(sched.Request{Task: task})
 }
 
-func (b *schedBackend) DetectBatch(task string, imgs []*tensor.Tensor) ([]any, string, error) {
-	dets, m, err := b.s.DetectBatch(sched.Request{Task: task}, imgs)
+func (b *schedBackend) DetectBatch(variant, task string, imgs []*tensor.Tensor) ([]any, string, error) {
+	dets, m, err := b.s.DetectBatchOn(variant, imgs)
 	if err != nil {
 		return nil, "", err
 	}

@@ -4,28 +4,40 @@
 // micro-batches (flushing on batch-size or a wait deadline), and executes
 // the batches on a bounded worker pool.
 //
-// The design is queue → batcher → worker pool:
+// The design is queue → batcher → worker pool, wrapped in a fault-
+// tolerance layer:
 //
 //   - Admission: a bounded queue with backpressure. Requests beyond
 //     QueueCap are rejected immediately with ErrQueueFull (reject-with-
 //     reason rather than unbounded growth), requests whose deadline has
-//     already passed are refused, and a draining server refuses everything
-//     with ErrShuttingDown.
+//     already passed are refused, malformed input is refused with
+//     ErrBadShape before it can reach a kernel, and a draining server
+//     refuses everything with ErrShuttingDown.
 //   - Batching: per-(variant, task) lanes coalesce compatible requests. A
 //     lane flushes when it reaches MaxBatch or when its oldest request has
 //     waited BatchDelay — bounded added latency in exchange for the
 //     weight-stationary amortization batched execution gets on the
 //     accelerator (see hwsim.SimulateAccelBatch).
 //   - Execution: Workers goroutines drain flushed batches. Requests whose
-//     deadline passed while queued are shed at execution time (their slot
-//     is not wasted on work nobody is waiting for).
+//     deadline passed while queued are shed at execution time, every
+//     backend call runs under recover (a kernel panic becomes a
+//     *PanicError, never a crash) and under the Watchdog deadline, and a
+//     failed batch is bisect-retried so only the poison request(s) fail
+//     while their batch-mates succeed.
+//   - Degradation: each (variant, task) lane has a circuit breaker.
+//     Consecutive failures (including latency-SLO breaches) trip it open;
+//     open lanes route new requests to the backend's fallback variant —
+//     the paper's quantized generalist configuration — marked in
+//     Result.Degraded, and heal through exponential-backoff half-open
+//     probes.
 //   - Shutdown: Shutdown flushes every lane, stops admissions, drains
 //     in-flight batches, and waits for the workers to exit.
 //
 // All latency accounting is wall-clock from admission, and the server keeps
 // a metrics snapshot (p50/p95/p99 latency, throughput, batch-size
-// histogram, queue depth, shed/reject counts, model-cache hit rate) for the
-// /metricsz endpoint of cmd/itask-serve.
+// histogram, queue depth, shed/reject/fault counters, per-lane breaker
+// states, model-cache hit rate) for the /metricsz endpoint of
+// cmd/itask-serve.
 package serve
 
 import (
@@ -35,7 +47,7 @@ import (
 	"time"
 )
 
-// Sentinel errors returned by the admission path.
+// Sentinel errors returned by the admission and execution paths.
 var (
 	// ErrQueueFull reports that the admission queue is at QueueCap; the
 	// caller should back off (HTTP 429).
@@ -47,6 +59,21 @@ var (
 	// before execution — either refused at admission or shed while queued
 	// (HTTP 504).
 	ErrDeadlineExceeded = errors.New("serve: deadline exceeded before execution")
+	// ErrBadShape reports that the request's image failed the backend's
+	// shape validation at admission (HTTP 400). Input is rejected here so
+	// it can never reach a panicking kernel inside a shared micro-batch.
+	ErrBadShape = errors.New("serve: bad image shape")
+	// ErrBackendPanic is the sentinel under every *PanicError: the backend
+	// panicked while executing a batch and the server recovered (HTTP 500
+	// for the isolated poison request).
+	ErrBackendPanic = errors.New("serve: backend panicked")
+	// ErrWatchdog reports that a backend execution exceeded the Watchdog
+	// deadline and was abandoned (HTTP 504).
+	ErrWatchdog = errors.New("serve: execution watchdog expired")
+	// ErrBreakerOpen is the sentinel under every *BreakerOpenError: the
+	// routed lane's circuit breaker is open and no healthy fallback exists
+	// (HTTP 503 with Retry-After).
+	ErrBreakerOpen = errors.New("serve: circuit breaker open")
 )
 
 // Config sizes the serving layer.
@@ -69,17 +96,50 @@ type Config struct {
 	// LatencyWindow is how many recent request latencies the metrics
 	// snapshot computes percentiles over.
 	LatencyWindow int
+
+	// Watchdog bounds a single backend execution: a batch still running
+	// after it is abandoned and fails with ErrWatchdog. Zero disables the
+	// watchdog.
+	Watchdog time.Duration
+	// RetryBudget is how many times one request may be re-executed during
+	// quarantine bisection after a batch it rode in failed. Zero disables
+	// quarantine: a failed batch fails all its requests. log2(MaxBatch)
+	// retries suffice to fully isolate a single poison request.
+	RetryBudget int
+	// BreakerThreshold is how many consecutive failed executions trip a
+	// (variant, task) lane's circuit breaker open. Zero disables the
+	// breakers.
+	BreakerThreshold int
+	// BreakerBackoff is how long a freshly opened breaker refuses the lane
+	// before admitting a half-open probe; each failed probe doubles it up
+	// to BreakerMaxBackoff. Required when BreakerThreshold > 0.
+	BreakerBackoff time.Duration
+	// BreakerMaxBackoff caps the exponential backoff (defaults to
+	// BreakerBackoff when smaller).
+	BreakerMaxBackoff time.Duration
+	// LatencySLO, when non-zero, marks successful executions slower than
+	// it as breaker failures, so a lane that stops meeting its latency
+	// objective degrades to the fallback variant like a failing one.
+	LatencySLO time.Duration
 }
 
 // DefaultConfig returns a configuration sized for the laptop-scale models:
-// two workers, batches of up to 8, and a 2ms coalescing window.
+// two workers, batches of up to 8, a 2ms coalescing window, and the fault-
+// tolerance layer on (10s watchdog, 3 quarantine retries — enough to
+// isolate any single poison request in a batch of 8 — and breakers that
+// open after 5 consecutive failures for 500ms, backing off to 30s).
 func DefaultConfig() Config {
 	return Config{
-		Workers:       2,
-		MaxBatch:      8,
-		BatchDelay:    2 * time.Millisecond,
-		QueueCap:      256,
-		LatencyWindow: 4096,
+		Workers:           2,
+		MaxBatch:          8,
+		BatchDelay:        2 * time.Millisecond,
+		QueueCap:          256,
+		LatencyWindow:     4096,
+		Watchdog:          10 * time.Second,
+		RetryBudget:       3,
+		BreakerThreshold:  5,
+		BreakerBackoff:    500 * time.Millisecond,
+		BreakerMaxBackoff: 30 * time.Second,
 	}
 }
 
@@ -99,6 +159,21 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative DefaultTimeout %v", c.DefaultTimeout)
 	case c.LatencyWindow <= 0:
 		return fmt.Errorf("serve: LatencyWindow must be positive, got %d", c.LatencyWindow)
+	case c.Watchdog < 0:
+		return fmt.Errorf("serve: negative Watchdog %v", c.Watchdog)
+	case c.RetryBudget < 0:
+		return fmt.Errorf("serve: negative RetryBudget %d", c.RetryBudget)
+	case c.BreakerThreshold < 0:
+		return fmt.Errorf("serve: negative BreakerThreshold %d", c.BreakerThreshold)
+	case c.BreakerThreshold > 0 && c.BreakerBackoff <= 0:
+		return fmt.Errorf("serve: BreakerThreshold %d needs a positive BreakerBackoff, got %v",
+			c.BreakerThreshold, c.BreakerBackoff)
+	case c.BreakerBackoff < 0:
+		return fmt.Errorf("serve: negative BreakerBackoff %v", c.BreakerBackoff)
+	case c.BreakerMaxBackoff < 0:
+		return fmt.Errorf("serve: negative BreakerMaxBackoff %v", c.BreakerMaxBackoff)
+	case c.LatencySLO < 0:
+		return fmt.Errorf("serve: negative LatencySLO %v", c.LatencySLO)
 	}
 	return nil
 }
@@ -111,6 +186,7 @@ type Server struct {
 	start   time.Time
 
 	st *state
+	h  *health
 
 	batchCh chan *batch
 	m       *metrics
@@ -130,6 +206,7 @@ func New(b Backend, cfg Config) (*Server, error) {
 		backend: b,
 		start:   time.Now(),
 		st:      newState(),
+		h:       newHealth(cfg.BreakerThreshold, cfg.BreakerBackoff, cfg.BreakerMaxBackoff),
 		batchCh: make(chan *batch, cfg.Workers),
 		m:       newMetrics(cfg.MaxBatch, cfg.LatencyWindow),
 	}
@@ -143,11 +220,33 @@ func New(b Backend, cfg Config) (*Server, error) {
 // Submit admits one request and returns the channel its outcome will be
 // delivered on (buffered: the result is never lost if the caller walks
 // away). Admission fails fast with ErrQueueFull, ErrShuttingDown,
-// ErrDeadlineExceeded, or the backend's routing error.
+// ErrDeadlineExceeded, ErrBadShape, a *BreakerOpenError, or the backend's
+// routing error.
 func (s *Server) Submit(req Request) (<-chan Outcome, error) {
+	p, err := s.submit(req)
+	if err != nil {
+		return nil, err
+	}
+	return p.done, nil
+}
+
+// submit is the admission path behind Submit and Detect: validation,
+// deadline defaulting, routing, breaker consultation (with fallback
+// rerouting when the preferred lane is open), and enqueue.
+func (s *Server) submit(req Request) (*pending, error) {
 	now := time.Now()
 	if req.Image == nil {
-		return nil, fmt.Errorf("serve: nil image")
+		s.m.add(&s.m.rejectedShape, 1)
+		return nil, fmt.Errorf("serve: nil image: %w", ErrBadShape)
+	}
+	if v, ok := s.backend.(ImageValidator); ok {
+		if err := v.ValidateImage(req.Image); err != nil {
+			s.m.add(&s.m.rejectedShape, 1)
+			if !errors.Is(err, ErrBadShape) {
+				err = fmt.Errorf("%w: %v", ErrBadShape, err)
+			}
+			return nil, err
+		}
 	}
 	deadline := req.Deadline
 	if deadline.IsZero() && s.cfg.DefaultTimeout > 0 {
@@ -162,36 +261,90 @@ func (s *Server) Submit(req Request) (<-chan Outcome, error) {
 		s.m.add(&s.m.rejectedRoute, 1)
 		return nil, err
 	}
+
+	// Consult the lane's breaker; an open breaker degrades the request to
+	// the fallback variant (the quantized generalist) when the backend
+	// offers one and its lane is not itself open.
+	degraded := ""
+	probeKey := "" // non-empty when this request claimed a half-open probe slot
+	key := laneKey(variant, req.Task)
+	switch s.h.admit(key, now) {
+	case admitProbe:
+		probeKey = key
+	case admitDeny:
+		fv, ok := s.fallbackFor(req.Task, variant, now, &probeKey)
+		if !ok {
+			s.m.add(&s.m.rejectedBreaker, 1)
+			return nil, &BreakerOpenError{
+				Variant:    variant,
+				Task:       req.Task,
+				RetryAfter: s.h.retryAfter(key, now),
+			}
+		}
+		variant = fv
+		degraded = DegradedBreakerOpen
+		s.m.add(&s.m.degradedRouted, 1)
+	}
+
 	p := &pending{
 		image:    req.Image,
 		deadline: deadline,
 		enq:      now,
+		degraded: degraded,
 		done:     make(chan Outcome, 1),
 	}
 	if err := s.enqueue(variant, req.Task, p); err != nil {
+		if probeKey != "" {
+			s.h.releaseProbe(probeKey)
+		}
 		return nil, err
 	}
 	s.m.add(&s.m.accepted, 1)
-	return p.done, nil
+	return p, nil
+}
+
+// fallbackFor resolves a healthy fallback lane for a task whose preferred
+// variant's breaker is open. Reports ok=false when the backend has no
+// fallback, the fallback is the broken variant itself, or the fallback
+// lane's breaker is also open.
+func (s *Server) fallbackFor(taskName, brokenVariant string, now time.Time, probeKey *string) (string, bool) {
+	fr, ok := s.backend.(FallbackRouter)
+	if !ok {
+		return "", false
+	}
+	fv, err := fr.RouteFallback(taskName)
+	if err != nil || fv == brokenVariant {
+		return "", false
+	}
+	switch s.h.admit(laneKey(fv, taskName), now) {
+	case admitDeny:
+		return "", false
+	case admitProbe:
+		*probeKey = laneKey(fv, taskName)
+	}
+	return fv, true
 }
 
 // Detect is the synchronous entry point: it submits the request and waits
 // for its outcome or for ctx. A ctx deadline doubles as the request
-// deadline when the request carries none.
+// deadline when the request carries none. When ctx is cancelled before the
+// batcher flushes, the queued request is marked cancelled and shed at
+// execution time instead of being run for nobody (and its image released).
 func (s *Server) Detect(ctx context.Context, req Request) (Result, error) {
 	if req.Deadline.IsZero() {
 		if d, ok := ctx.Deadline(); ok {
 			req.Deadline = d
 		}
 	}
-	ch, err := s.Submit(req)
+	p, err := s.submit(req)
 	if err != nil {
 		return Result{}, err
 	}
 	select {
-	case out := <-ch:
+	case out := <-p.done:
 		return out.Res, out.Err
 	case <-ctx.Done():
+		p.cancelled.Store(true)
 		return Result{}, ctx.Err()
 	}
 }
@@ -247,6 +400,7 @@ func (s *Server) Snapshot() Snapshot {
 	depth := s.st.queued
 	s.st.mu.Unlock()
 	snap := s.m.snapshot(time.Since(s.start), depth)
+	snap.Breakers = s.h.snapshot(time.Now())
 	if cs, ok := s.backend.(CacheStatser); ok {
 		stats := cs.CacheStats()
 		snap.Cache = &stats

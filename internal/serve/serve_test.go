@@ -39,7 +39,7 @@ func (f *fakeBackend) Route(task string) (string, error) {
 	return v, nil
 }
 
-func (f *fakeBackend) DetectBatch(task string, imgs []*tensor.Tensor) ([]any, string, error) {
+func (f *fakeBackend) DetectBatch(variant, task string, imgs []*tensor.Tensor) ([]any, string, error) {
 	f.mu.Lock()
 	f.batchSizes = append(f.batchSizes, len(imgs))
 	delay, fail := f.delay, f.fail

@@ -410,6 +410,38 @@ func (p *Pipeline) modelInfo(model *sched.Model, batch int) ModelInfo {
 	}
 }
 
+// ValidateImage checks that img is a well-formed model input — a (3,S,S)
+// tensor for the pipeline's configured image size — without running it.
+// Malformed input fails with an error wrapping serve.ErrBadShape, so the
+// serving layer (which calls this at admission via the ImageValidator
+// interface) rejects it before it can reach a panicking kernel inside a
+// shared micro-batch.
+func (p *Pipeline) ValidateImage(img *tensor.Tensor) error {
+	size := p.opts.TeacherCfg.ImageSize
+	ch := p.opts.TeacherCfg.Channels
+	switch {
+	case img == nil:
+		return fmt.Errorf("itask: nil image: %w", serve.ErrBadShape)
+	case len(img.Shape) != 3 || img.Shape[0] != ch || img.Shape[1] != size || img.Shape[2] != size:
+		return fmt.Errorf("itask: image shape %v, want [%d %d %d]: %w",
+			img.Shape, ch, size, size, serve.ErrBadShape)
+	case len(img.Data) != ch*size*size:
+		return fmt.Errorf("itask: image data has %d values for shape %v: %w",
+			len(img.Data), img.Shape, serve.ErrBadShape)
+	}
+	return nil
+}
+
+// validateImages applies ValidateImage to a whole batch.
+func (p *Pipeline) validateImages(imgs []*tensor.Tensor) error {
+	for i, img := range imgs {
+		if err := p.ValidateImage(img); err != nil {
+			return fmt.Errorf("image %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // Detect runs task-conditioned detection on one (3,H,W) image: the
 // scheduler picks the configuration, the model detects, and the task's KG
 // priors filter irrelevant classes.
@@ -420,6 +452,9 @@ func (p *Pipeline) Detect(taskName string, img *tensor.Tensor) ([]Detection, Mod
 	}
 	if p.teacher == nil {
 		return nil, ModelInfo{}, fmt.Errorf("itask: train the generalist first")
+	}
+	if err := p.ValidateImage(img); err != nil {
+		return nil, ModelInfo{}, err
 	}
 	raw, model, err := p.scheduler.Detect(sched.Request{Task: taskName}, img)
 	if err != nil {
@@ -445,15 +480,49 @@ func (p *Pipeline) DetectBatch(taskName string, imgs []*tensor.Tensor) ([][]Dete
 	if p.teacher == nil {
 		return nil, ModelInfo{}, fmt.Errorf("itask: train the generalist first")
 	}
+	if err := p.validateImages(imgs); err != nil {
+		return nil, ModelInfo{}, err
+	}
 	raw, model, err := p.scheduler.DetectBatch(sched.Request{Task: taskName}, imgs)
 	if err != nil {
 		return nil, ModelInfo{}, err
 	}
+	return p.decodeBatch(ts, raw, model, len(imgs))
+}
+
+// DetectBatchOn is DetectBatch pinned to a specific registered variant
+// instead of the scheduler's preference — the execution path behind the
+// serving layer's fault-tolerant lanes, where a batch must run on exactly
+// the variant it was coalesced (or degraded) for.
+func (p *Pipeline) DetectBatchOn(variant, taskName string, imgs []*tensor.Tensor) ([][]Detection, ModelInfo, error) {
+	if len(imgs) == 0 {
+		return nil, ModelInfo{}, fmt.Errorf("itask: empty batch")
+	}
+	ts, ok := p.task(taskName)
+	if !ok {
+		return nil, ModelInfo{}, fmt.Errorf("itask: task %q not defined", taskName)
+	}
+	if p.teacher == nil {
+		return nil, ModelInfo{}, fmt.Errorf("itask: train the generalist first")
+	}
+	if err := p.validateImages(imgs); err != nil {
+		return nil, ModelInfo{}, err
+	}
+	raw, model, err := p.scheduler.DetectBatchOn(variant, imgs)
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	return p.decodeBatch(ts, raw, model, len(imgs))
+}
+
+// decodeBatch applies the task's KG priors to every image's raw detections
+// and attaches the per-image accelerator cost report.
+func (p *Pipeline) decodeBatch(ts *taskState, raw [][]geom.Scored, model *sched.Model, batch int) ([][]Detection, ModelInfo, error) {
 	out := make([][]Detection, len(raw))
 	for i, dets := range raw {
 		out[i] = p.filterByPriors(ts, dets)
 	}
-	return out, p.modelInfo(model, len(imgs)), nil
+	return out, p.modelInfo(model, batch), nil
 }
 
 // Tasks returns the names of all defined tasks, sorted.
@@ -506,7 +575,9 @@ func (p *Pipeline) Student(taskName string) *vit.Model {
 func (p *Pipeline) SchedulerStats() sched.CacheStats { return p.scheduler.Stats() }
 
 // serveBackend adapts the pipeline to the serving layer's Backend
-// interface. Payloads are []Detection per image.
+// interface (plus the optional FallbackRouter, VariantEvicter,
+// ImageValidator, and CacheStatser extensions). Payloads are []Detection
+// per image.
 type serveBackend struct{ p *Pipeline }
 
 func (b serveBackend) Route(task string) (string, error) {
@@ -516,8 +587,18 @@ func (b serveBackend) Route(task string) (string, error) {
 	return b.p.scheduler.Route(sched.Request{Task: task})
 }
 
-func (b serveBackend) DetectBatch(task string, imgs []*tensor.Tensor) ([]any, string, error) {
-	dets, info, err := b.p.DetectBatch(task, imgs)
+// RouteFallback names the quantized generalist as the degraded path for
+// any defined task, letting the server keep serving a task whose
+// task-specific lane tripped its circuit breaker.
+func (b serveBackend) RouteFallback(task string) (string, error) {
+	if _, ok := b.p.task(task); !ok {
+		return "", fmt.Errorf("itask: task %q not defined", task)
+	}
+	return b.p.scheduler.RouteFallback(sched.Request{Task: task})
+}
+
+func (b serveBackend) DetectBatch(variant, task string, imgs []*tensor.Tensor) ([]any, string, error) {
+	dets, info, err := b.p.DetectBatchOn(variant, task, imgs)
 	if err != nil {
 		return nil, "", err
 	}
@@ -527,6 +608,14 @@ func (b serveBackend) DetectBatch(task string, imgs []*tensor.Tensor) ([]any, st
 	}
 	return payloads, info.Name, nil
 }
+
+// EvictVariant drops the variant's weights from the model cache after the
+// server saw it panic or hang, forcing a fresh load on next selection.
+func (b serveBackend) EvictVariant(variant string) { b.p.scheduler.Evict(variant) }
+
+// ValidateImage rejects malformed input at admission (serve.ErrBadShape)
+// before it can reach a kernel.
+func (b serveBackend) ValidateImage(img *tensor.Tensor) error { return b.p.ValidateImage(img) }
 
 func (b serveBackend) CacheStats() sched.CacheStats { return b.p.scheduler.Stats() }
 
