@@ -174,7 +174,16 @@ func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, "body too large or unreadable")
+		// Only an actual entity-too-large condition is 413; other read
+		// failures (client disconnects, network errors) are the request's
+		// problem, not its size.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		} else {
+			httpError(w, http.StatusBadRequest, "unreadable request body")
+		}
 		return
 	}
 	dr, err := parseDetectRequest(body, h.imageSize)

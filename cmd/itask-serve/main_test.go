@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// errReader simulates a network read failure mid-body — not an
+// entity-too-large condition.
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, errors.New("connection reset") }
+
+// Only a genuinely oversized body maps to 413; other body read failures
+// (client disconnects, network errors) are 400.
+func TestDetectBodyReadStatusCodes(t *testing.T) {
+	h := &handler{imageSize: testImageSize}
+
+	big := bytes.Repeat([]byte("x"), maxBodyBytes+1)
+	rec := httptest.NewRecorder()
+	h.detect(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", bytes.NewReader(big)))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status = %d, want %d", rec.Code, http.StatusRequestEntityTooLarge)
+	}
+
+	rec = httptest.NewRecorder()
+	h.detect(rec, httptest.NewRequest(http.MethodPost, "/v1/detect", errReader{}))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unreadable body: status = %d, want %d", rec.Code, http.StatusBadRequest)
+	}
+}

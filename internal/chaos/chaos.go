@@ -19,13 +19,16 @@
 //     depends on scheduling, so tests that need exact reproducibility
 //     should prefer the per-request style or a single worker.
 //
-// Backend implements the serving layer's Backend, FallbackRouter,
-// VariantEvicter, ImageValidator, and CacheStatser contracts structurally
-// (delegating the optional ones to the inner backend when it implements
-// them), so it can be dropped between any server and backend unchanged.
+// Backend implements the serving layer's Backend, ContextBackend,
+// FallbackRouter, VariantEvicter, ImageValidator, and CacheStatser
+// contracts structurally (delegating the optional ones to the inner backend
+// when it implements them), so it can be dropped between any server and
+// backend unchanged. Injected hangs and latency sleeps honor execution-
+// context cancellation, so the server's watchdog can actually stop them.
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -250,6 +253,15 @@ func (b *Backend) CacheStats() sched.CacheStats {
 // error draw, latency draw — then delegates to the inner backend and
 // finally applies payload corruption to the successful result.
 func (b *Backend) DetectBatch(variant, task string, imgs []*tensor.Tensor) ([]any, string, error) {
+	return b.DetectBatchContext(context.Background(), variant, task, imgs)
+}
+
+// DetectBatchContext is the cancellation-aware execution path (the serving
+// layer's serve.ContextBackend): injected hangs and latency sleeps end
+// early with ctx.Err() when ctx is cancelled, so a watchdog-abandoned
+// execution stops instead of leaking a sleeping goroutine. The inner
+// backend's own context support is used when it has any.
+func (b *Backend) DetectBatchContext(ctx context.Context, variant, task string, imgs []*tensor.Tensor) ([]any, string, error) {
 	b.mu.Lock()
 	b.stats.Executions++
 	mode, forced := b.broken[variant]
@@ -265,7 +277,9 @@ func (b *Backend) DetectBatch(variant, task string, imgs []*tensor.Tensor) ([]an
 		case FaultError:
 			return nil, "", fmt.Errorf("chaos: variant %q forced error", variant)
 		case FaultHang:
-			time.Sleep(hang)
+			if !sleepCtx(ctx, hang) {
+				return nil, "", ctx.Err()
+			}
 		}
 	}
 	for i, img := range imgs {
@@ -280,9 +294,20 @@ func (b *Backend) DetectBatch(variant, task string, imgs []*tensor.Tensor) ([]an
 		return nil, "", fmt.Errorf("chaos: injected error on variant %q", variant)
 	}
 	if b.draw(b.cfg.LatencyRate, &b.stats.Latencies) {
-		time.Sleep(b.cfg.Latency)
+		if !sleepCtx(ctx, b.cfg.Latency) {
+			return nil, "", ctx.Err()
+		}
 	}
-	payloads, model, err := b.inner.DetectBatch(variant, task, imgs)
+	var payloads []any
+	var model string
+	var err error
+	if cb, ok := b.inner.(interface {
+		DetectBatchContext(context.Context, string, string, []*tensor.Tensor) ([]any, string, error)
+	}); ok {
+		payloads, model, err = cb.DetectBatchContext(ctx, variant, task, imgs)
+	} else {
+		payloads, model, err = b.inner.DetectBatch(variant, task, imgs)
+	}
 	if err != nil {
 		return payloads, model, err
 	}
@@ -290,6 +315,18 @@ func (b *Backend) DetectBatch(variant, task string, imgs []*tensor.Tensor) ([]an
 		payloads = payloads[:len(payloads)-1]
 	}
 	return payloads, model, nil
+}
+
+// sleepCtx sleeps for d, reporting false when ctx is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Fixed is a minimal healthy backend for chaos tests and demos: a static

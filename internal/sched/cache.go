@@ -12,7 +12,14 @@ import (
 
 // CacheStats counts cache behaviour for the runtime experiments.
 type CacheStats struct {
+	// Hits, Misses, and Evictions account budget-driven behaviour:
+	// Evictions counts only capacity-pressure LRU drops made to fit a load.
 	Hits, Misses, Evictions int
+	// QuarantineEvictions counts health-driven drops via Evict — variants
+	// whose weights the serving layer stopped trusting after a panic or
+	// hang. Kept separate from Evictions so /metricsz distinguishes budget
+	// churn from fault quarantine.
+	QuarantineEvictions int
 	// BytesLoaded is the cumulative weight traffic from storage to RAM.
 	BytesLoaded int64
 }
@@ -93,7 +100,8 @@ func (c *lruCache) ensure(name string, size int64) (hit bool, err error) {
 // evict drops name from the cache if resident, reporting whether it was.
 // Used to quarantine possibly-corrupt weights after the variant panicked or
 // hung: the entry must not stay cached as healthy, so the next ensure is a
-// miss that reloads from storage.
+// miss that reloads from storage. Counted as a QuarantineEviction, not an
+// LRU Eviction.
 func (c *lruCache) evict(name string) bool {
 	el, ok := c.index[name]
 	if !ok {
@@ -103,7 +111,7 @@ func (c *lruCache) evict(name string) bool {
 	c.order.Remove(el)
 	delete(c.index, name)
 	c.used -= victim.size
-	c.stats.Evictions++
+	c.stats.QuarantineEvictions++
 	return true
 }
 

@@ -48,8 +48,12 @@ func TestEvictedVariantNotCachedAsHealthy(t *testing.T) {
 		}
 	}
 	after := s.Stats()
-	if after.Evictions != before.Evictions+1 {
-		t.Errorf("Evictions = %d, want %d", after.Evictions, before.Evictions+1)
+	if after.QuarantineEvictions != before.QuarantineEvictions+1 {
+		t.Errorf("QuarantineEvictions = %d, want %d", after.QuarantineEvictions, before.QuarantineEvictions+1)
+	}
+	if after.Evictions != before.Evictions {
+		t.Errorf("LRU Evictions = %d, want %d (quarantine must not count as budget churn)",
+			after.Evictions, before.Evictions)
 	}
 
 	// Re-selecting must be a miss (fresh load), not a hit on the stale
@@ -84,7 +88,7 @@ func TestEvictFreesBudgetForOthers(t *testing.T) {
 	if got := len(s.Resident()); got != 2 {
 		t.Fatalf("resident count = %d, want 2", got)
 	}
-	evictionsBefore := s.Stats().Evictions
+	quarantinedBefore := s.Stats().QuarantineEvictions
 	s.Evict("patrol-student")
 	// Reloading the student must now fit without LRU-evicting gen.
 	if _, err := s.SelectByName("patrol-student"); err != nil {
@@ -94,8 +98,12 @@ func TestEvictFreesBudgetForOthers(t *testing.T) {
 	if len(resident) != 2 {
 		t.Fatalf("resident = %v, want both models", resident)
 	}
-	if got := s.Stats().Evictions; got != evictionsBefore+1 {
-		t.Errorf("Evictions = %d, want %d (only the explicit one)", got, evictionsBefore+1)
+	st := s.Stats()
+	if st.QuarantineEvictions != quarantinedBefore+1 {
+		t.Errorf("QuarantineEvictions = %d, want %d (only the explicit one)", st.QuarantineEvictions, quarantinedBefore+1)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("LRU Evictions = %d, want 0 (the freed bytes made room)", st.Evictions)
 	}
 }
 

@@ -51,7 +51,7 @@ func TestCacheNeverExceedsBudgetProperty(t *testing.T) {
 		st := s.Stats()
 		// Hits+misses equals successful selections; both non-negative and
 		// bytes loaded consistent with misses.
-		if st.Hits < 0 || st.Misses < 0 || st.Evictions < 0 {
+		if st.Hits < 0 || st.Misses < 0 || st.Evictions < 0 || st.QuarantineEvictions < 0 {
 			return false
 		}
 		return st.BytesLoaded >= 0

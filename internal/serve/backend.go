@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"time"
 
 	"itask/internal/sched"
@@ -27,6 +28,17 @@ type Backend interface {
 	// after quarantine bisection, only the poison requests), never the
 	// server.
 	DetectBatch(variant, task string, imgs []*tensor.Tensor) (payloads []any, model string, err error)
+}
+
+// ContextBackend is optionally implemented by backends whose batch
+// execution can honor cancellation. When implemented, the server prefers
+// DetectBatchContext over DetectBatch and cancels ctx when the watchdog
+// abandons the execution, so a hung-but-cooperative backend stops working
+// on the dead batch instead of leaking a goroutine (a plain DetectBatch can
+// only be abandoned, never stopped). Same contract as DetectBatch
+// otherwise; returning ctx.Err() after cancellation is the expected shape.
+type ContextBackend interface {
+	DetectBatchContext(ctx context.Context, variant, task string, imgs []*tensor.Tensor) (payloads []any, model string, err error)
 }
 
 // FallbackRouter is optionally implemented by backends that can serve a

@@ -16,6 +16,14 @@ type pending struct {
 	// degraded is the non-empty degradation reason when admission rerouted
 	// this request to the fallback variant (see Result.Degraded).
 	degraded string
+	// probeKey, when non-empty, is the lane key whose half-open probe slot
+	// this request holds. The slot is consumed once the request's first
+	// execution outcome reaches the breaker; until then, an enqueue failure
+	// or shedding before invoke must release it (health.releaseProbe), or
+	// the lane stays half-open with a probe that never runs and denies all
+	// traffic forever. Written at admission, then touched only by the one
+	// worker executing the request's batch.
+	probeKey string
 	// cancelled is set by Detect when its context ends before the outcome
 	// arrives; execute sheds cancelled requests instead of running them.
 	cancelled atomic.Bool

@@ -45,9 +45,11 @@ func (s *Server) execute(variant, task string, items []*pending) {
 		switch {
 		case p.cancelled.Load():
 			s.m.add(&s.m.shedCancelled, 1)
+			s.releaseShedProbe(p)
 			p.done <- Outcome{Err: context.Canceled}
 		case !p.deadline.IsZero() && started.After(p.deadline):
 			s.m.add(&s.m.shedExpired, 1)
+			s.releaseShedProbe(p)
 			p.done <- Outcome{Err: ErrDeadlineExceeded}
 		default:
 			live = append(live, p)
@@ -61,6 +63,12 @@ func (s *Server) execute(variant, task string, items []*pending) {
 	payloads, model, err := s.invoke(variant, task, imgs)
 	dur := time.Since(started)
 	s.recordExec(variant, task, err, dur)
+	for _, p := range live {
+		// The lane's breaker has now seen this execution: any probe slot the
+		// request held is consumed, and shedding it during a later bisection
+		// retry must not release a slot a newer probe may hold.
+		p.probeKey = ""
+	}
 
 	if err == nil {
 		finished := time.Now()
@@ -118,6 +126,18 @@ func (s *Server) execute(variant, task string, items []*pending) {
 	}
 }
 
+// releaseShedProbe returns the half-open probe slot held by a request that
+// was shed before its lane's breaker saw any execution outcome. Without the
+// release, the lane would stay half-open with probing set and no probe ever
+// running, denying every future request forever. No-op for non-probes.
+func (s *Server) releaseShedProbe(p *pending) {
+	if p.probeKey == "" {
+		return
+	}
+	s.h.releaseProbe(p.probeKey)
+	p.probeKey = ""
+}
+
 // fail delivers a terminal error to one request. isolated marks requests
 // that failed alone (batch of one) — the quarantine verdict that this
 // specific request, not its batch-mates, is the poison.
@@ -129,23 +149,41 @@ func (s *Server) fail(p *pending, err error, isolated bool) {
 	p.done <- Outcome{Err: err}
 }
 
+// maxAbandonedPerVariant caps how many watchdog-abandoned executions may
+// still be running on one variant. At the cap, invoke fails new batches
+// fast with ErrWatchdog instead of starting another execution, so a
+// permanently hung variant cannot grow an abandoned goroutine per probe or
+// bisection retry without bound (each fast failure still counts against
+// the lane's breaker).
+const maxAbandonedPerVariant = 4
+
+// invokeResult carries one backend execution's outcome out of its goroutine.
+type invokeResult struct {
+	payloads []any
+	model    string
+	err      error
+}
+
 // invoke runs one backend call under the watchdog deadline. When the
-// backend hangs past Config.Watchdog the call is abandoned (its goroutine
-// finishes into a buffered channel nobody reads) and the batch fails with
-// ErrWatchdog.
+// backend hangs past Config.Watchdog the call is abandoned — its context is
+// cancelled so a ContextBackend can stop the work; a plain Backend's
+// goroutine keeps running until it returns on its own — and the batch fails
+// with ErrWatchdog. Abandoned executions are counted per variant and capped
+// at maxAbandonedPerVariant.
 func (s *Server) invoke(variant, task string, imgs []*tensor.Tensor) ([]any, string, error) {
 	if s.cfg.Watchdog <= 0 {
-		return s.call(variant, task, imgs)
+		return s.call(context.Background(), variant, task, imgs)
 	}
-	type result struct {
-		payloads []any
-		model    string
-		err      error
+	if n := s.abandonedOn(variant); n >= maxAbandonedPerVariant {
+		return nil, "", fmt.Errorf("serve: %d abandoned executions still running on variant %s, failing fast: %w",
+			n, variant, ErrWatchdog)
 	}
-	ch := make(chan result, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // on watchdog expiry this tells the abandoned execution to stop
+	ch := make(chan invokeResult, 1)
 	go func() {
-		p, m, e := s.call(variant, task, imgs)
-		ch <- result{p, m, e}
+		p, m, e := s.call(ctx, variant, task, imgs)
+		ch <- invokeResult{p, m, e}
 	}()
 	timer := time.NewTimer(s.cfg.Watchdog)
 	defer timer.Stop()
@@ -153,21 +191,50 @@ func (s *Server) invoke(variant, task string, imgs []*tensor.Tensor) ([]any, str
 	case r := <-ch:
 		return r.payloads, r.model, r.err
 	case <-timer.C:
+		s.trackAbandoned(variant, ch)
 		return nil, "", fmt.Errorf("serve: batch of %d on lane %s/%s still executing after %v: %w",
 			len(imgs), variant, task, s.cfg.Watchdog, ErrWatchdog)
 	}
 }
 
+// abandonedOn reports how many watchdog-abandoned executions are still
+// running on variant.
+func (s *Server) abandonedOn(variant string) int {
+	s.abMu.Lock()
+	defer s.abMu.Unlock()
+	return s.abandoned[variant]
+}
+
+// trackAbandoned counts one abandoned execution against variant and reaps
+// the count when the execution's goroutine finally delivers its (discarded)
+// result.
+func (s *Server) trackAbandoned(variant string, ch <-chan invokeResult) {
+	s.abMu.Lock()
+	s.abandoned[variant]++
+	s.abMu.Unlock()
+	go func() {
+		<-ch
+		s.abMu.Lock()
+		s.abandoned[variant]--
+		s.abMu.Unlock()
+	}()
+}
+
 // call is the recover boundary around the backend: a kernel panic becomes a
 // *PanicError with the stack captured, so one poison request can never take
-// down a worker or the server.
-func (s *Server) call(variant, task string, imgs []*tensor.Tensor) (payloads []any, model string, err error) {
+// down a worker or the server. Backends implementing ContextBackend get the
+// execution context, cancelled when the watchdog abandons the call.
+func (s *Server) call(ctx context.Context, variant, task string, imgs []*tensor.Tensor) (payloads []any, model string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	payloads, model, err = s.backend.DetectBatch(variant, task, imgs)
+	if cb, ok := s.backend.(ContextBackend); ok {
+		payloads, model, err = cb.DetectBatchContext(ctx, variant, task, imgs)
+	} else {
+		payloads, model, err = s.backend.DetectBatch(variant, task, imgs)
+	}
 	if err == nil && len(payloads) != len(imgs) {
 		err = fmt.Errorf("serve: backend returned %d payloads for %d images", len(payloads), len(imgs))
 	}

@@ -493,6 +493,144 @@ func TestBadShapeRejectedAtAdmission(t *testing.T) {
 	}
 }
 
+// A probe slot claimed at admission must also be released when the probing
+// request is shed at execution time (cancelled or deadline-expired before
+// invoke). Leaking it would pin the lane half-open with probing set: every
+// future admit would deny, no execution could ever record an outcome, and
+// the lane could never heal.
+func TestProbeSlotReleasedWhenProbeShed(t *testing.T) {
+	fb := newFaultBackend()
+	cfg := faultConfig() // BatchDelay: 1h — nothing flushes until shutdown
+	cfg.BreakerThreshold = 1
+	cfg.BreakerBackoff = time.Millisecond
+	s, err := New(fb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := laneKey("student", "patrol")
+
+	// Trip the breaker directly, then let the backoff elapse so the next
+	// admission claims the half-open probe slot.
+	if opened := s.h.record(key, false, time.Now()); !opened {
+		t.Fatal("breaker did not open")
+	}
+	time.Sleep(5 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Detect(ctx, Request{Task: "patrol", Image: testImage()})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Snapshot().Accepted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("probe request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.h.mu.Lock()
+	claimed := s.h.lanes[key].probing
+	s.h.mu.Unlock()
+	if !claimed {
+		t.Fatal("queued request did not claim the probe slot")
+	}
+
+	// Cancel the probe request while it is still queued, then flush the
+	// lane: execute must shed it and return the probe slot.
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Detect err = %v, want context.Canceled", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := fb.executions("student"); got != 0 {
+		t.Errorf("shed probe executed anyway (%d executions)", got)
+	}
+	if dec := s.h.admit(key, time.Now()); dec != admitProbe {
+		t.Errorf("post-shed admit = %v, want admitProbe (slot released, lane can heal)", dec)
+	}
+}
+
+// ctxBackend blocks every execution until its context is cancelled — a
+// cooperative backend the watchdog can actually stop via ContextBackend.
+type ctxBackend struct {
+	faultBackend
+	stopped chan struct{}
+}
+
+func (c *ctxBackend) DetectBatchContext(ctx context.Context, variant, task string, imgs []*tensor.Tensor) ([]any, string, error) {
+	<-ctx.Done()
+	c.stopped <- struct{}{}
+	return nil, "", ctx.Err()
+}
+
+// When the backend implements ContextBackend, a watchdog-abandoned
+// execution is cancelled instead of left running, and its abandoned-count
+// is reaped once the goroutine exits.
+func TestWatchdogCancelsContextBackend(t *testing.T) {
+	cb := &ctxBackend{faultBackend: *newFaultBackend(), stopped: make(chan struct{}, 1)}
+	cfg := faultConfig()
+	cfg.BatchDelay = 0
+	cfg.RetryBudget = 0
+	cfg.Watchdog = 10 * time.Millisecond
+	s := newTestServer(t, cb, cfg)
+
+	if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()}); !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("err = %v, want ErrWatchdog", err)
+	}
+	select {
+	case <-cb.stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned execution never saw its context cancelled")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.abandonedOn("student") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned count never reaped after the goroutine exited")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A variant whose executions hang uncancellably must not accumulate
+// abandoned goroutines without bound: at maxAbandonedPerVariant the server
+// fails new batches fast with ErrWatchdog instead of starting another.
+func TestAbandonedExecutionsCappedPerVariant(t *testing.T) {
+	fb := newFaultBackend()
+	fb.broken["student"] = "hang"
+	fb.hangFor = time.Hour // plain DetectBatch: cancellation cannot reach it
+	cfg := faultConfig()
+	cfg.BatchDelay = 0
+	cfg.RetryBudget = 0
+	cfg.Watchdog = 10 * time.Millisecond
+	s := newTestServer(t, fb, cfg)
+
+	for i := 0; i < maxAbandonedPerVariant; i++ {
+		if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()}); !errors.Is(err, ErrWatchdog) {
+			t.Fatalf("request %d: err = %v, want ErrWatchdog", i, err)
+		}
+	}
+	if got := fb.executions("student"); got != maxAbandonedPerVariant {
+		t.Fatalf("executions = %d, want %d", got, maxAbandonedPerVariant)
+	}
+	// At the cap: fail fast, no new execution, still ErrWatchdog for the
+	// breaker's accounting.
+	if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: testImage()}); !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("capped request: err = %v, want ErrWatchdog", err)
+	}
+	if got := fb.executions("student"); got != maxAbandonedPerVariant {
+		t.Errorf("executions grew to %d past the abandoned cap %d", got, maxAbandonedPerVariant)
+	}
+	// The healthy lane is unaffected by the hung variant's cap.
+	if _, err := s.Detect(context.Background(), Request{Task: "inspect", Image: testImage()}); err != nil {
+		t.Errorf("healthy lane collateral damage: %v", err)
+	}
+}
+
 // A probe slot claimed at admission must be released when the request then
 // fails to enqueue, or the lane would be stuck half-open with no probe.
 func TestProbeSlotReleasedOnEnqueueFailure(t *testing.T) {

@@ -44,6 +44,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -188,6 +189,13 @@ type Server struct {
 	st *state
 	h  *health
 
+	// abandoned counts watchdog-abandoned executions still running, per
+	// variant. invoke fails fast with ErrWatchdog once a variant reaches
+	// maxAbandonedPerVariant, so a permanently hung variant cannot
+	// accumulate goroutines without bound via probes and retries.
+	abMu      sync.Mutex
+	abandoned map[string]int
+
 	batchCh chan *batch
 	m       *metrics
 }
@@ -202,13 +210,14 @@ func New(b Backend, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		backend: b,
-		start:   time.Now(),
-		st:      newState(),
-		h:       newHealth(cfg.BreakerThreshold, cfg.BreakerBackoff, cfg.BreakerMaxBackoff),
-		batchCh: make(chan *batch, cfg.Workers),
-		m:       newMetrics(cfg.MaxBatch, cfg.LatencyWindow),
+		cfg:       cfg,
+		backend:   b,
+		start:     time.Now(),
+		st:        newState(),
+		h:         newHealth(cfg.BreakerThreshold, cfg.BreakerBackoff, cfg.BreakerMaxBackoff),
+		abandoned: map[string]int{},
+		batchCh:   make(chan *batch, cfg.Workers),
+		m:         newMetrics(cfg.MaxBatch, cfg.LatencyWindow),
 	}
 	s.st.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -291,11 +300,12 @@ func (s *Server) submit(req Request) (*pending, error) {
 		deadline: deadline,
 		enq:      now,
 		degraded: degraded,
+		probeKey: probeKey,
 		done:     make(chan Outcome, 1),
 	}
 	if err := s.enqueue(variant, req.Task, p); err != nil {
-		if probeKey != "" {
-			s.h.releaseProbe(probeKey)
+		if p.probeKey != "" {
+			s.h.releaseProbe(p.probeKey)
 		}
 		return nil, err
 	}
