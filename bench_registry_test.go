@@ -1,0 +1,152 @@
+// Registry benchmarks: the measurements recorded in BENCH_registry.json.
+// They size the two costs the versioned-registry refactor trades: what a
+// writer pays to publish a new model version (build-then-swap of the routing
+// snapshot), and what the Detect path pays per routing read — the lock-free
+// atomic snapshot load vs the RWMutex lookup the old taskMu design used,
+// serially and under reader contention.
+//
+// Regenerate the JSON with:
+//
+//	go test -run=NONE -bench='BenchmarkRegistrySwap' -benchtime=1s .
+package itask_test
+
+import (
+	"sync"
+	"testing"
+
+	"itask/internal/geom"
+	"itask/internal/registry"
+	"itask/internal/tensor"
+)
+
+// benchArtifact is a routable artifact shaped like a published student.
+func benchArtifact(name, task string) registry.Artifact {
+	return registry.Artifact{
+		Name: name, Kind: registry.TaskSpecific, Task: task,
+		Bytes: 1 << 20, LatencyUS: 120, Checksum: "cafebabe00112233",
+		Detect: func(img *tensor.Tensor) []geom.Scored { return nil },
+	}
+}
+
+// benchRegistry returns a registry mirroring a deployed pipeline: one
+// generalist and five task students.
+func benchRegistry(b *testing.B) *registry.Registry {
+	b.Helper()
+	reg := registry.New()
+	gen := benchArtifact("generalist-q8", "")
+	gen.Kind, gen.Task = registry.Generalist, ""
+	if _, err := reg.Publish(gen); err != nil {
+		b.Fatal(err)
+	}
+	for _, task := range []string{"patrol", "triage", "inspect", "harvest", "survey"} {
+		if _, err := reg.Publish(benchArtifact(task+"-student", task)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// lockedModels replicates the pre-registry design this PR removed: one
+// RWMutex guarding a mutable model table, RLock-ed on every Detect.
+type lockedModels struct {
+	mu     sync.RWMutex
+	models map[string]*registry.Artifact
+}
+
+func (l *lockedModels) resolve(name string) (*registry.Artifact, bool) {
+	l.mu.RLock()
+	m, ok := l.models[name]
+	l.mu.RUnlock()
+	return m, ok
+}
+
+func BenchmarkRegistrySwap(b *testing.B) {
+	b.Run("publish", func(b *testing.B) {
+		// Publish cost includes rebuilding the routing snapshot, which grows
+		// with the retained version history; restarting the registry every
+		// 512 versions keeps the measurement at a realistic series depth.
+		reg := benchRegistry(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%512 == 0 && i > 0 {
+				b.StopTimer()
+				reg = benchRegistry(b)
+				b.StartTimer()
+			}
+			if _, err := reg.Publish(benchArtifact("patrol-student", "patrol")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("resolve-snapshot", func(b *testing.B) {
+		reg := benchRegistry(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, ok := reg.Snapshot().Resolve("patrol-student")
+			if !ok {
+				b.Fatal("unresolved")
+			}
+			benchSink += int(m.Bytes)
+		}
+	})
+
+	b.Run("resolve-rwmutex", func(b *testing.B) {
+		l := &lockedModels{models: map[string]*registry.Artifact{}}
+		for _, a := range benchRegistry(b).Snapshot().Artifacts() {
+			l.models[a.Name] = a
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, ok := l.resolve("patrol-student")
+			if !ok {
+				b.Fatal("unresolved")
+			}
+			benchSink += int(m.Bytes)
+		}
+	})
+
+	b.Run("resolve-snapshot-parallel", func(b *testing.B) {
+		reg := benchRegistry(b)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			n := 0
+			for pb.Next() {
+				m, ok := reg.Snapshot().Resolve("patrol-student")
+				if !ok {
+					b.Fatal("unresolved")
+				}
+				n += int(m.Bytes)
+			}
+			sinkMu.Lock()
+			benchSink += n
+			sinkMu.Unlock()
+		})
+	})
+
+	b.Run("resolve-rwmutex-parallel", func(b *testing.B) {
+		l := &lockedModels{models: map[string]*registry.Artifact{}}
+		for _, a := range benchRegistry(b).Snapshot().Artifacts() {
+			l.models[a.Name] = a
+		}
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			n := 0
+			for pb.Next() {
+				m, ok := l.resolve("patrol-student")
+				if !ok {
+					b.Fatal("unresolved")
+				}
+				n += int(m.Bytes)
+			}
+			sinkMu.Lock()
+			benchSink += n
+			sinkMu.Unlock()
+		})
+	})
+}
+
+var sinkMu sync.Mutex

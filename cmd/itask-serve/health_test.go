@@ -1,0 +1,124 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+
+	"itask/internal/serve"
+)
+
+// computeHealth folds lane breaker states into per-task verdicts: open lanes
+// with a healthy fallback degrade, a task with every lane open and no
+// healthy fallback is unavailable (503), draining is always 503.
+func TestComputeHealth(t *testing.T) {
+	noFallback := func(string) (string, bool) { return "", false }
+	quantFallback := func(string) (string, bool) { return "generalist-q8@v1", true }
+
+	cases := []struct {
+		name     string
+		draining bool
+		tasks    []string
+		breakers []serve.LaneBreaker
+		fallback func(string) (string, bool)
+		status   string
+		code     int
+		taskWant map[string]string
+	}{
+		{
+			name:   "no breakers tracked: healthy",
+			tasks:  []string{"patrol", "triage"},
+			status: healthOK, code: http.StatusOK,
+			taskWant: map[string]string{"patrol": healthOK, "triage": healthOK},
+		},
+		{
+			name:     "draining trumps everything",
+			draining: true,
+			tasks:    []string{"patrol"},
+			status:   healthDraining, code: http.StatusServiceUnavailable,
+		},
+		{
+			name:  "open lane with healthy fallback: degraded, still 200",
+			tasks: []string{"patrol"},
+			breakers: []serve.LaneBreaker{
+				{Variant: "patrol-student@v2", Task: "patrol", State: "open", RetryAfterMS: 250},
+			},
+			fallback: quantFallback,
+			status:   healthDegraded, code: http.StatusOK,
+			taskWant: map[string]string{"patrol": healthDegraded},
+		},
+		{
+			name:  "all lanes open, no fallback: unavailable 503",
+			tasks: []string{"patrol", "triage"},
+			breakers: []serve.LaneBreaker{
+				{Variant: "patrol-student@v2", Task: "patrol", State: "open"},
+			},
+			fallback: noFallback,
+			status:   healthUnavailable, code: http.StatusServiceUnavailable,
+			taskWant: map[string]string{"patrol": healthUnavailable, "triage": healthOK},
+		},
+		{
+			name:  "all lanes open including the fallback's: unavailable 503",
+			tasks: []string{"patrol"},
+			breakers: []serve.LaneBreaker{
+				{Variant: "patrol-student@v2", Task: "patrol", State: "open"},
+				{Variant: "generalist-q8@v1", Task: "patrol", State: "open"},
+			},
+			fallback: quantFallback,
+			status:   healthUnavailable, code: http.StatusServiceUnavailable,
+			taskWant: map[string]string{"patrol": healthUnavailable},
+		},
+		{
+			name:  "one lane open, another closed: degraded even without fallback",
+			tasks: []string{"patrol"},
+			breakers: []serve.LaneBreaker{
+				{Variant: "patrol-student@v2", Task: "patrol", State: "open"},
+				{Variant: "generalist-q8@v1", Task: "patrol", State: "closed"},
+			},
+			fallback: noFallback,
+			status:   healthDegraded, code: http.StatusOK,
+			taskWant: map[string]string{"patrol": healthDegraded},
+		},
+		{
+			name:  "half-open probe is not open: healthy",
+			tasks: []string{"patrol"},
+			breakers: []serve.LaneBreaker{
+				{Variant: "patrol-student@v2", Task: "patrol", State: "half-open"},
+			},
+			fallback: noFallback,
+			status:   healthOK, code: http.StatusOK,
+			taskWant: map[string]string{"patrol": healthOK},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fb := tc.fallback
+			if fb == nil {
+				fb = noFallback
+			}
+			rep, code := computeHealth(tc.draining, tc.tasks, tc.breakers, fb)
+			if rep.Status != tc.status || code != tc.code {
+				t.Fatalf("status = %q code = %d, want %q %d", rep.Status, code, tc.status, tc.code)
+			}
+			for task, want := range tc.taskWant {
+				if got := rep.Tasks[task].Status; got != want {
+					t.Errorf("task %q status = %q, want %q", task, got, want)
+				}
+			}
+		})
+	}
+}
+
+// The degraded report names the fallback variant and carries the open lane's
+// retry hint, so operators can see what is serving and when probing resumes.
+func TestComputeHealthReportsFallbackAndRetry(t *testing.T) {
+	rep, _ := computeHealth(false, []string{"patrol"},
+		[]serve.LaneBreaker{{Variant: "patrol-student@v2", Task: "patrol", State: "open", RetryAfterMS: 125}},
+		func(string) (string, bool) { return "generalist-q8@v1", true })
+	th := rep.Tasks["patrol"]
+	if th.Fallback != "generalist-q8@v1" {
+		t.Errorf("fallback = %q, want generalist-q8@v1", th.Fallback)
+	}
+	if len(th.Lanes) != 1 || th.Lanes[0].RetryAfterMS != 125 {
+		t.Errorf("lanes = %+v, want one open lane with retry 125ms", th.Lanes)
+	}
+}

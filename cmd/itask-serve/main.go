@@ -7,14 +7,24 @@
 //
 // Endpoints:
 //
-//	POST /v1/detect   run detection; body {"task": "...", "scene": {...}}
-//	                  or {"task": "...", "image": {"shape": [3,H,W], "data": [...]}}
-//	GET  /v1/tasks    list the defined tasks
-//	GET  /healthz     200 while serving, 503 once draining
-//	GET  /metricsz    serving metrics snapshot (latency percentiles,
-//	                  throughput, batch histogram, shed/reject/fault
-//	                  counters, per-lane breaker states, model-cache
-//	                  hit rate)
+//	POST /v1/detect          run detection; body {"task": "...", "scene": {...}}
+//	                         or {"task": "...", "image": {"shape": [3,H,W], "data": [...]}}
+//	GET  /v1/tasks           list the defined tasks
+//	POST /v1/models/reload   hot-swap model versions from a checkpoint
+//	                         directory (body {"dir": "..."}, default the
+//	                         -models flag): a registry layout loads each
+//	                         name's newest version checksum-verified; a flat
+//	                         directory reloads teacher.ckpt
+//	GET  /healthz            per-task health from the per-lane breaker
+//	                         states: 200 "ok", 200 "degraded" while open
+//	                         lanes still have a healthy fallback, 503 once a
+//	                         task has every lane open with no healthy
+//	                         fallback, 503 when draining
+//	GET  /metricsz           serving metrics snapshot (latency percentiles,
+//	                         throughput, batch histogram, shed/reject/fault
+//	                         counters, per-lane breaker states, per-version
+//	                         model attribution, registry publish/rollback
+//	                         counters, model-cache hit rate)
 //
 // Failure modes map onto HTTP statuses: malformed input is 400, admission
 // backpressure is 429 with Retry-After, draining or an open circuit with no
@@ -38,12 +48,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"os"
 	"os/signal"
@@ -74,22 +86,29 @@ func main() {
 	flag.Parse()
 
 	pipe := itask.New(itask.DefaultOptions())
-	if *models != "" {
-		fmt.Fprintf(os.Stderr, "loading generalist from %s/teacher.ckpt...\n", *models)
-		if err := pipe.LoadGeneralist(*models + "/teacher.ckpt"); err != nil {
+	for _, t := range dataset.StandardTasks() {
+		if err := pipe.DefineTask(t.Name, t.Description); err != nil {
 			fatal(err)
 		}
+	}
+	if *models != "" {
+		fmt.Fprintf(os.Stderr, "loading models from %s...\n", *models)
+		loaded, skipped, err := reloadModels(pipe, *models)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %v (skipped %v)\n", loaded, skipped)
 	} else {
 		fmt.Fprintln(os.Stderr, "training quantized generalist on the standard task mixture...")
 		if err := pipe.TrainGeneralist(nil); err != nil {
 			fatal(err)
 		}
 	}
-	for _, t := range dataset.StandardTasks() {
-		if err := pipe.DefineTask(t.Name, t.Description); err != nil {
-			fatal(err)
-		}
-		if *students {
+	if *students {
+		for _, t := range dataset.StandardTasks() {
+			if pipe.Student(t.Name) != nil {
+				continue // a checkpointed student already loaded for this task
+			}
 			fmt.Fprintf(os.Stderr, "distilling student for %q...\n", t.Name)
 			if err := pipe.DistillStudent(t.Name, t.Domain); err != nil {
 				fatal(err)
@@ -111,15 +130,23 @@ func main() {
 		BreakerMaxBackoff: def.BreakerMaxBackoff,
 		LatencySLO:        *slo,
 	}
-	srv, err := serve.New(pipe.ServeBackend(), cfg)
+	backend := pipe.ServeBackend()
+	srv, err := serve.New(backend, cfg)
 	if err != nil {
 		fatal(err)
 	}
 
-	h := &handler{pipe: pipe, srv: srv, imageSize: itask.DefaultOptions().TeacherCfg.ImageSize}
+	h := &handler{
+		pipe:      pipe,
+		srv:       srv,
+		backend:   backend,
+		modelsDir: *models,
+		imageSize: itask.DefaultOptions().TeacherCfg.ImageSize,
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/detect", h.detect)
 	mux.HandleFunc("/v1/tasks", h.tasks)
+	mux.HandleFunc("/v1/models/reload", h.reload)
 	mux.HandleFunc("/healthz", h.healthz)
 	mux.HandleFunc("/metricsz", h.metricsz)
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
@@ -150,8 +177,13 @@ func fatal(err error) {
 }
 
 type handler struct {
-	pipe      *itask.Pipeline
-	srv       *serve.Server
+	pipe *itask.Pipeline
+	srv  *serve.Server
+	// backend is the serve.Backend the server routes over; /healthz
+	// consults its FallbackRouter to tell degraded from unavailable.
+	backend serve.Backend
+	// modelsDir is the -models flag, the default /v1/models/reload source.
+	modelsDir string
 	imageSize int
 }
 
@@ -231,11 +263,65 @@ func (h *handler) tasks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
-	if h.srv.Draining() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
+	rep, code := computeHealth(h.srv.Draining(), h.pipe.Tasks(), h.srv.Snapshot().Breakers, h.fallbackFor)
+	writeJSON(w, code, rep)
+}
+
+// fallbackFor reports the degraded-configuration variant that could serve a
+// task if its preferred lane's breaker is open, when the backend has one.
+func (h *handler) fallbackFor(task string) (string, bool) {
+	fr, ok := h.backend.(serve.FallbackRouter)
+	if !ok {
+		return "", false
+	}
+	v, err := fr.RouteFallback(task)
+	return v, err == nil
+}
+
+// reloadRequest is the /v1/models/reload body; an empty body is allowed.
+type reloadRequest struct {
+	// Dir overrides the -models checkpoint directory for this reload.
+	Dir string `json:"dir"`
+}
+
+func (h *handler) reload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "unreadable request body")
+		return
+	}
+	var req reloadRequest
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad reload request: "+err.Error())
+			return
+		}
+	}
+	dir := req.Dir
+	if dir == "" {
+		dir = h.modelsDir
+	}
+	if dir == "" {
+		httpError(w, http.StatusBadRequest, `no models directory: pass {"dir": ...} or start with -models`)
+		return
+	}
+	loaded, skipped, err := reloadModels(h.pipe, dir)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, fs.ErrNotExist) {
+			code = http.StatusNotFound
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	if loaded == nil {
+		loaded = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"reloaded": loaded, "skipped": skipped})
 }
 
 func (h *handler) metricsz(w http.ResponseWriter, r *http.Request) {

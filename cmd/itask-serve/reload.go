@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"itask"
+	"itask/internal/registry"
+)
+
+// reloadModels publishes fresh model versions into the serving pipeline from
+// a checkpoint directory, without stopping traffic. A registry layout
+// (<dir>/<name>/v<N>/manifest.json, written by itask-train) is preferred:
+// each name's newest version loads with its manifest checksum verified
+// end-to-end, teacher first so students and fallbacks land on the new
+// generalist. A directory with no registry layout falls back to the flat
+// itask-train teacher.ckpt, unverified. Returns the coordinates it published
+// and the ones it skipped (derived artifacts like quantized exports, and
+// students whose task is not defined on this server).
+func reloadModels(p *itask.Pipeline, dir string) (loaded, skipped []string, err error) {
+	names, err := registry.Names(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(names) == 0 {
+		path := filepath.Join(dir, "teacher.ckpt")
+		if err := p.ReloadGeneralist(path, ""); err != nil {
+			return nil, nil, err
+		}
+		return []string{path}, nil, nil
+	}
+
+	defined := map[string]bool{}
+	for _, t := range p.Tasks() {
+		defined[t] = true
+	}
+	var students []registry.Manifest
+	studentDirs := map[string]string{}
+	for _, name := range names {
+		man, vdir, err := registry.LatestManifest(dir, name)
+		if err != nil {
+			return loaded, skipped, err
+		}
+		kind, err := registry.KindFromString(man.Kind)
+		if err != nil {
+			return loaded, skipped, err
+		}
+		coord := fmt.Sprintf("%s@v%d", man.Name, man.Version)
+		switch kind {
+		case registry.Teacher:
+			if err := p.ReloadGeneralist(filepath.Join(vdir, man.File), man.Checksum); err != nil {
+				return loaded, skipped, fmt.Errorf("reloading %s: %w", coord, err)
+			}
+			loaded = append(loaded, coord)
+		case registry.TaskSpecific:
+			students = append(students, man)
+			studentDirs[coord] = vdir
+		default:
+			// Quantized exports and few-shot bases are derived in-process
+			// from the teacher checkpoint; nothing to load directly.
+			skipped = append(skipped, coord)
+		}
+	}
+	for _, man := range students {
+		coord := fmt.Sprintf("%s@v%d", man.Name, man.Version)
+		if !defined[man.Task] {
+			skipped = append(skipped, coord)
+			continue
+		}
+		path := filepath.Join(studentDirs[coord], man.File)
+		if err := p.LoadStudentVerified(man.Task, path, man.Checksum); err != nil {
+			return loaded, skipped, fmt.Errorf("reloading %s: %w", coord, err)
+		}
+		loaded = append(loaded, coord)
+	}
+	return loaded, skipped, nil
+}

@@ -2,6 +2,13 @@
 // the generalist, and one distilled student per standard task — and saves
 // checkpoints that other tools and programs can load with vit.LoadParams.
 //
+// Alongside the flat checkpoints it publishes each artifact into the
+// versioned registry layout (<out>/<name>/v<N>/{manifest.json, weights}),
+// with the manifest checksum produced by the checksummed save path, so
+// itask-serve's /v1/models/reload can hot-swap the new versions with
+// end-to-end integrity verification. Re-running into the same -out directory
+// publishes the next version of each name; existing versions are immutable.
+//
 // Usage:
 //
 //	itask-train -out ./models [-samples 96] [-epochs 20] [-seed 1]
@@ -18,6 +25,7 @@ import (
 	"itask/internal/eval"
 	"itask/internal/experiments"
 	"itask/internal/quant"
+	"itask/internal/registry"
 	"itask/internal/scene"
 	"itask/internal/tensor"
 	"itask/internal/vit"
@@ -59,12 +67,18 @@ func run(outDir string, samples, epochs int, seed uint64) error {
 	if err := teacher.SaveFile(filepath.Join(outDir, "teacher.ckpt")); err != nil {
 		return err
 	}
+	if err := publishVersion(outDir, "teacher", registry.Teacher, "", "teacher.ckpt", 0, teacher.SaveFileSum); err != nil {
+		return err
+	}
 	// Deployable quantized generalist alongside the float checkpoint.
 	qm, err := quant.FromViT(teacher, quant.DefaultConfig())
 	if err != nil {
 		return err
 	}
 	if err := qm.SaveFile(filepath.Join(outDir, "generalist-q8.itq8")); err != nil {
+		return err
+	}
+	if err := publishVersion(outDir, "generalist-q8", registry.Generalist, "", "generalist-q8.itq8", 8, qm.SaveFileSum); err != nil {
 		return err
 	}
 	fmt.Printf("quantized generalist: %.1f KiB int8\n", float64(qm.WeightBytes())/1024)
@@ -83,11 +97,41 @@ func run(outDir string, samples, epochs int, seed uint64) error {
 		if err := student.SaveFile(filepath.Join(outDir, "student-"+task.Name+".ckpt")); err != nil {
 			return err
 		}
+		if err := publishVersion(outDir, task.Name+"-student", registry.TaskSpecific, task.Name, "student.ckpt", 0, student.SaveFileSum); err != nil {
+			return err
+		}
 		val := dataset.Build(task, 32, gen, rng.Split())
 		s := eval.Run(eval.DetectorOf(student, th), val, dataset.ClassInts(task.Classes), th)
 		fmt.Printf("  %s student: %s\n", task.Name, s)
 	}
 
 	fmt.Printf("checkpoints written to %s\n", outDir)
+	return nil
+}
+
+// publishVersion writes one artifact into the registry layout under root:
+// the next version directory for name, the checksummed weights file (save is
+// vit's or quant's SaveFileSum, returning the content hash), and last the
+// manifest — the commit point; a crash before it leaves no visible version.
+func publishVersion(root, name string, kind registry.Kind, task, file string, bits int,
+	save func(path string) (string, error)) error {
+	v, err := registry.LatestVersion(root, name)
+	if err != nil {
+		return err
+	}
+	man := registry.Manifest{Name: name, Version: v + 1, Kind: kind.String(), Task: task, File: file, Bits: bits}
+	dir := registry.VersionDir(root, name, man.Version)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sum, err := save(filepath.Join(dir, file))
+	if err != nil {
+		return err
+	}
+	man.Checksum = sum
+	if _, err := registry.WriteManifest(root, man); err != nil {
+		return err
+	}
+	fmt.Printf("published %s@v%d (checksum %s)\n", name, man.Version, sum)
 	return nil
 }

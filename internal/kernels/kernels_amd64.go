@@ -1,3 +1,5 @@
+//go:build !noasm
+
 package kernels
 
 // asmSupported reports AVX2+FMA availability (CPUID plus OS ymm-state

@@ -1,3 +1,5 @@
+//go:build !noasm
+
 // AVX2+FMA micro-kernels. Plan 9 operand order: source(s) first, destination
 // last; VFMADD231PS m, a, d computes d += a*m elementwise.
 

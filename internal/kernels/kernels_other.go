@@ -1,12 +1,14 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package kernels
 
-// Non-amd64 hosts always run the portable unrolled Go kernels.
+// Non-amd64 hosts — and amd64 builds with the asm gated off via the noasm
+// build tag (CI's cross-compile matrix) — always run the portable unrolled
+// Go kernels.
 const asmSupported = false
 
-func dotAsm(x, y *float32, n int) float32                       { panic("kernels: no asm") }
-func dot4Asm(x, b0, b1, b2, b3 *float32, n int, out *float32)   { panic("kernels: no asm") }
-func axpyAsm(a float32, x, y *float32, n int)                   { panic("kernels: no asm") }
-func axpy4Asm(a, x0, x1, x2, x3, y *float32, n int)             { panic("kernels: no asm") }
-func dotI8Asm(a, b *int8, n int) int32                          { panic("kernels: no asm") }
+func dotAsm(x, y *float32, n int) float32                     { panic("kernels: no asm") }
+func dot4Asm(x, b0, b1, b2, b3 *float32, n int, out *float32) { panic("kernels: no asm") }
+func axpyAsm(a float32, x, y *float32, n int)                 { panic("kernels: no asm") }
+func axpy4Asm(a, x0, x1, x2, x3, y *float32, n int)           { panic("kernels: no asm") }
+func dotI8Asm(a, b *int8, n int) int32                        { panic("kernels: no asm") }

@@ -1,0 +1,62 @@
+package quant
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+)
+
+// sumLen matches vit's truncated digest width so manifests are uniform.
+const sumLen = 16
+
+// Checksum hashes the quantized model's canonical serialized form.
+func (qm *Model) Checksum() (string, error) {
+	h := sha256.New()
+	if err := qm.Save(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:sumLen], nil
+}
+
+// SaveFileSum writes the quantized model to path and returns the content
+// checksum of the written bytes.
+func (qm *Model) SaveFileSum(path string) (string, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	if err := qm.Save(io.MultiWriter(f, h)); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:sumLen], nil
+}
+
+// LoadFileVerify reads a quantized model from path, hashing the stream while
+// decoding, and refuses the artifact when the digest differs from sum.
+func LoadFileVerify(path, sum string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	qm, err := Load(io.TeeReader(f, h))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := io.Copy(h, f); err != nil {
+		return nil, err
+	}
+	got := hex.EncodeToString(h.Sum(nil))[:sumLen]
+	if got != sum {
+		return nil, fmt.Errorf("quant: artifact %s checksum %s, manifest says %s", path, got, sum)
+	}
+	return qm, nil
+}

@@ -1,0 +1,45 @@
+package quant
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestQuantChecksumAndVerify(t *testing.T) {
+	qm := serTestModel(t)
+	path := filepath.Join(t.TempDir(), "g.itq8")
+	sum, err := qm.SaveFileSum(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum) != sumLen {
+		t.Fatalf("checksum %q length %d, want %d", sum, len(sum), sumLen)
+	}
+	mem, err := qm.Checksum()
+	if err != nil || mem != sum {
+		t.Fatalf("Checksum() = %q, %v; SaveFileSum = %q", mem, err, sum)
+	}
+	loaded, err := LoadFileVerify(path, sum)
+	if err != nil {
+		t.Fatalf("verify with correct sum: %v", err)
+	}
+	if got, err := loaded.Checksum(); err != nil || got != sum {
+		t.Fatalf("loaded model hash %q, %v, want %q", got, err, sum)
+	}
+	if _, err := LoadFileVerify(path, "deadbeefdeadbeef"); err == nil {
+		t.Fatal("mismatched checksum accepted")
+	}
+	// Flip one weight byte: still a structurally valid stream, but refused.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFileVerify(path, sum); err == nil {
+		t.Fatal("corrupted artifact accepted")
+	}
+}

@@ -29,21 +29,23 @@ func registerPair(t *testing.T, budget int64, detect DetectFunc) *Scheduler {
 // weights from storage.
 func TestEvictedVariantNotCachedAsHealthy(t *testing.T) {
 	s := registerPair(t, 2000, nil)
-	if _, err := s.SelectByName("patrol-student"); err != nil {
+	m, err := s.SelectByName("patrol-student")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if got := s.Resident(); len(got) != 1 || got[0] != "patrol-student" {
-		t.Fatalf("resident = %v, want [patrol-student]", got)
+	id := m.ID.String()
+	if got := s.Resident(); len(got) != 1 || got[0] != id {
+		t.Fatalf("resident = %v, want [%s]", got, id)
 	}
 	before := s.Stats()
 
 	// The serving layer saw the routed variant panic: quarantine its
-	// resident weights.
+	// resident weights. Evict accepts bare names as well as full IDs.
 	if !s.Evict("patrol-student") {
 		t.Fatal("Evict reported non-resident for a resident model")
 	}
-	for _, name := range s.Resident() {
-		if name == "patrol-student" {
+	for _, got := range s.Resident() {
+		if got == id {
 			t.Fatal("errored variant still resident after Evict")
 		}
 	}
@@ -125,12 +127,15 @@ func TestSelectByNameUnknownLeavesCacheAlone(t *testing.T) {
 // exists, and errors when none is registered or it cannot fit.
 func TestRouteFallbackPrefersGeneralist(t *testing.T) {
 	s := registerPair(t, 2000, nil)
-	name, err := s.RouteFallback(Request{Task: "patrol"})
+	variant, err := s.RouteFallback(Request{Task: "patrol"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name != "gen" {
-		t.Errorf("fallback = %q, want gen", name)
+	// RouteFallback pins a full artifact ID; it must resolve to the
+	// generalist.
+	m, ok := s.Lookup(variant)
+	if !ok || m.Name != "gen" || m.Kind != Generalist {
+		t.Errorf("fallback = %q (resolved %+v), want the generalist", variant, m)
 	}
 	// Latency budget applies to the fallback too.
 	s2 := New(2000)

@@ -1,3 +1,11 @@
+// Package sched routes inference requests over the versioned model registry
+// and manages which model weights are RAM-resident. Since PR 4 the scheduler
+// no longer owns model storage: models live in internal/registry as
+// immutable, versioned artifacts behind an atomically-swapped snapshot.
+// Routing decisions (Route/RouteFallback) are lock-free snapshot reads; only
+// the LRU weight cache and its accounting counters sit behind the scheduler
+// mutex, and cache entries are keyed by full artifact ID so each published
+// version loads (and evicts) independently.
 package sched
 
 import (
@@ -5,75 +13,55 @@ import (
 	"sync"
 
 	"itask/internal/geom"
+	"itask/internal/registry"
 	"itask/internal/tensor"
 )
 
-// Kind distinguishes the two iTask model configurations.
-type Kind int
+// Kind distinguishes the deployable iTask model configurations.
+type Kind = registry.Kind
 
 // The configuration kinds of the paper's dual-configuration design.
 const (
 	// TaskSpecific is a distilled per-task student: highest in-task
 	// accuracy, one copy per task.
-	TaskSpecific Kind = iota
+	TaskSpecific = registry.TaskSpecific
 	// Generalist is the quantized multi-task model: lower per-task
 	// accuracy, works for every mission.
-	Generalist
+	Generalist = registry.Generalist
 )
 
-// String names the kind.
-func (k Kind) String() string {
-	if k == TaskSpecific {
-		return "task-specific"
-	}
-	return "generalist"
-}
-
 // DetectFunc is the inference entry point of a registered model.
-type DetectFunc func(img *tensor.Tensor) []geom.Scored
+type DetectFunc = registry.DetectFunc
 
 // BatchDetectFunc runs inference on a coalesced batch of images, returning
 // one detection set per image.
-type BatchDetectFunc func(imgs []*tensor.Tensor) [][]geom.Scored
+type BatchDetectFunc = registry.BatchDetectFunc
 
-// Model is one deployable variant in the registry. Its fields are immutable
-// after Register, so a *Model returned by Select may be used concurrently.
-type Model struct {
-	Name string
-	Kind Kind
-	// Task is the mission this model serves (empty for generalists).
-	Task string
-	// Bytes is the weight footprint counted against the RAM budget.
-	Bytes int64
-	// LatencyUS is the per-inference latency on the accelerator (from
-	// hwsim), used to enforce request latency budgets.
-	LatencyUS float64
-	// Detect runs inference.
-	Detect DetectFunc
-	// DetectBatch, when non-nil, runs inference on a whole micro-batch in
-	// one pass (amortizing per-call overhead); when nil the scheduler falls
-	// back to calling Detect per image.
-	DetectBatch BatchDetectFunc
-}
+// Model is one deployable, immutable, versioned artifact. It is an alias for
+// registry.Artifact: a *Model returned by Select is a snapshot-published
+// value and may be used concurrently and indefinitely.
+type Model = registry.Artifact
 
-// Scheduler owns the registry, the model cache, and the selection policy.
+// Scheduler owns the weight cache and the selection policy over the
+// registry's routing snapshot.
 //
-// Concurrency: all methods are safe for concurrent use. A single mutex
-// guards the registry, the LRU cache, and the accounting counters; model
-// inference itself (Detect/DetectBatch) runs outside the lock, so many
-// requests can execute concurrently while selection stays serialized. The
-// exported Switches and LoadTimeUS fields are written under the lock — read
-// them via Snapshot (or only after concurrent use has quiesced).
+// Concurrency: all methods are safe for concurrent use. Route and
+// RouteFallback are lock-free snapshot reads; a single mutex guards the LRU
+// cache and the accounting counters. Model inference (Detect/DetectBatch)
+// runs outside any lock, so many requests execute concurrently while cache
+// admission stays serialized. The exported Switches and LoadTimeUS fields
+// are written under the lock — read them via Snapshot (or only after
+// concurrent use has quiesced).
 type Scheduler struct {
 	// LoadBandwidthMBs models weight loading from storage to RAM, charged
 	// on cache misses.
 	LoadBandwidthMBs float64
 
-	mu         sync.Mutex
-	models     map[string]*Model
-	generalist string
-	byTask     map[string]string
-	cache      *lruCache
+	reg    *registry.Registry
+	budget int64
+
+	mu    sync.Mutex
+	cache *lruCache
 
 	// Switches counts model changes between consecutive requests.
 	Switches int
@@ -82,53 +70,33 @@ type Scheduler struct {
 	LoadTimeUS float64
 }
 
-// New creates a scheduler with the given RAM budget for model weights.
+// New creates a scheduler with its own empty registry and the given RAM
+// budget for model weights.
 func New(budgetBytes int64) *Scheduler {
+	return NewWith(registry.New(), budgetBytes)
+}
+
+// NewWith creates a scheduler routing over an existing registry, so the
+// owner (e.g. the Pipeline facade) can publish and roll back artifacts while
+// the scheduler serves them.
+func NewWith(reg *registry.Registry, budgetBytes int64) *Scheduler {
 	return &Scheduler{
 		LoadBandwidthMBs: 100,
-		models:           map[string]*Model{},
-		byTask:           map[string]string{},
+		reg:              reg,
+		budget:           budgetBytes,
 		cache:            newLRUCache(budgetBytes),
 	}
 }
 
-// Register adds a model to the registry (storage, not RAM).
+// Registry exposes the underlying registry for publication and rollback.
+func (s *Scheduler) Registry() *registry.Registry { return s.reg }
+
+// Register publishes a model into the registry as the next version of its
+// name. Unlike the pre-registry scheduler, re-registering a name is not an
+// error: it publishes a new version and atomically makes it the routed one.
 func (s *Scheduler) Register(m Model) error {
-	switch {
-	case m.Name == "":
-		return fmt.Errorf("sched: empty model name")
-	case m.Detect == nil:
-		return fmt.Errorf("sched: model %q has no Detect", m.Name)
-	case m.Bytes <= 0:
-		return fmt.Errorf("sched: model %q has non-positive size", m.Name)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.models[m.Name]; dup {
-		return fmt.Errorf("sched: duplicate model %q", m.Name)
-	}
-	switch m.Kind {
-	case Generalist:
-		if s.generalist != "" {
-			return fmt.Errorf("sched: second generalist %q (have %q)", m.Name, s.generalist)
-		}
-	case TaskSpecific:
-		if m.Task == "" {
-			return fmt.Errorf("sched: task-specific model %q without task", m.Name)
-		}
-		if prev, dup := s.byTask[m.Task]; dup {
-			return fmt.Errorf("sched: task %q already served by %q", m.Task, prev)
-		}
-	}
-	mm := m
-	s.models[m.Name] = &mm
-	switch m.Kind {
-	case Generalist:
-		s.generalist = m.Name
-	case TaskSpecific:
-		s.byTask[m.Task] = m.Name
-	}
-	return nil
+	_, err := s.reg.Publish(m)
+	return err
 }
 
 // Request describes one mission inference call.
@@ -139,147 +107,163 @@ type Request struct {
 	LatencyBudgetUS float64
 }
 
-// candidates returns the model names that could serve the request, preferred
-// first. Caller must hold s.mu.
-func (s *Scheduler) candidates(req Request) []string {
-	var out []string
-	if name, ok := s.byTask[req.Task]; ok {
-		out = append(out, name)
-	}
-	if s.generalist != "" {
-		out = append(out, s.generalist)
-	}
-	return out
-}
-
-// Route reports which model variant Select would pick for the request, by
-// name, without loading it or perturbing the cache. The serving layer uses
-// this to coalesce requests targeting the same variant before committing to
-// a load.
+// Route reports which variant Select would pick for the request — as a full
+// artifact ID string (name@vN#sum) — without loading it or perturbing the
+// cache. The serving layer uses this to coalesce requests targeting the same
+// variant before committing to a load; because the ID pins an exact version,
+// a batch coalesced for one version never silently executes on another.
+// Lock-free: one snapshot load, no scheduler mutex.
 func (s *Scheduler) Route(req Request) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cands := s.candidates(req)
+	cands := s.reg.Snapshot().Candidates(req.Task)
 	if len(cands) == 0 {
 		return "", fmt.Errorf("sched: no model can serve task %q", req.Task)
 	}
 	var lastErr error
-	for _, name := range cands {
-		m := s.models[name]
-		if req.LatencyBudgetUS > 0 && m.LatencyUS > req.LatencyBudgetUS {
-			lastErr = fmt.Errorf("sched: model %q latency %.0fus over budget %.0fus",
-				name, m.LatencyUS, req.LatencyBudgetUS)
+	for _, m := range cands {
+		if err := s.admissible(m, req.LatencyBudgetUS); err != nil {
+			lastErr = err
 			continue
 		}
-		if m.Bytes > s.cache.budget {
-			lastErr = fmt.Errorf("sched: model %q (%d B) exceeds cache budget (%d B)",
-				name, m.Bytes, s.cache.budget)
-			continue
-		}
-		return name, nil
+		return m.ID.String(), nil
 	}
 	return "", lastErr
 }
 
 // RouteFallback reports the degraded-path variant for the request: the
-// quantized generalist, regardless of whether a task-specific student
-// exists. The serving layer uses it to keep a task servable when the
-// preferred variant's circuit breaker is open — the paper's dual-
-// configuration adaptability, driven by failure instead of situation.
+// quantized generalist's active version, regardless of whether a
+// task-specific student exists. The serving layer uses it to keep a task
+// servable when the preferred variant's circuit breaker is open — the
+// paper's dual-configuration adaptability, driven by failure instead of
+// situation. Lock-free.
 func (s *Scheduler) RouteFallback(req Request) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.generalist == "" {
+	m, ok := s.reg.Snapshot().Generalist()
+	if !ok {
 		return "", fmt.Errorf("sched: no generalist fallback for task %q", req.Task)
 	}
-	m := s.models[s.generalist]
-	if req.LatencyBudgetUS > 0 && m.LatencyUS > req.LatencyBudgetUS {
-		return "", fmt.Errorf("sched: fallback %q latency %.0fus over budget %.0fus",
-			m.Name, m.LatencyUS, req.LatencyBudgetUS)
+	if err := s.admissible(m, req.LatencyBudgetUS); err != nil {
+		return "", err
 	}
-	if m.Bytes > s.cache.budget {
-		return "", fmt.Errorf("sched: fallback %q (%d B) exceeds cache budget (%d B)",
-			m.Name, m.Bytes, s.cache.budget)
-	}
-	return s.generalist, nil
+	return m.ID.String(), nil
 }
 
-// SelectByName loads a specific registered variant (LRU-evicting as needed)
-// and accounts load time — the forced-variant path the serving layer uses
-// to execute a batch on exactly the lane it was coalesced for, including
-// degraded batches pinned to the quantized fallback.
-func (s *Scheduler) SelectByName(name string) (*Model, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.models[name]
-	if !ok {
-		return nil, fmt.Errorf("sched: no model %q registered", name)
+// admissible checks a candidate against the request latency budget and the
+// cache budget (both immutable per-artifact / per-scheduler, so no lock).
+func (s *Scheduler) admissible(m *Model, latencyBudgetUS float64) error {
+	if latencyBudgetUS > 0 && m.LatencyUS > latencyBudgetUS {
+		return fmt.Errorf("sched: model %q latency %.0fus over budget %.0fus",
+			m.ID, m.LatencyUS, latencyBudgetUS)
 	}
-	hit, err := s.cache.ensure(name, m.Bytes)
+	if m.Bytes > s.budget {
+		return fmt.Errorf("sched: model %q (%d B) exceeds cache budget (%d B)",
+			m.ID, m.Bytes, s.budget)
+	}
+	return nil
+}
+
+// resolve maps a variant string (bare name or full artifact ID) to the
+// artifact that should execute it, via the current snapshot. A full ID of a
+// quarantined version transparently redirects to the name's active version —
+// the automatic-rollback path for retries of batches pinned to a version
+// that went bad.
+func (s *Scheduler) resolve(variant string) (*Model, error) {
+	m, ok := s.reg.Snapshot().Resolve(variant)
+	if !ok {
+		return nil, fmt.Errorf("sched: no model %q registered", variant)
+	}
+	return m, nil
+}
+
+// SelectByName loads a specific variant (LRU-evicting as needed) and
+// accounts load time — the forced-variant path the serving layer uses to
+// execute a batch on exactly the lane it was coalesced for, including
+// degraded batches pinned to the quantized fallback. Accepts bare names and
+// full artifact IDs.
+func (s *Scheduler) SelectByName(variant string) (*Model, error) {
+	m, err := s.resolve(variant)
 	if err != nil {
 		return nil, err
+	}
+	if err := s.admit(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// admit ensures an artifact's weights are cache-resident, accounting load
+// time and switches.
+func (s *Scheduler) admit(m *Model) error {
+	key := m.ID.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hit, err := s.cache.ensure(key, m.Bytes)
+	if err != nil {
+		return err
 	}
 	if !hit {
 		s.LoadTimeUS += float64(m.Bytes) / (s.LoadBandwidthMBs * 1e6) * 1e6
 	}
-	if s.last != "" && s.last != name {
+	if s.last != "" && s.last != key {
 		s.Switches++
 	}
-	s.last = name
-	return m, nil
+	s.last = key
+	return nil
 }
 
 // DetectBatchOn runs a whole micro-batch on a specific variant (one
 // selection, one cache touch, at most one weight load — see DetectBatch).
-func (s *Scheduler) DetectBatchOn(name string, imgs []*tensor.Tensor) ([][]geom.Scored, *Model, error) {
-	m, err := s.SelectByName(name)
+func (s *Scheduler) DetectBatchOn(variant string, imgs []*tensor.Tensor) ([][]geom.Scored, *Model, error) {
+	m, err := s.SelectByName(variant)
 	if err != nil {
 		return nil, nil, err
 	}
 	return runBatch(m, imgs), m, nil
 }
 
-// Evict drops a variant's weights from the model cache, reporting whether
-// it was resident. The serving layer calls this after a variant panics or
+// Evict drops a variant's weights from the model cache, reporting whether it
+// was resident. The serving layer calls this after a variant panics or
 // hangs: the resident copy can no longer be trusted as healthy, so the next
-// selection must reload it from storage rather than reuse it.
-func (s *Scheduler) Evict(name string) bool {
+// selection must reload it from storage rather than reuse it. Accepts bare
+// names and full artifact IDs.
+func (s *Scheduler) Evict(variant string) bool {
+	key := variant
+	if m, err := s.resolve(variant); err == nil {
+		key = m.ID.String()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.cache.evict(name)
+	// Try the resolved active version first, then the literal string (a
+	// quarantined version's own weights may still be resident under its
+	// exact ID even though resolve redirects away from it).
+	if s.cache.evict(key) {
+		return true
+	}
+	if key != variant {
+		return s.cache.evict(variant)
+	}
+	return false
 }
 
-// Select picks the model for a request: the task-specific student when one
+// Select picks the model for a request — the task-specific student when one
 // exists, fits the cache, and meets the latency budget; otherwise the
-// quantized generalist. Selection loads the model (LRU-evicting as needed)
-// and accounts load time.
+// quantized generalist — then loads it (LRU-evicting as needed) and accounts
+// load time. Candidate choice is a lock-free snapshot read; only cache
+// admission takes the mutex.
 func (s *Scheduler) Select(req Request) (*Model, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cands := s.candidates(req)
+	cands := s.reg.Snapshot().Candidates(req.Task)
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("sched: no model can serve task %q", req.Task)
 	}
 	var lastErr error
-	for _, name := range cands {
-		m := s.models[name]
+	for _, m := range cands {
 		if req.LatencyBudgetUS > 0 && m.LatencyUS > req.LatencyBudgetUS {
 			lastErr = fmt.Errorf("sched: model %q latency %.0fus over budget %.0fus",
-				name, m.LatencyUS, req.LatencyBudgetUS)
+				m.ID, m.LatencyUS, req.LatencyBudgetUS)
 			continue
 		}
-		hit, err := s.cache.ensure(name, m.Bytes)
-		if err != nil {
+		if err := s.admit(m); err != nil {
 			lastErr = err
 			continue
 		}
-		if !hit {
-			s.LoadTimeUS += float64(m.Bytes) / (s.LoadBandwidthMBs * 1e6) * 1e6
-		}
-		if s.last != "" && s.last != name {
-			s.Switches++
-		}
-		s.last = name
 		return m, nil
 	}
 	return nil, lastErr
@@ -344,16 +328,24 @@ func (s *Scheduler) Snapshot() Snapshot {
 	return Snapshot{Cache: s.cache.stats, Switches: s.Switches, LoadTimeUS: s.LoadTimeUS}
 }
 
-// Resident returns loaded model names, least recently used first.
+// Resident returns loaded artifact ID strings, least recently used first.
 func (s *Scheduler) Resident() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cache.Resident()
 }
 
-// Models returns the registered model count.
+// Models returns the number of actively routed artifacts.
 func (s *Scheduler) Models() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.models)
+	return len(s.reg.Snapshot().Artifacts())
+}
+
+// Lookup resolves a variant string (bare name or full artifact ID) without
+// loading it. Used by serving-layer introspection.
+func (s *Scheduler) Lookup(variant string) (*Model, bool) {
+	m, err := s.resolve(variant)
+	if err != nil {
+		return nil, false
+	}
+	return m, true
 }

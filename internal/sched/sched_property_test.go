@@ -41,8 +41,12 @@ func TestCacheNeverExceedsBudgetProperty(t *testing.T) {
 			// must hold regardless.
 			_ = err
 			var used int64
-			for _, name := range s.Resident() {
-				used += s.models[name].Bytes
+			for _, id := range s.Resident() {
+				m, ok := s.Lookup(id)
+				if !ok {
+					return false
+				}
+				used += m.Bytes
 			}
 			if used > budget {
 				return false
@@ -84,7 +88,7 @@ func TestLRUOrderProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			lastName = m.Name
+			lastName = m.ID.String()
 		}
 		res := s.Resident()
 		return len(res) > 0 && res[len(res)-1] == lastName

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"strings"
 	"testing"
 
 	"itask/internal/geom"
@@ -46,8 +47,13 @@ func TestRegisterValidation(t *testing.T) {
 	if err := s.Register(good); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Register(good); err == nil {
-		t.Error("duplicate name should fail")
+	// Re-registering a name is no longer an error: it publishes the next
+	// version and routes it.
+	if err := s.Register(good); err != nil {
+		t.Errorf("republish of %q: %v", good.Name, err)
+	}
+	if m, err := s.SelectByName("g"); err != nil || m.ID.Version != 2 {
+		t.Errorf("after republish: model %+v, err %v, want v2", m, err)
 	}
 	second := Model{Name: "g2", Kind: Generalist, Bytes: 1, Detect: dummyDetect(0)}
 	if err := s.Register(second); err == nil {
@@ -122,10 +128,11 @@ func TestCacheEvictionUnderBudget(t *testing.T) {
 	if st.Evictions == 0 {
 		t.Error("expected evictions when budget exceeded")
 	}
-	// LRU: patrol-ts (oldest) must be evicted first.
-	for _, name := range s.Resident() {
-		if name == "patrol-ts" {
-			t.Error("LRU victim patrol-ts still resident")
+	// LRU: patrol-ts (oldest) must be evicted first. Resident returns full
+	// artifact ID strings (name@vN#sum).
+	for _, id := range s.Resident() {
+		if strings.HasPrefix(id, "patrol-ts@") {
+			t.Errorf("LRU victim %s still resident", id)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"itask/internal/registry"
 	"itask/internal/sched"
 	"itask/internal/tensor"
 )
@@ -70,6 +71,30 @@ type ImageValidator interface {
 // cache; the server surfaces the stats in its metrics snapshot.
 type CacheStatser interface {
 	CacheStats() sched.CacheStats
+}
+
+// VariantHealthSink is optionally implemented by backends that maintain a
+// versioned model registry. The server reports its health verdicts on a
+// variant — a recovered panic, a watchdog abandonment, or a circuit breaker
+// tripping open — so the registry can demote the version and roll the
+// artifact back to its last-known-good version. Must be fast and
+// non-blocking; it runs on the execution path.
+type VariantHealthSink interface {
+	VariantUnhealthy(variant, task, reason string)
+}
+
+// Health-verdict reasons passed to VariantHealthSink.VariantUnhealthy.
+const (
+	UnhealthyPanic    = "panic"
+	UnhealthyWatchdog = "watchdog"
+	UnhealthyBreaker  = "breaker-open"
+)
+
+// RegistryStatser is optionally implemented by backends with a versioned
+// model registry; the server surfaces publish/rollback counters in its
+// metrics snapshot.
+type RegistryStatser interface {
+	RegistryStats() registry.Stats
 }
 
 // Request is one detection call entering the serving layer.

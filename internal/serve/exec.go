@@ -73,9 +73,11 @@ func (s *Server) execute(variant, task string, items []*pending) {
 	if err == nil {
 		finished := time.Now()
 		s.m.observeBatch(len(live))
+		var latSumUS float64
 		for i, p := range live {
 			total := finished.Sub(p.enq)
 			s.m.observeLatency(total)
+			latSumUS += float64(total) / float64(time.Microsecond)
 			if p.degraded != "" {
 				s.m.add(&s.m.degradedServed, 1)
 			}
@@ -89,22 +91,32 @@ func (s *Server) execute(variant, task string, items []*pending) {
 			}}
 		}
 		s.m.add(&s.m.completed, uint64(len(live)))
+		s.m.modelCompleted(model, len(live), latSumUS)
 		return
 	}
 
-	// Failure path: account the failure class, drop possibly-corrupt
-	// cached weights, then quarantine by bisection.
+	// Failure path: account the failure class (globally and against the
+	// exact variant version), drop possibly-corrupt cached weights, report
+	// the health verdict to the registry so a bad new version rolls back,
+	// then quarantine by bisection. Retries of the bisected halves re-enter
+	// execute with the same pinned variant string; after a rollback the
+	// backend resolves it to the restored last-known-good version, so the
+	// innocent batch-mates still succeed.
 	switch {
 	case errors.Is(err, ErrBackendPanic):
 		s.m.add(&s.m.panics, 1)
+		s.m.modelFault(variant, err)
 		s.evictVariant(variant)
+		s.variantUnhealthy(variant, task, UnhealthyPanic)
 	case errors.Is(err, ErrWatchdog):
 		s.m.add(&s.m.watchdogs, 1)
+		s.m.modelFault(variant, err)
 		s.evictVariant(variant)
+		s.variantUnhealthy(variant, task, UnhealthyWatchdog)
 	}
 	if len(live) == 1 || s.cfg.RetryBudget <= 0 {
 		for _, p := range live {
-			s.fail(p, err, len(live) == 1)
+			s.fail(p, variant, err, len(live) == 1)
 		}
 		return
 	}
@@ -113,7 +125,7 @@ func (s *Server) execute(variant, task string, items []*pending) {
 		retry := make([]*pending, 0, len(half))
 		for _, p := range half {
 			if p.attempts >= s.cfg.RetryBudget {
-				s.fail(p, err, false)
+				s.fail(p, variant, err, false)
 				continue
 			}
 			p.attempts++
@@ -138,11 +150,13 @@ func (s *Server) releaseShedProbe(p *pending) {
 	p.probeKey = ""
 }
 
-// fail delivers a terminal error to one request. isolated marks requests
-// that failed alone (batch of one) — the quarantine verdict that this
-// specific request, not its batch-mates, is the poison.
-func (s *Server) fail(p *pending, err error, isolated bool) {
+// fail delivers a terminal error to one request, attributing it to the
+// lane's variant. isolated marks requests that failed alone (batch of one) —
+// the quarantine verdict that this specific request, not its batch-mates, is
+// the poison.
+func (s *Server) fail(p *pending, variant string, err error, isolated bool) {
 	s.m.add(&s.m.failed, 1)
+	s.m.modelFailed(variant, 1)
 	if isolated && isPanicOrHang(err) {
 		s.m.add(&s.m.quarantined, 1)
 	}
@@ -253,6 +267,19 @@ func (s *Server) recordExec(variant, task string, err error, dur time.Duration) 
 	}
 	if opened := s.h.record(laneKey(variant, task), ok, time.Now()); opened {
 		s.m.add(&s.m.breakerOpens, 1)
+		// A tripped lane is a health verdict on its variant version: let
+		// the registry roll the artifact back to its last-known-good
+		// version while the breaker sheds load.
+		s.variantUnhealthy(variant, task, UnhealthyBreaker)
+	}
+}
+
+// variantUnhealthy reports a health verdict on a variant to the backend's
+// registry (panic, watchdog abandonment, or breaker trip), so a bad new
+// version is demoted and its name rolls back to the previous good version.
+func (s *Server) variantUnhealthy(variant, task, reason string) {
+	if sink, ok := s.backend.(VariantHealthSink); ok {
+		sink.VariantUnhealthy(variant, task, reason)
 	}
 }
 

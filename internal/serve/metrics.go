@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"time"
 
+	"itask/internal/registry"
 	"itask/internal/sched"
 )
 
@@ -42,13 +44,79 @@ type metrics struct {
 	latUS    []float64 // ring buffer of recent latencies, microseconds
 	latNext  int
 	latCount uint64 // total latencies ever observed
+
+	// perModel attributes work and faults to the exact model variant
+	// (versioned artifact ID) that executed it, so /metricsz can show a
+	// bad new version panicking while its rolled-back predecessor serves.
+	perModel map[string]*modelCounters
+}
+
+// modelCounters accumulates one variant's per-version attribution.
+type modelCounters struct {
+	completed uint64
+	failed    uint64
+	panics    uint64
+	watchdogs uint64
+	latSumUS  float64
 }
 
 func newMetrics(maxBatch, window int) *metrics {
 	return &metrics{
 		batchHist: make([]uint64, maxBatch),
 		latUS:     make([]float64, 0, window),
+		perModel:  map[string]*modelCounters{},
 	}
+}
+
+// model returns (creating if needed) the counters for one variant string.
+// Caller holds m.mu.
+func (m *metrics) model(name string) *modelCounters {
+	mc := m.perModel[name]
+	if mc == nil {
+		mc = &modelCounters{}
+		m.perModel[name] = mc
+	}
+	return mc
+}
+
+// modelCompleted attributes n completed requests (with their summed
+// admission-to-completion latency) to the model that served them.
+func (m *metrics) modelCompleted(model string, n int, latSumUS float64) {
+	if model == "" {
+		return
+	}
+	m.mu.Lock()
+	mc := m.model(model)
+	mc.completed += uint64(n)
+	mc.latSumUS += latSumUS
+	m.mu.Unlock()
+}
+
+// modelFault attributes one failed execution to the lane's variant,
+// classifying panics and watchdog abandonments.
+func (m *metrics) modelFault(variant string, err error) {
+	if variant == "" {
+		return
+	}
+	m.mu.Lock()
+	mc := m.model(variant)
+	switch {
+	case errors.Is(err, ErrBackendPanic):
+		mc.panics++
+	case errors.Is(err, ErrWatchdog):
+		mc.watchdogs++
+	}
+	m.mu.Unlock()
+}
+
+// modelFailed attributes n terminally failed requests to the lane's variant.
+func (m *metrics) modelFailed(variant string, n int) {
+	if variant == "" {
+		return
+	}
+	m.mu.Lock()
+	m.model(variant).failed += uint64(n)
+	m.mu.Unlock()
 }
 
 func (m *metrics) add(field *uint64, n uint64) {
@@ -135,6 +203,30 @@ type Snapshot struct {
 	// exposes them (nil otherwise); CacheHitRate is Hits/(Hits+Misses).
 	Cache        *sched.CacheStats `json:"cache,omitempty"`
 	CacheHitRate float64           `json:"cache_hit_rate"`
+
+	// PerModel attributes completions, failures, and faults to the exact
+	// model variant (versioned artifact ID) that executed them, sorted by
+	// variant string. After a bad publish, the demoted version's panics and
+	// the rolled-back version's completions appear side by side here.
+	PerModel []ModelStats `json:"per_model,omitempty"`
+
+	// Registry surfaces publish/rollback/demotion counters when the
+	// backend exposes a versioned model registry (nil otherwise).
+	Registry *registry.Stats `json:"registry,omitempty"`
+}
+
+// ModelStats is one variant's per-version attribution in a Snapshot.
+type ModelStats struct {
+	// Model is the variant string — a full versioned artifact ID for the
+	// pipeline backend.
+	Model     string `json:"model"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed,omitempty"`
+	Panics    uint64 `json:"panics,omitempty"`
+	Watchdogs uint64 `json:"watchdogs,omitempty"`
+	// MeanLatencyUS is the mean admission-to-completion latency of this
+	// variant's completed requests, microseconds.
+	MeanLatencyUS float64 `json:"mean_latency_us,omitempty"`
 }
 
 func (m *metrics) snapshot(uptime time.Duration, queueDepth int) Snapshot {
@@ -164,8 +256,22 @@ func (m *metrics) snapshot(uptime time.Duration, queueDepth int) Snapshot {
 		Batches:          m.batches,
 		BatchHist:        append([]uint64(nil), m.batchHist...),
 	}
+	for name, mc := range m.perModel {
+		ms := ModelStats{
+			Model:     name,
+			Completed: mc.completed,
+			Failed:    mc.failed,
+			Panics:    mc.panics,
+			Watchdogs: mc.watchdogs,
+		}
+		if mc.completed > 0 {
+			ms.MeanLatencyUS = mc.latSumUS / float64(mc.completed)
+		}
+		snap.PerModel = append(snap.PerModel, ms)
+	}
 	lat := append([]float64(nil), m.latUS...)
 	m.mu.Unlock()
+	sort.Slice(snap.PerModel, func(i, j int) bool { return snap.PerModel[i].Model < snap.PerModel[j].Model })
 
 	if uptime > 0 {
 		snap.ThroughputRPS = float64(snap.Completed) / uptime.Seconds()

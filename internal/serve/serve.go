@@ -418,5 +418,9 @@ func (s *Server) Snapshot() Snapshot {
 			snap.CacheHitRate = float64(stats.Hits) / float64(total)
 		}
 	}
+	if rs, ok := s.backend.(RegistryStatser); ok {
+		stats := rs.RegistryStats()
+		snap.Registry = &stats
+	}
 	return snap
 }

@@ -1,0 +1,73 @@
+package vit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+
+	"itask/internal/nn"
+)
+
+// sumLen truncates hex digests to 16 chars — 64 bits of SHA-256 is ample for
+// corruption detection and keeps ArtifactID strings readable.
+const sumLen = 16
+
+// ChecksumParams hashes the canonical checkpoint encoding of params without
+// writing it anywhere. The digest therefore equals the one produced by
+// SaveFileSum for the same weights.
+func ChecksumParams(params []*nn.Param) (string, error) {
+	h := sha256.New()
+	if err := SaveParams(h, params); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:sumLen], nil
+}
+
+// Checksum hashes the model's weights in checkpoint encoding.
+func (m *Model) Checksum() (string, error) { return ChecksumParams(m.Params()) }
+
+// SaveFileSum writes a checkpoint to path and returns the content checksum
+// of the written bytes, for publication into a registry manifest.
+func (m *Model) SaveFileSum(path string) (string, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	if err := SaveParams(io.MultiWriter(f, h), m.Params()); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:sumLen], nil
+}
+
+// LoadFileVerify loads a checkpoint from path, hashing the stream while
+// reading, and fails if the digest differs from sum — a truncated or
+// corrupted artifact is refused before any routing decision can see it.
+// The model's weights may be partially overwritten on failure; callers load
+// into a scratch model and publish only on success.
+func (m *Model) LoadFileVerify(path, sum string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if err := LoadParams(io.TeeReader(f, h), m.Params()); err != nil {
+		return err
+	}
+	// Drain any trailing bytes so the digest covers the whole file.
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	got := hex.EncodeToString(h.Sum(nil))[:sumLen]
+	if got != sum {
+		return fmt.Errorf("vit: checkpoint %s checksum %s, manifest says %s", path, got, sum)
+	}
+	return nil
+}

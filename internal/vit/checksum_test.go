@@ -1,0 +1,84 @@
+package vit
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"itask/internal/tensor"
+)
+
+func tinyModel(t *testing.T, seed uint64) *Model {
+	t.Helper()
+	cfg := Config{ImageSize: 8, Channels: 1, PatchSize: 4, Dim: 8, Depth: 1,
+		Heads: 2, MLPRatio: 2, Classes: 3}
+	return New(cfg, tensor.NewRNG(seed))
+}
+
+func TestChecksumMatchesSavedFile(t *testing.T) {
+	m := tinyModel(t, 1)
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	sum, err := m.SaveFileSum(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum) != sumLen {
+		t.Fatalf("checksum %q length %d, want %d", sum, len(sum), sumLen)
+	}
+	// The in-memory digest equals the on-disk one.
+	mem, err := m.Checksum()
+	if err != nil || mem != sum {
+		t.Fatalf("Checksum() = %q, %v; SaveFileSum = %q", mem, err, sum)
+	}
+	// Different weights produce a different digest.
+	other, err := tinyModel(t, 2).Checksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == sum {
+		t.Fatal("distinct models share a checksum")
+	}
+}
+
+func TestLoadFileVerify(t *testing.T) {
+	m := tinyModel(t, 3)
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	sum, err := m.SaveFileSum(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := tinyModel(t, 4)
+	if err := dst.LoadFileVerify(path, sum); err != nil {
+		t.Fatalf("verify with correct sum: %v", err)
+	}
+	got, err := dst.Checksum()
+	if err != nil || got != sum {
+		t.Fatalf("loaded weights hash %q, want %q", got, sum)
+	}
+	// Wrong expected sum is refused.
+	if err := tinyModel(t, 5).LoadFileVerify(path, "deadbeefdeadbeef"); err == nil {
+		t.Fatal("mismatched checksum accepted")
+	}
+	// A flipped byte in the weight payload is refused even with the
+	// original sum.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := tinyModel(t, 6).LoadFileVerify(path, sum); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+	// Trailing garbage after a well-formed checkpoint is refused too.
+	data[len(data)-1] ^= 0xff // restore
+	data = append(data, 0xEE)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := tinyModel(t, 7).LoadFileVerify(path, sum); err == nil {
+		t.Fatal("checkpoint with trailing garbage accepted")
+	}
+}

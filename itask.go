@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"itask/internal/dataset"
 	"itask/internal/distill"
@@ -13,6 +14,7 @@ import (
 	"itask/internal/kg"
 	"itask/internal/llm"
 	"itask/internal/quant"
+	"itask/internal/registry"
 	"itask/internal/scene"
 	"itask/internal/sched"
 	"itask/internal/serve"
@@ -90,38 +92,67 @@ func DefaultOptions() Options {
 	}
 }
 
-// taskState is everything the pipeline knows about one defined task.
+// Well-known artifact names published by the pipeline. Routable artifacts
+// (the generalist and per-task students) additionally carry versioned IDs
+// assigned by the registry.
+const (
+	// TeacherArtifact is the float multi-task teacher (provenance, never
+	// routed).
+	TeacherArtifact = "teacher"
+	// FewShotBaseArtifact is the student-architecture multi-task base used
+	// by AdaptStudent (never routed).
+	FewShotBaseArtifact = "fewshot-base"
+)
+
+// GeneralistArtifact is the registry name of the deployed quantized
+// generalist for a quantization width.
+func GeneralistArtifact(bits int) string { return fmt.Sprintf("generalist-q%d", bits) }
+
+// StudentArtifact is the registry name of a task's distilled student.
+func StudentArtifact(task string) string { return task + "-student" }
+
+// taskState is everything the pipeline knows about one defined task. It is
+// immutable after creation: redefinition replaces the whole value in the
+// copy-on-write task map. Model state is NOT stored here — students live in
+// the registry.
 type taskState struct {
 	name        string
 	description string
 	graph       *kg.Graph
 	priors      []float64
-	student     *vit.Model
 }
+
+// taskMap is the copy-on-write table of defined tasks, swapped atomically.
+type taskMap map[string]*taskState
 
 // Pipeline is the end-to-end iTask system: simulated LLM, knowledge graphs,
 // the trained generalist (float teacher + quantized deployment), per-task
 // distilled students, and the situational scheduler.
 //
-// Concurrency: once the models are set up (TrainGeneralist/LoadGeneralist
-// plus any students), Detect, DetectBatch, DefineTask, Tasks, Priors,
-// Graph, and the serve.Backend adapter are safe to call concurrently — the
-// serving layer depends on this. The training/loading methods themselves
-// are setup-time operations and must not race each other.
+// Pipeline is a thin facade: all model state lives in an internal
+// versioned registry (see internal/registry) behind an atomically-swapped
+// snapshot, and the task table is an atomically-swapped copy-on-write map.
+//
+// Concurrency: every method is safe for concurrent use at any time — not
+// just after setup. Readers (Detect, DetectBatch, DetectBatchOn, Tasks,
+// Priors, Graph, Teacher, Quantized, Student, and the serve.Backend adapter)
+// are lock-free: they load the current registry snapshot and task map and
+// never block on writers. Writers (DefineTask, TrainGeneralist, Load*,
+// Distill*, Adapt*, Reload*) serialize on an internal mutex, build the new
+// model off to the side, and publish it as a new immutable version; in-flight
+// requests finish on the version they started with.
 type Pipeline struct {
 	opts Options
 	llm  *llm.SimLLM
-	rng  *tensor.RNG
 
-	teacher   *vit.Model
-	quantized *quant.Model
-	// genStudent is the student-architecture multi-task base used by
-	// AdaptStudent, distilled lazily from the teacher.
-	genStudent *vit.Model
-	// taskMu guards the tasks map: DefineTask writes while concurrent
-	// detection reads.
-	taskMu    sync.RWMutex
-	tasks     map[string]*taskState
+	// mu serializes writers (task definition, training, distillation,
+	// adaptation, checkpoint loads) and guards rng.
+	mu  sync.Mutex
+	rng *tensor.RNG
+
+	tasks atomic.Pointer[taskMap]
+
+	reg       *registry.Registry
 	scheduler *sched.Scheduler
 }
 
@@ -130,63 +161,123 @@ func New(opts Options) *Pipeline {
 	if opts.TeacherCfg.Classes != int(scene.NumClasses) || opts.StudentCfg.Classes != int(scene.NumClasses) {
 		panic(fmt.Sprintf("itask: model class count must be %d", scene.NumClasses))
 	}
-	return &Pipeline{
+	reg := registry.New()
+	p := &Pipeline{
 		opts:      opts,
 		llm:       llm.New(llm.DefaultOptions()),
 		rng:       tensor.NewRNG(opts.Seed),
-		tasks:     map[string]*taskState{},
-		scheduler: sched.New(opts.MemoryBudgetBytes),
+		reg:       reg,
+		scheduler: sched.NewWith(reg, opts.MemoryBudgetBytes),
 	}
+	p.tasks.Store(&taskMap{})
+	return p
 }
 
-// task looks up a defined task under the read lock.
+// Registry exposes the pipeline's model registry for publication,
+// rollback, and version introspection.
+func (p *Pipeline) Registry() *registry.Registry { return p.reg }
+
+// task looks up a defined task in the current task map (lock-free).
 func (p *Pipeline) task(name string) (*taskState, bool) {
-	p.taskMu.RLock()
-	defer p.taskMu.RUnlock()
-	ts, ok := p.tasks[name]
+	ts, ok := (*p.tasks.Load())[name]
 	return ts, ok
 }
 
-// registerGeneralist registers the quantized generalist with the scheduler,
-// wiring both the single-image and the micro-batched entry points.
-func (p *Pipeline) registerGeneralist(qm *quant.Model) error {
+// payloadOf returns the Payload of a name's active artifact, if any.
+func payloadOf[T any](p *Pipeline, name string) (T, bool) {
+	var zero T
+	a, ok := p.reg.Snapshot().Active(name)
+	if !ok {
+		return zero, false
+	}
+	v, ok := a.Payload.(T)
+	if !ok {
+		return zero, false
+	}
+	return v, true
+}
+
+// teacherModel returns the active teacher weights (nil before training).
+func (p *Pipeline) teacherModel() *vit.Model {
+	m, _ := payloadOf[*vit.Model](p, TeacherArtifact)
+	return m
+}
+
+// ready reports whether a generalist is published (the minimum model state
+// for serving any task).
+func (p *Pipeline) ready() bool {
+	_, ok := p.reg.Snapshot().Generalist()
+	return ok
+}
+
+// publishGeneralist publishes the float teacher (provenance) and the
+// quantized generalist (routable) as the next versions of their names.
+// Caller holds p.mu.
+func (p *Pipeline) publishGeneralist(teacher *vit.Model, qm *quant.Model) error {
+	tsum, err := teacher.Checksum()
+	if err != nil {
+		return fmt.Errorf("itask: checksumming teacher: %w", err)
+	}
+	if _, err := p.reg.Publish(registry.Artifact{
+		Name: TeacherArtifact, Kind: registry.Teacher,
+		Bytes: int64(teacher.NumParams() * 4), Checksum: tsum, Payload: teacher,
+	}); err != nil {
+		return err
+	}
+	qsum, err := qm.Checksum()
+	if err != nil {
+		return fmt.Errorf("itask: checksumming generalist: %w", err)
+	}
 	th := p.opts.Thresholds
 	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.TeacherCfg).LatencyUS
-	return p.scheduler.Register(sched.Model{
-		Name:      "generalist-q" + fmt.Sprint(p.opts.Quant.Bits),
-		Kind:      sched.Generalist,
+	_, err = p.reg.Publish(registry.Artifact{
+		Name:      GeneralistArtifact(p.opts.Quant.Bits),
+		Kind:      registry.Generalist,
 		Bytes:     int64(qm.WeightBytes()),
 		LatencyUS: lat,
+		Checksum:  qsum,
 		Detect: func(img *tensor.Tensor) []geom.Scored {
 			return qm.Detect(img, th.Obj, th.NMSIoU)
 		},
 		DetectBatch: func(imgs []*tensor.Tensor) [][]geom.Scored {
 			return qm.DetectBatch(imgs, th.Obj, th.NMSIoU)
 		},
+		Payload: qm,
 	})
+	return err
 }
 
-// registerStudent registers a task-specific student with the scheduler,
-// wiring both the single-image and the micro-batched entry points.
-func (p *Pipeline) registerStudent(taskName string, student *vit.Model) error {
+// publishStudent publishes a task-specific student as the next version of
+// its name, wiring both the single-image and micro-batched entry points.
+// Caller holds p.mu.
+func (p *Pipeline) publishStudent(taskName string, student *vit.Model) error {
+	sum, err := student.Checksum()
+	if err != nil {
+		return fmt.Errorf("itask: checksumming student for %q: %w", taskName, err)
+	}
 	th := p.opts.Thresholds
 	lat := hwsim.SimulateAccel(p.opts.Accel, p.opts.StudentCfg).LatencyUS
-	return p.scheduler.Register(sched.Model{
-		Name:        taskName + "-student",
-		Kind:        sched.TaskSpecific,
+	_, err = p.reg.Publish(registry.Artifact{
+		Name:        StudentArtifact(taskName),
+		Kind:        registry.TaskSpecific,
 		Task:        taskName,
 		Bytes:       int64(student.NumParams() * 4),
 		LatencyUS:   lat,
-		Detect:      sched.DetectFunc(eval.DetectorOf(student, th)),
-		DetectBatch: sched.BatchDetectFunc(eval.BatchDetectorOf(student, th)),
+		Checksum:    sum,
+		Detect:      registry.DetectFunc(eval.DetectorOf(student, th)),
+		DetectBatch: registry.BatchDetectFunc(eval.BatchDetectorOf(student, th)),
+		Payload:     student,
 	})
+	return err
 }
 
 // TrainGeneralist trains the multi-task teacher on a mixture of the given
 // tasks (nil means the four standard tasks), quantizes it into the
-// deployable generalist, and registers it with the scheduler.
+// deployable generalist, and publishes both into the registry.
 func (p *Pipeline) TrainGeneralist(tasks []dataset.Task) error {
-	if p.teacher != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.teacherModel() != nil {
 		return fmt.Errorf("itask: generalist already trained")
 	}
 	if tasks == nil {
@@ -203,56 +294,91 @@ func (p *Pipeline) TrainGeneralist(tasks []dataset.Task) error {
 	if err != nil {
 		return fmt.Errorf("itask: quantizing generalist: %w", err)
 	}
-	p.teacher = teacher
-	p.quantized = qm
-	return p.registerGeneralist(qm)
+	return p.publishGeneralist(teacher, qm)
 }
 
 // LoadGeneralist initializes the generalist from a teacher checkpoint
 // (written by itask-train or vit.SaveParams) instead of training: the
 // checkpoint is loaded into the teacher architecture, quantized, and
-// registered with the scheduler.
+// published. Use ReloadGeneralist to publish further versions while serving.
 func (p *Pipeline) LoadGeneralist(checkpointPath string) error {
-	if p.teacher != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.teacherModel() != nil {
 		return fmt.Errorf("itask: generalist already initialized")
 	}
+	return p.loadGeneralistLocked(checkpointPath, "")
+}
+
+// ReloadGeneralist publishes a new generalist version from a teacher
+// checkpoint while the pipeline keeps serving: the checkpoint loads into a
+// fresh model off to the side, is quantized, and becomes the routed version
+// in one atomic snapshot swap — in-flight requests finish on the previous
+// version. When sum is non-empty the checkpoint bytes are verified against
+// it (registry-manifest integrity) before anything is published.
+func (p *Pipeline) ReloadGeneralist(checkpointPath, sum string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.loadGeneralistLocked(checkpointPath, sum)
+}
+
+// loadGeneralistLocked loads, quantizes, and publishes a teacher checkpoint.
+// Caller holds p.mu.
+func (p *Pipeline) loadGeneralistLocked(checkpointPath, sum string) error {
 	teacher := vit.New(p.opts.TeacherCfg, p.rng.Split())
-	if err := teacher.LoadFile(checkpointPath); err != nil {
+	var err error
+	if sum != "" {
+		err = teacher.LoadFileVerify(checkpointPath, sum)
+	} else {
+		err = teacher.LoadFile(checkpointPath)
+	}
+	if err != nil {
 		return fmt.Errorf("itask: loading generalist checkpoint: %w", err)
 	}
 	qm, err := quant.FromViT(teacher, p.opts.Quant)
 	if err != nil {
 		return fmt.Errorf("itask: quantizing generalist: %w", err)
 	}
-	p.teacher = teacher
-	p.quantized = qm
-	return p.registerGeneralist(qm)
+	return p.publishGeneralist(teacher, qm)
 }
 
-// LoadStudent registers a task-specific student from a checkpoint written
-// by itask-train. The task must already be defined.
+// LoadStudent publishes a task-specific student from a checkpoint written by
+// itask-train. The task must already be defined. Loading again (a retrained
+// checkpoint) publishes the next version and atomically routes it.
 func (p *Pipeline) LoadStudent(taskName, checkpointPath string) error {
+	return p.LoadStudentVerified(taskName, checkpointPath, "")
+}
+
+// LoadStudentVerified is LoadStudent with checkpoint-integrity verification
+// against a registry-manifest checksum (skipped when sum is empty).
+func (p *Pipeline) LoadStudentVerified(taskName, checkpointPath, sum string) error {
 	ts, ok := p.task(taskName)
 	if !ok {
 		return fmt.Errorf("itask: task %q not defined", taskName)
 	}
-	if ts.student != nil {
-		return fmt.Errorf("itask: task %q already has a student", taskName)
-	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	student := vit.New(p.opts.StudentCfg, p.rng.Split())
-	if err := student.LoadFile(checkpointPath); err != nil {
+	var err error
+	if sum != "" {
+		err = student.LoadFileVerify(checkpointPath, sum)
+	} else {
+		err = student.LoadFile(checkpointPath)
+	}
+	if err != nil {
 		return fmt.Errorf("itask: loading student checkpoint: %w", err)
 	}
 	if err := distill.ApplyClassPriors(student, ts.priors, 0.5); err != nil {
 		return err
 	}
-	ts.student = student
-	return p.registerStudent(taskName, student)
+	return p.publishStudent(taskName, student)
 }
 
 // DefineTask runs the simulated LLM over a mission description, stores the
 // resulting knowledge graph and class priors, and makes the task servable
-// (by the generalist until a student is distilled).
+// (by the generalist until a student is distilled). The task table swap is
+// atomic: concurrent detection sees either the old set of tasks or the new
+// one, never a partial write.
 func (p *Pipeline) DefineTask(name, description string) error {
 	if name == "" {
 		return fmt.Errorf("itask: empty task name")
@@ -264,40 +390,48 @@ func (p *Pipeline) DefineTask(name, description string) error {
 	if err != nil {
 		return fmt.Errorf("itask: generating knowledge graph: %w", err)
 	}
-	p.taskMu.Lock()
-	defer p.taskMu.Unlock()
-	if _, dup := p.tasks[name]; dup {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := *p.tasks.Load()
+	if _, dup := old[name]; dup {
 		return fmt.Errorf("itask: task %q already defined", name)
 	}
-	p.tasks[name] = &taskState{
+	next := make(taskMap, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = &taskState{
 		name:        name,
 		description: description,
 		graph:       g,
 		priors:      kg.ClassPriors(g, "task:"+name),
 	}
+	p.tasks.Store(&next)
 	return nil
 }
 
 // DistillStudent builds the task-specific configuration for a defined task:
 // a student distilled from the teacher on task-domain data, conditioned with
-// the task's KG priors, and registered with the scheduler.
+// the task's KG priors, and published into the registry. Distilling again
+// for the same task publishes the next version and atomically routes it —
+// in-flight requests finish on the previous version.
 func (p *Pipeline) DistillStudent(taskName string, domain scene.DomainID) error {
 	ts, ok := p.task(taskName)
 	if !ok {
 		return fmt.Errorf("itask: task %q not defined", taskName)
 	}
-	if p.teacher == nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	teacher := p.teacherModel()
+	if teacher == nil {
 		return fmt.Errorf("itask: train the generalist first")
-	}
-	if ts.student != nil {
-		return fmt.Errorf("itask: task %q already has a student", taskName)
 	}
 	task := dataset.Task{Name: taskName, Domain: domain, Description: ts.description}
 	set := dataset.Build(task, p.opts.DistillSamples, p.opts.Gen, p.rng.Split())
 	student := vit.New(p.opts.StudentCfg, p.rng.Split())
 	dcfg := p.opts.DistillCfg
 	dcfg.Train.Seed = p.rng.Uint64()
-	if _, err := distill.Distill(p.teacher, student, set, dcfg); err != nil {
+	if _, err := distill.Distill(teacher, student, set, dcfg); err != nil {
 		return fmt.Errorf("itask: distilling student for %q: %w", taskName, err)
 	}
 	// Task specialization: a supervised fine-tune on the task data after
@@ -312,42 +446,52 @@ func (p *Pipeline) DistillStudent(taskName string, domain scene.DomainID) error 
 	if err := distill.ApplyClassPriors(student, ts.priors, 0.5); err != nil {
 		return err
 	}
-	ts.student = student
-	return p.registerStudent(taskName, student)
+	return p.publishStudent(taskName, student)
 }
 
 // AdaptStudent builds a task-specific configuration from only `shots`
 // support scenes per class — the few-shot path (claim C5): a
-// student-architecture multi-task base (distilled once from the teacher) is
-// cloned, conditioned with the task's knowledge-graph priors, and
-// fine-tuned on the tiny support set. Use DistillStudent instead when
-// abundant task data is available.
+// student-architecture multi-task base (distilled once from the teacher and
+// published as FewShotBaseArtifact) is cloned, conditioned with the task's
+// knowledge-graph priors, and fine-tuned on the tiny support set. Use
+// DistillStudent instead when abundant task data is available. Adapting
+// again publishes the next version.
 func (p *Pipeline) AdaptStudent(taskName string, domain scene.DomainID, shots int) error {
 	ts, ok := p.task(taskName)
 	if !ok {
 		return fmt.Errorf("itask: task %q not defined", taskName)
 	}
-	if p.teacher == nil {
-		return fmt.Errorf("itask: train the generalist first")
-	}
-	if ts.student != nil {
-		return fmt.Errorf("itask: task %q already has a student", taskName)
-	}
 	if shots <= 0 {
 		return fmt.Errorf("itask: shots must be positive")
 	}
-	if p.genStudent == nil {
-		base := vit.New(p.opts.StudentCfg, p.rng.Split())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	teacher := p.teacherModel()
+	if teacher == nil {
+		return fmt.Errorf("itask: train the generalist first")
+	}
+	base, ok := payloadOf[*vit.Model](p, FewShotBaseArtifact)
+	if !ok {
+		base = vit.New(p.opts.StudentCfg, p.rng.Split())
 		mixed := dataset.BuildMixed(dataset.StandardTasks(), p.opts.TrainSamplesPerTask, p.opts.Gen, p.rng.Split())
 		dcfg := p.opts.DistillCfg
 		dcfg.Train.Seed = p.rng.Uint64()
-		if _, err := distill.Distill(p.teacher, base, mixed, dcfg); err != nil {
+		if _, err := distill.Distill(teacher, base, mixed, dcfg); err != nil {
 			return fmt.Errorf("itask: building few-shot base: %w", err)
 		}
-		p.genStudent = base
+		bsum, err := base.Checksum()
+		if err != nil {
+			return fmt.Errorf("itask: checksumming few-shot base: %w", err)
+		}
+		if _, err := p.reg.Publish(registry.Artifact{
+			Name: FewShotBaseArtifact, Kind: registry.FewShotBase,
+			Bytes: int64(base.NumParams() * 4), Checksum: bsum, Payload: base,
+		}); err != nil {
+			return err
+		}
 	}
 	student := vit.New(p.opts.StudentCfg, p.rng.Split())
-	if err := p.genStudent.CloneWeightsTo(student); err != nil {
+	if err := base.CloneWeightsTo(student); err != nil {
 		return err
 	}
 	task := dataset.Task{Name: taskName, Domain: domain, Description: ts.description}
@@ -358,14 +502,23 @@ func (p *Pipeline) AdaptStudent(taskName string, domain scene.DomainID, shots in
 	if _, err := distill.FewShotAdapt(student, ts.priors, support, fcfg); err != nil {
 		return fmt.Errorf("itask: few-shot adapting %q: %w", taskName, err)
 	}
-	ts.student = student
-	return p.registerStudent(taskName, student)
+	return p.publishStudent(taskName, student)
+}
+
+// RollbackModel demotes the active version of a named artifact and
+// reactivates the newest healthy prior version — the manual rollback lever
+// behind automatic health-driven rollback.
+func (p *Pipeline) RollbackModel(name string) (registry.ArtifactID, error) {
+	return p.reg.Rollback(name)
 }
 
 // ModelInfo describes which configuration served a detection call.
 type ModelInfo struct {
 	Name string
 	Kind string
+	// Artifact is the full versioned artifact ID (name@vN#sum) that served
+	// the call, for per-version attribution.
+	Artifact string
 	// LatencyUS and EnergyUJ are the simulated accelerator cost of the
 	// inference that produced the detections.
 	LatencyUS float64
@@ -405,6 +558,7 @@ func (p *Pipeline) modelInfo(model *sched.Model, batch int) ModelInfo {
 	return ModelInfo{
 		Name:      model.Name,
 		Kind:      model.Kind.String(),
+		Artifact:  model.ID.String(),
 		LatencyUS: rep.LatencyUS,
 		EnergyUJ:  rep.TotalUJ,
 	}
@@ -444,13 +598,14 @@ func (p *Pipeline) validateImages(imgs []*tensor.Tensor) error {
 
 // Detect runs task-conditioned detection on one (3,H,W) image: the
 // scheduler picks the configuration, the model detects, and the task's KG
-// priors filter irrelevant classes.
+// priors filter irrelevant classes. Lock-free with respect to concurrent
+// task definition, training, and model publication.
 func (p *Pipeline) Detect(taskName string, img *tensor.Tensor) ([]Detection, ModelInfo, error) {
 	ts, ok := p.task(taskName)
 	if !ok {
 		return nil, ModelInfo{}, fmt.Errorf("itask: task %q not defined", taskName)
 	}
-	if p.teacher == nil {
+	if !p.ready() {
 		return nil, ModelInfo{}, fmt.Errorf("itask: train the generalist first")
 	}
 	if err := p.ValidateImage(img); err != nil {
@@ -477,7 +632,7 @@ func (p *Pipeline) DetectBatch(taskName string, imgs []*tensor.Tensor) ([][]Dete
 	if !ok {
 		return nil, ModelInfo{}, fmt.Errorf("itask: task %q not defined", taskName)
 	}
-	if p.teacher == nil {
+	if !p.ready() {
 		return nil, ModelInfo{}, fmt.Errorf("itask: train the generalist first")
 	}
 	if err := p.validateImages(imgs); err != nil {
@@ -490,10 +645,12 @@ func (p *Pipeline) DetectBatch(taskName string, imgs []*tensor.Tensor) ([][]Dete
 	return p.decodeBatch(ts, raw, model, len(imgs))
 }
 
-// DetectBatchOn is DetectBatch pinned to a specific registered variant
-// instead of the scheduler's preference — the execution path behind the
-// serving layer's fault-tolerant lanes, where a batch must run on exactly
-// the variant it was coalesced (or degraded) for.
+// DetectBatchOn is DetectBatch pinned to a specific registered variant —
+// a bare artifact name or a full versioned ID — instead of the scheduler's
+// preference: the execution path behind the serving layer's fault-tolerant
+// lanes, where a batch must run on exactly the variant it was coalesced (or
+// degraded) for. A batch pinned to a version that has since been demoted
+// transparently executes on the name's rolled-back active version.
 func (p *Pipeline) DetectBatchOn(variant, taskName string, imgs []*tensor.Tensor) ([][]Detection, ModelInfo, error) {
 	if len(imgs) == 0 {
 		return nil, ModelInfo{}, fmt.Errorf("itask: empty batch")
@@ -502,7 +659,7 @@ func (p *Pipeline) DetectBatchOn(variant, taskName string, imgs []*tensor.Tensor
 	if !ok {
 		return nil, ModelInfo{}, fmt.Errorf("itask: task %q not defined", taskName)
 	}
-	if p.teacher == nil {
+	if !p.ready() {
 		return nil, ModelInfo{}, fmt.Errorf("itask: train the generalist first")
 	}
 	if err := p.validateImages(imgs); err != nil {
@@ -525,12 +682,11 @@ func (p *Pipeline) decodeBatch(ts *taskState, raw [][]geom.Scored, model *sched.
 	return out, p.modelInfo(model, batch), nil
 }
 
-// Tasks returns the names of all defined tasks, sorted.
+// Tasks returns the names of all defined tasks, sorted. Lock-free.
 func (p *Pipeline) Tasks() []string {
-	p.taskMu.RLock()
-	defer p.taskMu.RUnlock()
-	names := make([]string, 0, len(p.tasks))
-	for name := range p.tasks {
+	m := *p.tasks.Load()
+	names := make([]string, 0, len(m))
+	for name := range m {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -557,16 +713,27 @@ func (p *Pipeline) Graph(taskName string) (*kg.Graph, error) {
 }
 
 // Teacher exposes the trained float generalist (nil before training); used
-// by the experiment harness.
-func (p *Pipeline) Teacher() *vit.Model { return p.teacher }
+// by the experiment harness. The returned model is the active published
+// version — immutable, so safe to read concurrently.
+func (p *Pipeline) Teacher() *vit.Model { return p.teacherModel() }
 
 // Quantized exposes the deployed quantized generalist (nil before training).
-func (p *Pipeline) Quantized() *quant.Model { return p.quantized }
+func (p *Pipeline) Quantized() *quant.Model {
+	if a, ok := p.reg.Snapshot().Generalist(); ok {
+		if qm, ok := a.Payload.(*quant.Model); ok {
+			return qm
+		}
+	}
+	return nil
+}
 
-// Student returns the distilled model for a task, or nil.
+// Student returns the distilled model behind the task's active student
+// version, or nil.
 func (p *Pipeline) Student(taskName string) *vit.Model {
-	if ts, ok := p.task(taskName); ok {
-		return ts.student
+	if a, ok := p.reg.Snapshot().ForTask(taskName); ok {
+		if m, ok := a.Payload.(*vit.Model); ok {
+			return m
+		}
 	}
 	return nil
 }
@@ -574,10 +741,14 @@ func (p *Pipeline) Student(taskName string) *vit.Model {
 // SchedulerStats reports model-cache behaviour.
 func (p *Pipeline) SchedulerStats() sched.CacheStats { return p.scheduler.Stats() }
 
+// RegistryStats reports the model registry's lifecycle counters: versions
+// published, explicit rollbacks, and health demotions.
+func (p *Pipeline) RegistryStats() registry.Stats { return p.reg.Stats() }
+
 // serveBackend adapts the pipeline to the serving layer's Backend
 // interface (plus the optional FallbackRouter, VariantEvicter,
-// ImageValidator, and CacheStatser extensions). Payloads are []Detection
-// per image.
+// ImageValidator, CacheStatser, VariantHealthSink, and RegistryStatser
+// extensions). Payloads are []Detection per image.
 type serveBackend struct{ p *Pipeline }
 
 func (b serveBackend) Route(task string) (string, error) {
@@ -606,12 +777,28 @@ func (b serveBackend) DetectBatch(variant, task string, imgs []*tensor.Tensor) (
 	for i := range dets {
 		payloads[i] = dets[i]
 	}
-	return payloads, info.Name, nil
+	// Report the full versioned ID so serve metrics attribute work
+	// per-version.
+	return payloads, info.Artifact, nil
 }
 
 // EvictVariant drops the variant's weights from the model cache after the
 // server saw it panic or hang, forcing a fresh load on next selection.
 func (b serveBackend) EvictVariant(variant string) { b.p.scheduler.Evict(variant) }
+
+// VariantUnhealthy is the serving layer's health verdict on a versioned
+// variant (panic, watchdog abandonment, or a tripped breaker). Demoting the
+// version in the registry quarantines it and — when it is the active
+// version with a healthy predecessor — atomically rolls the name back to
+// the last-known-good version, so subsequent routing (and retries of
+// batches pinned to the bad version) land on restored weights.
+func (b serveBackend) VariantUnhealthy(variant, task, reason string) {
+	id, err := registry.ParseID(variant)
+	if err != nil {
+		return // bare or foreign variant string: nothing to demote
+	}
+	b.p.reg.Demote(id)
+}
 
 // ValidateImage rejects malformed input at admission (serve.ErrBadShape)
 // before it can reach a kernel.
@@ -619,10 +806,12 @@ func (b serveBackend) ValidateImage(img *tensor.Tensor) error { return b.p.Valid
 
 func (b serveBackend) CacheStats() sched.CacheStats { return b.p.scheduler.Stats() }
 
+// RegistryStats surfaces publish/rollback counters in serve snapshots.
+func (b serveBackend) RegistryStats() registry.Stats { return b.p.reg.Stats() }
+
 // ServeBackend exposes the pipeline as a serve.Backend so a serve.Server
 // (or cmd/itask-serve) can run concurrent micro-batched inference over it.
-// The pipeline must be fully set up (generalist plus any students) before
-// serving starts.
+// Models may be (re)published, adapted, and rolled back while serving.
 func (p *Pipeline) ServeBackend() serve.Backend { return serveBackend{p: p} }
 
 // HardwareComparison simulates the deployed generalist on the accelerator,

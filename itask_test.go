@@ -7,6 +7,7 @@ import (
 	"itask/internal/dataset"
 	"itask/internal/eval"
 	"itask/internal/geom"
+	"itask/internal/registry"
 	"itask/internal/scene"
 	"itask/internal/tensor"
 )
@@ -199,8 +200,15 @@ func TestLoadGeneralistAndStudentFromCheckpoint(t *testing.T) {
 	if err := p.LoadStudent("nope", dir+"/student.ckpt"); err == nil {
 		t.Error("undefined task should fail")
 	}
-	if err := p.LoadStudent("patrol", dir+"/student.ckpt"); err == nil {
-		t.Error("double student load should fail")
+	// Re-loading a student is a hot swap: it publishes the next version of
+	// the task's artifact and routes it atomically.
+	if err := p.LoadStudent("patrol", dir+"/student.ckpt"); err != nil {
+		t.Errorf("student reload should publish a new version: %v", err)
+	}
+	if _, info, err := p.Detect("patrol", sc.Image); err != nil {
+		t.Fatal(err)
+	} else if id, perr := registry.ParseID(info.Artifact); perr != nil || id.Version != 2 {
+		t.Errorf("after reload: served %q, want version 2", info.Artifact)
 	}
 	fresh := New(fastOptions())
 	if err := fresh.LoadGeneralist(dir + "/missing.ckpt"); err == nil {
@@ -224,9 +232,15 @@ func TestAdaptStudentFewShot(t *testing.T) {
 	if info.Kind != "task-specific" {
 		t.Errorf("few-shot student should serve harvest, got %s", info.Kind)
 	}
-	// Error paths.
-	if err := p.AdaptStudent("harvest", scene.Orchard, 4); err == nil {
-		t.Error("second adapt for same task should fail")
+	// Re-adapting a task is a hot swap: it publishes the next student
+	// version and routes it atomically.
+	if err := p.AdaptStudent("harvest", scene.Orchard, 4); err != nil {
+		t.Errorf("second adapt should publish a new version: %v", err)
+	}
+	if _, info2, err := p.Detect("harvest", sc.Image); err != nil {
+		t.Fatal(err)
+	} else if id, perr := registry.ParseID(info2.Artifact); perr != nil || id.Version != 2 {
+		t.Errorf("after re-adapt: served %q, want version 2", info2.Artifact)
 	}
 	if err := p.AdaptStudent("undefined", scene.Orchard, 4); err == nil {
 		t.Error("undefined task should fail")

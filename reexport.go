@@ -2,13 +2,15 @@ package itask
 
 import (
 	"itask/internal/geom"
+	"itask/internal/registry"
 	"itask/internal/scene"
 	"itask/internal/tensor"
 )
 
 // This file re-exports the types the Pipeline API surfaces, so downstream
 // users of the module never need to import internal packages: boxes, image
-// tensors, domains, and a synthetic-scene helper for demos and tests.
+// tensors, domains, registry identifiers, and a synthetic-scene helper for
+// demos and tests.
 
 // Box is an axis-aligned box with normalized center coordinates; see the
 // methods on geom.Box (Left/Right/Top/Bottom, Area, IoU via itask.IoU).
@@ -52,6 +54,35 @@ func GenerateScene(d Domain, seed uint64) (*Image, []GroundTruth) {
 	}
 	return sc.Image, gts
 }
+
+// ArtifactID identifies one immutable published model version
+// (name, version, content checksum); its String form "name@vN#sum" appears
+// in ModelInfo.Artifact and per-version serving metrics, and
+// Pipeline.RollbackModel returns the ID now routed.
+type ArtifactID = registry.ArtifactID
+
+// ParseArtifactID inverts ArtifactID.String, so callers can split the
+// versioned artifact strings surfaced by ModelInfo and /metricsz.
+func ParseArtifactID(s string) (ArtifactID, error) { return registry.ParseID(s) }
+
+// RegistryStats counts the model registry's lifecycle events (publishes,
+// explicit rollbacks, health demotions) as surfaced by /metricsz.
+type RegistryStats = registry.Stats
+
+// ModelVersion describes one version in an artifact's series; see
+// Pipeline.Registry().Versions.
+type ModelVersion = registry.VersionInfo
+
+// Registry lifecycle errors, re-exported for errors.Is on Pipeline calls.
+var (
+	// ErrUnknownArtifact: the named artifact or version is not published.
+	ErrUnknownArtifact = registry.ErrUnknownArtifact
+	// ErrModelConflict: a publish contradicts the existing series (second
+	// generalist, task takeover, or a name changing kind).
+	ErrModelConflict = registry.ErrConflict
+	// ErrNoRollback: rollback requested but no healthy prior version exists.
+	ErrNoRollback = registry.ErrNoRollback
+)
 
 // ClassNames returns the global detection vocabulary in class-ID order —
 // Detection.ClassID indexes into it.

@@ -1,6 +1,7 @@
 package itask
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -41,6 +42,35 @@ func TestReexportedGeometry(t *testing.T) {
 	if img.Size() != 3*16*16 {
 		t.Errorf("NewImage size %d", img.Size())
 	}
+}
+
+// The re-exported registry surface: artifact IDs round-trip through
+// ParseArtifactID, and the lifecycle errors discriminate with errors.Is.
+func TestReexportedRegistryTypes(t *testing.T) {
+	id := ArtifactID{Name: "patrol-student", Version: 3, Checksum: "abcd1234"}
+	back, err := ParseArtifactID(id.String())
+	if err != nil || back != id {
+		t.Fatalf("ParseArtifactID(%q) = %+v, %v; want %+v", id.String(), back, err, id)
+	}
+	if _, err := ParseArtifactID("not-an-id"); err == nil {
+		t.Error("ParseArtifactID accepted a bare name")
+	}
+	if ErrUnknownArtifact == nil || ErrModelConflict == nil || ErrNoRollback == nil {
+		t.Fatal("registry errors not re-exported")
+	}
+
+	// The aliases are the same types the Pipeline returns: RollbackModel on
+	// an unpublished name yields an ErrUnknownArtifact the caller can test
+	// without importing internal packages.
+	p := New(DefaultOptions())
+	if _, err := p.RollbackModel("never-published"); !errors.Is(err, ErrUnknownArtifact) {
+		t.Errorf("RollbackModel error = %v, want ErrUnknownArtifact", err)
+	}
+	var stats RegistryStats = p.RegistryStats()
+	if stats.Publishes != 0 || stats.Names != 0 {
+		t.Errorf("fresh pipeline registry stats = %+v, want zeroes", stats)
+	}
+	var _ []ModelVersion = p.Registry().Versions("never-published")
 }
 
 func TestClassNamesStable(t *testing.T) {
