@@ -40,7 +40,15 @@
 //	            [-workers 2] [-max-batch 8] [-batch-delay 2ms] \
 //	            [-queue-cap 256] [-timeout 0] \
 //	            [-watchdog 10s] [-retry-budget 3] \
-//	            [-breaker-threshold 5] [-breaker-backoff 500ms] [-slo 0]
+//	            [-breaker-threshold 5] [-breaker-backoff 500ms] [-slo 0] \
+//	            [-cache-bytes 33554432] [-cache-ttl 1m] [-coalesce] \
+//	            [-pprof addr]
+//
+// -cache-bytes enables the content-addressed result cache (0 disables it):
+// repeated frames are answered from memory without running a kernel, and
+// -coalesce collapses concurrent duplicate requests into one execution.
+// -pprof serves net/http/pprof on a second listener with mutex and block
+// profiling enabled, for inspecting lock contention under load.
 //
 // Example:
 //
@@ -57,8 +65,10 @@ import (
 	"io"
 	"io/fs"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"syscall"
 	"time"
@@ -83,7 +93,30 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", def.BreakerThreshold, "consecutive lane failures that trip its circuit breaker (0 = no breakers)")
 	breakerBackoff := flag.Duration("breaker-backoff", def.BreakerBackoff, "initial open-breaker backoff; doubles per failed probe")
 	slo := flag.Duration("slo", 0, "latency SLO; slower executions count as breaker failures (0 = none)")
+	cacheBytes := flag.Int64("cache-bytes", 32<<20, "result-cache byte budget (0 = cache disabled)")
+	cacheTTL := flag.Duration("cache-ttl", time.Minute, "result-cache entry lifetime (0 = until evicted)")
+	coalesce := flag.Bool("coalesce", true, "collapse concurrent duplicate requests into one execution")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address with mutex/block profiling (empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Sampled rates: cheap enough to leave on while serving, detailed
+		// enough that /debug/pprof/mutex and /block show real contention.
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(10_000) // one sample per 10µs blocked
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "itask-serve: pprof on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				fmt.Fprintf(os.Stderr, "itask-serve: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	pipe := itask.New(itask.DefaultOptions())
 	for _, t := range dataset.StandardTasks() {
@@ -129,6 +162,9 @@ func main() {
 		BreakerBackoff:    *breakerBackoff,
 		BreakerMaxBackoff: def.BreakerMaxBackoff,
 		LatencySLO:        *slo,
+		CacheBytes:        *cacheBytes,
+		CacheTTL:          *cacheTTL,
+		Coalesce:          *coalesce,
 	}
 	backend := pipe.ServeBackend()
 	srv, err := serve.New(backend, cfg)
@@ -195,7 +231,11 @@ type detectResponse struct {
 	TotalUS   float64 `json:"total_us"`
 	// Degraded is set when the request was served by the quantized
 	// fallback because its preferred lane's circuit breaker was open.
-	Degraded   string            `json:"degraded,omitempty"`
+	Degraded string `json:"degraded,omitempty"`
+	// Cached marks a response served from the result cache; Coalesced one
+	// produced by a concurrent duplicate's execution.
+	Cached     bool              `json:"cached,omitempty"`
+	Coalesced  bool              `json:"coalesced,omitempty"`
 	Detections []itask.Detection `json:"detections"`
 }
 
@@ -254,6 +294,8 @@ func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
 		QueuedUS:   float64(res.Queued.Microseconds()),
 		TotalUS:    float64(res.Total.Microseconds()),
 		Degraded:   res.Degraded,
+		Cached:     res.Cached,
+		Coalesced:  res.Coalesced,
 		Detections: dets,
 	})
 }

@@ -1,0 +1,34 @@
+package rcache
+
+import (
+	"math"
+
+	"itask/internal/tensor"
+)
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// DigestImage content-hashes an image tensor — its shape and the bit
+// patterns of its float data — with 64-bit FNV-1a. Identical frames digest
+// identically regardless of tensor identity; NaN payloads and signed zeros
+// hash by bit pattern, so a bitwise-identical tensor always matches.
+// Allocation-free. A nil tensor digests to the offset basis.
+func DigestImage(img *tensor.Tensor) uint64 {
+	if img == nil {
+		return fnvOffset64
+	}
+	h := uint64(fnvOffset64)
+	for _, d := range img.Shape {
+		h ^= uint64(uint32(d))
+		h *= fnvPrime64
+	}
+	for _, v := range img.Data {
+		h ^= uint64(math.Float32bits(v))
+		h *= fnvPrime64
+	}
+	return h
+}

@@ -1,0 +1,326 @@
+// Package rcache is a content-addressed detection-result cache for the
+// serving layer. Entries are keyed by (artifact, task, image digest):
+//
+//   - Artifact is the full versioned artifact ID (name@vN#sum) the request
+//     was routed to. Because every published version gets a fresh ID and
+//     routing always resolves to the active version, a publish or rollback
+//     naturally invalidates stale entries — no epoch machinery: requests
+//     simply stop asking for the demoted version's keys, and if a rollback
+//     restores an old version its still-TTL-valid entries become reachable
+//     again.
+//   - Task is part of the key because post-inference knowledge-graph
+//     filtering is task-specific: the same image under the same model still
+//     decodes against different priors per task.
+//   - Digest is a 64-bit FNV-1a content hash of the image tensor (shape and
+//     float bits), so identical frames from consecutive requests or
+//     concurrent clients hit regardless of tensor identity.
+//
+// The cache is a sharded LRU: keys map to one of N power-of-two shards by
+// digest, each shard owning its own mutex, entry map, and LRU list, so
+// concurrent hits on distinct images never contend on a shared lock. The
+// byte budget is split evenly across shards and enforced per shard with LRU
+// eviction. Counters (hits, misses, stale, evictions, inserts) are padded
+// per-shard atomics aggregated only in Stats.
+//
+// The hot path is allocation-free: Get performs a map lookup with a
+// comparable struct key and an intrusive LRU touch, and never allocates on
+// hit or miss.
+package rcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key identifies one cacheable detection result.
+type Key struct {
+	// Artifact is the full versioned artifact ID (name@vN#sum) the request
+	// routes to. Results computed by a different version must not be stored
+	// under this key.
+	Artifact string
+	// Task names the mission whose knowledge-graph priors filtered the
+	// result.
+	Task string
+	// Digest is the content hash of the input image (see DigestImage).
+	Digest uint64
+}
+
+// Config sizes a Cache.
+type Config struct {
+	// MaxBytes is the total byte budget across all shards. Must be
+	// positive; it is split evenly per shard and enforced with LRU
+	// eviction.
+	MaxBytes int64
+	// TTL bounds entry lifetime. Zero disables expiry: entries live until
+	// evicted by the byte budget. A TTL keeps a rolled-back version's
+	// resurrected entries from serving arbitrarily old results.
+	TTL time.Duration
+	// Shards is the number of lock shards, rounded up to a power of two.
+	// Zero picks a default (16) sized for small-host parallelism.
+	Shards int
+	// SizeOf estimates the resident bytes of a payload for budget
+	// accounting. Nil falls back to a flat per-entry estimate.
+	SizeOf func(payload any) int64
+}
+
+// defaultEntrySize is the per-entry accounting charge when no SizeOf is
+// configured: key strings, map/list bookkeeping, and a small payload.
+const defaultEntrySize = 512
+
+// entry is one cached result, threaded onto its shard's intrusive LRU list.
+type entry struct {
+	key     Key
+	payload any
+	// model is the artifact ID that computed the payload (== key.Artifact
+	// by the caller's fill contract).
+	model   string
+	bytes   int64
+	expires time.Time // zero when the cache has no TTL
+
+	// Intrusive doubly-linked LRU list (head = most recent). An intrusive
+	// list keeps Get allocation-free: touching an entry relinks existing
+	// nodes instead of allocating container/list elements.
+	prev, next *entry
+}
+
+// shard is one lock stripe: a map + intrusive LRU under a private mutex,
+// with padded atomic counters so two shards never share a cache line.
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	// head is most-recently-used, tail least. nil when empty.
+	head, tail *entry
+	bytes      int64
+	maxBytes   int64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	stale     atomic.Uint64
+	evictions atomic.Uint64
+	inserts   atomic.Uint64
+
+	_ [64]byte // keep neighbouring shards' hot fields off this cache line
+}
+
+// Cache is a sharded content-addressed result cache. Safe for concurrent
+// use.
+type Cache struct {
+	shards []*shard
+	mask   uint64
+	ttl    time.Duration
+	sizeOf func(any) int64
+}
+
+// New builds a cache from cfg. Panics when MaxBytes is not positive (a
+// disabled cache is a nil *Cache, not a zero-budget one).
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes <= 0 {
+		panic("rcache: MaxBytes must be positive")
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	per := cfg.MaxBytes / int64(pow)
+	if per <= 0 {
+		per = 1
+	}
+	c := &Cache{
+		shards: make([]*shard, pow),
+		mask:   uint64(pow - 1),
+		ttl:    cfg.TTL,
+		sizeOf: cfg.SizeOf,
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{entries: map[Key]*entry{}, maxBytes: per}
+	}
+	return c
+}
+
+// shardFor selects the lock stripe for a key. Digest bits are already
+// uniformly mixed by FNV, so the low bits suffice.
+func (c *Cache) shardFor(k Key) *shard {
+	return c.shards[k.Digest&c.mask]
+}
+
+// Get returns the cached payload and producing model for k, if present and
+// not expired at now. Expired entries are removed and counted stale (a
+// distinct signal from a plain miss: the entry existed but aged out).
+// Allocation-free on both hit and miss.
+func (c *Cache) Get(k Key, now time.Time) (payload any, model string, ok bool) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	e := sh.entries[k]
+	if e == nil {
+		sh.mu.Unlock()
+		sh.misses.Add(1)
+		return nil, "", false
+	}
+	if !e.expires.IsZero() && now.After(e.expires) {
+		sh.removeLocked(e)
+		sh.mu.Unlock()
+		sh.stale.Add(1)
+		sh.misses.Add(1)
+		return nil, "", false
+	}
+	sh.touchLocked(e)
+	payload, model = e.payload, e.model
+	sh.mu.Unlock()
+	sh.hits.Add(1)
+	return payload, model, true
+}
+
+// Put stores payload as the result for k, computed by k.Artifact. An
+// existing entry for k is replaced (refreshing its TTL). Entries larger
+// than a whole shard's budget are not admitted.
+func (c *Cache) Put(k Key, payload any, now time.Time) {
+	size := int64(defaultEntrySize)
+	if c.sizeOf != nil {
+		if s := c.sizeOf(payload); s > 0 {
+			size = s
+		}
+	}
+	sh := c.shardFor(k)
+	if size > sh.maxBytes {
+		return
+	}
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = now.Add(c.ttl)
+	}
+	sh.mu.Lock()
+	if e := sh.entries[k]; e != nil {
+		sh.bytes += size - e.bytes
+		e.payload, e.model, e.bytes, e.expires = payload, k.Artifact, size, expires
+		sh.touchLocked(e)
+	} else {
+		e := &entry{key: k, payload: payload, model: k.Artifact, bytes: size, expires: expires}
+		sh.entries[k] = e
+		sh.pushFrontLocked(e)
+		sh.bytes += size
+		sh.inserts.Add(1)
+	}
+	for sh.bytes > sh.maxBytes && sh.tail != nil {
+		sh.removeLocked(sh.tail)
+		sh.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// Invalidate drops the entry for k, reporting whether one existed.
+func (c *Cache) Invalidate(k Key) bool {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[k]
+	if e == nil {
+		return false
+	}
+	sh.removeLocked(e)
+	return true
+}
+
+// pushFrontLocked links e as most-recently-used. Caller holds sh.mu.
+func (sh *shard) pushFrontLocked(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// touchLocked moves an existing entry to the front. Caller holds sh.mu.
+func (sh *shard) touchLocked(e *entry) {
+	if sh.head == e {
+		return
+	}
+	// Unlink (e is not head, so e.prev != nil).
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev = nil
+	e.next = sh.head
+	sh.head.prev = e
+	sh.head = e
+}
+
+// removeLocked unlinks e from the list and map and returns its bytes to the
+// budget. Caller holds sh.mu.
+func (sh *shard) removeLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	delete(sh.entries, e.key)
+	sh.bytes -= e.bytes
+}
+
+// Stats is a point-in-time aggregate across shards, shaped for /metricsz.
+type Stats struct {
+	// Hits/Misses count Get outcomes; Stale is the subset of misses where
+	// an entry existed but had outlived the TTL.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Stale  uint64 `json:"stale"`
+	// Inserts counts first-time admissions; Evictions counts entries
+	// dropped to fit the byte budget.
+	Inserts   uint64 `json:"inserts"`
+	Evictions uint64 `json:"evictions"`
+	// Entries/Bytes are current occupancy; MaxBytes the configured budget.
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+	Shards   int   `json:"shards"`
+}
+
+// Stats aggregates all shards. Counter reads are atomic; occupancy briefly
+// takes each shard's lock in turn (never all at once), so a snapshot never
+// stalls concurrent hits on other shards.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	st.Shards = len(c.shards)
+	for _, sh := range c.shards {
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+		st.Stale += sh.stale.Load()
+		st.Inserts += sh.inserts.Load()
+		st.Evictions += sh.evictions.Load()
+		st.MaxBytes += sh.maxBytes
+		sh.mu.Lock()
+		st.Entries += len(sh.entries)
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Len reports the current number of entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}

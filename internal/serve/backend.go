@@ -97,6 +97,24 @@ type RegistryStatser interface {
 	RegistryStats() registry.Stats
 }
 
+// RouteEpocher is optionally implemented by backends whose routing table
+// has a version. RouteEpoch must return a value that changes whenever any
+// Route result could change (for the pipeline backend, the registry
+// snapshot sequence — bumped by every publish, demotion, and rollback).
+// The server memoizes Route per epoch, so RouteEpoch must be cheap and
+// lock-free: it runs on every admission.
+type RouteEpocher interface {
+	RouteEpoch() uint64
+}
+
+// PayloadSizer is optionally implemented by backends that can estimate the
+// resident size of a DetectBatch payload. The result cache charges entries
+// against its byte budget with it; without it a conservative default is
+// used.
+type PayloadSizer interface {
+	PayloadBytes(payload any) int64
+}
+
 // Request is one detection call entering the serving layer.
 type Request struct {
 	// Task names the mission; it must be defined on the backend.
@@ -125,6 +143,12 @@ type Result struct {
 	// and a reason string (DegradedBreakerOpen) for requests the server
 	// rerouted to the fallback configuration.
 	Degraded string
+	// Cached marks a result served straight from the content-addressed
+	// result cache: no queue, no batch, no kernel ran for it.
+	Cached bool
+	// Coalesced marks a follower's result produced by another request's
+	// execution (singleflight duplicate suppression).
+	Coalesced bool
 	// Queued is the time spent between admission and execution start.
 	Queued time.Duration
 	// Total is the admission-to-completion latency.

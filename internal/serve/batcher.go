@@ -5,14 +5,27 @@ import (
 	"sync/atomic"
 	"time"
 
+	"itask/internal/rcache"
 	"itask/internal/tensor"
 )
 
 // pending is one admitted request waiting in a lane or executing.
 type pending struct {
 	image    *tensor.Tensor
+	task     string
 	deadline time.Time
 	enq      time.Time
+	// hint spreads this request's metrics updates across counter shards
+	// (see metrics); stable for the request's lifetime.
+	hint uint64
+	// key is the content-addressed cache key (haveKey guards validity; the
+	// fast path computes it only when the cache or coalescing is enabled).
+	// key.Artifact doubles as the memoized routing decision.
+	key     rcache.Key
+	haveKey bool
+	// flight is non-nil on a singleflight leader; its terminal delivery
+	// resolves the flight exactly once (see deliver).
+	flight *flight
 	// degraded is the non-empty degradation reason when admission rerouted
 	// this request to the fallback variant (see Result.Degraded).
 	degraded string
@@ -98,12 +111,12 @@ func (s *Server) enqueue(variant, task string, p *pending) error {
 	st.mu.Lock()
 	if st.closed {
 		st.mu.Unlock()
-		s.m.add(&s.m.rejectedClosed, 1)
+		s.m.inc(p.hint, cRejectedClosed)
 		return ErrShuttingDown
 	}
 	if st.queued >= s.cfg.QueueCap {
 		st.mu.Unlock()
-		s.m.add(&s.m.rejectedFull, 1)
+		s.m.inc(p.hint, cRejectedFull)
 		return ErrQueueFull
 	}
 	st.queued++

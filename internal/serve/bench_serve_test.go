@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"itask/internal/tensor"
+)
+
+// benchBackend models the simulated accelerator: a batch costs a fixed
+// dispatch latency plus a per-image term (the weight-stationary
+// amortization batching buys), spent off-CPU like hwsim device time. The
+// per-image cost is ~10x below the real quantized pipeline's ~520µs/image
+// (BENCH_kernels.json), biasing the measurement toward serve-layer
+// overhead rather than flattering the cache.
+type benchBackend struct{}
+
+func (benchBackend) Route(string) (string, error) { return "m@v1#aa", nil }
+func (benchBackend) RouteEpoch() uint64           { return 1 }
+func (benchBackend) DetectBatch(variant, task string, imgs []*tensor.Tensor) ([]any, string, error) {
+	time.Sleep(20*time.Microsecond + 50*time.Microsecond*time.Duration(len(imgs)))
+	out := make([]any, len(imgs))
+	for i := range imgs {
+		out[i] = i
+	}
+	return out, variant, nil
+}
+
+func benchConfig(cache bool) Config {
+	cfg := Config{
+		Workers:       4,
+		MaxBatch:      8,
+		BatchDelay:    0,
+		QueueCap:      4096,
+		LatencyWindow: 4096,
+	}
+	if cache {
+		cfg.CacheBytes = 64 << 20
+		cfg.Coalesce = true
+	}
+	return cfg
+}
+
+// benchImage builds one 3x16x16 image whose content is a function of seed.
+func benchImage(seed uint64) *tensor.Tensor {
+	img := tensor.New(3, 16, 16)
+	for i := range img.Data {
+		img.Data[i] = float32(seed) + float32(i)*0.25
+	}
+	return img
+}
+
+// BenchmarkServeHotPath measures end-to-end request throughput under
+// parallel clients (run with -cpu 1,4,8). Workloads:
+//
+//	dup50:   every other request repeats one of 8 hot frames — the
+//	         consecutive-frame redundancy the result cache exists for.
+//	uniq100: every request carries never-seen content — the cache can only
+//	         add overhead; guards the no-regression bound.
+//
+// Each goroutine mutates a private scratch image to synthesize unique
+// content without per-op allocation.
+func BenchmarkServeHotPath(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		dupMod uint64 // every dupMod-th request is a hot duplicate (0 = never)
+		cache  bool
+	}{
+		{"dup50/cache", 2, true},
+		{"dup50/nocache", 2, false},
+		{"uniq100/cache", 0, true},
+		{"uniq100/nocache", 0, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s, err := New(benchBackend{}, benchConfig(tc.cache))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				_ = s.Shutdown(ctx)
+			}()
+			hot := make([]*tensor.Tensor, 8)
+			for i := range hot {
+				hot[i] = benchImage(uint64(i))
+			}
+			// Warm the cache with the hot set so dup50 measures steady state.
+			for _, img := range hot {
+				if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: img}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var gid atomic.Uint64
+			b.SetParallelism(4) // 4 client goroutines per GOMAXPROCS
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				g := gid.Add(1)
+				scratch := benchImage(1_000_000 * g)
+				ctx := context.Background()
+				var n uint64
+				for pb.Next() {
+					n++
+					img := scratch
+					if tc.dupMod != 0 && n%tc.dupMod == 0 {
+						img = hot[n%uint64(len(hot))]
+					} else {
+						// Unique content: perturb two pixels so the digest
+						// never repeats, without allocating.
+						scratch.Data[0] = float32(g) + float32(n)*0.5
+						scratch.Data[1] = float32(n % 251)
+					}
+					if _, err := s.Detect(ctx, Request{Task: "patrol", Image: img}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// legacyServeMetrics is a faithful miniature of the pre-sharding metrics
+// design — one global mutex guarding counters and the latency ring — kept
+// for before/after comparison benches against the sharded implementation.
+type legacyServeMetrics struct {
+	mu        sync.Mutex
+	accepted  uint64
+	completed uint64
+	window    []float64
+	next      int
+}
+
+func (m *legacyServeMetrics) observe(d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	m.mu.Lock()
+	m.accepted++
+	m.completed++
+	if len(m.window) < cap(m.window) {
+		m.window = append(m.window, us)
+	} else {
+		m.window[m.next] = us
+		m.next = (m.next + 1) % len(m.window)
+	}
+	m.mu.Unlock()
+}
+
+// BenchmarkMetricsLegacy vs BenchmarkMetricsSharded isolate the
+// contention cost of the old single-mutex metrics against the sharded
+// atomic design under parallel writers (run with -cpu 1,4,8).
+func BenchmarkMetricsLegacy(b *testing.B) {
+	m := &legacyServeMetrics{window: make([]float64, 0, 4096)}
+	b.RunParallel(func(pb *testing.PB) {
+		var n uint64
+		for pb.Next() {
+			n++
+			m.observe(time.Duration(n))
+		}
+	})
+}
+
+func BenchmarkMetricsSharded(b *testing.B) {
+	m := newMetrics(8, 4096)
+	b.RunParallel(func(pb *testing.PB) {
+		var n uint64
+		for pb.Next() {
+			n++
+			m.inc(n, cAccepted)
+			m.inc(n, cCompleted)
+			m.observeLatency(n, time.Duration(n))
+		}
+	})
+}

@@ -44,13 +44,13 @@ func (s *Server) execute(variant, task string, items []*pending) {
 	for _, p := range items {
 		switch {
 		case p.cancelled.Load():
-			s.m.add(&s.m.shedCancelled, 1)
+			s.m.inc(p.hint, cShedCancelled)
 			s.releaseShedProbe(p)
-			p.done <- Outcome{Err: context.Canceled}
+			s.deliver(p, Outcome{Err: context.Canceled})
 		case !p.deadline.IsZero() && started.After(p.deadline):
-			s.m.add(&s.m.shedExpired, 1)
+			s.m.inc(p.hint, cShedExpired)
 			s.releaseShedProbe(p)
-			p.done <- Outcome{Err: ErrDeadlineExceeded}
+			s.deliver(p, Outcome{Err: ErrDeadlineExceeded})
 		default:
 			live = append(live, p)
 			imgs = append(imgs, p.image)
@@ -76,21 +76,21 @@ func (s *Server) execute(variant, task string, items []*pending) {
 		var latSumUS float64
 		for i, p := range live {
 			total := finished.Sub(p.enq)
-			s.m.observeLatency(total)
+			s.m.observeLatency(p.hint, total)
+			s.m.inc(p.hint, cCompleted)
 			latSumUS += float64(total) / float64(time.Microsecond)
 			if p.degraded != "" {
-				s.m.add(&s.m.degradedServed, 1)
+				s.m.inc(p.hint, cDegradedServed)
 			}
-			p.done <- Outcome{Res: Result{
+			s.deliver(p, Outcome{Res: Result{
 				Payload:   payloads[i],
 				Model:     model,
 				BatchSize: len(live),
 				Degraded:  p.degraded,
 				Queued:    started.Sub(p.enq),
 				Total:     total,
-			}}
+			}})
 		}
-		s.m.add(&s.m.completed, uint64(len(live)))
 		s.m.modelCompleted(model, len(live), latSumUS)
 		return
 	}
@@ -104,12 +104,12 @@ func (s *Server) execute(variant, task string, items []*pending) {
 	// innocent batch-mates still succeed.
 	switch {
 	case errors.Is(err, ErrBackendPanic):
-		s.m.add(&s.m.panics, 1)
+		s.m.inc(live[0].hint, cPanics)
 		s.m.modelFault(variant, err)
 		s.evictVariant(variant)
 		s.variantUnhealthy(variant, task, UnhealthyPanic)
 	case errors.Is(err, ErrWatchdog):
-		s.m.add(&s.m.watchdogs, 1)
+		s.m.inc(live[0].hint, cWatchdogs)
 		s.m.modelFault(variant, err)
 		s.evictVariant(variant)
 		s.variantUnhealthy(variant, task, UnhealthyWatchdog)
@@ -129,7 +129,7 @@ func (s *Server) execute(variant, task string, items []*pending) {
 				continue
 			}
 			p.attempts++
-			s.m.add(&s.m.retries, 1)
+			s.m.inc(p.hint, cRetries)
 			retry = append(retry, p)
 		}
 		if len(retry) > 0 {
@@ -155,12 +155,63 @@ func (s *Server) releaseShedProbe(p *pending) {
 // the quarantine verdict that this specific request, not its batch-mates, is
 // the poison.
 func (s *Server) fail(p *pending, variant string, err error, isolated bool) {
-	s.m.add(&s.m.failed, 1)
+	s.m.inc(p.hint, cFailed)
 	s.m.modelFailed(variant, 1)
 	if isolated && isPanicOrHang(err) {
-		s.m.add(&s.m.quarantined, 1)
+		s.m.inc(p.hint, cQuarantined)
 	}
-	p.done <- Outcome{Err: err}
+	s.deliver(p, Outcome{Err: err})
+}
+
+// deliver is the single terminal delivery point for an executed request: it
+// fills the result cache when the outcome is cacheable, resolves the
+// request's flight if it leads one (sharing success with its followers,
+// re-admitting them on failure), and hands the outcome to the caller.
+func (s *Server) deliver(p *pending, out Outcome) {
+	if s.cache != nil && out.Err == nil && p.haveKey &&
+		out.Res.Degraded == "" && out.Res.Model == p.key.Artifact {
+		// Cacheable: a non-degraded result produced by exactly the routed
+		// artifact version. Fallback-served results, and results a registry
+		// rollback redirected to another version mid-flight, never enter
+		// the task-specific key.
+		s.cache.Put(p.key, out.Res.Payload, time.Now())
+	}
+	if p.flight != nil {
+		s.finishFlight(p, out)
+	}
+	p.done <- out
+}
+
+// finishFlight resolves a leader's flight exactly once. Success is shared:
+// every follower receives the leader's result flagged Coalesced. Failure is
+// not: each follower is re-admitted through the full fresh path (route,
+// breaker, enqueue) and earns its own outcome, so poison content fails only
+// the request that carried it. A follower re-execution never joins another
+// flight, bounding every request at two executions.
+func (s *Server) finishFlight(p *pending, out Outcome) {
+	followers := s.flights.resolve(p.key, p.flight)
+	p.flight = nil
+	if len(followers) == 0 {
+		return
+	}
+	if out.Err != nil {
+		for _, f := range followers {
+			s.m.inc(f.hint, cCoalescedRetried)
+			s.resubmit(f)
+		}
+		return
+	}
+	now := time.Now()
+	for _, f := range followers {
+		res := out.Res
+		res.Coalesced = true
+		res.Queued = 0
+		res.Total = now.Sub(f.enq)
+		s.m.inc(f.hint, cCoalesced)
+		s.m.inc(f.hint, cCompleted)
+		s.m.observeLatency(f.hint, res.Total)
+		f.done <- Outcome{Res: res}
+	}
 }
 
 // maxAbandonedPerVariant caps how many watchdog-abandoned executions may
@@ -263,10 +314,10 @@ func (s *Server) recordExec(variant, task string, err error, dur time.Duration) 
 	ok := err == nil
 	if ok && s.cfg.LatencySLO > 0 && dur > s.cfg.LatencySLO {
 		ok = false
-		s.m.add(&s.m.sloBreaches, 1)
+		s.m.inc(0, cSLOBreaches)
 	}
 	if opened := s.h.record(laneKey(variant, task), ok, time.Now()); opened {
-		s.m.add(&s.m.breakerOpens, 1)
+		s.m.inc(0, cBreakerOpens)
 		// A tripped lane is a health verdict on its variant version: let
 		// the registry roll the artifact back to its last-known-good
 		// version while the breaker sheds load.
@@ -289,6 +340,6 @@ func (s *Server) variantUnhealthy(variant, task, reason string) {
 func (s *Server) evictVariant(variant string) {
 	if ev, ok := s.backend.(VariantEvicter); ok {
 		ev.EvictVariant(variant)
-		s.m.add(&s.m.variantEvictions, 1)
+		s.m.inc(0, cVariantEvictions)
 	}
 }

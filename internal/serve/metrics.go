@@ -2,81 +2,213 @@ package serve
 
 import (
 	"errors"
+	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"itask/internal/rcache"
 	"itask/internal/registry"
 	"itask/internal/sched"
 )
 
-// metrics accumulates serving counters and a sliding window of request
-// latencies. A single mutex is fine here: observations are O(1) and the
-// expensive percentile sort happens only in snapshot().
-type metrics struct {
-	mu sync.Mutex
+// The serving layer's metrics are fully sharded and lock-free on the hot
+// path. The previous implementation funneled every admit, complete, fail,
+// and batch observation through one global mutex — at high core counts that
+// single cache line was the throughput ceiling, not the kernels. Now:
+//
+//   - Counters live in N padded per-shard atomic blocks (counterShard).
+//     Writers pick a shard from a per-request hint (image digest mixed with
+//     the admission timestamp) so concurrent requests touch different cache
+//     lines; a shard is 128-byte aligned-and-padded so two shards never
+//     false-share.
+//   - Latencies go to a striped ring: each stripe owns a private mutex and
+//     a slice of the window, so percentile bookkeeping contends only
+//     1/stripes as often, and snapshot() copies stripe-by-stripe (never all
+//     stripes at once) and sorts entirely outside any lock.
+//   - Per-model attribution lives in a sync.Map of atomic counter blocks,
+//     so /metricsz aggregation never stalls admission or execution.
+//
+// snapshot() is O(shards·counters + window log window + models) with no
+// writer-visible lock held across any sort.
 
-	accepted        uint64
-	completed       uint64
-	failed          uint64
-	rejectedFull    uint64
-	rejectedClosed  uint64
-	rejectedRoute   uint64
-	rejectedShape   uint64
-	rejectedBreaker uint64
-	shedExpired     uint64
-	shedCancelled   uint64
+// counterIdx names one sharded counter. Keep numCounters last.
+type counterIdx int
+
+const (
+	cAccepted counterIdx = iota
+	cCompleted
+	cFailed
+	cRejectedFull
+	cRejectedClosed
+	cRejectedRoute
+	cRejectedShape
+	cRejectedBreaker
+	cShedExpired
+	cShedCancelled
 
 	// Fault-tolerance counters.
-	panics           uint64 // backend panics recovered
-	watchdogs        uint64 // executions abandoned by the watchdog
-	retries          uint64 // per-request quarantine re-executions
-	quarantined      uint64 // requests failed in isolation (batch of one)
-	sloBreaches      uint64 // successful executions slower than LatencySLO
-	breakerOpens     uint64 // closed/half-open -> open transitions
-	degradedRouted   uint64 // admissions rerouted to the fallback variant
-	degradedServed   uint64 // requests completed on the fallback variant
-	variantEvictions uint64 // cached variants dropped after panic/watchdog
+	cPanics           // backend panics recovered
+	cWatchdogs        // executions abandoned by the watchdog
+	cRetries          // per-request quarantine re-executions
+	cQuarantined      // requests failed in isolation (batch of one)
+	cSLOBreaches      // successful executions slower than LatencySLO
+	cBreakerOpens     // closed/half-open -> open transitions
+	cDegradedRouted   // admissions rerouted to the fallback variant
+	cDegradedServed   // requests completed on the fallback variant
+	cVariantEvictions // cached variants dropped after panic/watchdog
 
-	batches   uint64
-	batchHist []uint64 // index i counts batches of size i+1
+	cBatches
 
-	latUS    []float64 // ring buffer of recent latencies, microseconds
-	latNext  int
-	latCount uint64 // total latencies ever observed
+	// Zero-contention request path counters.
+	cCacheHits        // requests served straight from the result cache
+	cCacheMisses      // requests that had a cache key but found no entry
+	cCoalesced        // followers served by a coalesced leader's execution
+	cCoalescedRetried // followers re-executed after their leader failed
 
-	// perModel attributes work and faults to the exact model variant
-	// (versioned artifact ID) that executed it, so /metricsz can show a
-	// bad new version panicking while its rolled-back predecessor serves.
-	perModel map[string]*modelCounters
+	numCounters
+)
+
+// counterShard is one padded block of counters. The pad rounds the struct
+// up to a multiple of 128 bytes (two typical cache lines, covering spatial
+// prefetch pairs) so adjacent shards never share a line.
+type counterShard struct {
+	c [numCounters]atomic.Uint64
+	_ [(128 - (numCounters*8)%128) % 128]byte
 }
 
-// modelCounters accumulates one variant's per-version attribution.
+// latStripe is one stripe of the latency window: a private ring under a
+// private mutex, padded like counterShard.
+type latStripe struct {
+	mu   sync.Mutex
+	buf  []float64 // ring of recent latencies, microseconds
+	next int
+	_    [64]byte
+}
+
+// metrics accumulates serving counters, the striped latency window, the
+// batch-size histogram, and per-model attribution. All observation methods
+// are lock-free or stripe-local; only snapshot() aggregates.
+type metrics struct {
+	shards     []counterShard
+	shardMask  uint64
+	stripes    []latStripe
+	stripeMask uint64
+
+	batches   atomic.Uint64
+	batchHist []atomic.Uint64 // index i counts batches of size i+1
+
+	// perModel maps variant string (versioned artifact ID) -> *modelCounters,
+	// so /metricsz can show a bad new version panicking while its
+	// rolled-back predecessor serves.
+	perModel sync.Map
+}
+
+// modelCounters accumulates one variant's per-version attribution, all
+// atomic so attribution never takes a lock on the execution path.
 type modelCounters struct {
-	completed uint64
-	failed    uint64
-	panics    uint64
-	watchdogs uint64
-	latSumUS  float64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	panics    atomic.Uint64
+	watchdogs atomic.Uint64
+	latSumUS  atomic.Uint64 // float64 bits; updated by addFloat
+}
+
+// addFloat adds v to a float64 stored as atomic bits (CAS loop).
+func addFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if a.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// nextPow2 rounds n up to a power of two (min 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 func newMetrics(maxBatch, window int) *metrics {
-	return &metrics{
-		batchHist: make([]uint64, maxBatch),
-		latUS:     make([]float64, 0, window),
-		perModel:  map[string]*modelCounters{},
+	// Size shard and stripe counts to the host: enough to spread the
+	// visible parallelism, clamped so snapshot aggregation stays cheap.
+	shards := nextPow2(runtime.GOMAXPROCS(0))
+	if shards < 4 {
+		shards = 4
+	}
+	if shards > 64 {
+		shards = 64
+	}
+	stripes := shards
+	per := (window + stripes - 1) / stripes
+	if per < 1 {
+		per = 1
+	}
+	m := &metrics{
+		shards:     make([]counterShard, shards),
+		shardMask:  uint64(shards - 1),
+		stripes:    make([]latStripe, stripes),
+		stripeMask: uint64(stripes - 1),
+		batchHist:  make([]atomic.Uint64, maxBatch),
+	}
+	for i := range m.stripes {
+		m.stripes[i].buf = make([]float64, 0, per)
+	}
+	return m
+}
+
+// inc adds 1 to counter c on the shard picked by hint.
+func (m *metrics) inc(hint uint64, c counterIdx) {
+	m.shards[hint&m.shardMask].c[c].Add(1)
+}
+
+// addN adds n to counter c on the shard picked by hint.
+func (m *metrics) addN(hint uint64, c counterIdx, n uint64) {
+	m.shards[hint&m.shardMask].c[c].Add(n)
+}
+
+// sum aggregates counter c across shards (snapshot path only).
+func (m *metrics) sum(c counterIdx) uint64 {
+	var t uint64
+	for i := range m.shards {
+		t += m.shards[i].c[c].Load()
+	}
+	return t
+}
+
+func (m *metrics) observeBatch(size int) {
+	m.batches.Add(1)
+	if size >= 1 && size <= len(m.batchHist) {
+		m.batchHist[size-1].Add(1)
 	}
 }
 
-// model returns (creating if needed) the counters for one variant string.
-// Caller holds m.mu.
-func (m *metrics) model(name string) *modelCounters {
-	mc := m.perModel[name]
-	if mc == nil {
-		mc = &modelCounters{}
-		m.perModel[name] = mc
+func (m *metrics) observeLatency(hint uint64, d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	st := &m.stripes[hint&m.stripeMask]
+	st.mu.Lock()
+	if len(st.buf) < cap(st.buf) {
+		st.buf = append(st.buf, us)
+	} else {
+		st.buf[st.next] = us
+		st.next = (st.next + 1) % len(st.buf)
 	}
-	return mc
+	st.mu.Unlock()
+}
+
+// model returns (creating if needed) the counters for one variant string.
+func (m *metrics) model(name string) *modelCounters {
+	if mc, ok := m.perModel.Load(name); ok {
+		return mc.(*modelCounters)
+	}
+	mc, _ := m.perModel.LoadOrStore(name, &modelCounters{})
+	return mc.(*modelCounters)
 }
 
 // modelCompleted attributes n completed requests (with their summed
@@ -85,11 +217,9 @@ func (m *metrics) modelCompleted(model string, n int, latSumUS float64) {
 	if model == "" {
 		return
 	}
-	m.mu.Lock()
 	mc := m.model(model)
-	mc.completed += uint64(n)
-	mc.latSumUS += latSumUS
-	m.mu.Unlock()
+	mc.completed.Add(uint64(n))
+	addFloat(&mc.latSumUS, latSumUS)
 }
 
 // modelFault attributes one failed execution to the lane's variant,
@@ -98,15 +228,13 @@ func (m *metrics) modelFault(variant string, err error) {
 	if variant == "" {
 		return
 	}
-	m.mu.Lock()
 	mc := m.model(variant)
 	switch {
 	case errors.Is(err, ErrBackendPanic):
-		mc.panics++
+		mc.panics.Add(1)
 	case errors.Is(err, ErrWatchdog):
-		mc.watchdogs++
+		mc.watchdogs.Add(1)
 	}
-	m.mu.Unlock()
 }
 
 // modelFailed attributes n terminally failed requests to the lane's variant.
@@ -114,37 +242,7 @@ func (m *metrics) modelFailed(variant string, n int) {
 	if variant == "" {
 		return
 	}
-	m.mu.Lock()
-	m.model(variant).failed += uint64(n)
-	m.mu.Unlock()
-}
-
-func (m *metrics) add(field *uint64, n uint64) {
-	m.mu.Lock()
-	*field += n
-	m.mu.Unlock()
-}
-
-func (m *metrics) observeBatch(size int) {
-	m.mu.Lock()
-	m.batches++
-	if size >= 1 && size <= len(m.batchHist) {
-		m.batchHist[size-1]++
-	}
-	m.mu.Unlock()
-}
-
-func (m *metrics) observeLatency(d time.Duration) {
-	us := float64(d) / float64(time.Microsecond)
-	m.mu.Lock()
-	if len(m.latUS) < cap(m.latUS) {
-		m.latUS = append(m.latUS, us)
-	} else {
-		m.latUS[m.latNext] = us
-		m.latNext = (m.latNext + 1) % len(m.latUS)
-	}
-	m.latCount++
-	m.mu.Unlock()
+	m.model(variant).failed.Add(uint64(n))
 }
 
 // Snapshot is a point-in-time view of the serving layer, shaped for the
@@ -178,6 +276,22 @@ type Snapshot struct {
 	DegradedRouted   uint64 `json:"degraded_routed"`
 	DegradedServed   uint64 `json:"degraded_served"`
 	VariantEvictions uint64 `json:"variant_evictions"`
+
+	// Zero-contention request path: requests served straight from the
+	// content-addressed result cache, requests that missed it, followers
+	// served by a coalesced leader's single execution, and followers that
+	// re-executed because their leader failed (a poisoned leader must
+	// never fail its followers without re-execution).
+	ResultCacheHits   uint64 `json:"result_cache_hits"`
+	ResultCacheMisses uint64 `json:"result_cache_misses"`
+	Coalesced         uint64 `json:"coalesced"`
+	CoalescedRetried  uint64 `json:"coalesced_retried"`
+
+	// ResultCache surfaces the content-addressed detection cache's own
+	// occupancy and churn when the cache is enabled (nil otherwise);
+	// ResultCacheHitRate is Hits/(Hits+Misses) over its lifetime.
+	ResultCache        *rcache.Stats `json:"result_cache,omitempty"`
+	ResultCacheHitRate float64       `json:"result_cache_hit_rate,omitempty"`
 
 	// Breakers lists every (variant, task) lane's circuit-breaker state.
 	Breakers []LaneBreaker `json:"breakers,omitempty"`
@@ -230,62 +344,86 @@ type ModelStats struct {
 }
 
 func (m *metrics) snapshot(uptime time.Duration, queueDepth int) Snapshot {
-	m.mu.Lock()
 	snap := Snapshot{
-		UptimeSeconds:    uptime.Seconds(),
-		Accepted:         m.accepted,
-		Completed:        m.completed,
-		Failed:           m.failed,
-		RejectedFull:     m.rejectedFull,
-		RejectedClosed:   m.rejectedClosed,
-		RejectedRoute:    m.rejectedRoute,
-		RejectedShape:    m.rejectedShape,
-		RejectedBreaker:  m.rejectedBreaker,
-		ShedExpired:      m.shedExpired,
-		ShedCancelled:    m.shedCancelled,
-		PanicsRecovered:  m.panics,
-		WatchdogTimeouts: m.watchdogs,
-		QuarantineRetry:  m.retries,
-		Quarantined:      m.quarantined,
-		SLOBreaches:      m.sloBreaches,
-		BreakerOpens:     m.breakerOpens,
-		DegradedRouted:   m.degradedRouted,
-		DegradedServed:   m.degradedServed,
-		VariantEvictions: m.variantEvictions,
-		QueueDepth:       queueDepth,
-		Batches:          m.batches,
-		BatchHist:        append([]uint64(nil), m.batchHist...),
+		UptimeSeconds:     uptime.Seconds(),
+		Accepted:          m.sum(cAccepted),
+		Completed:         m.sum(cCompleted),
+		Failed:            m.sum(cFailed),
+		RejectedFull:      m.sum(cRejectedFull),
+		RejectedClosed:    m.sum(cRejectedClosed),
+		RejectedRoute:     m.sum(cRejectedRoute),
+		RejectedShape:     m.sum(cRejectedShape),
+		RejectedBreaker:   m.sum(cRejectedBreaker),
+		ShedExpired:       m.sum(cShedExpired),
+		ShedCancelled:     m.sum(cShedCancelled),
+		PanicsRecovered:   m.sum(cPanics),
+		WatchdogTimeouts:  m.sum(cWatchdogs),
+		QuarantineRetry:   m.sum(cRetries),
+		Quarantined:       m.sum(cQuarantined),
+		SLOBreaches:       m.sum(cSLOBreaches),
+		BreakerOpens:      m.sum(cBreakerOpens),
+		DegradedRouted:    m.sum(cDegradedRouted),
+		DegradedServed:    m.sum(cDegradedServed),
+		VariantEvictions:  m.sum(cVariantEvictions),
+		ResultCacheHits:   m.sum(cCacheHits),
+		ResultCacheMisses: m.sum(cCacheMisses),
+		Coalesced:         m.sum(cCoalesced),
+		CoalescedRetried:  m.sum(cCoalescedRetried),
+		QueueDepth:        queueDepth,
+		Batches:           m.batches.Load(),
+		BatchHist:         make([]uint64, len(m.batchHist)),
 	}
-	for name, mc := range m.perModel {
+	for i := range m.batchHist {
+		snap.BatchHist[i] = m.batchHist[i].Load()
+	}
+
+	m.perModel.Range(func(k, v any) bool {
+		mc := v.(*modelCounters)
 		ms := ModelStats{
-			Model:     name,
-			Completed: mc.completed,
-			Failed:    mc.failed,
-			Panics:    mc.panics,
-			Watchdogs: mc.watchdogs,
+			Model:     k.(string),
+			Completed: mc.completed.Load(),
+			Failed:    mc.failed.Load(),
+			Panics:    mc.panics.Load(),
+			Watchdogs: mc.watchdogs.Load(),
 		}
-		if mc.completed > 0 {
-			ms.MeanLatencyUS = mc.latSumUS / float64(mc.completed)
+		if ms.Completed > 0 {
+			ms.MeanLatencyUS = math.Float64frombits(mc.latSumUS.Load()) / float64(ms.Completed)
 		}
 		snap.PerModel = append(snap.PerModel, ms)
-	}
-	lat := append([]float64(nil), m.latUS...)
-	m.mu.Unlock()
+		return true
+	})
 	sort.Slice(snap.PerModel, func(i, j int) bool { return snap.PerModel[i].Model < snap.PerModel[j].Model })
+
+	// Copy the latency window stripe by stripe — each stripe's lock is held
+	// only for its own copy, never across the sort, and never all at once.
+	var lat []float64
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		lat = append(lat, st.buf...)
+		st.mu.Unlock()
+	}
 
 	if uptime > 0 {
 		snap.ThroughputRPS = float64(snap.Completed) / uptime.Seconds()
 	}
 	if snap.Batches > 0 {
 		// batches counts successfully executed batches, completed their
-		// member requests.
-		snap.MeanBatch = float64(snap.Completed) / float64(snap.Batches)
+		// member requests. Cache hits and coalesced followers never ride a
+		// batch, so the mean is over batch-executed completions only (the
+		// guard covers transient cross-shard read skew during load).
+		if skip := snap.ResultCacheHits + snap.Coalesced; snap.Completed >= skip {
+			snap.MeanBatch = float64(snap.Completed-skip) / float64(snap.Batches)
+		}
 	}
 	if len(lat) > 0 {
 		sort.Float64s(lat)
 		snap.LatencyP50US = percentile(lat, 0.50)
 		snap.LatencyP95US = percentile(lat, 0.95)
 		snap.LatencyP99US = percentile(lat, 0.99)
+	}
+	if total := snap.ResultCacheHits + snap.ResultCacheMisses; total > 0 {
+		snap.ResultCacheHitRate = float64(snap.ResultCacheHits) / float64(total)
 	}
 	return snap
 }

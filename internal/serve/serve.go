@@ -13,6 +13,17 @@
 //     already passed are refused, malformed input is refused with
 //     ErrBadShape before it can reach a kernel, and a draining server
 //     refuses everything with ErrShuttingDown.
+//   - Fast path: with CacheBytes > 0, admission first consults a
+//     content-addressed result cache keyed by (routed artifact version,
+//     task, image digest) — identical frames from consecutive requests or
+//     concurrent clients are answered without touching the queue, the
+//     batcher, or a kernel, in zero allocations. With Coalesce, concurrent
+//     duplicates that miss the cache collapse into one in-flight execution
+//     (singleflight): the leader rides the normal path, followers wait for
+//     its outcome, and a failed leader never fails a follower without
+//     re-execution (see flight.go). Because the cache key pins the full
+//     versioned artifact ID, a model publish or rollback invalidates stale
+//     entries by construction.
 //   - Batching: per-(variant, task) lanes coalesce compatible requests. A
 //     lane flushes when it reaches MaxBatch or when its oldest request has
 //     waited BatchDelay — bounded added latency in exchange for the
@@ -45,7 +56,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"itask/internal/rcache"
 )
 
 // Sentinel errors returned by the admission and execution paths.
@@ -122,6 +136,23 @@ type Config struct {
 	// it as breaker failures, so a lane that stops meeting its latency
 	// objective degrades to the fallback variant like a failing one.
 	LatencySLO time.Duration
+
+	// CacheBytes, when positive, enables the content-addressed detection
+	// result cache with this byte budget. Identical (artifact version,
+	// task, image) requests are then served from memory without touching
+	// the queue or a kernel. Zero disables the cache.
+	CacheBytes int64
+	// CacheTTL bounds result-cache entry lifetime (zero: entries live
+	// until evicted by the byte budget). A TTL also bounds how old a
+	// result a rollback can resurrect for the restored version.
+	CacheTTL time.Duration
+	// CacheShards is the result cache's lock-stripe count (0 = auto).
+	CacheShards int
+	// Coalesce enables singleflight duplicate suppression: concurrent
+	// requests with the same (artifact version, task, image digest) share
+	// one backend execution instead of each riding the queue. Failure
+	// semantics are per-request — see flight.go.
+	Coalesce bool
 }
 
 // DefaultConfig returns a configuration sized for the laptop-scale models:
@@ -175,6 +206,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative BreakerMaxBackoff %v", c.BreakerMaxBackoff)
 	case c.LatencySLO < 0:
 		return fmt.Errorf("serve: negative LatencySLO %v", c.LatencySLO)
+	case c.CacheBytes < 0:
+		return fmt.Errorf("serve: negative CacheBytes %d", c.CacheBytes)
+	case c.CacheTTL < 0:
+		return fmt.Errorf("serve: negative CacheTTL %v", c.CacheTTL)
+	case c.CacheShards < 0:
+		return fmt.Errorf("serve: negative CacheShards %d", c.CacheShards)
 	}
 	return nil
 }
@@ -198,6 +235,26 @@ type Server struct {
 
 	batchCh chan *batch
 	m       *metrics
+
+	// Zero-contention request path (nil members when disabled).
+	cache   *rcache.Cache // content-addressed result cache
+	flights *flightGroup  // singleflight duplicate suppression
+	// validator/epocher are the backend's optional interfaces, resolved
+	// once at construction so the hot path never repeats the assertion.
+	validator ImageValidator
+	epocher   RouteEpocher
+	// routes memoizes task -> routed variant per backend route epoch
+	// (copy-on-write map: lock-free, allocation-free reads). Entries from
+	// a previous epoch are ignored, so a publish or rollback atomically
+	// invalidates every memoized route.
+	routes atomic.Pointer[map[string]routeEntry]
+}
+
+// routeEntry is one memoized routing decision, valid only while the
+// backend's route epoch still matches.
+type routeEntry struct {
+	epoch   uint64
+	variant string
 }
 
 // New validates the configuration and starts the worker pool. The returned
@@ -219,6 +276,20 @@ func New(b Backend, cfg Config) (*Server, error) {
 		batchCh:   make(chan *batch, cfg.Workers),
 		m:         newMetrics(cfg.MaxBatch, cfg.LatencyWindow),
 	}
+	s.validator, _ = b.(ImageValidator)
+	s.epocher, _ = b.(RouteEpocher)
+	if cfg.CacheBytes > 0 {
+		rc := rcache.Config{MaxBytes: cfg.CacheBytes, TTL: cfg.CacheTTL, Shards: cfg.CacheShards}
+		if ps, ok := b.(PayloadSizer); ok {
+			rc.SizeOf = ps.PayloadBytes
+		}
+		s.cache = rcache.New(rc)
+	}
+	if cfg.Coalesce {
+		s.flights = newFlightGroup(16)
+	}
+	empty := map[string]routeEntry{}
+	s.routes.Store(&empty)
 	s.st.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -230,87 +301,224 @@ func New(b Backend, cfg Config) (*Server, error) {
 // delivered on (buffered: the result is never lost if the caller walks
 // away). Admission fails fast with ErrQueueFull, ErrShuttingDown,
 // ErrDeadlineExceeded, ErrBadShape, a *BreakerOpenError, or the backend's
-// routing error.
+// routing error. A result-cache hit is delivered on the returned channel
+// immediately.
 func (s *Server) Submit(req Request) (<-chan Outcome, error) {
-	p, err := s.submit(req)
+	a, err := s.preadmit(&req)
+	if err != nil {
+		return nil, err
+	}
+	if res, ok := s.cacheGet(&a); ok {
+		ch := make(chan Outcome, 1)
+		ch <- Outcome{Res: res}
+		return ch, nil
+	}
+	p, err := s.submitSlow(req, a)
 	if err != nil {
 		return nil, err
 	}
 	return p.done, nil
 }
 
-// submit is the admission path behind Submit and Detect: validation,
-// deadline defaulting, routing, breaker consultation (with fallback
-// rerouting when the preferred lane is open), and enqueue.
-func (s *Server) submit(req Request) (*pending, error) {
-	now := time.Now()
+// admission carries a request's precomputed fast-path state (timestamps,
+// metrics shard hint, and — when the cache or coalescing is on — the
+// content-addressed key) from preadmit to the cache probe and slow path.
+type admission struct {
+	now      time.Time
+	deadline time.Time
+	hint     uint64
+	key      rcache.Key
+	haveKey  bool
+}
+
+// preadmit runs the per-request admission work shared by every path:
+// validation, deadline defaulting and expiry, and — when the fast path is
+// enabled — routing and content-key derivation. Allocation-free.
+func (s *Server) preadmit(req *Request) (admission, error) {
+	a := admission{now: time.Now()}
 	if req.Image == nil {
-		s.m.add(&s.m.rejectedShape, 1)
-		return nil, fmt.Errorf("serve: nil image: %w", ErrBadShape)
+		s.m.inc(0, cRejectedShape)
+		return a, fmt.Errorf("serve: nil image: %w", ErrBadShape)
 	}
-	if v, ok := s.backend.(ImageValidator); ok {
-		if err := v.ValidateImage(req.Image); err != nil {
-			s.m.add(&s.m.rejectedShape, 1)
+	if s.validator != nil {
+		if err := s.validator.ValidateImage(req.Image); err != nil {
+			s.m.inc(0, cRejectedShape)
 			if !errors.Is(err, ErrBadShape) {
 				err = fmt.Errorf("%w: %v", ErrBadShape, err)
 			}
-			return nil, err
+			return a, err
 		}
 	}
-	deadline := req.Deadline
-	if deadline.IsZero() && s.cfg.DefaultTimeout > 0 {
-		deadline = now.Add(s.cfg.DefaultTimeout)
+	a.deadline = req.Deadline
+	if a.deadline.IsZero() && s.cfg.DefaultTimeout > 0 {
+		a.deadline = a.now.Add(s.cfg.DefaultTimeout)
 	}
-	if !deadline.IsZero() && !now.Before(deadline) {
-		s.m.add(&s.m.shedExpired, 1)
-		return nil, ErrDeadlineExceeded
+	if !a.deadline.IsZero() && !a.now.Before(a.deadline) {
+		s.m.inc(0, cShedExpired)
+		return a, ErrDeadlineExceeded
 	}
-	variant, err := s.backend.Route(req.Task)
+	// The metrics shard hint mixes the image digest (distinct content →
+	// distinct shards) with the admission nanos (concurrent duplicates →
+	// still spread), so hot counters never converge on one cache line.
+	a.hint = uint64(a.now.UnixNano())
+	if s.cache != nil || s.flights != nil {
+		d := rcache.DigestImage(req.Image)
+		a.hint ^= d
+		variant, err := s.route(req.Task)
+		if err != nil {
+			s.m.inc(a.hint, cRejectedRoute)
+			return a, err
+		}
+		a.key = rcache.Key{Artifact: variant, Task: req.Task, Digest: d}
+		a.haveKey = true
+	}
+	return a, nil
+}
+
+// route resolves task -> variant, memoizing per backend route epoch when
+// the backend exposes one. The memo is a copy-on-write map: reads are
+// lock-free and allocation-free, and any publish/rollback (which bumps the
+// epoch) atomically invalidates every memoized decision.
+func (s *Server) route(task string) (string, error) {
+	if s.epocher == nil {
+		return s.backend.Route(task)
+	}
+	epoch := s.epocher.RouteEpoch()
+	m := s.routes.Load()
+	if e, ok := (*m)[task]; ok && e.epoch == epoch {
+		return e.variant, nil
+	}
+	variant, err := s.backend.Route(task)
 	if err != nil {
-		s.m.add(&s.m.rejectedRoute, 1)
+		return "", err
+	}
+	next := make(map[string]routeEntry, len(*m)+1)
+	for k, v := range *m {
+		if v.epoch == epoch {
+			next[k] = v
+		}
+	}
+	next[task] = routeEntry{epoch: epoch, variant: variant}
+	s.routes.CompareAndSwap(m, &next) // a lost race just drops the memo
+	return variant, nil
+}
+
+// cacheGet probes the result cache. On hit the request is fully served:
+// no queue, no batcher, no kernel, no allocation. Per-model attribution is
+// untouched — PerModel counts executed work, and a hit executes nothing.
+func (s *Server) cacheGet(a *admission) (Result, bool) {
+	if s.cache == nil || !a.haveKey {
+		return Result{}, false
+	}
+	payload, model, ok := s.cache.Get(a.key, a.now)
+	if !ok {
+		s.m.inc(a.hint, cCacheMisses)
+		return Result{}, false
+	}
+	s.m.inc(a.hint, cAccepted)
+	s.m.inc(a.hint, cCacheHits)
+	s.m.inc(a.hint, cCompleted)
+	total := time.Since(a.now)
+	s.m.observeLatency(a.hint, total)
+	return Result{Payload: payload, Model: model, BatchSize: 1, Cached: true, Total: total}, true
+}
+
+// submitSlow is the post-cache admission path: singleflight join (leader
+// or follower), then lane admission for leaders and un-coalesced requests.
+func (s *Server) submitSlow(req Request, a admission) (*pending, error) {
+	p := &pending{
+		image:    req.Image,
+		task:     req.Task,
+		deadline: a.deadline,
+		enq:      a.now,
+		hint:     a.hint,
+		key:      a.key,
+		haveKey:  a.haveKey,
+		done:     make(chan Outcome, 1),
+	}
+	if s.flights != nil && a.haveKey {
+		f, isLeader := s.flights.join(a.key, p)
+		if !isLeader {
+			// Follower: the leader's terminal delivery resolves the
+			// flight and either shares its result or re-admits us.
+			s.m.inc(a.hint, cAccepted)
+			return p, nil
+		}
+		p.flight = f
+	}
+	if err := s.admitLane(p); err != nil {
+		// A leader that fails admission still owes its followers a
+		// resolution; they re-execute rather than inherit the error.
+		if p.flight != nil {
+			s.finishFlight(p, Outcome{Err: err})
+		}
 		return nil, err
+	}
+	s.m.inc(a.hint, cAccepted)
+	return p, nil
+}
+
+// admitLane routes p to a lane and enqueues it: routing (unless the
+// fast path already routed), breaker consultation (with fallback rerouting
+// when the preferred lane is open), and enqueue. Used by first admission
+// and by follower re-execution.
+func (s *Server) admitLane(p *pending) error {
+	now := time.Now()
+	variant := p.key.Artifact
+	if !p.haveKey {
+		v, err := s.backend.Route(p.task)
+		if err != nil {
+			s.m.inc(p.hint, cRejectedRoute)
+			return err
+		}
+		variant = v
 	}
 
 	// Consult the lane's breaker; an open breaker degrades the request to
 	// the fallback variant (the quantized generalist) when the backend
 	// offers one and its lane is not itself open.
-	degraded := ""
-	probeKey := "" // non-empty when this request claimed a half-open probe slot
-	key := laneKey(variant, req.Task)
+	p.degraded = ""
+	p.probeKey = "" // non-empty when this request claims a half-open probe slot
+	key := laneKey(variant, p.task)
 	switch s.h.admit(key, now) {
 	case admitProbe:
-		probeKey = key
+		p.probeKey = key
 	case admitDeny:
-		fv, ok := s.fallbackFor(req.Task, variant, now, &probeKey)
+		fv, ok := s.fallbackFor(p.task, variant, now, &p.probeKey)
 		if !ok {
-			s.m.add(&s.m.rejectedBreaker, 1)
-			return nil, &BreakerOpenError{
+			s.m.inc(p.hint, cRejectedBreaker)
+			return &BreakerOpenError{
 				Variant:    variant,
-				Task:       req.Task,
+				Task:       p.task,
 				RetryAfter: s.h.retryAfter(key, now),
 			}
 		}
 		variant = fv
-		degraded = DegradedBreakerOpen
-		s.m.add(&s.m.degradedRouted, 1)
+		p.degraded = DegradedBreakerOpen
+		s.m.inc(p.hint, cDegradedRouted)
 	}
 
-	p := &pending{
-		image:    req.Image,
-		deadline: deadline,
-		enq:      now,
-		degraded: degraded,
-		probeKey: probeKey,
-		done:     make(chan Outcome, 1),
-	}
-	if err := s.enqueue(variant, req.Task, p); err != nil {
+	if err := s.enqueue(variant, p.task, p); err != nil {
 		if p.probeKey != "" {
 			s.h.releaseProbe(p.probeKey)
+			p.probeKey = ""
 		}
-		return nil, err
+		return err
 	}
-	s.m.add(&s.m.accepted, 1)
-	return p, nil
+	return nil
+}
+
+// resubmit re-admits a follower whose leader failed to produce a shareable
+// result. The follower runs the full fresh path (route, breaker, enqueue);
+// it never joins another flight, so every request executes at most twice.
+// An admission rejection becomes the follower's terminal outcome — it was
+// already counted accepted, so it terminates as failed to keep the books
+// balanced.
+func (s *Server) resubmit(p *pending) {
+	if err := s.admitLane(p); err != nil {
+		s.m.inc(p.hint, cFailed)
+		p.done <- Outcome{Err: err}
+	}
 }
 
 // fallbackFor resolves a healthy fallback lane for a task whose preferred
@@ -346,7 +554,14 @@ func (s *Server) Detect(ctx context.Context, req Request) (Result, error) {
 			req.Deadline = d
 		}
 	}
-	p, err := s.submit(req)
+	a, err := s.preadmit(&req)
+	if err != nil {
+		return Result{}, err
+	}
+	if res, ok := s.cacheGet(&a); ok {
+		return res, nil
+	}
+	p, err := s.submitSlow(req, a)
 	if err != nil {
 		return Result{}, err
 	}
@@ -421,6 +636,10 @@ func (s *Server) Snapshot() Snapshot {
 	if rs, ok := s.backend.(RegistryStatser); ok {
 		stats := rs.RegistryStats()
 		snap.Registry = &stats
+	}
+	if s.cache != nil {
+		stats := s.cache.Stats()
+		snap.ResultCache = &stats
 	}
 	return snap
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"itask/internal/dataset"
 	"itask/internal/distill"
@@ -808,6 +809,27 @@ func (b serveBackend) CacheStats() sched.CacheStats { return b.p.scheduler.Stats
 
 // RegistryStats surfaces publish/rollback counters in serve snapshots.
 func (b serveBackend) RegistryStats() registry.Stats { return b.p.reg.Stats() }
+
+// RouteEpoch is the registry's snapshot sequence number — bumped by every
+// publish, demotion, and rollback — so the serving layer can memoize
+// routing decisions and have them invalidated the moment any model swap
+// could change them. Lock-free (one atomic pointer load).
+func (b serveBackend) RouteEpoch() uint64 { return b.p.reg.Snapshot().Seq() }
+
+// PayloadBytes estimates the resident size of one DetectBatch payload
+// ([]Detection) so the serving layer's result cache can charge entries
+// against its byte budget.
+func (b serveBackend) PayloadBytes(payload any) int64 {
+	dets, ok := payload.([]Detection)
+	if !ok {
+		return 0 // unknown payload: let the cache apply its default
+	}
+	size := int64(unsafe.Sizeof(dets)) // slice header
+	for i := range dets {
+		size += int64(unsafe.Sizeof(dets[i])) + int64(len(dets[i].Class))
+	}
+	return size
+}
 
 // ServeBackend exposes the pipeline as a serve.Backend so a serve.Server
 // (or cmd/itask-serve) can run concurrent micro-batched inference over it.
