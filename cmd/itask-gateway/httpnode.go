@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"itask/internal/gateway"
+)
+
+// httpNode adapts one itask-serve backend (identified by its base URL) to
+// the gateway's node interfaces:
+//
+//	gateway.Node          ID is the base URL — stable, unique, and the same
+//	                      on every gateway instance, so a fleet of gateways
+//	                      in front of the same backends routes identically.
+//	gateway.ProbeNode     GET /healthz; 200 (ok or degraded) is alive,
+//	                      anything else — including a refused connection —
+//	                      counts toward ejection.
+//	gateway.EpochNode     GET /metricsz, reading registry.seq: the backend's
+//	                      registry snapshot sequence is its route epoch.
+//	gateway.ChangeApplier POST /v1/models/reload. itask-serve has no
+//	                      stage/commit surface, so Propagate uses its
+//	                      apply-then-epoch-barrier fallback: the reload runs
+//	                      on every backend and the gateway blocks until the
+//	                      whole fleet's registry sequence converges.
+type httpNode struct {
+	base string
+	hc   *http.Client
+}
+
+func (n *httpNode) ID() string { return n.base }
+
+// maxProxyBytes bounds how much of a backend response the gateway buffers:
+// the detect response for a dense frame is well under 1 MiB, and a runaway
+// body must not balloon the gateway.
+const maxProxyBytes = 8 << 20
+
+// backendResponse is a fully-buffered backend answer ready to relay.
+type backendResponse struct {
+	status     int
+	header     http.Header
+	body       []byte
+	retryAfter string
+}
+
+// forwardDetect relays one raw /v1/detect body to the backend and buffers
+// its answer. Outcomes the caller should fail over from are returned as
+// classified errors; every other status — including the backend's own 4xx
+// and 5xx verdicts about the request content — is a pass-through response
+// (retrying a content-fault on a successor would just spread it).
+func (n *httpNode) forwardDetect(ctx context.Context, body []byte) (*backendResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/v1/detect", bytes.NewReader(body))
+	if err != nil {
+		return nil, &gateway.NodeError{Class: gateway.ClassRequest, Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		// ctx expiry is the request's deadline, not the node's death.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, &gateway.NodeError{Class: gateway.ClassNodeDown, Err: err}
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBytes))
+	if err != nil {
+		return nil, &gateway.NodeError{Class: gateway.ClassNodeDown, Err: fmt.Errorf("reading %s response: %w", n.base, err)}
+	}
+	br := &backendResponse{status: resp.StatusCode, header: resp.Header, body: buf, retryAfter: resp.Header.Get("Retry-After")}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		// Admission backpressure: this shard's queue is full, a successor
+		// may have room.
+		return br, &gateway.NodeError{Class: gateway.ClassOverload, Err: fmt.Errorf("%s: backend backpressure (429)", n.base)}
+	case http.StatusServiceUnavailable:
+		if br.retryAfter != "" {
+			// An open breaker advertises a retry horizon — the node is up
+			// but this lane is cooling; spill without penalizing it.
+			return br, &gateway.NodeError{Class: gateway.ClassOverload, Err: fmt.Errorf("%s: breaker open (503)", n.base)}
+		}
+		// Plain 503 is draining or dead-to-serving: fail over and count it.
+		return br, &gateway.NodeError{Class: gateway.ClassNodeDown, Err: fmt.Errorf("%s: backend unavailable (503)", n.base)}
+	default:
+		return br, nil
+	}
+}
+
+func (n *httpNode) Probe(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: healthz %d", n.base, resp.StatusCode)
+	}
+	return nil
+}
+
+func (n *httpNode) RouteEpoch(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.base+"/metricsz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: metricsz %d", n.base, resp.StatusCode)
+	}
+	var m struct {
+		Registry *struct {
+			Seq uint64 `json:"seq"`
+		} `json:"registry"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxProxyBytes)).Decode(&m); err != nil {
+		return 0, fmt.Errorf("%s: decoding metricsz: %w", n.base, err)
+	}
+	if m.Registry == nil {
+		return 0, fmt.Errorf("%s: backend exposes no registry epoch", n.base)
+	}
+	return m.Registry.Seq, nil
+}
+
+// ApplyChange drives a fleet-propagated model reload. Only OpPublish is
+// meaningful over the itask-serve surface (its reload endpoint both
+// publishes new versions and re-verifies existing ones); the payload is the
+// raw /v1/models/reload body to relay.
+func (n *httpNode) ApplyChange(ctx context.Context, c gateway.Change) (uint64, error) {
+	if c.Op != gateway.OpPublish {
+		return 0, fmt.Errorf("%s: op %q not supported over HTTP (reload covers publish only)", n.base, c.Op)
+	}
+	body, ok := c.Payload.([]byte)
+	if !ok {
+		return 0, errors.New("reload payload must be the raw request body")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/v1/models/reload", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: reload %d: %s", n.base, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return n.RouteEpoch(ctx)
+}

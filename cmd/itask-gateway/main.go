@@ -1,0 +1,326 @@
+// Command itask-gateway is the distributed serve tier's front door: it
+// consistent-hashes detection requests by content across a fleet of
+// itask-serve backends, so each frame's result-cache entry lives on exactly
+// one shard and the fleet's caches compose instead of overlapping. Routing,
+// health, hot-key replication, and epoch propagation are internal/gateway;
+// this command is the HTTP shell.
+//
+// Endpoints:
+//
+//	POST /v1/detect          route one detection to its content's shard and
+//	                         relay the shard's answer verbatim. The serving
+//	                         shard is attributed in X-Itask-Shard (and the
+//	                         attempt count in X-Itask-Attempts; hot-replicated
+//	                         requests carry X-Itask-Hot: 1).
+//	POST /v1/models/reload   propagate a model reload fleet-wide: the body is
+//	                         relayed to every backend's reload endpoint and
+//	                         the gateway blocks until every backend's registry
+//	                         sequence converges to the fleet maximum, so a
+//	                         publish is cluster-wide before the response —
+//	                         clients never observe version flapping keyed by
+//	                         which shard their frame hashes to.
+//	GET  /healthz            200 with fleet counts while at least one backend
+//	                         is routable, 503 otherwise
+//	GET  /metricsz           gateway snapshot: routing/spill/retry/ejection
+//	                         counters, committed epoch, per-node status
+//
+// Requests are keyed the same way the shards key their result caches: an
+// image body routes by its rcache content digest, a scene body by its
+// (task, domain, seed) identity, and anything else by task, which keeps one
+// task's traffic on one shard's batch lanes. Backend verdicts about request
+// content (400, 404, 413, 422, 500, 504) relay as-is; 429 and breaker-open
+// 503 fail over to a ring successor; connection failures and draining
+// backends fail over and count toward ejection.
+//
+// Usage:
+//
+//	itask-gateway -backends http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	              [-addr :8080] [-vnodes 128] [-load-factor 1.25] \
+//	              [-hot-threshold 64] [-hot-replicas 2] [-max-retries 1] \
+//	              [-fail-threshold 3] [-eject-for 2s] [-probe-interval 1s] \
+//	              [-probe-timeout 500ms] [-propagate-timeout 30s]
+//
+// Example:
+//
+//	curl -si localhost:8080/v1/detect -d '{"task":"patrol","scene":{"domain":"driving","seed":7}}' | grep X-Itask-Shard
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"itask/internal/gateway"
+	"itask/internal/rcache"
+	"itask/internal/tensor"
+)
+
+// maxBodyBytes mirrors the itask-serve request bound: relaying a body the
+// backend would reject at its own door wastes a round trip.
+const maxBodyBytes = 4 << 20
+
+func main() {
+	def := gateway.DefaultConfig()
+	addr := flag.String("addr", ":8080", "listen address")
+	backends := flag.String("backends", "", "comma-separated itask-serve base URLs (required)")
+	vnodes := flag.Int("vnodes", def.VirtualNodes, "ring points per backend")
+	loadFactor := flag.Float64("load-factor", def.LoadFactor, "bounded-load factor: owners above this multiple of the fleet-average in-flight spill to a successor (0 = off)")
+	hotThreshold := flag.Int("hot-threshold", def.HotThreshold, "windowed arrivals past which a digest is replicated (0 = off)")
+	hotReplicas := flag.Int("hot-replicas", def.HotReplicas, "shards serving a hot digest")
+	maxRetries := flag.Int("max-retries", def.MaxRetries, "failover attempts on ring successors")
+	failThreshold := flag.Int("fail-threshold", def.FailThreshold, "consecutive down-class failures that eject a backend (0 = off)")
+	ejectFor := flag.Duration("eject-for", def.EjectFor, "how long an ejected backend is skipped (a live probe readmits it earlier)")
+	probeInterval := flag.Duration("probe-interval", def.ProbeInterval, "active health-probe period (0 = passive only)")
+	probeTimeout := flag.Duration("probe-timeout", def.ProbeTimeout, "per-probe deadline")
+	propagateTimeout := flag.Duration("propagate-timeout", 30*time.Second, "fleet-wide reload deadline, including the epoch convergence barrier")
+	flag.Parse()
+
+	urls := splitBackends(*backends)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "itask-gateway: -backends is required (comma-separated base URLs)")
+		os.Exit(2)
+	}
+
+	cfg := gateway.Config{
+		VirtualNodes:  *vnodes,
+		LoadFactor:    *loadFactor,
+		HotThreshold:  *hotThreshold,
+		HotReplicas:   *hotReplicas,
+		MaxRetries:    *maxRetries,
+		FailThreshold: *failThreshold,
+		EjectFor:      *ejectFor,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		BarrierPoll:   50 * time.Millisecond,
+	}
+	app, err := newApp(cfg, urls, *propagateTimeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "itask-gateway: %v\n", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: app.mux()}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "itask-gateway: draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		app.g.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "itask-gateway: listening on %s, %d backends (vnodes=%d load-factor=%g hot=%d/%d retries=%d)\n",
+		*addr, len(urls), *vnodes, *loadFactor, *hotThreshold, *hotReplicas, *maxRetries)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "itask-gateway: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "itask-gateway: bye")
+}
+
+func splitBackends(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+type app struct {
+	g                *gateway.Gateway
+	propagateTimeout time.Duration
+}
+
+func newApp(cfg gateway.Config, urls []string, propagateTimeout time.Duration) (*app, error) {
+	g, err := gateway.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hc := &http.Client{} // per-request deadlines come from the inbound ctx
+	for _, u := range urls {
+		if err := g.AddNode(&httpNode{base: u, hc: hc}); err != nil {
+			g.Close()
+			return nil, err
+		}
+	}
+	return &app{g: g, propagateTimeout: propagateTimeout}, nil
+}
+
+func (a *app) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/detect", a.detect)
+	mux.HandleFunc("/v1/models/reload", a.reload)
+	mux.HandleFunc("/healthz", a.healthz)
+	mux.HandleFunc("/metricsz", a.metricsz)
+	return mux
+}
+
+// routeProbe is the loose decode of a detect body used only to derive the
+// routing key; full validation is the backend's job.
+type routeProbe struct {
+	Task  string `json:"task"`
+	Image *struct {
+		Shape []int     `json:"shape"`
+		Data  []float32 `json:"data"`
+	} `json:"image"`
+	Scene *struct {
+		Domain string `json:"domain"`
+		Seed   uint64 `json:"seed"`
+	} `json:"scene"`
+}
+
+// routeKey derives the request's routing identity from the raw body. Image
+// bodies digest exactly as the shard's result cache will digest them, so a
+// frame's gateway shard is the shard whose cache can hold its result. Scene
+// bodies are deterministic renders, so (task, domain, seed) is their content
+// identity — repeats of a seed land on (and hit in) one shard's cache, and a
+// viral seed participates in hot-key replication. Undecodable bodies fall
+// back to the task key and let the backend issue the 400.
+func routeKey(body []byte) gateway.Key {
+	var rp routeProbe
+	if err := json.Unmarshal(body, &rp); err != nil {
+		return gateway.Key{}
+	}
+	if img := rp.Image; img != nil && len(img.Shape) == 3 &&
+		img.Shape[0] > 0 && img.Shape[1] > 0 && img.Shape[2] > 0 &&
+		len(img.Data) == img.Shape[0]*img.Shape[1]*img.Shape[2] {
+		t := tensor.FromSlice(img.Data, img.Shape[0], img.Shape[1], img.Shape[2])
+		return gateway.Key{Digest: rcache.DigestImage(t), HasDigest: true, Task: rp.Task}
+	}
+	if sc := rp.Scene; sc != nil {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "scene|%s|%s|%d", rp.Task, sc.Domain, sc.Seed)
+		return gateway.Key{Digest: h.Sum64(), HasDigest: true, Task: rp.Task}
+	}
+	return gateway.Key{Task: rp.Task}
+}
+
+func (a *app) detect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		} else {
+			httpError(w, http.StatusBadRequest, "unreadable request body")
+		}
+		return
+	}
+
+	var relay *backendResponse
+	info, err := a.g.Execute(r.Context(), routeKey(body), func(ctx context.Context, n gateway.Node) error {
+		br, ferr := n.(*httpNode).forwardDetect(ctx, body)
+		if ferr == nil {
+			relay = br
+		}
+		return ferr
+	})
+	w.Header().Set("X-Itask-Shard", info.Node)
+	w.Header().Set("X-Itask-Attempts", fmt.Sprint(info.Attempts))
+	if info.Hot {
+		w.Header().Set("X-Itask-Hot", "1")
+	}
+	if err != nil || relay == nil {
+		a.writeRouteError(w, err)
+		return
+	}
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Itask-Degraded"} {
+		if v := relay.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(relay.status)
+	_, _ = w.Write(relay.body)
+}
+
+// writeRouteError maps a routing failure (every attempt exhausted) onto a
+// status the client can act on.
+func (a *app) writeRouteError(w http.ResponseWriter, err error) {
+	switch {
+	case err == nil:
+		httpError(w, http.StatusBadGateway, "no backend response")
+	case errors.Is(err, gateway.ErrNoNodes):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	case gateway.Classify(err) == gateway.ClassOverload:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	default:
+		httpError(w, http.StatusBadGateway, err.Error())
+	}
+}
+
+func (a *app) reload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "unreadable request body")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), a.propagateTimeout)
+	defer cancel()
+	epoch, err := a.g.Propagate(ctx, gateway.Change{Op: gateway.OpPublish, Payload: body})
+	if err != nil {
+		code := http.StatusBadGateway
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The reloads applied but the fleet did not observably converge
+			// in time; the committed epoch still names the target.
+			code = http.StatusGatewayTimeout
+		}
+		writeJSON(w, code, map[string]any{"error": err.Error(), "epoch": epoch})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch})
+}
+
+func (a *app) healthz(w http.ResponseWriter, r *http.Request) {
+	snap := a.g.Snapshot()
+	available := 0
+	for _, n := range snap.Nodes {
+		if !n.Ejected && !n.Lagging {
+			available++
+		}
+	}
+	code := http.StatusOK
+	if available == 0 {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"backends": len(snap.Nodes), "available": available})
+}
+
+func (a *app) metricsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.g.Snapshot())
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,347 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"itask/internal/gateway"
+)
+
+// fakeBackend is an httptest-served itask-serve lookalike: detect answers
+// carry the backend's name, reload bumps the registry sequence, and healthz
+// and metricsz speak the real endpoints' shapes.
+type fakeBackend struct {
+	name string
+	srv  *httptest.Server
+
+	mu      sync.Mutex
+	seq     uint64
+	detects int
+	reloads int
+	status  int // non-zero forces every detect to this status
+}
+
+func newFakeBackend(name string) *fakeBackend {
+	b := &fakeBackend{name: name, seq: 1}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/detect", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		b.mu.Lock()
+		b.detects++
+		status := b.status
+		b.mu.Unlock()
+		if status != 0 {
+			w.WriteHeader(status)
+			fmt.Fprintf(w, `{"error":"forced %d"}`, status)
+			return
+		}
+		var probe struct {
+			Task string `json:"task"`
+		}
+		if json.Unmarshal(body, &probe) != nil || probe.Task == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprint(w, `{"error":"missing task"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"task":%q,"model":%q,"detections":[]}`, probe.Task, b.name)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		b.mu.Lock()
+		seq := b.seq
+		b.mu.Unlock()
+		fmt.Fprintf(w, `{"registry":{"seq":%d}}`, seq)
+	})
+	mux.HandleFunc("/v1/models/reload", func(w http.ResponseWriter, r *http.Request) {
+		b.mu.Lock()
+		b.reloads++
+		b.seq++
+		b.mu.Unlock()
+		fmt.Fprint(w, `{"reloaded":["teacher"]}`)
+	})
+	b.srv = httptest.NewServer(mux)
+	return b
+}
+
+func (b *fakeBackend) detectCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.detects
+}
+
+func (b *fakeBackend) forceStatus(code int) {
+	b.mu.Lock()
+	b.status = code
+	b.mu.Unlock()
+}
+
+func newTestApp(t *testing.T, cfg gateway.Config, backends ...*fakeBackend) (*app, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(backends))
+	for i, b := range backends {
+		urls[i] = b.srv.URL
+	}
+	a, err := newApp(cfg, urls, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(a.mux())
+	t.Cleanup(func() {
+		front.Close()
+		a.g.Close()
+		for _, b := range backends {
+			b.srv.Close()
+		}
+	})
+	return a, front
+}
+
+func passiveCfg() gateway.Config {
+	return gateway.Config{VirtualNodes: 64, MaxRetries: 1, FailThreshold: 1, EjectFor: time.Minute}
+}
+
+func sceneBody(task string, seed int) string {
+	return fmt.Sprintf(`{"task":%q,"scene":{"domain":"driving","seed":%d}}`, task, seed)
+}
+
+func postDetect(t *testing.T, front *httptest.Server, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(front.URL+"/v1/detect", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// Content-consistent routing with shard attribution: a given body always
+// lands on the same shard (named in X-Itask-Shard), and distinct content
+// spreads over the fleet.
+func TestDetectRoutesByContentWithAttribution(t *testing.T) {
+	a, front := newTestApp(t, passiveCfg(), newFakeBackend("b0"), newFakeBackend("b1"), newFakeBackend("b2"))
+	shardOf := map[int]string{}
+	for seed := 0; seed < 40; seed++ {
+		for rep := 0; rep < 3; rep++ {
+			resp, body := postDetect(t, front, sceneBody("patrol", seed))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("seed %d: status %d: %s", seed, resp.StatusCode, body)
+			}
+			shard := resp.Header.Get("X-Itask-Shard")
+			if shard == "" {
+				t.Fatal("response missing X-Itask-Shard")
+			}
+			if prev, ok := shardOf[seed]; ok && prev != shard {
+				t.Fatalf("seed %d flapped between shards %s and %s", seed, prev, shard)
+			}
+			shardOf[seed] = shard
+			if !strings.Contains(body, `"task":"patrol"`) {
+				t.Fatalf("backend body not relayed: %s", body)
+			}
+		}
+	}
+	distinct := map[string]bool{}
+	for _, s := range shardOf {
+		distinct[s] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("40 distinct scenes all routed to one shard: %v", distinct)
+	}
+	if snap := a.g.Snapshot(); snap.Routed == 0 || snap.Failed != 0 {
+		t.Fatalf("snapshot routed/failed = %d/%d", snap.Routed, snap.Failed)
+	}
+}
+
+// A dead backend's keys fail over transparently: the client sees 200 from a
+// successor with the attempt recorded, and the dead shard is ejected.
+func TestDetectFailsOverWhenBackendDies(t *testing.T) {
+	b0, b1 := newFakeBackend("b0"), newFakeBackend("b1")
+	a, front := newTestApp(t, passiveCfg(), b0, b1)
+
+	// Find a seed owned by b0, then kill b0.
+	victimSeed := -1
+	for seed := 0; seed < 64 && victimSeed < 0; seed++ {
+		resp, _ := postDetect(t, front, sceneBody("patrol", seed))
+		if resp.Header.Get("X-Itask-Shard") == b0.srv.URL {
+			victimSeed = seed
+		}
+	}
+	if victimSeed < 0 {
+		t.Fatal("no seed routed to b0")
+	}
+	b0.srv.Close()
+
+	resp, body := postDetect(t, front, sceneBody("patrol", victimSeed))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover detect: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Itask-Shard"); got != b1.srv.URL {
+		t.Fatalf("served by %s, want survivor %s", got, b1.srv.URL)
+	}
+	if got := resp.Header.Get("X-Itask-Attempts"); got != "2" {
+		t.Fatalf("X-Itask-Attempts = %s, want 2", got)
+	}
+	snap := a.g.Snapshot()
+	if snap.Ejections == 0 {
+		t.Fatal("dead backend not ejected")
+	}
+	// Subsequent requests for the same key route straight to the survivor.
+	resp, _ = postDetect(t, front, sceneBody("patrol", victimSeed))
+	if resp.Header.Get("X-Itask-Attempts") != "1" {
+		t.Fatal("ejected backend still tried first")
+	}
+}
+
+// Backend verdicts about request content relay as-is — no failover, no
+// second backend touched.
+func TestDetectPassesThroughContentVerdicts(t *testing.T) {
+	b0, b1 := newFakeBackend("b0"), newFakeBackend("b1")
+	_, front := newTestApp(t, passiveCfg(), b0, b1)
+
+	resp, body := postDetect(t, front, `{"scene":{"domain":"driving","seed":1}}`) // no task
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "missing task") {
+		t.Fatalf("backend 400 not relayed: %d %s", resp.StatusCode, body)
+	}
+
+	b0.forceStatus(http.StatusUnprocessableEntity)
+	b1.forceStatus(http.StatusUnprocessableEntity)
+	before := b0.detectCount() + b1.detectCount()
+	resp, _ = postDetect(t, front, sceneBody("patrol", 9))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("422 verdict became %d", resp.StatusCode)
+	}
+	if got := b0.detectCount() + b1.detectCount() - before; got != 1 {
+		t.Fatalf("content verdict touched %d backends, want 1", got)
+	}
+}
+
+// 429 backpressure spills to a successor instead of surfacing.
+func TestDetectSpillsOnBackpressure(t *testing.T) {
+	b0, b1 := newFakeBackend("b0"), newFakeBackend("b1")
+	_, front := newTestApp(t, passiveCfg(), b0, b1)
+	seed := 0
+	for ; seed < 64; seed++ {
+		resp, _ := postDetect(t, front, sceneBody("patrol", seed))
+		if resp.Header.Get("X-Itask-Shard") == b0.srv.URL {
+			break
+		}
+	}
+	b0.forceStatus(http.StatusTooManyRequests)
+	resp, body := postDetect(t, front, sceneBody("patrol", seed))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("backpressure not failed over: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Itask-Shard"); got != b1.srv.URL {
+		t.Fatalf("spilled to %s, want %s", got, b1.srv.URL)
+	}
+}
+
+// A fleet-wide reload converges every backend and reports the fleet epoch.
+func TestReloadPropagatesFleetWide(t *testing.T) {
+	b0, b1, b2 := newFakeBackend("b0"), newFakeBackend("b1"), newFakeBackend("b2")
+	cfg := passiveCfg()
+	cfg.BarrierPoll = 5 * time.Millisecond
+	a, front := newTestApp(t, cfg, b0, b1, b2)
+
+	resp, err := http.Post(front.URL+"/v1/models/reload", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != 2 {
+		t.Fatalf("fleet epoch = %d, want 2 (seq 1 + one reload)", out.Epoch)
+	}
+	for _, b := range []*fakeBackend{b0, b1, b2} {
+		b.mu.Lock()
+		reloads, seq := b.reloads, b.seq
+		b.mu.Unlock()
+		if reloads != 1 || seq != 2 {
+			t.Fatalf("%s: reloads=%d seq=%d, want 1/2", b.name, reloads, seq)
+		}
+	}
+	if a.g.CommittedEpoch() != out.Epoch {
+		t.Fatalf("committed epoch %d != reported %d", a.g.CommittedEpoch(), out.Epoch)
+	}
+}
+
+// healthz flips to 503 only when no backend is routable.
+func TestGatewayHealthz(t *testing.T) {
+	b0, b1 := newFakeBackend("b0"), newFakeBackend("b1")
+	a, front := newTestApp(t, passiveCfg(), b0, b1)
+	get := func() (int, string) {
+		resp, err := http.Get(front.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(); code != http.StatusOK || !strings.Contains(body, `"available":2`) {
+		t.Fatalf("healthy fleet: %d %s", code, body)
+	}
+	// Kill both backends and push traffic until passive accounting ejects
+	// them; healthz must then refuse.
+	b0.srv.Close()
+	b1.srv.Close()
+	for seed := 0; seed < 8; seed++ {
+		resp, _ := postDetect(t, front, sceneBody("patrol", seed))
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("detect succeeded with every backend dead")
+		}
+	}
+	if a.g.Snapshot().Failed == 0 {
+		t.Fatal("no failures recorded with the fleet dead")
+	}
+	if code, body := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("dead fleet healthz: %d %s", code, body)
+	}
+}
+
+// routeKey alignment: image bodies digest like the shard cache, scene bodies
+// key on (task, domain, seed), garbage falls back to the task.
+func TestRouteKeyDerivation(t *testing.T) {
+	img := `{"task":"patrol","image":{"shape":[3,2,2],"data":[1,2,3,4,5,6,7,8,9,10,11,12]}}`
+	k1, k2 := routeKey([]byte(img)), routeKey([]byte(img))
+	if !k1.HasDigest || k1 != k2 {
+		t.Fatalf("image keys unstable: %+v vs %+v", k1, k2)
+	}
+	s1 := routeKey([]byte(sceneBody("patrol", 7)))
+	s2 := routeKey([]byte(sceneBody("patrol", 8)))
+	if !s1.HasDigest || !s2.HasDigest || s1.Digest == s2.Digest {
+		t.Fatalf("scene seeds 7/8 not distinctly keyed: %+v vs %+v", s1, s2)
+	}
+	if k := routeKey([]byte(`{"task":"patrol"}`)); k.HasDigest || k.Task != "patrol" {
+		t.Fatalf("bare task body mis-keyed: %+v", k)
+	}
+	if k := routeKey([]byte(`not json`)); k.HasDigest || k.Task != "" {
+		t.Fatalf("garbage body mis-keyed: %+v", k)
+	}
+	// A shape/data mismatch must not panic or allocate a bogus tensor.
+	if k := routeKey([]byte(`{"task":"t","image":{"shape":[3,100,100],"data":[1]}}`)); k.HasDigest {
+		t.Fatalf("mismatched image spec produced a digest: %+v", k)
+	}
+}

@@ -26,10 +26,11 @@
 //	                         model attribution, registry publish/rollback
 //	                         counters, model-cache hit rate)
 //
-// Failure modes map onto HTTP statuses: malformed input is 400, admission
-// backpressure is 429 with Retry-After, draining or an open circuit with no
-// healthy fallback is 503 (the breaker case carries Retry-After), an
-// isolated backend panic is 500, and a missed deadline or watchdog-abandoned
+// Failure modes map onto HTTP statuses: malformed input is 400, content
+// quarantined as poison (with -neg-ttl) is 422, admission backpressure is
+// 429 with Retry-After, draining or an open circuit with no healthy
+// fallback is 503 (the breaker case carries Retry-After), an isolated
+// backend panic is 500, and a missed deadline or watchdog-abandoned
 // execution is 504. Requests served by the quantized fallback while their
 // preferred lane's breaker is open succeed with "degraded" set in the body
 // and an X-Itask-Degraded response header.
@@ -42,7 +43,7 @@
 //	            [-watchdog 10s] [-retry-budget 3] \
 //	            [-breaker-threshold 5] [-breaker-backoff 500ms] [-slo 0] \
 //	            [-cache-bytes 33554432] [-cache-ttl 1m] [-coalesce] \
-//	            [-pprof addr]
+//	            [-neg-ttl 0] [-pprof addr]
 //
 // -cache-bytes enables the content-addressed result cache (0 disables it):
 // repeated frames are answered from memory without running a kernel, and
@@ -95,6 +96,7 @@ func main() {
 	slo := flag.Duration("slo", 0, "latency SLO; slower executions count as breaker failures (0 = none)")
 	cacheBytes := flag.Int64("cache-bytes", 32<<20, "result-cache byte budget (0 = cache disabled)")
 	cacheTTL := flag.Duration("cache-ttl", time.Minute, "result-cache entry lifetime (0 = until evicted)")
+	negTTL := flag.Duration("neg-ttl", 0, "quarantine window for content that crashed or hung the backend in isolation; repeats are refused with HTTP 422 for this long (0 = off; needs -cache-bytes > 0)")
 	coalesce := flag.Bool("coalesce", true, "collapse concurrent duplicate requests into one execution")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address with mutex/block profiling (empty = off)")
 	flag.Parse()
@@ -164,6 +166,7 @@ func main() {
 		LatencySLO:        *slo,
 		CacheBytes:        *cacheBytes,
 		CacheTTL:          *cacheTTL,
+		NegativeTTL:       *negTTL,
 		Coalesce:          *coalesce,
 	}
 	backend := pipe.ServeBackend()
@@ -380,6 +383,11 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, serve.ErrBadShape):
 		return http.StatusBadRequest
+	case errors.Is(err, serve.ErrQuarantined):
+		// The content itself recently crashed or hung the backend; the
+		// request is well-formed but unprocessable, and retrying it anywhere
+		// would reproduce the fault.
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, serve.ErrQueueFull):
 		return http.StatusTooManyRequests
 	case errors.Is(err, serve.ErrShuttingDown), errors.Is(err, serve.ErrBreakerOpen):

@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"itask/internal/tensor"
+)
+
+// This file is the package's workload side: deterministic request streams
+// for load tests and benchmarks. Real detection traffic is zipf-skewed — a
+// handful of viral frames dominate while a long tail appears once — and a
+// serving stack whose benches only exercise uniform or fixed-duplicate
+// streams never sees the contention that skew creates (one cache shard, one
+// singleflight entry, one gateway shard absorbing a fifth of all traffic).
+// ZipfImages + ZipfStream make skewed workloads a one-liner in any bench.
+
+// ZipfImages builds a deterministic universe of n distinct (c,h,w) images.
+// Index i's content is a pure function of i, so every caller — concurrent
+// bench goroutines, separate processes, reruns — sees byte-identical images
+// and therefore identical content digests. Rank 0 is the hottest frame under
+// a ZipfStream over the same n.
+func ZipfImages(n, c, h, w int) []*tensor.Tensor {
+	imgs := make([]*tensor.Tensor, n)
+	for i := range imgs {
+		img := tensor.New(c, h, w)
+		// Mix the index into every pixel so images are far apart in content
+		// space (no two differ by only a digest-colliding perturbation).
+		z := uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+		for j := range img.Data {
+			z ^= z >> 12
+			z ^= z << 25
+			z ^= z >> 27
+			img.Data[j] = float32(z%4096)/256 - 8
+		}
+		imgs[i] = img
+	}
+	return imgs
+}
+
+// ZipfStream is a seeded zipf(s) sampler of ranks in [0, n): Next returns
+// rank r with probability proportional to 1/(r+1)^s. Not safe for concurrent
+// use — give each client goroutine its own stream (distinct seeds) over one
+// shared ZipfImages universe.
+type ZipfStream struct {
+	z *rand.Zipf
+}
+
+// NewZipfStream builds a stream over n ranks with skew s (> 1; the paper-
+// adjacent default for web-like traffic is 1.1). Panics on invalid s or n,
+// matching math/rand.NewZipf.
+func NewZipfStream(seed uint64, s float64, n int) *ZipfStream {
+	r := rand.New(rand.NewSource(int64(seed)))
+	return &ZipfStream{z: rand.NewZipf(r, s, 1, uint64(n-1))}
+}
+
+// Next returns the stream's next rank in [0, n).
+func (s *ZipfStream) Next() int { return int(s.z.Uint64()) }

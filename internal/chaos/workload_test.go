@@ -1,0 +1,48 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"itask/internal/chaos"
+	"itask/internal/rcache"
+)
+
+// The workload generator must be deterministic (same universe and same rank
+// stream on every run, so benches are comparable) and genuinely skewed (rank
+// 0 dominates under zipf(1.1), so hot-key machinery actually engages).
+func TestZipfWorkloadDeterministicAndSkewed(t *testing.T) {
+	a := chaos.ZipfImages(64, 3, 8, 8)
+	b := chaos.ZipfImages(64, 3, 8, 8)
+	digests := make(map[uint64]int, len(a))
+	for i := range a {
+		da, db := rcache.DigestImage(a[i]), rcache.DigestImage(b[i])
+		if da != db {
+			t.Fatalf("universe not deterministic at rank %d", i)
+		}
+		if prev, dup := digests[da]; dup {
+			t.Fatalf("ranks %d and %d collide on digest", prev, i)
+		}
+		digests[da] = i
+	}
+
+	s1 := chaos.NewZipfStream(7, 1.1, 64)
+	s2 := chaos.NewZipfStream(7, 1.1, 64)
+	counts := make([]int, 64)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		r := s1.Next()
+		if r2 := s2.Next(); r2 != r {
+			t.Fatalf("streams with equal seeds diverged at draw %d: %d vs %d", i, r, r2)
+		}
+		if r < 0 || r >= 64 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	if counts[0] < draws/10 {
+		t.Fatalf("rank 0 drew %d/%d — distribution not head-heavy", counts[0], draws)
+	}
+	if counts[0] <= counts[32] {
+		t.Fatalf("rank 0 (%d) not hotter than rank 32 (%d)", counts[0], counts[32])
+	}
+}

@@ -1,0 +1,398 @@
+package gateway_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"itask/internal/gateway"
+	"itask/internal/serve"
+	"itask/internal/tensor"
+)
+
+// img builds a small deterministic image with a content digest unique to i.
+func img(i int) *tensor.Tensor {
+	t := tensor.New(3, 8, 8)
+	for j := range t.Data {
+		t.Data[j] = float32(i*31+j) * 0.5
+	}
+	return t
+}
+
+// fakeCluster is shared bookkeeping across a fleet of fakeNodes, used to
+// assert the two-phase barrier: how many members had staged a change at the
+// moment any member committed it.
+type fakeCluster struct {
+	staged  atomic.Int32
+	aborted atomic.Int32
+}
+
+// fakeNode is an in-memory shard implementing every gateway node interface:
+// detection (attributing results to its current model version), probing,
+// route epochs, and two-phase registry changes.
+type fakeNode struct {
+	id string
+	cl *fakeCluster
+
+	stageDelay time.Duration
+	stageErr   error
+	commitErr  error
+
+	mu        sync.Mutex
+	down      bool
+	gate      chan struct{} // non-nil: Detect blocks on it (holds in-flight)
+	version   string
+	epoch     uint64
+	staged    map[string]bool
+	commitSaw []int32 // cl.staged at each commit — the barrier evidence
+	served    int
+}
+
+func newFakeNode(id string, cl *fakeCluster) *fakeNode {
+	return &fakeNode{id: id, cl: cl, version: "v1", epoch: 1, staged: map[string]bool{}}
+}
+
+func (n *fakeNode) ID() string { return n.id }
+
+func (n *fakeNode) Detect(_ context.Context, _ serve.Request) (serve.Result, error) {
+	n.mu.Lock()
+	down, gate := n.down, n.gate
+	n.mu.Unlock()
+	if down {
+		return serve.Result{}, &gateway.NodeError{Class: gateway.ClassNodeDown, Err: errors.New("connection refused")}
+	}
+	if gate != nil {
+		<-gate
+	}
+	n.mu.Lock()
+	n.served++
+	res := serve.Result{Model: n.version, BatchSize: 1}
+	n.mu.Unlock()
+	return res, nil
+}
+
+func (n *fakeNode) setDown(d bool) {
+	n.mu.Lock()
+	n.down = d
+	n.mu.Unlock()
+}
+
+func (n *fakeNode) Probe(context.Context) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return errors.New("probe: connection refused")
+	}
+	return nil
+}
+
+func (n *fakeNode) RouteEpoch(context.Context) (uint64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch, nil
+}
+
+func (n *fakeNode) setEpochAndVersion(ep uint64, v string) {
+	n.mu.Lock()
+	n.epoch, n.version = ep, v
+	n.mu.Unlock()
+}
+
+func (n *fakeNode) StageChange(_ context.Context, c gateway.Change) error {
+	if n.stageDelay > 0 {
+		time.Sleep(n.stageDelay)
+	}
+	if n.stageErr != nil {
+		return n.stageErr
+	}
+	n.mu.Lock()
+	n.staged[c.Fingerprint()] = true
+	n.mu.Unlock()
+	n.cl.staged.Add(1)
+	return nil
+}
+
+func (n *fakeNode) CommitChange(_ context.Context, c gateway.Change) (uint64, error) {
+	if n.commitErr != nil {
+		return 0, n.commitErr
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.staged[c.Fingerprint()] {
+		return 0, errors.New("commit of unstaged change")
+	}
+	delete(n.staged, c.Fingerprint())
+	n.version = c.Payload.(string)
+	n.epoch++
+	n.commitSaw = append(n.commitSaw, n.cl.staged.Load())
+	return n.epoch, nil
+}
+
+func (n *fakeNode) AbortChange(_ context.Context, c gateway.Change) error {
+	n.mu.Lock()
+	delete(n.staged, c.Fingerprint())
+	n.mu.Unlock()
+	n.cl.aborted.Add(1)
+	return nil
+}
+
+func (n *fakeNode) currentVersion() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.version
+}
+
+// passiveConfig is a gateway with health and failover on but the background
+// prober off, so tests control time.
+func passiveConfig() gateway.Config {
+	return gateway.Config{
+		VirtualNodes:  64,
+		MaxRetries:    1,
+		FailThreshold: 1,
+		EjectFor:      time.Minute,
+	}
+}
+
+func newTestGateway(t *testing.T, cfg gateway.Config, nodes ...gateway.Node) *gateway.Gateway {
+	t.Helper()
+	g, err := gateway.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	for _, n := range nodes {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// The tentpole E2E property: with N=3 shards under concurrent traffic, one
+// shard dying mid-run costs healthy keys nothing — its keys rehash to ring
+// successors, requests caught mid-death fail over, and not one client
+// request fails. Keys owned by the surviving shards never move.
+func TestClusterRehashOnNodeDeath(t *testing.T) {
+	cl := &fakeCluster{}
+	a, b, c := newFakeNode("shard-a", cl), newFakeNode("shard-b", cl), newFakeNode("shard-c", cl)
+	g := newTestGateway(t, passiveConfig(), a, b, c)
+
+	imgs := make([]*tensor.Tensor, 240)
+	for i := range imgs {
+		imgs[i] = img(i)
+	}
+	ctx := context.Background()
+
+	// Baseline owner of every key across the healthy fleet.
+	ownerBefore := make([]string, len(imgs))
+	perNode := map[string]int{}
+	for i, im := range imgs {
+		res, err := g.Detect(ctx, serve.Request{Task: "patrol", Image: im})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownerBefore[i] = res.Node
+		perNode[res.Node]++
+	}
+	if len(perNode) != 3 {
+		t.Fatalf("keys landed on %d shards, want 3: %v", len(perNode), perNode)
+	}
+
+	// Concurrent storm; shard-b dies mid-run.
+	var (
+		failures atomic.Int64
+		firstErr atomic.Value
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := g.Detect(ctx, serve.Request{Task: "patrol", Image: imgs[(i*4+w)%len(imgs)]}); err != nil {
+					failures.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(10 * time.Millisecond)
+	b.setDown(true)
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d requests failed across the node death (first: %v)", n, firstErr.Load())
+	}
+
+	// After the death: shard-b's keys rehash to survivors, everyone else's
+	// owner is untouched.
+	for i, im := range imgs {
+		res, err := g.Detect(ctx, serve.Request{Task: "patrol", Image: im})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ownerBefore[i] == "shard-b" {
+			if res.Node == "shard-b" {
+				t.Fatalf("key %d still routed to the dead shard", i)
+			}
+		} else if res.Node != ownerBefore[i] {
+			t.Fatalf("healthy key %d moved %s -> %s on an unrelated death", i, ownerBefore[i], res.Node)
+		}
+	}
+	snap := g.Snapshot()
+	if snap.Ejections == 0 {
+		t.Fatal("dead shard was never ejected")
+	}
+	if snap.Retries == 0 {
+		t.Fatal("no request fail-over was recorded despite a mid-run death")
+	}
+	if snap.Failed != 0 {
+		t.Fatalf("gateway recorded %d exhausted requests", snap.Failed)
+	}
+}
+
+// A zipf-hot digest crosses HotThreshold and spreads over HotReplicas
+// shards; when one replica dies, the digest stays routable with zero failed
+// requests (the replica set re-forms over the survivors).
+func TestHotKeyReplicationSurvivesEjection(t *testing.T) {
+	cl := &fakeCluster{}
+	a, b, c := newFakeNode("shard-a", cl), newFakeNode("shard-b", cl), newFakeNode("shard-c", cl)
+	cfg := passiveConfig()
+	cfg.HotThreshold = 8
+	cfg.HotReplicas = 2
+	g := newTestGateway(t, cfg, a, b, c)
+
+	hot := img(7)
+	ctx := context.Background()
+	counts := map[string]int{}
+	for i := 0; i < 120; i++ {
+		res, err := g.Detect(ctx, serve.Request{Task: "patrol", Image: hot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[res.Node]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("hot digest served by %d shards, want exactly its 2 replicas: %v", len(counts), counts)
+	}
+	for id, n := range counts {
+		if n < 30 {
+			t.Fatalf("replica %s served only %d/120 — p2c is not spreading: %v", id, n, counts)
+		}
+	}
+	if snap := g.Snapshot(); snap.HotRouted < 100 {
+		t.Fatalf("HotRouted = %d, want >= 100", snap.HotRouted)
+	}
+
+	// Kill one replica: the hot key must stay routable with no failures.
+	var victim *fakeNode
+	for _, n := range []*fakeNode{a, b, c} {
+		if _, isReplica := counts[n.id]; isReplica {
+			victim = n
+			break
+		}
+	}
+	victim.setDown(true)
+	after := map[string]int{}
+	for i := 0; i < 60; i++ {
+		res, err := g.Detect(ctx, serve.Request{Task: "patrol", Image: hot})
+		if err != nil {
+			t.Fatalf("hot request %d failed after replica ejection: %v", i, err)
+		}
+		after[res.Node]++
+	}
+	if after[victim.id] != 0 {
+		t.Fatalf("ejected replica %s still served %d hot requests", victim.id, after[victim.id])
+	}
+	if len(after) == 0 {
+		t.Fatal("hot digest unroutable after replica ejection")
+	}
+}
+
+// Requests without a digestable image route by task key: one task's
+// undigestable traffic stays on one shard (batch-lane locality), and the
+// gateway counts the fallback.
+func TestTaskKeyFallback(t *testing.T) {
+	cl := &fakeCluster{}
+	g := newTestGateway(t, passiveConfig(),
+		newFakeNode("shard-a", cl), newFakeNode("shard-b", cl), newFakeNode("shard-c", cl))
+	ctx := context.Background()
+	for _, task := range []string{"patrol", "inspect", "survey", "count"} {
+		first := ""
+		for i := 0; i < 8; i++ {
+			res, err := g.Detect(ctx, serve.Request{Task: task})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first == "" {
+				first = res.Node
+			} else if res.Node != first {
+				t.Fatalf("task %q flapped shards %s -> %s", task, first, res.Node)
+			}
+		}
+	}
+	if snap := g.Snapshot(); snap.TaskRouted != 32 {
+		t.Fatalf("TaskRouted = %d, want 32", snap.TaskRouted)
+	}
+}
+
+// Bounded load: concurrent arrivals for one (cold) key spill past the
+// saturated owner to ring successors instead of queueing behind it.
+func TestBoundedLoadSpill(t *testing.T) {
+	cl := &fakeCluster{}
+	a, b, c := newFakeNode("shard-a", cl), newFakeNode("shard-b", cl), newFakeNode("shard-c", cl)
+	cfg := passiveConfig()
+	cfg.LoadFactor = 1.25
+	g := newTestGateway(t, cfg, a, b, c)
+	ctx := context.Background()
+
+	key := img(99)
+	res, err := g.Detect(ctx, serve.Request{Task: "patrol", Image: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := map[string]*fakeNode{"shard-a": a, "shard-b": b, "shard-c": c}[res.Node]
+
+	// Saturate the owner: its next request blocks holding in-flight load.
+	gate := make(chan struct{})
+	owner.mu.Lock()
+	owner.gate = gate
+	owner.mu.Unlock()
+
+	done := make(chan string, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			r, err := g.Detect(ctx, serve.Request{Task: "patrol", Image: key})
+			if err != nil {
+				done <- "error"
+				return
+			}
+			done <- r.Node
+		}()
+		time.Sleep(2 * time.Millisecond) // let each arrival observe the last one's load
+	}
+	close(gate)
+	served := map[string]int{}
+	for i := 0; i < 4; i++ {
+		served[<-done]++
+	}
+	if served["error"] != 0 {
+		t.Fatalf("spilled requests failed: %v", served)
+	}
+	if len(served) < 2 {
+		t.Fatalf("all concurrent arrivals queued on the saturated owner: %v", served)
+	}
+	if snap := g.Snapshot(); snap.Spills == 0 {
+		t.Fatal("no bounded-load spill recorded")
+	}
+}

@@ -1,0 +1,271 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// epoch.go: cluster-wide registry-change propagation. Each shard carries
+// its own versioned model registry; the registry snapshot sequence is the
+// shard's route epoch. A publish applied shard-by-shard would leave a
+// window where shard A serves model v2 while shard B still serves v1 —
+// clients behind the gateway would see version flapping keyed by which
+// shard their frame hashes to. Propagate closes that window:
+//
+//   - Two-phase (preferred, ChangeStager): every member stages the change
+//     (validates and holds it without activating); only when ALL stages
+//     succeed does the gateway commit, and a failed stage aborts the whole
+//     change everywhere. No shard activates a version any shard could not
+//     take, so the first new-version response implies cluster-wide
+//     readiness.
+//   - Single-phase fallback (ChangeApplier): the change is applied on all
+//     members concurrently and Propagate then barrier-polls each member's
+//     route epoch until the whole fleet has reached the change's epoch (or
+//     ctx expires). The flap window exists but is bounded and observable.
+//
+// Either way Propagate advances the gateway's committed epoch — the fleet
+// highwater the prober compares members against. A member later observed
+// below it (it rebooted with stale models, it missed a commit) is marked
+// lagging and excluded from routing until it catches up, so staleness is a
+// routing condition, not a silent wrong answer.
+
+// Registry-change operations.
+const (
+	// OpPublish activates a new model version. Payload carries the
+	// node-understood artifact (for ServeNode, a registry.Artifact).
+	OpPublish = "publish"
+	// OpDemote quarantines the version named by Target ("name@vN#sum" or
+	// "name@vN"), rolling the series back to its last healthy version.
+	OpDemote = "demote"
+	// OpRollback reverts the series named by Target to its previous
+	// version.
+	OpRollback = "rollback"
+)
+
+// Change is one registry mutation to drive across every shard.
+type Change struct {
+	// Op is one of OpPublish, OpDemote, OpRollback.
+	Op string
+	// Target identifies the artifact (demote) or series (rollback).
+	Target string
+	// Payload is the op-specific body (publish: the artifact to publish).
+	Payload any
+}
+
+// Fingerprint keys a change for stage/commit matching on a node.
+func (c Change) Fingerprint() string {
+	return fmt.Sprintf("%s|%s|%T", c.Op, c.Target, c.Payload)
+}
+
+// ChangeStager is implemented by nodes that support two-phase change
+// application. StageChange validates and holds the change without altering
+// routing; CommitChange activates a staged change and returns the node's
+// resulting route epoch; AbortChange discards a staged change.
+type ChangeStager interface {
+	StageChange(ctx context.Context, c Change) error
+	CommitChange(ctx context.Context, c Change) (uint64, error)
+	AbortChange(ctx context.Context, c Change) error
+}
+
+// ChangeApplier is implemented by nodes that can only apply a change in one
+// step, returning the node's resulting route epoch. Propagate falls back to
+// apply-then-barrier for fleets with at least one such node.
+type ChangeApplier interface {
+	ApplyChange(ctx context.Context, c Change) (uint64, error)
+}
+
+// Propagate drives one registry change across every current member and
+// returns the cluster's new committed epoch. With an all-ChangeStager fleet
+// the change is atomic: either every member commits it or no member
+// activates it. Otherwise it is applied per-member and Propagate blocks on
+// an epoch barrier until the fleet converges (bounded by ctx).
+func (g *Gateway) Propagate(ctx context.Context, c Change) (uint64, error) {
+	rs := g.ring.Load()
+	if len(rs.members) == 0 {
+		return 0, ErrNoNodes
+	}
+	allStage := true
+	for _, m := range rs.members {
+		switch m.node.(type) {
+		case ChangeStager:
+		case ChangeApplier:
+			allStage = false
+		default:
+			return 0, fmt.Errorf("%w: %s", ErrUnsupportedChange, m.id)
+		}
+	}
+	var (
+		epoch uint64
+		err   error
+	)
+	if allStage {
+		epoch, err = g.propagateTwoPhase(ctx, rs.members, c)
+	} else {
+		epoch, err = g.propagateWithBarrier(ctx, rs.members, c)
+	}
+	if epoch > 0 {
+		g.advanceEpoch(epoch)
+		g.m.inc(epoch, cPropagates)
+	}
+	return epoch, err
+}
+
+// propagateTwoPhase stages everywhere, then commits everywhere. The commit
+// point is the moment the last stage succeeds: before it the change can be
+// (and on any stage failure, is) aborted with no routing effect anywhere.
+func (g *Gateway) propagateTwoPhase(ctx context.Context, members []*member, c Change) (uint64, error) {
+	staged := make([]bool, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			if err := m.node.(ChangeStager).StageChange(ctx, c); err != nil {
+				errs[i] = fmt.Errorf("stage on %s: %w", m.id, err)
+			} else {
+				staged[i] = true
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	if err := firstErr(errs); err != nil {
+		// Abort the members that did stage; the fleet keeps its old routing.
+		for i, m := range members {
+			if staged[i] {
+				_ = m.node.(ChangeStager).AbortChange(ctx, c)
+			}
+		}
+		return 0, err
+	}
+
+	// Commit point passed: activate everywhere. A member that fails to
+	// commit now is out of sync with a change the fleet has accepted — it is
+	// marked lagging (skipped by routing) until the prober sees it catch up.
+	epochs := make([]uint64, len(members))
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			ep, err := m.node.(ChangeStager).CommitChange(ctx, c)
+			if err != nil {
+				errs[i] = fmt.Errorf("commit on %s: %w", m.id, err)
+				return
+			}
+			epochs[i] = ep
+		}(i, m)
+	}
+	wg.Wait()
+	var max uint64
+	for _, ep := range epochs {
+		if ep > max {
+			max = ep
+		}
+	}
+	var failed []string
+	for i, m := range members {
+		if errs[i] != nil {
+			failed = append(failed, m.id)
+			m.lagging.Store(true)
+			g.m.inc(uint64(i), cEpochDrift)
+		} else {
+			m.epoch.Store(epochs[i])
+		}
+	}
+	if len(failed) > 0 {
+		return max, fmt.Errorf("%w (lagging: %s): %v", ErrPartialCommit, strings.Join(failed, ","), firstErr(errs))
+	}
+	return max, nil
+}
+
+// propagateWithBarrier applies the change on every member concurrently,
+// then polls route epochs until the fleet reaches the change's epoch.
+func (g *Gateway) propagateWithBarrier(ctx context.Context, members []*member, c Change) (uint64, error) {
+	epochs := make([]uint64, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			var (
+				ep  uint64
+				err error
+			)
+			switch n := m.node.(type) {
+			case ChangeApplier:
+				ep, err = n.ApplyChange(ctx, c)
+			case ChangeStager:
+				// Degenerate two-phase on a mixed fleet: stage+commit
+				// back-to-back per member.
+				if err = n.StageChange(ctx, c); err == nil {
+					ep, err = n.CommitChange(ctx, c)
+				}
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("apply on %s: %w", m.id, err)
+				return
+			}
+			epochs[i] = ep
+		}(i, m)
+	}
+	wg.Wait()
+	var max uint64
+	for _, ep := range epochs {
+		if ep > max {
+			max = ep
+		}
+	}
+	if err := firstErr(errs); err != nil {
+		return max, err
+	}
+
+	// Barrier: wait until every member observably routes at the new epoch.
+	t := time.NewTicker(g.cfg.BarrierPoll)
+	defer t.Stop()
+	for {
+		converged := true
+		for _, m := range members {
+			en, ok := m.node.(EpochNode)
+			if !ok {
+				continue // no observable epoch; trust the apply
+			}
+			ep, err := en.RouteEpoch(ctx)
+			if err != nil || ep < max {
+				converged = false
+				break
+			}
+			m.epoch.Store(ep)
+		}
+		if converged {
+			return max, nil
+		}
+		select {
+		case <-ctx.Done():
+			return max, fmt.Errorf("gateway: epoch barrier: %w", ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// advanceEpoch raises the committed epoch monotonically.
+func (g *Gateway) advanceEpoch(ep uint64) {
+	for {
+		cur := g.committedEpoch.Load()
+		if ep <= cur || g.committedEpoch.CompareAndSwap(cur, ep) {
+			return
+		}
+	}
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package gateway_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"itask/internal/gateway"
+	"itask/internal/serve"
+)
+
+// The publish barrier: with one shard staging slowly, no shard may activate
+// the new version until every shard has staged it. The fakeNode records the
+// cluster-wide staged count at each commit — all three must read 3.
+func TestPublishTwoPhaseBarrier(t *testing.T) {
+	cl := &fakeCluster{}
+	a, b, c := newFakeNode("shard-a", cl), newFakeNode("shard-b", cl), newFakeNode("shard-c", cl)
+	c.stageDelay = 25 * time.Millisecond
+	g := newTestGateway(t, passiveConfig(), a, b, c)
+	ctx := context.Background()
+
+	// Traffic keeps flowing during the propagation; any v2 answer before
+	// the commit point would be a barrier violation (the version only flips
+	// in CommitChange, which asserts the staged count below).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := g.Detect(ctx, serve.Request{Task: "patrol", Image: img(i % 20)}); err != nil {
+				t.Errorf("detect during propagation: %v", err)
+				return
+			}
+		}
+	}()
+
+	ep, err := g.Propagate(ctx, gateway.Change{Op: gateway.OpPublish, Payload: "v2"})
+	if err != nil {
+		t.Fatalf("Propagate: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if ep != 2 {
+		t.Fatalf("committed epoch = %d, want 2", ep)
+	}
+	if g.CommittedEpoch() != ep {
+		t.Fatalf("CommittedEpoch() = %d, want %d", g.CommittedEpoch(), ep)
+	}
+	for _, n := range []*fakeNode{a, b, c} {
+		if v := n.currentVersion(); v != "v2" {
+			t.Fatalf("%s still serves %s after propagation", n.id, v)
+		}
+		n.mu.Lock()
+		saw := append([]int32(nil), n.commitSaw...)
+		n.mu.Unlock()
+		if len(saw) != 1 || saw[0] != 3 {
+			t.Fatalf("%s committed with cluster staged counts %v, want [3] — a shard activated before the fleet staged", n.id, saw)
+		}
+	}
+	if snap := g.Snapshot(); snap.Propagates != 1 || snap.CommittedEpoch != ep {
+		t.Fatalf("snapshot propagation state = {%d %d}, want {1 %d}", snap.Propagates, snap.CommittedEpoch, ep)
+	}
+}
+
+// A failed stage aborts the change fleet-wide: the members that staged are
+// rolled back, nobody activates, and routing is untouched.
+func TestPublishStageFailureAborts(t *testing.T) {
+	cl := &fakeCluster{}
+	a, b, c := newFakeNode("shard-a", cl), newFakeNode("shard-b", cl), newFakeNode("shard-c", cl)
+	b.stageErr = errors.New("checksum mismatch")
+	g := newTestGateway(t, passiveConfig(), a, b, c)
+	ctx := context.Background()
+
+	if _, err := g.Propagate(ctx, gateway.Change{Op: gateway.OpPublish, Payload: "v2"}); err == nil {
+		t.Fatal("Propagate succeeded past a failed stage")
+	}
+	if got := cl.aborted.Load(); got != 2 {
+		t.Fatalf("%d staged members aborted, want 2", got)
+	}
+	for _, n := range []*fakeNode{a, b, c} {
+		if v := n.currentVersion(); v != "v1" {
+			t.Fatalf("%s activated %s despite the aborted publish", n.id, v)
+		}
+	}
+	if g.CommittedEpoch() != 0 {
+		t.Fatalf("CommittedEpoch advanced to %d on an aborted change", g.CommittedEpoch())
+	}
+	// Traffic still serves v1 everywhere.
+	res, err := g.Detect(ctx, serve.Request{Task: "patrol", Image: img(3)})
+	if err != nil || res.Model != "v1" {
+		t.Fatalf("post-abort detect = {%v %v}, want v1", res.Model, err)
+	}
+}
+
+// A member that fails its commit after the commit point is marked lagging
+// and excluded from routing — clients never read the old version from it —
+// then rejoins once the prober observes it at the committed epoch.
+func TestPartialCommitMarksLaggingAndRecovers(t *testing.T) {
+	cl := &fakeCluster{}
+	a, b, c := newFakeNode("shard-a", cl), newFakeNode("shard-b", cl), newFakeNode("shard-c", cl)
+	b.commitErr = errors.New("registry wedged")
+	cfg := passiveConfig()
+	cfg.ProbeInterval = 5 * time.Millisecond
+	cfg.ProbeTimeout = 100 * time.Millisecond
+	g := newTestGateway(t, cfg, a, b, c)
+	ctx := context.Background()
+
+	ep, err := g.Propagate(ctx, gateway.Change{Op: gateway.OpPublish, Payload: "v2"})
+	if !errors.Is(err, gateway.ErrPartialCommit) {
+		t.Fatalf("Propagate err = %v, want ErrPartialCommit", err)
+	}
+	if ep != 2 || g.CommittedEpoch() != 2 {
+		t.Fatalf("committed epoch = %d/%d, want 2", ep, g.CommittedEpoch())
+	}
+
+	// The lagging member must not serve: every key routes to a or c, and
+	// every answer is the committed version.
+	for i := 0; i < 120; i++ {
+		res, err := g.Detect(ctx, serve.Request{Task: "patrol", Image: img(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Node == "shard-b" {
+			t.Fatal("lagging shard-b served a request")
+		}
+		if res.Model != "v2" {
+			t.Fatalf("stale version %s served after commit", res.Model)
+		}
+	}
+	found := false
+	for _, ns := range g.Snapshot().Nodes {
+		if ns.ID == "shard-b" {
+			found = true
+			if !ns.Lagging {
+				t.Fatal("shard-b not marked lagging in snapshot")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("shard-b missing from snapshot")
+	}
+
+	// The wedged shard recovers (catches up to the committed epoch); the
+	// prober notices and routing readmits it.
+	b.commitErr = nil
+	b.setEpochAndVersion(ep, "v2")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		lagging := false
+		for _, ns := range g.Snapshot().Nodes {
+			if ns.ID == "shard-b" {
+				lagging = ns.Lagging
+			}
+		}
+		if !lagging {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shard-b still lagging after catching up to the committed epoch")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// applyNode supports only single-phase application, with an activation
+// delay between ApplyChange and the new epoch becoming visible — the shape
+// of a backend whose reload is asynchronous. Propagate must fall back to
+// apply + epoch barrier and not return until the whole fleet observably
+// routes at the new epoch.
+type applyNode struct {
+	id    string
+	delay time.Duration
+
+	mu        sync.Mutex
+	epoch     uint64
+	target    uint64
+	visibleAt time.Time
+}
+
+func (n *applyNode) ID() string { return n.id }
+
+func (n *applyNode) ApplyChange(_ context.Context, _ gateway.Change) (uint64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.target = n.epoch + 1
+	n.visibleAt = time.Now().Add(n.delay)
+	return n.target, nil
+}
+
+func (n *applyNode) RouteEpoch(context.Context) (uint64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.target > n.epoch && time.Now().After(n.visibleAt) {
+		n.epoch = n.target
+	}
+	return n.epoch, nil
+}
+
+func TestApplyBarrierFallback(t *testing.T) {
+	nodes := []*applyNode{
+		{id: "shard-a", epoch: 1},
+		{id: "shard-b", epoch: 1, delay: 30 * time.Millisecond},
+		{id: "shard-c", epoch: 1},
+	}
+	cfg := passiveConfig()
+	cfg.BarrierPoll = time.Millisecond
+	g := newTestGateway(t, cfg, nodes[0], nodes[1], nodes[2])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	ep, err := g.Propagate(ctx, gateway.Change{Op: gateway.OpRollback, Target: "patrol-student"})
+	if err != nil {
+		t.Fatalf("Propagate: %v", err)
+	}
+	if ep != 2 {
+		t.Fatalf("epoch = %d, want 2", ep)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("Propagate returned in %v — before shard-b's epoch became visible", elapsed)
+	}
+	for _, n := range nodes {
+		got, _ := n.RouteEpoch(ctx)
+		if got != ep {
+			t.Fatalf("%s at epoch %d after barrier, want %d", n.id, got, ep)
+		}
+	}
+	if g.CommittedEpoch() != ep {
+		t.Fatalf("CommittedEpoch() = %d, want %d", g.CommittedEpoch(), ep)
+	}
+}
+
+// A fleet with a node that supports neither protocol refuses the change
+// up front rather than half-applying it.
+func TestPropagateUnsupportedNode(t *testing.T) {
+	cl := &fakeCluster{}
+	g := newTestGateway(t, passiveConfig(), newFakeNode("shard-a", cl), bareNode("shard-x"))
+	_, err := g.Propagate(context.Background(), gateway.Change{Op: gateway.OpPublish, Payload: "v2"})
+	if !errors.Is(err, gateway.ErrUnsupportedChange) {
+		t.Fatalf("err = %v, want ErrUnsupportedChange", err)
+	}
+}
+
+type bareNode string
+
+func (n bareNode) ID() string { return string(n) }

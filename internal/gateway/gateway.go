@@ -1,0 +1,586 @@
+// Package gateway is iTask's distributed serve tier: a front door that
+// consistent-hashes detection requests by content digest across a fleet of
+// itask-serve backends, so each frame's result-cache entry lives on exactly
+// one shard and the fleet's aggregate cache behaves like one large cache
+// instead of N overlapping small ones.
+//
+// The design is four cooperating layers:
+//
+//   - Placement (ring.go): a consistent-hash ring with virtual nodes.
+//     Requests route by the rcache content digest of their image (requests
+//     without a digestable image fall back to a task key, keeping a task's
+//     traffic on one shard's batch lanes). Node join/leave remaps only
+//     ~K/N keys. With LoadFactor > 0 the ring is bounded-load: an owner
+//     already carrying more than LoadFactor times the fleet-average
+//     in-flight work spills the request to its successor instead of
+//     queueing behind the herd.
+//   - Hot keys (hotkey.go): per-digest arrival counting detects zipf-hot
+//     content; a hot digest is served by its HotReplicas ring successors
+//     with power-of-two-choices balancing between them, so one viral frame
+//     engages several shards' capacity instead of saturating its owner
+//     (each replica answers from its own result cache after one miss).
+//   - Health (health.go): active probes plus passive failure accounting
+//     eject an unreachable member; its keys rehash to successors and a
+//     request caught mid-death retries once on the successor, so a node
+//     death costs healthy traffic nothing. Ejected members keep being
+//     probed and rejoin when they recover.
+//   - Epochs (epoch.go): registry changes (publish / demote / rollback)
+//     propagate through the gateway with a two-phase stage/commit barrier:
+//     no shard activates a new version until every shard has staged it, so
+//     clients never observe version flapping across shards. Members whose
+//     route epoch falls behind the cluster's committed epoch are marked
+//     lagging and skipped by routing until they catch up.
+//
+// The package is transport-agnostic: a Node is any handle with an ID, and
+// the request path works through Execute's callback, so in-process fleets
+// (ServeNode over serve.Server) and HTTP fleets (cmd/itask-gateway) share
+// all routing, health, and epoch machinery.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"itask/internal/rcache"
+	"itask/internal/serve"
+)
+
+// Node is one backend shard as the gateway sees it. ID must be stable and
+// unique across the fleet — it determines the member's ring placement, so
+// every gateway instance with the same member set routes identically.
+type Node interface {
+	ID() string
+}
+
+// DetectNode is implemented by nodes that execute detection requests
+// directly (in-process fleets). Gateway.Detect requires it; HTTP fleets
+// that forward opaque bodies use Execute instead.
+type DetectNode interface {
+	Node
+	Detect(ctx context.Context, req serve.Request) (serve.Result, error)
+}
+
+// ProbeNode is optionally implemented by nodes that support an active
+// liveness probe. A probe error counts toward ejection exactly like a
+// request failure; a probe success clears failure accounting and lifts an
+// ejection early.
+type ProbeNode interface {
+	Probe(ctx context.Context) error
+}
+
+// EpochNode is optionally implemented by nodes that expose their routing
+// epoch (for the pipeline backend, the registry snapshot sequence). The
+// prober compares it against the cluster's committed epoch to detect
+// shards serving stale routing, and Propagate's barrier polls it.
+type EpochNode interface {
+	RouteEpoch(ctx context.Context) (uint64, error)
+}
+
+// ErrClass buckets node errors by what the gateway should do about them.
+type ErrClass int
+
+const (
+	// ClassOK: no error.
+	ClassOK ErrClass = iota
+	// ClassRequest: the request's own fault (bad shape, poison content,
+	// missed deadline). The node is healthy; retrying the same content on a
+	// successor would just spread the failure. Returned to the caller.
+	ClassRequest
+	// ClassOverload: the node is saturated (queue full, breaker open). The
+	// request spills to a successor once, but the node is not penalized —
+	// load is not death.
+	ClassOverload
+	// ClassNodeDown: the node is unreachable or draining. The request
+	// retries on a successor and the failure counts toward ejection.
+	ClassNodeDown
+)
+
+// NodeError lets adapters that understand their transport (HTTP status
+// codes, connection errors) pass an explicit class through Execute's
+// callback. Errors not wrapped in NodeError are classified from the serve
+// sentinels by Classify.
+type NodeError struct {
+	Class ErrClass
+	Err   error
+}
+
+func (e *NodeError) Error() string { return e.Err.Error() }
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// Classify buckets an error from a node. Adapters override via NodeError;
+// serve sentinels map per the taxonomy above; unknown errors are treated as
+// the request's own (fail fast, never penalize a node for content).
+func Classify(err error) ErrClass {
+	if err == nil {
+		return ClassOK
+	}
+	var ne *NodeError
+	if errors.As(err, &ne) {
+		return ne.Class
+	}
+	switch {
+	case errors.Is(err, serve.ErrShuttingDown):
+		return ClassNodeDown
+	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrBreakerOpen):
+		return ClassOverload
+	default:
+		return ClassRequest
+	}
+}
+
+// Gateway-level sentinels.
+var (
+	// ErrNoNodes: the ring is empty (or every member is ejected and the
+	// last-resort attempt failed too).
+	ErrNoNodes = errors.New("gateway: no nodes available")
+	// ErrUnsupportedChange: Propagate was asked to apply a registry change
+	// to a node that implements neither ChangeStager nor ChangeApplier.
+	ErrUnsupportedChange = errors.New("gateway: node cannot apply registry changes")
+	// ErrPartialCommit: a two-phase change passed its commit point but some
+	// member failed to commit; those members are marked lagging and skipped
+	// by routing until they catch up.
+	ErrPartialCommit = errors.New("gateway: change committed on a quorum only")
+)
+
+// Config sizes the gateway.
+type Config struct {
+	// VirtualNodes is the number of ring points per member (smooths the
+	// per-member key share).
+	VirtualNodes int
+	// LoadFactor is the bounded-load factor c: an owner carrying more than
+	// c × (fleet-average in-flight + 1) spills to its successor. 0 disables
+	// bounded load; sensible values are 1.1–2.0.
+	LoadFactor float64
+	// HotThreshold is the windowed per-digest arrival count past which a
+	// digest is treated as hot and replicated. 0 disables hot-key handling.
+	HotThreshold int
+	// HotReplicas is how many ring successors serve a hot digest (≥ 2 when
+	// HotThreshold > 0).
+	HotReplicas int
+	// MaxRetries is how many failover attempts a request gets on successor
+	// shards after an overload- or down-class failure.
+	MaxRetries int
+	// FailThreshold is how many consecutive down-class failures eject a
+	// member. 0 disables ejection.
+	FailThreshold int
+	// EjectFor is how long an ejected member is skipped by routing before
+	// passively rejoining (a successful probe rejoins it earlier).
+	EjectFor time.Duration
+	// ProbeInterval is the active health-probe period. 0 disables the
+	// prober (health is then purely passive).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (defaults to ProbeInterval when zero).
+	ProbeTimeout time.Duration
+	// BarrierPoll is the poll period of the epoch barrier used when a
+	// member supports only single-phase change application.
+	BarrierPoll time.Duration
+}
+
+// DefaultConfig returns a gateway sized for a handful of shards: 128 vnodes,
+// bounded load at 1.25, hot keys past 64 windowed arrivals spread over 2
+// replicas, one failover retry, ejection after 3 consecutive failures for
+// 2s, probes every second.
+func DefaultConfig() Config {
+	return Config{
+		VirtualNodes:  128,
+		LoadFactor:    1.25,
+		HotThreshold:  64,
+		HotReplicas:   2,
+		MaxRetries:    1,
+		FailThreshold: 3,
+		EjectFor:      2 * time.Second,
+		ProbeInterval: time.Second,
+		ProbeTimeout:  500 * time.Millisecond,
+		BarrierPoll:   2 * time.Millisecond,
+	}
+}
+
+// Validate rejects configurations that cannot route.
+func (c Config) Validate() error {
+	switch {
+	case c.VirtualNodes <= 0:
+		return fmt.Errorf("gateway: VirtualNodes must be positive, got %d", c.VirtualNodes)
+	case c.LoadFactor != 0 && c.LoadFactor <= 1:
+		return fmt.Errorf("gateway: LoadFactor must be > 1 (or 0 to disable), got %g", c.LoadFactor)
+	case c.HotThreshold < 0:
+		return fmt.Errorf("gateway: negative HotThreshold %d", c.HotThreshold)
+	case c.HotThreshold > 0 && c.HotReplicas < 2:
+		return fmt.Errorf("gateway: HotThreshold %d needs HotReplicas >= 2, got %d", c.HotThreshold, c.HotReplicas)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("gateway: negative MaxRetries %d", c.MaxRetries)
+	case c.FailThreshold < 0:
+		return fmt.Errorf("gateway: negative FailThreshold %d", c.FailThreshold)
+	case c.FailThreshold > 0 && c.EjectFor <= 0:
+		return fmt.Errorf("gateway: FailThreshold %d needs a positive EjectFor, got %v", c.FailThreshold, c.EjectFor)
+	case c.ProbeInterval < 0:
+		return fmt.Errorf("gateway: negative ProbeInterval %v", c.ProbeInterval)
+	case c.BarrierPoll < 0:
+		return fmt.Errorf("gateway: negative BarrierPoll %v", c.BarrierPoll)
+	}
+	return nil
+}
+
+// Gateway routes requests across the fleet. Create with New; all methods
+// are safe for concurrent use.
+type Gateway struct {
+	cfg Config
+	m   *metrics
+	hot *hotTracker // nil when hot-key handling is off
+
+	// ring is copy-on-write: mu serializes mutations, reads are lock-free.
+	mu   sync.Mutex
+	ring atomic.Pointer[ringState]
+
+	// committedEpoch is the highest epoch Propagate has driven the whole
+	// cluster to; members observed below it are lagging.
+	committedEpoch atomic.Uint64
+
+	// p2cSeq derandomizes power-of-two-choices pair selection: it is cheap,
+	// race-free, and cycles through replica pairs so ties in in-flight load
+	// still spread across the set.
+	p2cSeq atomic.Uint64
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// New validates the configuration and starts the health prober (when
+// ProbeInterval > 0). Nodes join via AddNode.
+func New(cfg Config) (*Gateway, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval
+	}
+	if cfg.BarrierPoll == 0 {
+		cfg.BarrierPoll = 2 * time.Millisecond
+	}
+	g := &Gateway{
+		cfg:  cfg,
+		m:    &metrics{},
+		hot:  newHotTracker(cfg.HotThreshold),
+		stop: make(chan struct{}),
+	}
+	g.ring.Store(buildRing(nil, cfg.VirtualNodes))
+	if cfg.ProbeInterval > 0 {
+		g.done.Add(1)
+		go g.proberLoop()
+	}
+	return g, nil
+}
+
+// Close stops the prober. It does not touch the nodes.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	select {
+	case <-g.stop:
+	default:
+		close(g.stop)
+	}
+	g.mu.Unlock()
+	g.done.Wait()
+}
+
+// AddNode joins a node to the ring. Its share of the key space (~K/N keys)
+// moves to it from the former owners; everything else keeps its owner.
+func (g *Gateway) AddNode(n Node) error {
+	if n == nil || n.ID() == "" {
+		return errors.New("gateway: node must have a non-empty ID")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rs := g.ring.Load()
+	if _, dup := rs.byID[n.ID()]; dup {
+		return fmt.Errorf("gateway: duplicate node id %q", n.ID())
+	}
+	next := append(append([]*member(nil), rs.members...), &member{node: n, id: n.ID()})
+	g.ring.Store(buildRing(next, g.cfg.VirtualNodes))
+	return nil
+}
+
+// RemoveNode leaves a node from the ring; its keys rehash to successors.
+// Reports whether the id was a member.
+func (g *Gateway) RemoveNode(id string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rs := g.ring.Load()
+	if _, ok := rs.byID[id]; !ok {
+		return false
+	}
+	next := make([]*member, 0, len(rs.members)-1)
+	for _, m := range rs.members {
+		if m.id != id {
+			next = append(next, m)
+		}
+	}
+	g.ring.Store(buildRing(next, g.cfg.VirtualNodes))
+	return true
+}
+
+// Nodes returns the current member ids in ring-iteration (sorted) order.
+func (g *Gateway) Nodes() []string {
+	rs := g.ring.Load()
+	ids := make([]string, len(rs.members))
+	for i, m := range rs.members {
+		ids[i] = m.id
+	}
+	return ids
+}
+
+// Key is one request's routing identity: the content digest when the body
+// is digestable, otherwise the task name (so undigestable traffic for one
+// task still lands on one shard's batch lanes).
+type Key struct {
+	Digest    uint64
+	HasDigest bool
+	Task      string
+}
+
+// KeyFor derives the routing key the same way the serve layer derives its
+// result-cache digest, so a frame's gateway shard is exactly the shard
+// whose cache can hold its result.
+func KeyFor(req serve.Request) Key {
+	if req.Image != nil {
+		return Key{Digest: rcache.DigestImage(req.Image), HasDigest: true, Task: req.Task}
+	}
+	return Key{Task: req.Task}
+}
+
+func (k Key) hash() uint64 {
+	if k.HasDigest {
+		return mix64(k.Digest)
+	}
+	return mix64(fnvString(k.Task))
+}
+
+// ExecInfo reports how a request was routed.
+type ExecInfo struct {
+	// Node is the id of the member that produced the final outcome.
+	Node string
+	// Attempts is the total node attempts (1 = no failover).
+	Attempts int
+	// Hot marks a request routed through hot-key replication.
+	Hot bool
+	// Spilled marks a request diverted past its owner by bounded load.
+	Spilled bool
+}
+
+// Execute routes key k to a node and runs do against it, handling hot-key
+// replication, bounded-load spill, failure classification, ejection
+// bookkeeping, and failover retries. It is the transport-agnostic core
+// under Detect and under cmd/itask-gateway's body forwarding.
+func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Context, n Node) error) (ExecInfo, error) {
+	rs := g.ring.Load()
+	info := ExecInfo{}
+	if len(rs.members) == 0 {
+		return info, ErrNoNodes
+	}
+	h := k.hash()
+	if g.hot != nil && k.HasDigest {
+		info.Hot = g.hot.record(k.Digest)
+	}
+
+	// Preference order: the owner and its successors, healthy members
+	// first. If every member is ejected the full order is used anyway —
+	// a possibly-dead node beats certain failure.
+	prefs := rs.successors(h, len(rs.members))
+	now := time.Now().UnixNano()
+	avail := make([]*member, 0, len(prefs))
+	for _, m := range prefs {
+		if m.available(now) {
+			avail = append(avail, m)
+		}
+	}
+	lastResort := len(avail) == 0
+	if lastResort {
+		avail = prefs
+	}
+
+	m := g.choose(avail, &info)
+	tried := make([]*member, 0, 1+g.cfg.MaxRetries)
+	var lastErr error
+	for attempt := 0; attempt <= g.cfg.MaxRetries && m != nil; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return info, err
+		}
+		info.Attempts = attempt + 1
+		info.Node = m.id
+		tried = append(tried, m)
+
+		m.inflight.Add(1)
+		err := do(ctx, m.node)
+		m.inflight.Add(-1)
+
+		switch Classify(err) {
+		case ClassOK:
+			m.consecFails.Store(0)
+			m.served.Add(1)
+			g.m.inc(h, cRouted)
+			if info.Hot {
+				g.m.inc(h, cHotRouted)
+			}
+			if !k.HasDigest {
+				g.m.inc(h, cTaskRouted)
+			}
+			return info, nil
+		case ClassRequest:
+			// The node answered; the request itself is at fault. Do not
+			// spread poison to a successor.
+			m.consecFails.Store(0)
+			g.m.inc(h, cRouted)
+			return info, err
+		case ClassOverload:
+			m.failures.Add(1)
+			lastErr = err
+		case ClassNodeDown:
+			m.failures.Add(1)
+			g.noteDown(m)
+			lastErr = err
+		}
+		// Failover: first untried member in preference order.
+		m = nil
+		for _, cand := range avail {
+			if !containsMember(tried, cand) {
+				m = cand
+				break
+			}
+		}
+		if m != nil && attempt < g.cfg.MaxRetries {
+			g.m.inc(h, cRetries)
+		}
+	}
+	g.m.inc(h, cFailed)
+	if lastErr == nil {
+		lastErr = ErrNoNodes
+	}
+	return info, lastErr
+}
+
+// choose picks the first node to try: power-of-two-choices across the hot
+// replica set for hot keys, bounded-load owner-or-spill otherwise.
+func (g *Gateway) choose(avail []*member, info *ExecInfo) *member {
+	if len(avail) == 0 {
+		return nil
+	}
+	if info.Hot && len(avail) >= 2 {
+		set := avail
+		if len(set) > g.cfg.HotReplicas {
+			set = set[:g.cfg.HotReplicas]
+		}
+		// Rotate through adjacent pairs of the replica set: with R replicas
+		// the pairs (0,1), (1,2), … (R-1,0) all occur, so every replica is
+		// a candidate on a constant fraction of arrivals.
+		seq := g.p2cSeq.Add(1)
+		r := uint64(len(set))
+		a := set[seq%r]
+		b := set[(seq+1)%r]
+		// Lower in-flight wins; ties go to a, whose rotating position makes
+		// an idle replica set round-robin instead of herding on one member.
+		if b.inflight.Load() < a.inflight.Load() {
+			return b
+		}
+		return a
+	}
+	owner := avail[0]
+	if g.cfg.LoadFactor > 0 && len(avail) > 1 {
+		var total int64
+		for _, m := range avail {
+			total += m.inflight.Load()
+		}
+		// Bounded load: cap = ⌊c × (total/n + 1)⌋ — the fleet-average
+		// in-flight plus the arriving request itself, scaled by the load
+		// factor, so a cold fleet has cap ≥ 1.
+		n := int64(len(avail))
+		cap64 := int64(g.cfg.LoadFactor * float64(total+n) / float64(n))
+		if owner.inflight.Load() >= cap64 {
+			least := owner
+			for _, m := range avail[1:] {
+				if m.inflight.Load() < cap64 {
+					info.Spilled = true
+					g.m.inc(uint64(total), cSpills)
+					return m
+				}
+				if m.inflight.Load() < least.inflight.Load() {
+					least = m
+				}
+			}
+			if least != owner {
+				info.Spilled = true
+				g.m.inc(uint64(total), cSpills)
+				return least
+			}
+		}
+	}
+	return owner
+}
+
+// Result is a gateway-served detection outcome: the shard's serve result
+// plus routing attribution.
+type Result struct {
+	serve.Result
+	// Node is the shard that served the request.
+	Node string
+	// Attempts is 1 plus the number of failover retries taken.
+	Attempts int
+	// Hot marks the request as routed through hot-key replication.
+	Hot bool
+}
+
+// Detect routes one request to its shard and executes it. Every node must
+// implement DetectNode.
+func (g *Gateway) Detect(ctx context.Context, req serve.Request) (Result, error) {
+	var res serve.Result
+	info, err := g.Execute(ctx, KeyFor(req), func(ctx context.Context, n Node) error {
+		dn, ok := n.(DetectNode)
+		if !ok {
+			return &NodeError{Class: ClassRequest, Err: fmt.Errorf("gateway: node %s cannot serve Detect", n.ID())}
+		}
+		r, derr := dn.Detect(ctx, req)
+		if derr == nil {
+			res = r
+		}
+		return derr
+	})
+	return Result{Result: res, Node: info.Node, Attempts: info.Attempts, Hot: info.Hot}, err
+}
+
+// CommittedEpoch is the highest registry epoch the whole cluster has been
+// driven to by Propagate.
+func (g *Gateway) CommittedEpoch() uint64 { return g.committedEpoch.Load() }
+
+// Snapshot returns the gateway's metrics and per-node status.
+func (g *Gateway) Snapshot() Snapshot {
+	rs := g.ring.Load()
+	now := time.Now().UnixNano()
+	snap := Snapshot{
+		Routed:         g.m.total(cRouted),
+		Failed:         g.m.total(cFailed),
+		HotRouted:      g.m.total(cHotRouted),
+		TaskRouted:     g.m.total(cTaskRouted),
+		Spills:         g.m.total(cSpills),
+		Retries:        g.m.total(cRetries),
+		Ejections:      g.m.total(cEjections),
+		EpochDrift:     g.m.total(cEpochDrift),
+		Propagates:     g.m.total(cPropagates),
+		CommittedEpoch: g.committedEpoch.Load(),
+		Nodes:          make([]NodeStatus, 0, len(rs.members)),
+	}
+	for _, m := range rs.members {
+		eu := m.ejectedUntil.Load()
+		snap.Nodes = append(snap.Nodes, NodeStatus{
+			ID:       m.id,
+			InFlight: m.inflight.Load(),
+			Served:   m.served.Load(),
+			Failures: m.failures.Load(),
+			Ejected:  eu != 0 && eu > now,
+			Lagging:  m.lagging.Load(),
+			Epoch:    m.epoch.Load(),
+		})
+	}
+	return snap
+}

@@ -1,0 +1,99 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// health.go: per-member failure accounting and the active prober. Health is
+// two-channel:
+//
+//   - Passive: Execute classifies every node error; ClassNodeDown failures
+//     increment the member's consecutive-failure count and eject it at
+//     FailThreshold. Ejection is how a dead node's keys rehash — routing
+//     skips ejected members, so their key ranges fall through to ring
+//     successors — while the in-flight requests that discovered the death
+//     retry on the successor and succeed.
+//   - Active: a background loop probes every member each ProbeInterval.
+//     A probe failure counts exactly like a request failure (a quiet node
+//     can die without traffic noticing), a probe success clears the count
+//     and lifts an ejection early. The same sweep reads each member's
+//     route epoch and flags members behind the cluster's committed epoch
+//     as lagging (see epoch.go) — a shard that missed a publish must not
+//     serve old-version traffic.
+//
+// Ejection is deliberately time-bounded (EjectFor): with no prober, a
+// passively ejected member rejoins on expiry and the next failure re-ejects
+// it, giving a crash-looping node a duty cycle instead of permanent exile.
+
+// noteDown records one down-class failure; at FailThreshold consecutive
+// failures the member is ejected for EjectFor.
+func (g *Gateway) noteDown(m *member) {
+	if g.cfg.FailThreshold <= 0 {
+		return
+	}
+	if int(m.consecFails.Add(1)) < g.cfg.FailThreshold {
+		return
+	}
+	m.consecFails.Store(0)
+	until := time.Now().Add(g.cfg.EjectFor).UnixNano()
+	if m.ejectedUntil.Swap(until) <= time.Now().UnixNano() {
+		// Count a fresh ejection, not an extension of a running one.
+		g.m.inc(uint64(until), cEjections)
+	}
+}
+
+func (g *Gateway) proberLoop() {
+	defer g.done.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+// probeAll sweeps every member concurrently: one slow shard must not delay
+// detection of the others.
+func (g *Gateway) probeAll() {
+	rs := g.ring.Load()
+	var wg sync.WaitGroup
+	for _, m := range rs.members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			g.probeOne(m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) probeOne(m *member) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	if pn, ok := m.node.(ProbeNode); ok {
+		if err := pn.Probe(ctx); err != nil {
+			m.failures.Add(1)
+			g.noteDown(m)
+		} else {
+			m.consecFails.Store(0)
+			m.ejectedUntil.Store(0) // a live answer lifts any ejection early
+		}
+	}
+	if en, ok := m.node.(EpochNode); ok {
+		ep, err := en.RouteEpoch(ctx)
+		if err != nil {
+			return
+		}
+		m.epoch.Store(ep)
+		lag := ep < g.committedEpoch.Load()
+		if m.lagging.Swap(lag) != lag && lag {
+			g.m.inc(ep, cEpochDrift)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package gateway
+
+import "sync"
+
+// hotkey.go: detection of zipf-hot content digests. Real detection traffic
+// is heavily skewed — a viral frame can draw a double-digit share of all
+// requests — and under plain consistent hashing that entire share lands on
+// one shard, saturating it while its ring neighbors idle. The gateway
+// counts per-digest arrivals in a fixed-size direct-mapped slot array; a
+// digest whose windowed count crosses HotThreshold is declared hot and
+// routed over HotReplicas successor shards with power-of-two-choices load
+// balancing instead of a single owner (see gateway.go).
+//
+// The counter is a per-slot "frequent"/MJRTY estimator: a digest occupies
+// its slot while it dominates the slot's traffic, and colliding cold keys
+// decrement rather than evict it. Counts are halved every decayWindow
+// arrivals so hotness is a property of recent traffic — yesterday's viral
+// frame cools off and releases its replicas.
+
+const (
+	hotSlots    = 1024 // direct-mapped slots (power of two)
+	decayWindow = 8192 // arrivals between halvings of every slot count
+)
+
+// hotSlot is padded to a cache line so adjacent slots never false-share
+// under concurrent admission.
+type hotSlot struct {
+	mu    sync.Mutex
+	key   uint64
+	count uint32
+	_     [64 - 8 - 8 - 4]byte
+}
+
+type hotTracker struct {
+	threshold uint32
+	slots     [hotSlots]hotSlot
+	// ops counts arrivals to schedule decay; guarded by opsMu rather than an
+	// atomic so exactly one caller runs each halving sweep.
+	opsMu sync.Mutex
+	ops   uint64
+}
+
+func newHotTracker(threshold int) *hotTracker {
+	if threshold <= 0 {
+		return nil
+	}
+	return &hotTracker{threshold: uint32(threshold)}
+}
+
+// record counts one arrival of digest d and reports whether d is currently
+// hot. The digest is finalized through mix64 before indexing: FNV digests of
+// structured inputs (quantized float tensors) can share their low bits
+// wholesale, and without mixing an entire workload collapses into one slot
+// where cold keys decrement the hot incumbent into oblivion.
+func (t *hotTracker) record(d uint64) bool {
+	s := &t.slots[mix64(d)&(hotSlots-1)]
+	s.mu.Lock()
+	switch {
+	case s.key == d:
+		if s.count < 1<<31 {
+			s.count++
+		}
+	case s.count == 0:
+		s.key = d
+		s.count = 1
+	default:
+		// A colliding key decays the incumbent instead of evicting it: only
+		// a key that out-arrives the incumbent can take the slot, so hot
+		// digests are sticky against cold-tail collisions.
+		s.count--
+	}
+	hot := s.key == d && s.count >= t.threshold
+	s.mu.Unlock()
+
+	t.opsMu.Lock()
+	t.ops++
+	decay := t.ops%decayWindow == 0
+	t.opsMu.Unlock()
+	if decay {
+		t.halve()
+	}
+	return hot
+}
+
+func (t *hotTracker) halve() {
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		s.count /= 2
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,68 @@
+package gateway
+
+import "testing"
+
+func TestHotTrackerBasics(t *testing.T) {
+	tr := newHotTracker(32)
+	d := uint64(0xdeadbeefcafe)
+	for i := 0; i < 31; i++ {
+		if tr.record(d) {
+			t.Fatalf("hot after %d arrivals, threshold 32", i+1)
+		}
+	}
+	if !tr.record(d) {
+		t.Fatal("not hot after 32 arrivals")
+	}
+	// A colliding cold key decays the incumbent's count but cannot evict it:
+	// after the cold burst, the incumbent recovers to hot with exactly as
+	// many arrivals as the burst spent.
+	slot := mix64(d) & (hotSlots - 1)
+	other := d + 1
+	for mix64(other)&(hotSlots-1) != slot {
+		other++
+	}
+	for i := 0; i < 8; i++ {
+		if tr.record(other) {
+			t.Fatal("colliding cold key went hot on the incumbent's count")
+		}
+	}
+	for i := 0; i < 8; i++ {
+		tr.record(d)
+	}
+	if !tr.record(d) {
+		t.Fatal("incumbent lost its slot to a colliding cold key")
+	}
+	if newHotTracker(0) != nil {
+		t.Fatal("threshold 0 must disable the tracker")
+	}
+}
+
+// The regression that motivated mix64 slotting: rcache digests of structured
+// tensors can share all their low bits, and raw masking would pile an entire
+// workload into one slot where cold keys hold the hot key at count 0.
+func TestHotTrackerStructuredDigests(t *testing.T) {
+	tr := newHotTracker(32)
+	const lowBits = 0x012 // every key shares its low 10 bits
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = uint64(i)<<20 | lowBits
+	}
+	slots := map[uint64]bool{}
+	for _, k := range keys {
+		slots[mix64(k)&(hotSlots-1)] = true
+	}
+	if len(slots) < len(keys)/2 {
+		t.Fatalf("mix64 left %d/%d structured digests in distinct slots", len(slots), len(keys))
+	}
+	// keys[0] takes 50% of traffic; the rest share the tail. It must go hot.
+	hot := false
+	for i := 0; i < 400; i++ {
+		if tr.record(keys[0]) {
+			hot = true
+		}
+		tr.record(keys[1+i%(len(keys)-1)])
+	}
+	if !hot {
+		t.Fatal("dominant structured digest never went hot")
+	}
+}

@@ -1,0 +1,84 @@
+package gateway
+
+import "sync/atomic"
+
+// metrics.go: the gateway's counters, sharded the same way as the serve
+// layer's so concurrent clients on different cores never contend on one
+// counter cache line. Shard selection hashes on the request key; totals are
+// summed at snapshot time.
+
+type counterID int
+
+const (
+	cRouted     counterID = iota // requests that reached a node
+	cHotRouted                   // requests routed via hot-key replication
+	cTaskRouted                  // undigestable requests routed by task key
+	cSpills                      // bounded-load spills past the owner
+	cRetries                     // failover retries onto a successor
+	cFailed                      // requests that exhausted their attempts
+	cEjections                   // members ejected by health accounting
+	cEpochDrift                  // members observed behind the committed epoch
+	cPropagates                  // cluster-wide registry changes propagated
+	numCounters
+)
+
+const metricShards = 8
+
+type counterShard struct {
+	v [numCounters]atomic.Uint64
+	_ [64]byte
+}
+
+type metrics struct {
+	shards [metricShards]counterShard
+}
+
+func (m *metrics) inc(hint uint64, c counterID) {
+	m.shards[hint%metricShards].v[c].Add(1)
+}
+
+func (m *metrics) total(c counterID) uint64 {
+	var t uint64
+	for i := range m.shards {
+		t += m.shards[i].v[c].Load()
+	}
+	return t
+}
+
+// Snapshot is the gateway's observable state, shaped for /metricsz.
+type Snapshot struct {
+	// Routed counts requests that reached a backend (including retried
+	// ones once); Failed counts requests that exhausted every attempt.
+	Routed uint64 `json:"routed"`
+	Failed uint64 `json:"failed,omitempty"`
+	// HotRouted counts requests served through hot-key replication,
+	// TaskRouted requests routed by task key because they carried no
+	// digestable image.
+	HotRouted  uint64 `json:"hot_routed,omitempty"`
+	TaskRouted uint64 `json:"task_routed,omitempty"`
+	// Spills counts bounded-load diversions past a saturated owner;
+	// Retries counts failover attempts onto a successor shard.
+	Spills  uint64 `json:"spills,omitempty"`
+	Retries uint64 `json:"retries,omitempty"`
+	// Ejections counts health ejections; EpochDrift counts members caught
+	// serving behind the cluster's committed registry epoch.
+	Ejections  uint64 `json:"ejections,omitempty"`
+	EpochDrift uint64 `json:"epoch_drift,omitempty"`
+	// Propagates counts cluster-wide registry changes; CommittedEpoch is
+	// the highest epoch every propagation has driven the cluster to.
+	Propagates     uint64 `json:"propagates,omitempty"`
+	CommittedEpoch uint64 `json:"committed_epoch"`
+
+	Nodes []NodeStatus `json:"nodes"`
+}
+
+// NodeStatus is one member's routing view.
+type NodeStatus struct {
+	ID       string `json:"id"`
+	InFlight int64  `json:"in_flight"`
+	Served   uint64 `json:"served"`
+	Failures uint64 `json:"failures,omitempty"`
+	Ejected  bool   `json:"ejected,omitempty"`
+	Lagging  bool   `json:"lagging,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+}

@@ -1,0 +1,171 @@
+package gateway
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// ring.go: the consistent-hash layer. Each backend node projects
+// VirtualNodes points onto a 64-bit ring; a request key is routed to the
+// first point clockwise from its hash. Virtual nodes smooth the per-node
+// key share (stddev ~ 1/sqrt(vnodes)), and consistent hashing bounds churn:
+// adding or removing one node of n remaps only ~K/n of K keys, so a node
+// death invalidates one shard's worth of result-cache locality instead of
+// reshuffling the whole cluster (see TestRingRebalanceBound).
+//
+// The ring is copy-on-write: mutations (join/leave) build a fresh ringState
+// under the gateway's mutex and publish it through an atomic pointer, so the
+// request path reads the ring lock-free.
+
+// member is one backend node's routing state. The Node itself is immutable
+// here; the atomics are the gateway's health and load bookkeeping, shared
+// across ring generations so ejections and in-flight counts survive an
+// unrelated join/leave.
+type member struct {
+	node Node
+	id   string
+
+	// inflight is the gateway-observed concurrent request count, the load
+	// signal for bounded-load spill and power-of-two-choices hot routing.
+	inflight atomic.Int64
+	// consecFails counts consecutive down-class failures (passive and probe);
+	// reaching FailThreshold ejects the member.
+	consecFails atomic.Int32
+	// ejectedUntil is the unix-nano deadline of the current ejection
+	// (0 = healthy). An ejected member is skipped by routing — its keys
+	// rehash to successors — but keeps being probed so it can return early.
+	ejectedUntil atomic.Int64
+	// lagging marks a member whose observed route epoch is behind the
+	// cluster's committed epoch; it is skipped by routing until it catches
+	// up, so a stale shard never serves old-version results after a publish.
+	lagging atomic.Bool
+	// epoch is the member's last observed route epoch.
+	epoch atomic.Uint64
+
+	served   atomic.Uint64
+	failures atomic.Uint64
+}
+
+// available reports whether routing may send new work to the member.
+func (m *member) available(nowNanos int64) bool {
+	if m.lagging.Load() {
+		return false
+	}
+	eu := m.ejectedUntil.Load()
+	return eu == 0 || eu <= nowNanos
+}
+
+type ringPoint struct {
+	hash uint64
+	m    *member
+}
+
+// ringState is one immutable generation of the ring.
+type ringState struct {
+	points  []ringPoint // vnode points sorted by hash
+	members []*member   // sorted by id
+	byID    map[string]*member
+}
+
+// buildRing constructs a fresh generation from a member set.
+func buildRing(members []*member, vnodes int) *ringState {
+	rs := &ringState{
+		members: append([]*member(nil), members...),
+		byID:    make(map[string]*member, len(members)),
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+	}
+	sort.Slice(rs.members, func(i, j int) bool { return rs.members[i].id < rs.members[j].id })
+	for _, m := range rs.members {
+		rs.byID[m.id] = m
+		for v := 0; v < vnodes; v++ {
+			rs.points = append(rs.points, ringPoint{hash: vnodeHash(m.id, v), m: m})
+		}
+	}
+	sort.Slice(rs.points, func(i, j int) bool {
+		if rs.points[i].hash != rs.points[j].hash {
+			return rs.points[i].hash < rs.points[j].hash
+		}
+		// Tie-break identical hashes by id so the ring order is total and
+		// every gateway instance agrees on it.
+		return rs.points[i].m.id < rs.points[j].m.id
+	})
+	return rs
+}
+
+// owner returns the member owning hash h (first point clockwise), or nil on
+// an empty ring.
+func (rs *ringState) owner(h uint64) *member {
+	if len(rs.points) == 0 {
+		return nil
+	}
+	i := sort.Search(len(rs.points), func(i int) bool { return rs.points[i].hash >= h })
+	if i == len(rs.points) {
+		i = 0 // wrap past the highest point
+	}
+	return rs.points[i].m
+}
+
+// successors returns up to n distinct members in ring order starting at
+// hash h's owner. This is both the replica set for hot keys and the retry /
+// spill preference order: every gateway instance derives the same list.
+func (rs *ringState) successors(h uint64, n int) []*member {
+	if len(rs.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(rs.members) {
+		n = len(rs.members)
+	}
+	out := make([]*member, 0, n)
+	start := sort.Search(len(rs.points), func(i int) bool { return rs.points[i].hash >= h })
+	for i := 0; i < len(rs.points) && len(out) < n; i++ {
+		m := rs.points[(start+i)%len(rs.points)].m
+		if !containsMember(out, m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func containsMember(ms []*member, m *member) bool {
+	for _, x := range ms {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// FNV-1a 64-bit, inlined so the ring has no dependencies.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// vnodeHash places virtual node v of a member on the ring.
+func vnodeHash(id string, v int) uint64 {
+	h := fnvString(id)
+	h ^= uint64(v) + 0x9e3779b97f4a7c15
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche that
+// decorrelates request keys (already FNV digests) from the FNV-derived
+// vnode points, so key hashes and point hashes behave as independent
+// uniform draws.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,147 @@
+package gateway_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"itask/internal/gateway"
+	"itask/internal/geom"
+	"itask/internal/registry"
+	"itask/internal/serve"
+	"itask/internal/tensor"
+)
+
+// regBackend is a minimal serve.Backend routing through a real versioned
+// registry, so ServeNode's stage/commit protocol drives actual registry
+// publishes and the serve layer's epoch-memoized routing.
+type regBackend struct{ reg *registry.Registry }
+
+func (b *regBackend) Route(task string) (string, error) {
+	snap := b.reg.Snapshot()
+	if a, ok := snap.ForTask(task); ok {
+		return a.ID.String(), nil
+	}
+	if a, ok := snap.Generalist(); ok {
+		return a.ID.String(), nil
+	}
+	return "", fmt.Errorf("no artifact for task %q", task)
+}
+
+func (b *regBackend) RouteEpoch() uint64 { return b.reg.Snapshot().Seq() }
+
+func (b *regBackend) DetectBatch(variant, _ string, imgs []*tensor.Tensor) ([]any, string, error) {
+	out := make([]any, len(imgs))
+	for i := range out {
+		out[i] = i
+	}
+	return out, variant, nil
+}
+
+func studentArtifact() registry.Artifact {
+	return registry.Artifact{
+		Name:      "patrol-student",
+		Kind:      registry.TaskSpecific,
+		Task:      "patrol",
+		Bytes:     1 << 20,
+		LatencyUS: 500,
+		Detect: func(*tensor.Tensor) []geom.Scored {
+			return nil
+		},
+	}
+}
+
+// A real in-process fleet: three serve.Servers, each with its own versioned
+// registry, behind one gateway. Propagated publish/demote drive every
+// shard's registry in lock-step, and detection results pin the exact
+// cluster-wide version at every step.
+func TestServeNodeClusterPublishDemote(t *testing.T) {
+	const n = 3
+	ctx := context.Background()
+	g := newTestGateway(t, passiveConfig())
+	for i := 0; i < n; i++ {
+		reg := registry.New()
+		if _, err := reg.Publish(studentArtifact()); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.New(&regBackend{reg}, serve.Config{
+			Workers: 1, MaxBatch: 4, QueueCap: 64, LatencyWindow: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		})
+		node, err := gateway.NewServeNode(fmt.Sprintf("shard-%d", i), srv, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddNode(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	versionOf := func(i int) string {
+		t.Helper()
+		res, err := g.Detect(ctx, serve.Request{Task: "patrol", Image: img(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Model
+	}
+	for i := 0; i < 30; i++ {
+		if v := versionOf(i); !strings.Contains(v, "@v1") {
+			t.Fatalf("pre-publish model = %s, want @v1", v)
+		}
+	}
+
+	// Publish v2 fleet-wide. Artifact fields are identical on every shard,
+	// so every registry assigns the same id and the fleet stays uniform.
+	ep, err := g.Propagate(ctx, gateway.Change{Op: gateway.OpPublish, Payload: studentArtifact()})
+	if err != nil {
+		t.Fatalf("Propagate(publish): %v", err)
+	}
+	if g.CommittedEpoch() != ep || ep == 0 {
+		t.Fatalf("committed epoch = %d/%d", ep, g.CommittedEpoch())
+	}
+	var v2 string
+	for i := 0; i < 30; i++ {
+		v := versionOf(i)
+		if !strings.Contains(v, "@v2") {
+			t.Fatalf("post-publish model = %s, want @v2", v)
+		}
+		if v2 == "" {
+			v2 = v
+		} else if v != v2 {
+			t.Fatalf("fleet disagrees on v2 id: %s vs %s", v, v2)
+		}
+	}
+
+	// Demote the exact v2 id fleet-wide: every shard quarantines it and
+	// rolls back to v1.
+	ep2, err := g.Propagate(ctx, gateway.Change{Op: gateway.OpDemote, Target: v2})
+	if err != nil {
+		t.Fatalf("Propagate(demote): %v", err)
+	}
+	if ep2 <= ep {
+		t.Fatalf("demote epoch %d did not advance past %d", ep2, ep)
+	}
+	for i := 0; i < 30; i++ {
+		if v := versionOf(i); !strings.Contains(v, "@v1") {
+			t.Fatalf("post-demote model = %s, want rollback to @v1", v)
+		}
+	}
+
+	// A bogus change stages nowhere and leaves routing alone.
+	if _, err := g.Propagate(ctx, gateway.Change{Op: gateway.OpDemote, Target: "not-an-id"}); err == nil {
+		t.Fatal("demote of an unparsable id must fail at stage time")
+	}
+	if v := versionOf(0); !strings.Contains(v, "@v1") {
+		t.Fatalf("routing disturbed by an aborted change: %s", v)
+	}
+}

@@ -25,6 +25,16 @@
 // The hot path is allocation-free: Get performs a map lookup with a
 // comparable struct key and an intrusive LRU touch, and never allocates on
 // hit or miss.
+//
+// Two auxiliary mechanisms round out the invalidation story:
+//
+//   - InvalidateArtifact sweeps all entries pinned to one versioned artifact
+//     ID, so demoting a poisoned version reclaims its bytes immediately
+//     instead of waiting for TTL expiry or LRU pressure.
+//   - A short-TTL negative cache (PutNegative/Negative, enabled by
+//     Config.NegTTL) marks keys the serving layer quarantined as poison, so
+//     a hot poison frame fails fast instead of re-executing — and
+//     re-panicking — on every arrival.
 package rcache
 
 import (
@@ -62,6 +72,13 @@ type Config struct {
 	// SizeOf estimates the resident bytes of a payload for budget
 	// accounting. Nil falls back to a flat per-entry estimate.
 	SizeOf func(payload any) int64
+	// NegTTL enables the negative cache: keys marked with PutNegative are
+	// reported by Negative for this long. Zero disables negative caching
+	// (PutNegative becomes a no-op). Keep it short — a negative entry
+	// suppresses re-execution of content the serving layer quarantined as
+	// poison, and the only way to discover a fixed kernel is to let the
+	// content through again.
+	NegTTL time.Duration
 }
 
 // defaultEntrySize is the per-entry accounting charge when no SizeOf is
@@ -84,11 +101,19 @@ type entry struct {
 	prev, next *entry
 }
 
+// maxNegativesPerShard caps the negative map so a storm of distinct poison
+// digests cannot grow it without bound; at the cap, inserting purges expired
+// entries first and then drops an arbitrary one.
+const maxNegativesPerShard = 1024
+
 // shard is one lock stripe: a map + intrusive LRU under a private mutex,
 // with padded atomic counters so two shards never share a cache line.
 type shard struct {
 	mu      sync.Mutex
 	entries map[Key]*entry
+	// neg maps quarantined keys to their negative-entry expiry (nil until
+	// the first PutNegative on this shard).
+	neg map[Key]time.Time
 	// head is most-recently-used, tail least. nil when empty.
 	head, tail *entry
 	bytes      int64
@@ -100,6 +125,9 @@ type shard struct {
 	evictions atomic.Uint64
 	inserts   atomic.Uint64
 
+	negHits    atomic.Uint64
+	negInserts atomic.Uint64
+
 	_ [64]byte // keep neighbouring shards' hot fields off this cache line
 }
 
@@ -109,6 +137,7 @@ type Cache struct {
 	shards []*shard
 	mask   uint64
 	ttl    time.Duration
+	negTTL time.Duration
 	sizeOf func(any) int64
 }
 
@@ -135,6 +164,7 @@ func New(cfg Config) *Cache {
 		shards: make([]*shard, pow),
 		mask:   uint64(pow - 1),
 		ttl:    cfg.TTL,
+		negTTL: cfg.NegTTL,
 		sizeOf: cfg.SizeOf,
 	}
 	for i := range c.shards {
@@ -226,6 +256,88 @@ func (c *Cache) Invalidate(k Key) bool {
 	return true
 }
 
+// InvalidateArtifact sweeps every shard and drops all entries (and negative
+// entries) whose key pins the given artifact ID, returning how many positive
+// entries were removed. A demoted/poisoned version's results become
+// unreachable through routing anyway — routing stops resolving to its ID —
+// but the sweep reclaims their bytes immediately instead of waiting for TTL
+// expiry or LRU pressure, and guarantees a rollback-then-republish of the
+// same version string can never resurrect them. Shard locks are taken one
+// at a time, so concurrent hits on other shards never stall.
+func (c *Cache) InvalidateArtifact(artifact string) int {
+	removed := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			if k.Artifact == artifact {
+				sh.removeLocked(e)
+				removed++
+			}
+		}
+		for k := range sh.neg {
+			if k.Artifact == artifact {
+				delete(sh.neg, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+// PutNegative marks k as quarantined: Negative reports it for the cache's
+// NegTTL. Used by the serving layer so a hot poison frame — content proven
+// to panic or hang its kernel — fails fast instead of re-executing (and
+// re-panicking, re-bisecting, re-tripping breakers) on every arrival. A
+// no-op when the cache has no NegTTL.
+func (c *Cache) PutNegative(k Key, now time.Time) {
+	if c.negTTL <= 0 {
+		return
+	}
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if sh.neg == nil {
+		sh.neg = map[Key]time.Time{}
+	}
+	if _, exists := sh.neg[k]; !exists && len(sh.neg) >= maxNegativesPerShard {
+		// Purge expired first; if the storm is all live, drop an arbitrary
+		// victim — losing a negative entry only costs one re-execution.
+		for nk, exp := range sh.neg {
+			if now.After(exp) {
+				delete(sh.neg, nk)
+			}
+		}
+		for nk := range sh.neg {
+			if len(sh.neg) < maxNegativesPerShard {
+				break
+			}
+			delete(sh.neg, nk)
+		}
+	}
+	sh.neg[k] = now.Add(c.negTTL)
+	sh.mu.Unlock()
+	sh.negInserts.Add(1)
+}
+
+// Negative reports whether k is under an unexpired negative entry at now.
+// Expired entries are removed on probe. Allocation-free.
+func (c *Cache) Negative(k Key, now time.Time) bool {
+	if c.negTTL <= 0 {
+		return false
+	}
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	exp, ok := sh.neg[k]
+	if ok && now.After(exp) {
+		delete(sh.neg, k)
+		ok = false
+	}
+	sh.mu.Unlock()
+	if ok {
+		sh.negHits.Add(1)
+	}
+	return ok
+}
+
 // pushFrontLocked links e as most-recently-used. Caller holds sh.mu.
 func (sh *shard) pushFrontLocked(e *entry) {
 	e.prev = nil
@@ -291,6 +403,11 @@ type Stats struct {
 	Bytes    int64 `json:"bytes"`
 	MaxBytes int64 `json:"max_bytes"`
 	Shards   int   `json:"shards"`
+	// Negative-cache behaviour: quarantined keys currently marked, probes
+	// answered "still quarantined", and marks recorded.
+	NegEntries int    `json:"neg_entries,omitempty"`
+	NegHits    uint64 `json:"neg_hits,omitempty"`
+	NegInserts uint64 `json:"neg_inserts,omitempty"`
 }
 
 // Stats aggregates all shards. Counter reads are atomic; occupancy briefly
@@ -305,9 +422,12 @@ func (c *Cache) Stats() Stats {
 		st.Stale += sh.stale.Load()
 		st.Inserts += sh.inserts.Load()
 		st.Evictions += sh.evictions.Load()
+		st.NegHits += sh.negHits.Load()
+		st.NegInserts += sh.negInserts.Load()
 		st.MaxBytes += sh.maxBytes
 		sh.mu.Lock()
 		st.Entries += len(sh.entries)
+		st.NegEntries += len(sh.neg)
 		st.Bytes += sh.bytes
 		sh.mu.Unlock()
 	}

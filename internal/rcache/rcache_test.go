@@ -145,6 +145,92 @@ func TestInvalidate(t *testing.T) {
 	}
 }
 
+func TestInvalidateArtifact(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 4, NegTTL: time.Minute})
+	now := time.Now()
+	// Entries for two versions spread across shards (distinct digests), plus
+	// a negative entry pinned to the doomed version.
+	for d := uint64(0); d < 32; d++ {
+		c.Put(key("m@v1#aa", "t", d), d, now)
+		c.Put(key("m@v2#bb", "t", d), d, now)
+	}
+	c.PutNegative(key("m@v1#aa", "t", 999), now)
+
+	if removed := c.InvalidateArtifact("m@v1#aa"); removed != 32 {
+		t.Fatalf("InvalidateArtifact removed %d entries, want 32", removed)
+	}
+	st := c.Stats()
+	if st.Entries != 32 {
+		t.Fatalf("entries = %d after sweep, want 32 survivors", st.Entries)
+	}
+	if st.NegEntries != 0 {
+		t.Fatalf("negative entry survived the artifact sweep: %d", st.NegEntries)
+	}
+	for d := uint64(0); d < 32; d++ {
+		if _, _, ok := c.Get(key("m@v1#aa", "t", d), now); ok {
+			t.Fatalf("swept entry %d still served", d)
+		}
+		if _, _, ok := c.Get(key("m@v2#bb", "t", d), now); !ok {
+			t.Fatalf("survivor entry %d lost by the sweep", d)
+		}
+	}
+	// Bytes reclaimed immediately, not merely unreachable.
+	if st.Bytes != 32*defaultEntrySize {
+		t.Fatalf("bytes = %d after sweep, want %d", st.Bytes, 32*defaultEntrySize)
+	}
+	if removed := c.InvalidateArtifact("m@v1#aa"); removed != 0 {
+		t.Fatalf("second sweep removed %d, want 0", removed)
+	}
+}
+
+func TestNegativeCache(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 2, NegTTL: time.Second})
+	now := time.Now()
+	k := key("m@v1#aa", "patrol", 77)
+
+	if c.Negative(k, now) {
+		t.Fatal("negative hit on empty cache")
+	}
+	c.PutNegative(k, now)
+	if !c.Negative(k, now.Add(999*time.Millisecond)) {
+		t.Fatal("negative entry expired before NegTTL")
+	}
+	// Negative entries are disjoint from positive ones: the same key still
+	// misses the result cache.
+	if _, _, ok := c.Get(k, now); ok {
+		t.Fatal("negative entry served as a positive result")
+	}
+	if c.Negative(k, now.Add(1001*time.Millisecond)) {
+		t.Fatal("negative entry served after NegTTL")
+	}
+	st := c.Stats()
+	if st.NegInserts != 1 || st.NegHits != 1 {
+		t.Fatalf("neg inserts/hits = %d/%d, want 1/1", st.NegInserts, st.NegHits)
+	}
+	if st.NegEntries != 0 {
+		t.Fatalf("expired negative entry still resident: %d", st.NegEntries)
+	}
+}
+
+func TestNegativeCacheDisabledAndCapped(t *testing.T) {
+	// No NegTTL: PutNegative is a no-op.
+	off := New(Config{MaxBytes: 1 << 20, Shards: 1})
+	now := time.Now()
+	off.PutNegative(key("a", "t", 1), now)
+	if off.Negative(key("a", "t", 1), now) {
+		t.Fatal("negative cache active without NegTTL")
+	}
+
+	// Capped: a storm of distinct poison digests cannot grow without bound.
+	on := New(Config{MaxBytes: 1 << 20, Shards: 1, NegTTL: time.Minute})
+	for d := uint64(0); d < 3*maxNegativesPerShard; d++ {
+		on.PutNegative(key("a", "t", d), now)
+	}
+	if n := on.Stats().NegEntries; n > maxNegativesPerShard {
+		t.Fatalf("negative entries %d exceed per-shard cap %d", n, maxNegativesPerShard)
+	}
+}
+
 func TestDigestImage(t *testing.T) {
 	a := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
 	b := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"itask/internal/chaos"
 	"itask/internal/tensor"
 )
 
@@ -60,6 +61,9 @@ func benchImage(seed uint64) *tensor.Tensor {
 //	         consecutive-frame redundancy the result cache exists for.
 //	uniq100: every request carries never-seen content — the cache can only
 //	         add overhead; guards the no-regression bound.
+//	zipf11:  ranks drawn zipf(1.1) over a 512-frame universe — the skewed
+//	         viral-traffic shape; a few frames dominate but the tail is live,
+//	         stressing one cache shard and one coalescing entry at once.
 //
 // Each goroutine mutates a private scratch image to synthesize unique
 // content without per-op allocation.
@@ -67,12 +71,15 @@ func BenchmarkServeHotPath(b *testing.B) {
 	for _, tc := range []struct {
 		name   string
 		dupMod uint64 // every dupMod-th request is a hot duplicate (0 = never)
+		zipf   bool   // draw from the zipf universe instead of dup/uniq
 		cache  bool
 	}{
-		{"dup50/cache", 2, true},
-		{"dup50/nocache", 2, false},
-		{"uniq100/cache", 0, true},
-		{"uniq100/nocache", 0, false},
+		{name: "dup50/cache", dupMod: 2, cache: true},
+		{name: "dup50/nocache", dupMod: 2},
+		{name: "uniq100/cache", cache: true},
+		{name: "uniq100/nocache"},
+		{name: "zipf11/cache", zipf: true, cache: true},
+		{name: "zipf11/nocache", zipf: true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			s, err := New(benchBackend{}, benchConfig(tc.cache))
@@ -88,6 +95,10 @@ func BenchmarkServeHotPath(b *testing.B) {
 			for i := range hot {
 				hot[i] = benchImage(uint64(i))
 			}
+			var universe []*tensor.Tensor
+			if tc.zipf {
+				universe = chaos.ZipfImages(512, 3, 16, 16)
+			}
 			// Warm the cache with the hot set so dup50 measures steady state.
 			for _, img := range hot {
 				if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: img}); err != nil {
@@ -100,14 +111,21 @@ func BenchmarkServeHotPath(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				g := gid.Add(1)
 				scratch := benchImage(1_000_000 * g)
+				var zs *chaos.ZipfStream
+				if tc.zipf {
+					zs = chaos.NewZipfStream(g, 1.1, len(universe))
+				}
 				ctx := context.Background()
 				var n uint64
 				for pb.Next() {
 					n++
 					img := scratch
-					if tc.dupMod != 0 && n%tc.dupMod == 0 {
+					switch {
+					case tc.zipf:
+						img = universe[zs.Next()]
+					case tc.dupMod != 0 && n%tc.dupMod == 0:
 						img = hot[n%uint64(len(hot))]
-					} else {
+					default:
 						// Unique content: perturb two pixels so the digest
 						// never repeats, without allocating.
 						scratch.Data[0] = float32(g) + float32(n)*0.5

@@ -159,6 +159,13 @@ func (s *Server) fail(p *pending, variant string, err error, isolated bool) {
 	s.m.modelFailed(variant, 1)
 	if isolated && isPanicOrHang(err) {
 		s.m.inc(p.hint, cQuarantined)
+		if s.cache != nil && p.haveKey {
+			// The content is proven poison on its routed version: mark it in
+			// the negative cache so a hot poison frame fails fast at
+			// admission instead of re-executing — and re-panicking — on
+			// every arrival. No-op unless Config.NegativeTTL is set.
+			s.cache.PutNegative(p.key, time.Now())
+		}
 	}
 	s.deliver(p, Outcome{Err: err})
 }
@@ -328,9 +335,18 @@ func (s *Server) recordExec(variant, task string, err error, dur time.Duration) 
 // variantUnhealthy reports a health verdict on a variant to the backend's
 // registry (panic, watchdog abandonment, or breaker trip), so a bad new
 // version is demoted and its name rolls back to the previous good version.
+// The demoted version's result-cache entries are swept in the same breath:
+// routing already stopped resolving to the demoted ID, so its entries are
+// dead weight, and reclaiming their bytes immediately gives the restored
+// version's results the full budget instead of waiting out TTL/LRU churn.
 func (s *Server) variantUnhealthy(variant, task, reason string) {
 	if sink, ok := s.backend.(VariantHealthSink); ok {
 		sink.VariantUnhealthy(variant, task, reason)
+		if s.cache != nil {
+			if n := s.cache.InvalidateArtifact(variant); n > 0 {
+				s.m.addN(0, cArtifactSweeps, uint64(n))
+			}
+		}
 	}
 }
 

@@ -68,6 +68,10 @@ const (
 	cCoalesced        // followers served by a coalesced leader's execution
 	cCoalescedRetried // followers re-executed after their leader failed
 
+	// Invalidation counters.
+	cQuarantineBlocked // admissions refused from the poison negative cache
+	cArtifactSweeps    // result-cache entries reclaimed by demote sweeps
+
 	numCounters
 )
 
@@ -287,6 +291,12 @@ type Snapshot struct {
 	Coalesced         uint64 `json:"coalesced"`
 	CoalescedRetried  uint64 `json:"coalesced_retried"`
 
+	// Invalidation behaviour: admissions refused because their exact
+	// content is negative-cached as proven poison, and result-cache entries
+	// reclaimed immediately by a demoted version's artifact sweep.
+	QuarantineBlocked uint64 `json:"quarantine_blocked,omitempty"`
+	ArtifactSweeps    uint64 `json:"artifact_sweep_entries,omitempty"`
+
 	// ResultCache surfaces the content-addressed detection cache's own
 	// occupancy and churn when the cache is enabled (nil otherwise);
 	// ResultCacheHitRate is Hits/(Hits+Misses) over its lifetime.
@@ -369,6 +379,8 @@ func (m *metrics) snapshot(uptime time.Duration, queueDepth int) Snapshot {
 		ResultCacheMisses: m.sum(cCacheMisses),
 		Coalesced:         m.sum(cCoalesced),
 		CoalescedRetried:  m.sum(cCoalescedRetried),
+		QuarantineBlocked: m.sum(cQuarantineBlocked),
+		ArtifactSweeps:    m.sum(cArtifactSweeps),
 		QueueDepth:        queueDepth,
 		Batches:           m.batches.Load(),
 		BatchHist:         make([]uint64, len(m.batchHist)),

@@ -89,6 +89,11 @@ var (
 	// routed lane's circuit breaker is open and no healthy fallback exists
 	// (HTTP 503 with Retry-After).
 	ErrBreakerOpen = errors.New("serve: circuit breaker open")
+	// ErrQuarantined reports that the request's exact content was recently
+	// proven poison — it panicked or hung its kernel in isolation — and is
+	// refused from the negative cache without re-execution until the entry's
+	// short TTL lapses (HTTP 422).
+	ErrQuarantined = errors.New("serve: content quarantined as poison")
 )
 
 // Config sizes the serving layer.
@@ -146,6 +151,13 @@ type Config struct {
 	// until evicted by the byte budget). A TTL also bounds how old a
 	// result a rollback can resurrect for the restored version.
 	CacheTTL time.Duration
+	// NegativeTTL, when positive (and CacheBytes > 0), enables the negative
+	// cache: content quarantined as poison — it panicked or hung its kernel
+	// in isolation — is refused with ErrQuarantined for this long instead
+	// of re-executing (and re-panicking) on every arrival. Keep it short:
+	// it also delays discovering that a rolled-back kernel fixed the
+	// content.
+	NegativeTTL time.Duration
 	// CacheShards is the result cache's lock-stripe count (0 = auto).
 	CacheShards int
 	// Coalesce enables singleflight duplicate suppression: concurrent
@@ -210,6 +222,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative CacheBytes %d", c.CacheBytes)
 	case c.CacheTTL < 0:
 		return fmt.Errorf("serve: negative CacheTTL %v", c.CacheTTL)
+	case c.NegativeTTL < 0:
+		return fmt.Errorf("serve: negative NegativeTTL %v", c.NegativeTTL)
 	case c.CacheShards < 0:
 		return fmt.Errorf("serve: negative CacheShards %d", c.CacheShards)
 	}
@@ -279,7 +293,7 @@ func New(b Backend, cfg Config) (*Server, error) {
 	s.validator, _ = b.(ImageValidator)
 	s.epocher, _ = b.(RouteEpocher)
 	if cfg.CacheBytes > 0 {
-		rc := rcache.Config{MaxBytes: cfg.CacheBytes, TTL: cfg.CacheTTL, Shards: cfg.CacheShards}
+		rc := rcache.Config{MaxBytes: cfg.CacheBytes, TTL: cfg.CacheTTL, Shards: cfg.CacheShards, NegTTL: cfg.NegativeTTL}
 		if ps, ok := b.(PayloadSizer); ok {
 			rc.SizeOf = ps.PayloadBytes
 		}
@@ -371,6 +385,12 @@ func (s *Server) preadmit(req *Request) (admission, error) {
 		}
 		a.key = rcache.Key{Artifact: variant, Task: req.Task, Digest: d}
 		a.haveKey = true
+		if s.cache != nil && s.cache.Negative(a.key, a.now) {
+			// The exact content was recently proven poison on this version:
+			// fail fast instead of re-running a kernel known to panic on it.
+			s.m.inc(a.hint, cQuarantineBlocked)
+			return a, fmt.Errorf("%w (digest %x on %s)", ErrQuarantined, a.key.Digest, a.key.Artifact)
+		}
 	}
 	return a, nil
 }

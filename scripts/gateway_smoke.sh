@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# gateway_smoke.sh — end-to-end smoke of the distributed serve tier as real
+# processes: train a tiny generalist once, start two itask-serve backends on
+# the shared checkpoint directory, put itask-gateway in front, and verify
+# over plain HTTP that
+#
+#   1. detection answers arrive with shard attribution (X-Itask-Shard),
+#   2. the same content always routes to the same shard,
+#   3. distinct content engages both shards,
+#   4. the gateway's own health/metrics surfaces report the fleet.
+#
+# The in-process cluster tests (internal/gateway) cover the hard properties
+# — kill-mid-storm, publish barriers, hot replication; this script proves
+# the binaries compose over a real network surface.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { echo "gateway-smoke: $*"; }
+
+say "building binaries"
+go build -o "$workdir/itask-train" ./cmd/itask-train
+go build -o "$workdir/itask-serve" ./cmd/itask-serve
+go build -o "$workdir/itask-gateway" ./cmd/itask-gateway
+
+say "training a tiny generalist checkpoint"
+"$workdir/itask-train" -out "$workdir/models" -samples 8 -epochs 2 -seed 1 >"$workdir/train.log" 2>&1
+
+wait_healthy() { # url name
+    for _ in $(seq 1 100); do
+        if curl -sf -o /dev/null "$1"; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    say "FAIL: $2 never became healthy at $1"
+    cat "$workdir"/*.log || true
+    exit 1
+}
+
+say "starting two itask-serve backends"
+"$workdir/itask-serve" -addr 127.0.0.1:18081 -models "$workdir/models" >"$workdir/serve1.log" 2>&1 &
+pids+=($!)
+"$workdir/itask-serve" -addr 127.0.0.1:18082 -models "$workdir/models" >"$workdir/serve2.log" 2>&1 &
+pids+=($!)
+wait_healthy http://127.0.0.1:18081/healthz backend-1
+wait_healthy http://127.0.0.1:18082/healthz backend-2
+
+say "starting itask-gateway"
+"$workdir/itask-gateway" -addr 127.0.0.1:18080 \
+    -backends http://127.0.0.1:18081,http://127.0.0.1:18082 \
+    -probe-interval 250ms >"$workdir/gateway.log" 2>&1 &
+pids+=($!)
+wait_healthy http://127.0.0.1:18080/healthz gateway
+
+say "driving detections through the gateway"
+declare -A shard_of
+distinct_shards=()
+for seed in $(seq 0 23); do
+    body="{\"task\":\"patrol\",\"scene\":{\"domain\":\"driving\",\"seed\":$seed}}"
+    headers="$workdir/headers.$seed"
+    status=$(curl -s -D "$headers" -o "$workdir/resp.$seed" -w '%{http_code}' \
+        -X POST http://127.0.0.1:18080/v1/detect -d "$body")
+    if [ "$status" != 200 ]; then
+        say "FAIL: seed $seed got HTTP $status"
+        cat "$workdir/resp.$seed"
+        exit 1
+    fi
+    shard=$(tr -d '\r' <"$headers" | awk -F': ' 'tolower($1)=="x-itask-shard"{print $2}')
+    if [ -z "$shard" ]; then
+        say "FAIL: seed $seed response carries no X-Itask-Shard attribution"
+        exit 1
+    fi
+    grep -q '"detections"' "$workdir/resp.$seed" || {
+        say "FAIL: seed $seed body is not a detect response"
+        cat "$workdir/resp.$seed"
+        exit 1
+    }
+    shard_of[$seed]="$shard"
+    if [[ ! " ${distinct_shards[*]:-} " == *" $shard "* ]]; then
+        distinct_shards+=("$shard")
+    fi
+done
+
+say "checking routing stability (same content, same shard)"
+for seed in 0 7 19; do
+    headers="$workdir/recheck.$seed"
+    curl -sf -D "$headers" -o /dev/null \
+        -X POST http://127.0.0.1:18080/v1/detect \
+        -d "{\"task\":\"patrol\",\"scene\":{\"domain\":\"driving\",\"seed\":$seed}}"
+    again=$(tr -d '\r' <"$headers" | awk -F': ' 'tolower($1)=="x-itask-shard"{print $2}')
+    if [ "$again" != "${shard_of[$seed]}" ]; then
+        say "FAIL: seed $seed flapped from ${shard_of[$seed]} to $again"
+        exit 1
+    fi
+done
+
+if [ "${#distinct_shards[@]}" -lt 2 ]; then
+    say "FAIL: 24 distinct scenes all landed on one shard (${distinct_shards[*]})"
+    exit 1
+fi
+say "fleet engaged: ${#distinct_shards[@]} shards served traffic"
+
+say "checking gateway metrics"
+metrics="$(curl -sf http://127.0.0.1:18080/metricsz)"
+echo "$metrics" | grep -q '"routed":' || { say "FAIL: metricsz missing routed counter"; exit 1; }
+routed=$(echo "$metrics" | sed -n 's/.*"routed":\([0-9]*\).*/\1/p')
+if [ -z "$routed" ] || [ "$routed" -lt 24 ]; then
+    say "FAIL: gateway routed=$routed, want >= 24"
+    exit 1
+fi
+
+say "OK: $routed requests routed across ${#distinct_shards[@]} shards with stable attribution"
