@@ -52,13 +52,20 @@ type backendResponse struct {
 // its answer. Outcomes the caller should fail over from are returned as
 // classified errors; every other status — including the backend's own 4xx
 // and 5xx verdicts about the request content — is a pass-through response
-// (retrying a content-fault on a successor would just spread it).
-func (n *httpNode) forwardDetect(ctx context.Context, body []byte) (*backendResponse, error) {
+// (retrying a content-fault on a successor would just spread it). hot is the
+// gateway's fleet-wide hot-digest verdict, forwarded as X-Itask-Hot so the
+// shard pre-promotes the digest in its in-process hot tier: the gateway sees
+// the digest's whole arrival stream, while each of the replicas it spreads a
+// hot digest across sees only a fraction of it.
+func (n *httpNode) forwardDetect(ctx context.Context, body []byte, hot bool) (*backendResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/v1/detect", bytes.NewReader(body))
 	if err != nil {
 		return nil, &gateway.NodeError{Class: gateway.ClassRequest, Err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if hot {
+		req.Header.Set("X-Itask-Hot", "1")
+	}
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		// ctx expiry is the request's deadline, not the node's death.

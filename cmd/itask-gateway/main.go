@@ -11,7 +11,11 @@
 //	                         relay the shard's answer verbatim. The serving
 //	                         shard is attributed in X-Itask-Shard (and the
 //	                         attempt count in X-Itask-Attempts; hot-replicated
-//	                         requests carry X-Itask-Hot: 1).
+//	                         requests carry X-Itask-Hot: 1). The hot verdict is
+//	                         also forwarded on the proxied request, so shards
+//	                         pre-promote the digest in their in-process hot
+//	                         tier instead of re-detecting virality from their
+//	                         1/replicas slice of the traffic.
 //	POST /v1/models/reload   propagate a model reload fleet-wide: the body is
 //	                         relayed to every backend's reload endpoint and
 //	                         the gateway blocks until every backend's registry
@@ -36,9 +40,10 @@
 //
 //	itask-gateway -backends http://127.0.0.1:8081,http://127.0.0.1:8082 \
 //	              [-addr :8080] [-vnodes 128] [-load-factor 1.25] \
-//	              [-hot-threshold 64] [-hot-replicas 2] [-max-retries 1] \
-//	              [-fail-threshold 3] [-eject-for 2s] [-probe-interval 1s] \
-//	              [-probe-timeout 500ms] [-propagate-timeout 30s]
+//	              [-hot-threshold 64] [-hot-replicas 2] [-hot-decay 8192] \
+//	              [-max-retries 1] [-fail-threshold 3] [-eject-for 2s] \
+//	              [-probe-interval 1s] [-probe-timeout 500ms] \
+//	              [-propagate-timeout 30s]
 //
 // Example:
 //
@@ -77,6 +82,7 @@ func main() {
 	loadFactor := flag.Float64("load-factor", def.LoadFactor, "bounded-load factor: owners above this multiple of the fleet-average in-flight spill to a successor (0 = off)")
 	hotThreshold := flag.Int("hot-threshold", def.HotThreshold, "windowed arrivals past which a digest is replicated (0 = off)")
 	hotReplicas := flag.Int("hot-replicas", def.HotReplicas, "shards serving a hot digest")
+	hotDecay := flag.Int("hot-decay", def.HotDecay, "hot-detector decay window in arrivals (counts halve every N requests)")
 	maxRetries := flag.Int("max-retries", def.MaxRetries, "failover attempts on ring successors")
 	failThreshold := flag.Int("fail-threshold", def.FailThreshold, "consecutive down-class failures that eject a backend (0 = off)")
 	ejectFor := flag.Duration("eject-for", def.EjectFor, "how long an ejected backend is skipped (a live probe readmits it earlier)")
@@ -96,6 +102,7 @@ func main() {
 		LoadFactor:    *loadFactor,
 		HotThreshold:  *hotThreshold,
 		HotReplicas:   *hotReplicas,
+		HotDecay:      *hotDecay,
 		MaxRetries:    *maxRetries,
 		FailThreshold: *failThreshold,
 		EjectFor:      *ejectFor,
@@ -227,8 +234,8 @@ func (a *app) detect(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var relay *backendResponse
-	info, err := a.g.Execute(r.Context(), routeKey(body), func(ctx context.Context, n gateway.Node) error {
-		br, ferr := n.(*httpNode).forwardDetect(ctx, body)
+	info, err := a.g.Execute(r.Context(), routeKey(body), func(ctx context.Context, n gateway.Node, hot bool) error {
+		br, ferr := n.(*httpNode).forwardDetect(ctx, body, hot)
 		if ferr == nil {
 			relay = br
 		}

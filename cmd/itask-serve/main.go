@@ -43,11 +43,18 @@
 //	            [-watchdog 10s] [-retry-budget 3] \
 //	            [-breaker-threshold 5] [-breaker-backoff 500ms] [-slo 0] \
 //	            [-cache-bytes 33554432] [-cache-ttl 1m] [-coalesce] \
-//	            [-neg-ttl 0] [-pprof addr]
+//	            [-neg-ttl 0] [-hot-threshold 64] [-hot-decay 0] \
+//	            [-hot-bytes 4194304] [-pprof addr]
 //
 // -cache-bytes enables the content-addressed result cache (0 disables it):
 // repeated frames are answered from memory without running a kernel, and
 // -coalesce collapses concurrent duplicate requests into one execution.
+// -hot-threshold enables the cache's hot replica tier (0 disables it): a
+// digest read that many times within the -hot-decay window is promoted to a
+// lock-free replicated table bounded by -hot-bytes, so a viral frame's
+// readers stop serializing on one cache-shard mutex. A gateway's fleet-wide
+// hot verdict arriving as an X-Itask-Hot request header pre-promotes the
+// digest without waiting for the local detector.
 // -pprof serves net/http/pprof on a second listener with mutex and block
 // profiling enabled, for inspecting lock contention under load.
 //
@@ -98,6 +105,9 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", time.Minute, "result-cache entry lifetime (0 = until evicted)")
 	negTTL := flag.Duration("neg-ttl", 0, "quarantine window for content that crashed or hung the backend in isolation; repeats are refused with HTTP 422 for this long (0 = off; needs -cache-bytes > 0)")
 	coalesce := flag.Bool("coalesce", true, "collapse concurrent duplicate requests into one execution")
+	hotThreshold := flag.Int("hot-threshold", 64, "reads within the decay window past which a digest's cache entry is replicated lock-free (0 = off; needs -cache-bytes > 0)")
+	hotDecay := flag.Int("hot-decay", 0, "hot-detector decay window in arrivals; counts halve every N cache lookups (0 = detector default)")
+	hotBytes := flag.Int64("hot-bytes", 4<<20, "hot replica tier byte budget, on top of -cache-bytes (0 = cache-bytes/8)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address with mutex/block profiling (empty = off)")
 	flag.Parse()
 
@@ -168,6 +178,14 @@ func main() {
 		CacheTTL:          *cacheTTL,
 		NegativeTTL:       *negTTL,
 		Coalesce:          *coalesce,
+		HotThreshold:      *hotThreshold,
+		HotDecay:          *hotDecay,
+		HotBytes:          *hotBytes,
+	}
+	if *cacheBytes <= 0 {
+		// The hot tier rides the result cache; without one it has nothing to
+		// replicate (and serve.Validate would reject the pairing).
+		cfg.HotThreshold = 0
 	}
 	backend := pipe.ServeBackend()
 	srv, err := serve.New(backend, cfg)
@@ -271,7 +289,7 @@ func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	req := serve.Request{Task: dr.Task, Image: img}
+	req := serve.Request{Task: dr.Task, Image: img, Hot: r.Header.Get("X-Itask-Hot") == "1"}
 	if dr.TimeoutMS > 0 {
 		req.Deadline = time.Now().Add(time.Duration(dr.TimeoutMS) * time.Millisecond)
 	}

@@ -1,0 +1,185 @@
+// Package freq detects frequent ("hot") 64-bit keys in a high-rate stream
+// with a fixed-size direct-mapped slot array. It is the shared hot-content
+// estimator of the serving stack: the distributed gateway uses it to decide
+// which content digests to replicate across shards (internal/gateway), and
+// the in-process result cache uses the same estimator to decide which
+// digests to promote into its lock-free replica tier (internal/rcache).
+//
+// Each slot runs a "frequent"/MJRTY (Boyer–Moore majority vote) estimator: a
+// key occupies its slot while it dominates the slot's traffic, and colliding
+// cold keys decrement rather than evict it, so hot keys are sticky against
+// cold-tail collisions. Counts are halved every DecayWindow arrivals, making
+// hotness a property of recent traffic — yesterday's viral frame cools off
+// and releases whatever resources its hotness earned.
+//
+// Keys are finalized through Mix64 before indexing: FNV digests of
+// structured inputs (quantized float tensors) can share their low bits
+// wholesale, and without mixing an entire workload collapses into one slot
+// where cold keys decrement the hot incumbent into oblivion (regression
+// pinned by TestTrackerStructuredDigests).
+package freq
+
+import "sync"
+
+// Defaults used when a Tracker is built with zero slot count or decay
+// window.
+const (
+	// DefaultSlots is the direct-mapped slot count (power of two).
+	DefaultSlots = 1024
+	// DefaultDecay is the number of arrivals between halvings of every
+	// slot's count.
+	DefaultDecay = 8192
+)
+
+// slot is padded to a cache line so adjacent slots never false-share under
+// concurrent recording.
+type slot struct {
+	mu    sync.Mutex
+	key   uint64
+	count uint32
+	_     [64 - 8 - 8 - 4]byte
+}
+
+// Tracker counts per-key arrivals and reports keys whose windowed count
+// crossed the threshold. Safe for concurrent use. A nil *Tracker is a valid
+// disabled tracker: Record and Hot report false, Force is a no-op.
+type Tracker struct {
+	threshold uint32
+	decay     uint64
+	mask      uint64
+	slots     []slot
+
+	// ops counts arrivals to schedule decay; guarded by opsMu rather than an
+	// atomic so exactly one caller runs each halving sweep.
+	opsMu sync.Mutex
+	ops   uint64
+}
+
+// New builds a tracker that reports a key hot once its windowed count
+// reaches threshold. threshold <= 0 returns nil (a disabled tracker). slots
+// is rounded up to a power of two (0 = DefaultSlots); decay is the arrivals
+// between halvings (0 = DefaultDecay).
+func New(threshold, slots, decay int) *Tracker {
+	if threshold <= 0 {
+		return nil
+	}
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	pow := 1
+	for pow < slots {
+		pow <<= 1
+	}
+	if decay <= 0 {
+		decay = DefaultDecay
+	}
+	return &Tracker{
+		threshold: uint32(threshold),
+		decay:     uint64(decay),
+		mask:      uint64(pow - 1),
+		slots:     make([]slot, pow),
+	}
+}
+
+// Threshold reports the configured hot threshold (0 for a nil tracker).
+func (t *Tracker) Threshold() uint32 {
+	if t == nil {
+		return 0
+	}
+	return t.threshold
+}
+
+// Record counts one arrival of key d. hot reports whether d is currently
+// hot; swept reports whether this arrival crossed a decay-window boundary
+// and triggered the halving sweep — callers maintaining state keyed on
+// hotness (replica tables) use it to schedule their own demotion pass.
+func (t *Tracker) Record(d uint64) (hot, swept bool) {
+	if t == nil {
+		return false, false
+	}
+	s := &t.slots[Mix64(d)&t.mask]
+	s.mu.Lock()
+	switch {
+	case s.key == d:
+		if s.count < 1<<31 {
+			s.count++
+		}
+	case s.count == 0:
+		s.key = d
+		s.count = 1
+	default:
+		// A colliding key decays the incumbent instead of evicting it: only
+		// a key that out-arrives the incumbent can take the slot, so hot
+		// keys are sticky against cold-tail collisions.
+		s.count--
+	}
+	hot = s.key == d && s.count >= t.threshold
+	s.mu.Unlock()
+
+	t.opsMu.Lock()
+	t.ops++
+	swept = t.ops%t.decay == 0
+	t.opsMu.Unlock()
+	if swept {
+		t.halve()
+	}
+	return hot, swept
+}
+
+// Hot peeks whether d is currently hot without recording an arrival.
+func (t *Tracker) Hot(d uint64) bool {
+	if t == nil {
+		return false
+	}
+	s := &t.slots[Mix64(d)&t.mask]
+	s.mu.Lock()
+	hot := s.key == d && s.count >= t.threshold
+	s.mu.Unlock()
+	return hot
+}
+
+// Force jumps d's count to the threshold, claiming its slot: the next Hot
+// or Record reports it hot. Used to pre-heat a key something upstream (the
+// gateway's fleet-wide view) already proved hot, so a shard promotes it
+// before its own window fills. An incumbent with a higher count is not
+// displaced — it is at least as hot.
+func (t *Tracker) Force(d uint64) {
+	if t == nil {
+		return
+	}
+	s := &t.slots[Mix64(d)&t.mask]
+	s.mu.Lock()
+	if s.key != d {
+		if s.count >= t.threshold {
+			s.mu.Unlock()
+			return
+		}
+		s.key = d
+	}
+	if s.count < t.threshold {
+		s.count = t.threshold
+	}
+	s.mu.Unlock()
+}
+
+func (t *Tracker) halve() {
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		s.count /= 2
+		s.mu.Unlock()
+	}
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap bijective avalanche that turns
+// structured 64-bit keys (FNV digests of similar tensors share bit
+// patterns) into uniform draws, so direct-mapped slot and ring-point
+// selection behave as independent hashes.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,149 @@
+package freq
+
+import "testing"
+
+func TestTrackerBasics(t *testing.T) {
+	tr := New(32, 0, 0)
+	d := uint64(0xdeadbeefcafe)
+	for i := 0; i < 31; i++ {
+		if hot, _ := tr.Record(d); hot {
+			t.Fatalf("hot after %d arrivals, threshold 32", i+1)
+		}
+	}
+	if hot, _ := tr.Record(d); !hot {
+		t.Fatal("not hot after 32 arrivals")
+	}
+	// A colliding cold key decays the incumbent's count but cannot evict it:
+	// after the cold burst, the incumbent recovers to hot with exactly as
+	// many arrivals as the burst spent.
+	slotIdx := Mix64(d) & tr.mask
+	other := d + 1
+	for Mix64(other)&tr.mask != slotIdx {
+		other++
+	}
+	for i := 0; i < 8; i++ {
+		if hot, _ := tr.Record(other); hot {
+			t.Fatal("colliding cold key went hot on the incumbent's count")
+		}
+	}
+	for i := 0; i < 8; i++ {
+		tr.Record(d)
+	}
+	if hot, _ := tr.Record(d); !hot {
+		t.Fatal("incumbent lost its slot to a colliding cold key")
+	}
+	if New(0, 0, 0) != nil {
+		t.Fatal("threshold 0 must disable the tracker")
+	}
+	var nilTr *Tracker
+	if hot, swept := nilTr.Record(d); hot || swept {
+		t.Fatal("nil tracker must report nothing")
+	}
+	nilTr.Force(d) // must not panic
+	if nilTr.Hot(d) {
+		t.Fatal("nil tracker reported hot")
+	}
+}
+
+// The regression that motivated Mix64 slotting: rcache digests of structured
+// tensors can share all their low bits, and raw masking would pile an entire
+// workload into one slot where cold keys hold the hot key at count 0.
+func TestTrackerStructuredDigests(t *testing.T) {
+	tr := New(32, 0, 0)
+	const lowBits = 0x012 // every key shares its low 10 bits
+	keys := make([]uint64, 64)
+	for i := range keys {
+		keys[i] = uint64(i)<<20 | lowBits
+	}
+	slots := map[uint64]bool{}
+	for _, k := range keys {
+		slots[Mix64(k)&tr.mask] = true
+	}
+	if len(slots) < len(keys)/2 {
+		t.Fatalf("Mix64 left %d/%d structured digests in distinct slots", len(slots), len(keys))
+	}
+	// keys[0] takes 50% of traffic; the rest share the tail. It must go hot.
+	hot := false
+	for i := 0; i < 400; i++ {
+		if h, _ := tr.Record(keys[0]); h {
+			hot = true
+		}
+		tr.Record(keys[1+i%(len(keys)-1)])
+	}
+	if !hot {
+		t.Fatal("dominant structured digest never went hot")
+	}
+}
+
+func TestTrackerHotPeeksWithoutArrival(t *testing.T) {
+	tr := New(4, 0, 0)
+	d := uint64(42)
+	for i := 0; i < 100; i++ {
+		if tr.Hot(d) {
+			t.Fatal("Hot must not record arrivals")
+		}
+	}
+	for i := 0; i < 4; i++ {
+		tr.Record(d)
+	}
+	if !tr.Hot(d) {
+		t.Fatal("Hot missed a key past threshold")
+	}
+}
+
+func TestTrackerForce(t *testing.T) {
+	tr := New(64, 0, 0)
+	d := uint64(7)
+	tr.Force(d)
+	if !tr.Hot(d) {
+		t.Fatal("forced key not hot")
+	}
+	// Force must not displace a hotter incumbent in the same slot.
+	incumbent := uint64(100)
+	for i := 0; i < 200; i++ {
+		tr.Record(incumbent)
+	}
+	collider := incumbent + 1
+	for Mix64(collider)&tr.mask != Mix64(incumbent)&tr.mask {
+		collider++
+	}
+	tr.Force(collider)
+	if !tr.Hot(incumbent) {
+		t.Fatal("Force displaced an incumbent with a higher count")
+	}
+}
+
+// TestTrackerDecayWindow pins the configurable decay: with a tiny window, a
+// key that stops arriving falls below threshold after enough cold traffic.
+func TestTrackerDecayWindow(t *testing.T) {
+	tr := New(8, 0, 16) // halve every 16 arrivals
+	d := uint64(0xabc)
+	for i := 0; i < 12; i++ {
+		tr.Record(d)
+	}
+	if !tr.Hot(d) {
+		t.Fatal("not hot after 12 arrivals at threshold 8")
+	}
+	// 64 cold arrivals = 4 halvings: 12 -> 6 -> 3 -> 1 -> 0-ish, never
+	// touching d's slot (distinct keys spread by Mix64; any that collide
+	// only decay d faster).
+	for i := 0; i < 64; i++ {
+		tr.Record(uint64(0x1000 + i))
+	}
+	if tr.Hot(d) {
+		t.Fatal("key survived 4 decay halvings without arrivals")
+	}
+}
+
+func TestRecordReportsSweep(t *testing.T) {
+	tr := New(2, 0, 8)
+	swept := 0
+	for i := 0; i < 24; i++ {
+		if _, s := tr.Record(uint64(i)); s {
+			swept++
+		}
+	}
+	if swept != 3 {
+		t.Fatalf("24 arrivals at decay window 8: got %d sweeps, want 3", swept)
+	}
+}

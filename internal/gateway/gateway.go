@@ -14,11 +14,14 @@
 //     already carrying more than LoadFactor times the fleet-average
 //     in-flight work spills the request to its successor instead of
 //     queueing behind the herd.
-//   - Hot keys (hotkey.go): per-digest arrival counting detects zipf-hot
-//     content; a hot digest is served by its HotReplicas ring successors
-//     with power-of-two-choices balancing between them, so one viral frame
-//     engages several shards' capacity instead of saturating its owner
-//     (each replica answers from its own result cache after one miss).
+//   - Hot keys (internal/freq MJRTY estimator): per-digest arrival counting
+//     detects zipf-hot content; a hot digest is served by its HotReplicas
+//     ring successors with power-of-two-choices balancing between them, so
+//     one viral frame engages several shards' capacity instead of
+//     saturating its owner (each replica answers from its own result cache
+//     after one miss). The verdict also rides the proxied request
+//     (Request.Hot / X-Itask-Hot) so shards pre-promote fleet-hot digests
+//     into their in-process replica tier (see internal/rcache).
 //   - Health (health.go): active probes plus passive failure accounting
 //     eject an unreachable member; its keys rehash to successors and a
 //     request caught mid-death retries once on the successor, so a node
@@ -45,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"itask/internal/freq"
 	"itask/internal/rcache"
 	"itask/internal/serve"
 )
@@ -161,6 +165,12 @@ type Config struct {
 	// HotReplicas is how many ring successors serve a hot digest (≥ 2 when
 	// HotThreshold > 0).
 	HotReplicas int
+	// HotDecay is the number of arrivals between halvings of the hot-digest
+	// estimator's counts — the window over which hotness is measured. 0
+	// picks freq.DefaultDecay (8192). Shards reuse the same knob for their
+	// in-process promotion detector, so gateway and shard agree on what
+	// "recent" means.
+	HotDecay int
 	// MaxRetries is how many failover attempts a request gets on successor
 	// shards after an overload- or down-class failure.
 	MaxRetries int
@@ -190,6 +200,7 @@ func DefaultConfig() Config {
 		LoadFactor:    1.25,
 		HotThreshold:  64,
 		HotReplicas:   2,
+		HotDecay:      freq.DefaultDecay,
 		MaxRetries:    1,
 		FailThreshold: 3,
 		EjectFor:      2 * time.Second,
@@ -210,6 +221,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gateway: negative HotThreshold %d", c.HotThreshold)
 	case c.HotThreshold > 0 && c.HotReplicas < 2:
 		return fmt.Errorf("gateway: HotThreshold %d needs HotReplicas >= 2, got %d", c.HotThreshold, c.HotReplicas)
+	case c.HotDecay < 0:
+		return fmt.Errorf("gateway: negative HotDecay %d", c.HotDecay)
 	case c.MaxRetries < 0:
 		return fmt.Errorf("gateway: negative MaxRetries %d", c.MaxRetries)
 	case c.FailThreshold < 0:
@@ -229,7 +242,7 @@ func (c Config) Validate() error {
 type Gateway struct {
 	cfg Config
 	m   *metrics
-	hot *hotTracker // nil when hot-key handling is off
+	hot *freq.Tracker // nil when hot-key handling is off
 
 	// ring is copy-on-write: mu serializes mutations, reads are lock-free.
 	mu   sync.Mutex
@@ -263,7 +276,7 @@ func New(cfg Config) (*Gateway, error) {
 	g := &Gateway{
 		cfg:  cfg,
 		m:    &metrics{},
-		hot:  newHotTracker(cfg.HotThreshold),
+		hot:  freq.New(cfg.HotThreshold, freq.DefaultSlots, cfg.HotDecay),
 		stop: make(chan struct{}),
 	}
 	g.ring.Store(buildRing(nil, cfg.VirtualNodes))
@@ -373,8 +386,13 @@ type ExecInfo struct {
 // Execute routes key k to a node and runs do against it, handling hot-key
 // replication, bounded-load spill, failure classification, ejection
 // bookkeeping, and failover retries. It is the transport-agnostic core
-// under Detect and under cmd/itask-gateway's body forwarding.
-func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Context, n Node) error) (ExecInfo, error) {
+// under Detect and under cmd/itask-gateway's body forwarding. The callback
+// receives the gateway's hot verdict for the key so adapters can forward it
+// downstream (X-Itask-Hot on proxied requests, serve.Request.Hot
+// in-process): a shard told its content is fleet-hot pre-promotes the
+// digest into its replica tier instead of waiting for its own detector —
+// which only ever sees 1/HotReplicas of the replicated traffic — to trip.
+func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Context, n Node, hot bool) error) (ExecInfo, error) {
 	rs := g.ring.Load()
 	info := ExecInfo{}
 	if len(rs.members) == 0 {
@@ -382,7 +400,7 @@ func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Contex
 	}
 	h := k.hash()
 	if g.hot != nil && k.HasDigest {
-		info.Hot = g.hot.record(k.Digest)
+		info.Hot, _ = g.hot.Record(k.Digest)
 	}
 
 	// Preference order: the owner and its successors, healthy members
@@ -413,7 +431,7 @@ func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Contex
 		tried = append(tried, m)
 
 		m.inflight.Add(1)
-		err := do(ctx, m.node)
+		err := do(ctx, m.node, info.Hot)
 		m.inflight.Add(-1)
 
 		switch Classify(err) {
@@ -532,14 +550,17 @@ type Result struct {
 }
 
 // Detect routes one request to its shard and executes it. Every node must
-// implement DetectNode.
+// implement DetectNode. The gateway's hot verdict rides the request as
+// Request.Hot so the shard can pre-promote the digest in its replica tier.
 func (g *Gateway) Detect(ctx context.Context, req serve.Request) (Result, error) {
 	var res serve.Result
-	info, err := g.Execute(ctx, KeyFor(req), func(ctx context.Context, n Node) error {
+	info, err := g.Execute(ctx, KeyFor(req), func(ctx context.Context, n Node, hot bool) error {
 		dn, ok := n.(DetectNode)
 		if !ok {
 			return &NodeError{Class: ClassRequest, Err: fmt.Errorf("gateway: node %s cannot serve Detect", n.ID())}
 		}
+		req := req
+		req.Hot = hot
 		r, derr := dn.Detect(ctx, req)
 		if derr == nil {
 			res = r

@@ -3,6 +3,8 @@ package gateway
 import (
 	"sort"
 	"sync/atomic"
+
+	"itask/internal/freq"
 )
 
 // ring.go: the consistent-hash layer. Each backend node projects
@@ -157,15 +159,10 @@ func vnodeHash(id string, v int) uint64 {
 	return mix64(h)
 }
 
-// mix64 is the splitmix64 finalizer: a cheap bijective avalanche that
-// decorrelates request keys (already FNV digests) from the FNV-derived
-// vnode points, so key hashes and point hashes behave as independent
-// uniform draws.
+// mix64 is the splitmix64 finalizer (freq.Mix64): a cheap bijective
+// avalanche that decorrelates request keys (already FNV digests) from the
+// FNV-derived vnode points, so key hashes and point hashes behave as
+// independent uniform draws.
 func mix64(x uint64) uint64 {
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return x
+	return freq.Mix64(x)
 }

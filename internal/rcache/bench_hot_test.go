@@ -1,0 +1,134 @@
+package rcache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"itask/internal/freq"
+)
+
+// benchHotCache builds a warm cache holding n entries under one artifact.
+// With hot enabled, every entry is read past the promotion threshold so the
+// timed loop measures steady-state replica reads, not the detector ramp.
+func benchHotCache(b *testing.B, n int, hot bool) (*Cache, []Key) {
+	b.Helper()
+	cfg := Config{MaxBytes: 64 << 20, Shards: 8}
+	if hot {
+		cfg.HotThreshold = 4
+		cfg.HotMaxBytes = 8 << 20
+	}
+	c := New(cfg)
+	now := time.Unix(1, 0)
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{Artifact: "m@v1#aa", Task: "patrol", Digest: freq.Mix64(uint64(i) + 1)}
+		c.Put(keys[i], i, now)
+		if hot {
+			for r := 0; r < cfg.HotThreshold+2; r++ {
+				c.Get(keys[i], now)
+			}
+		}
+	}
+	if hot {
+		if st := c.Stats(); st.HotEntries != n {
+			b.Fatalf("warmup promoted %d/%d entries", st.HotEntries, n)
+		}
+	}
+	return c, keys
+}
+
+// BenchmarkCacheGetHot1 isolates the read path the serve-level hot1 workload
+// exercises, without the per-request overhead (digesting, routing, metrics)
+// that both serve variants pay identically: every reader hits one viral key.
+// replicated serves it from the lock-free per-P table; sharded takes the
+// shard mutex and touches the entry's LRU links and hit counter — one
+// shared cache line per read even before the mutex is contended.
+func BenchmarkCacheGetHot1(b *testing.B) {
+	for _, hot := range []bool{true, false} {
+		name := "sharded"
+		if hot {
+			name = "replicated"
+		}
+		b.Run(name, func(b *testing.B) {
+			c, keys := benchHotCache(b, 1, hot)
+			now := time.Unix(2, 0)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, _, ok := c.Get(keys[0], now); !ok {
+						b.Fatal("lost the hot entry")
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCacheGetHot8 is the same isolation over 8 viral keys (the dup50
+// hot set size): readers rotate through all of them, so the sharded variant
+// spreads across shards while the replicated variant still reads one
+// immutable table.
+func BenchmarkCacheGetHot8(b *testing.B) {
+	for _, hot := range []bool{true, false} {
+		name := "sharded"
+		if hot {
+			name = "replicated"
+		}
+		b.Run(name, func(b *testing.B) {
+			c, keys := benchHotCache(b, 8, hot)
+			now := time.Unix(2, 0)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var n uint64
+				for pb.Next() {
+					n++
+					if _, _, ok := c.Get(keys[n&7], now); !ok {
+						b.Fatal("lost a hot entry")
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCacheReplicatedProbe measures the replica-only probe the
+// singleflight fast path uses (Cache.Replicated): one immutable-table load,
+// one map lookup, one striped counter add. The hit must stay 0 allocs/op.
+func BenchmarkCacheReplicatedProbe(b *testing.B) {
+	c, keys := benchHotCache(b, 1, true)
+	now := time.Unix(2, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, ok := c.Replicated(keys[0], now); !ok {
+				b.Fatal("lost the hot entry")
+			}
+		}
+	})
+}
+
+// BenchmarkCachePromotionChurn stresses the mutation side: promotions,
+// byte-pressure evictions, and artifact retirement under a tight replica
+// budget, to keep the copy-on-write publish cost visible in profiles.
+func BenchmarkCachePromotionChurn(b *testing.B) {
+	cfg := Config{MaxBytes: 1 << 20, Shards: 8, HotThreshold: 2, HotMaxBytes: 4 * defaultEntrySize}
+	c := New(cfg)
+	now := time.Unix(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One fresh artifact per 64-op window: retirement is permanent (the
+		// resurrection guard), so reusing a retired name would freeze the
+		// promotion path this bench exists to measure.
+		artifact := fmt.Sprintf("m@v%d#aa", i>>6)
+		k := Key{Artifact: artifact, Task: "patrol", Digest: freq.Mix64(uint64(i))}
+		c.Put(k, i, now)
+		c.Get(k, now)
+		c.Get(k, now)
+		c.Get(k, now)
+		if i&63 == 63 {
+			c.InvalidateArtifact(artifact)
+		}
+	}
+}

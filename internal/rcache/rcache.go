@@ -26,6 +26,16 @@
 // comparable struct key and an intrusive LRU touch, and never allocates on
 // hit or miss.
 //
+// Sharding spreads *distinct* digests; it does nothing for one viral digest
+// whose readers all hash to the same shard. When Config.HotThreshold is set,
+// a contention-adaptive hot tier (see hot.go) promotes entries whose digests
+// an MJRTY frequency estimator proves hot into a replicated read-only table:
+// promoted lookups take no mutex, relink no LRU, and touch no shared mutable
+// cache line. Promotion, decay-driven demotion, and byte pressure are
+// managed by the tier; MarkHot lets an upstream hint (the gateway's
+// fleet-wide hot verdict) pre-promote, and Replicated exposes the
+// replica-only probe for singleflight fast paths.
+//
 // Two auxiliary mechanisms round out the invalidation story:
 //
 //   - InvalidateArtifact sweeps all entries pinned to one versioned artifact
@@ -79,6 +89,23 @@ type Config struct {
 	// poison, and the only way to discover a fixed kernel is to let the
 	// content through again.
 	NegTTL time.Duration
+
+	// HotThreshold enables the hot replica tier: a digest seen this many
+	// times within a decay window (by the tier's MJRTY estimator) has its
+	// entry promoted to the lock-free replicated table. Zero disables the
+	// tier entirely (no detector, no replica memory).
+	HotThreshold int
+	// HotDecay is the estimator's decay window in arrivals (counts halve
+	// every HotDecay slow-path lookups); it is also the cadence of the
+	// demotion sweep. Zero picks freq.DefaultDecay.
+	HotDecay int
+	// HotMaxBytes bounds the replica tier's memory. Replicas are copies —
+	// their bytes are charged here, on top of the shard budget, not against
+	// MaxBytes. Zero picks MaxBytes/8.
+	HotMaxBytes int64
+	// HotStripes is the number of per-P hit-counter stripes per promoted
+	// entry, rounded up to a power of two. Zero picks GOMAXPROCS.
+	HotStripes int
 }
 
 // defaultEntrySize is the per-entry accounting charge when no SizeOf is
@@ -139,6 +166,9 @@ type Cache struct {
 	ttl    time.Duration
 	negTTL time.Duration
 	sizeOf func(any) int64
+	// hot is the replica tier; nil when Config.HotThreshold is zero, and
+	// every use is behind that nil check.
+	hot *hotTier
 }
 
 // New builds a cache from cfg. Panics when MaxBytes is not positive (a
@@ -170,6 +200,16 @@ func New(cfg Config) *Cache {
 	for i := range c.shards {
 		c.shards[i] = &shard{entries: map[Key]*entry{}, maxBytes: per}
 	}
+	if cfg.HotThreshold > 0 {
+		hotBytes := cfg.HotMaxBytes
+		if hotBytes <= 0 {
+			hotBytes = cfg.MaxBytes / 8
+			if hotBytes <= 0 {
+				hotBytes = cfg.MaxBytes
+			}
+		}
+		c.hot = newHotTier(cfg.HotThreshold, cfg.HotDecay, hotBytes, cfg.HotStripes)
+	}
 	return c
 }
 
@@ -183,13 +223,29 @@ func (c *Cache) shardFor(k Key) *shard {
 // not expired at now. Expired entries are removed and counted stale (a
 // distinct signal from a plain miss: the entry existed but aged out).
 // Allocation-free on both hit and miss.
+//
+// With the hot tier enabled, promoted keys are answered from the replica
+// table first — no mutex, no LRU write — and only replica misses fall
+// through to the sharded path, where each lookup also feeds the promotion
+// detector (replicated hits deliberately do not: the detector's slot mutex
+// is the shared line the tier exists to avoid).
 func (c *Cache) Get(k Key, now time.Time) (payload any, model string, ok bool) {
+	if c.hot != nil {
+		if payload, model, ok = c.hot.get(k, now); ok {
+			return payload, model, true
+		}
+	}
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	e := sh.entries[k]
 	if e == nil {
 		sh.mu.Unlock()
 		sh.misses.Add(1)
+		if c.hot != nil {
+			// Count the arrival so the digest can trip hot while its result
+			// is still being computed; the eventual Put fill-promotes.
+			c.hot.record(k, now)
+		}
 		return nil, "", false
 	}
 	if !e.expires.IsZero() && now.After(e.expires) {
@@ -197,12 +253,19 @@ func (c *Cache) Get(k Key, now time.Time) (payload any, model string, ok bool) {
 		sh.mu.Unlock()
 		sh.stale.Add(1)
 		sh.misses.Add(1)
+		if c.hot != nil {
+			c.hot.record(k, now)
+		}
 		return nil, "", false
 	}
 	sh.touchLocked(e)
 	payload, model = e.payload, e.model
+	bytes, expires := e.bytes, e.expires
 	sh.mu.Unlock()
 	sh.hits.Add(1)
+	if c.hot != nil && c.hot.record(k, now) {
+		c.hot.promote(k, payload, model, bytes, expires)
+	}
 	return payload, model, true
 }
 
@@ -241,10 +304,20 @@ func (c *Cache) Put(k Key, payload any, now time.Time) {
 		sh.evictions.Add(1)
 	}
 	sh.mu.Unlock()
+	if c.hot != nil && c.hot.tracker.Hot(k.Digest) {
+		// Fill-promote: the digest went hot while its result was in flight
+		// (arrivals counted as misses above), or an already-promoted entry
+		// was refreshed with a new payload.
+		c.hot.promote(k, payload, k.Artifact, size, expires)
+	}
 }
 
-// Invalidate drops the entry for k, reporting whether one existed.
+// Invalidate drops the entry for k — and its hot replica, if promoted —
+// reporting whether either existed.
 func (c *Cache) Invalidate(k Key) bool {
+	if c.hot != nil {
+		c.hot.invalidate(k)
+	}
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -266,6 +339,12 @@ func (c *Cache) Invalidate(k Key) bool {
 // at a time, so concurrent hits on other shards never stall.
 func (c *Cache) InvalidateArtifact(artifact string) int {
 	removed := 0
+	if c.hot != nil {
+		// Retire replicas first and in one copy-on-write publish: once this
+		// returns, no lock-free reader can see any of the artifact's entries,
+		// so the registry can let the next snapshot serve.
+		removed += c.hot.retireArtifact(artifact)
+	}
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		for k, e := range sh.entries {
@@ -282,6 +361,21 @@ func (c *Cache) InvalidateArtifact(artifact string) int {
 		sh.mu.Unlock()
 	}
 	return removed
+}
+
+// RetireReplicas drops every hot-tier replica pinned to one versioned
+// artifact ID in a single copy-on-write publish, leaving the sharded tier
+// alone, and returns how many replicas were retired. This is the registry
+// epoch-change reconciliation: shard entries invalidate naturally (requests
+// stop asking for a retired version's keys, and a rollback may legitimately
+// resurrect its still-TTL-valid entries), but replicas answer lock-free
+// probes keyed by whatever the prober believes is active — they must be
+// gone before a new routing snapshot serves. A no-op without the hot tier.
+func (c *Cache) RetireReplicas(artifact string) int {
+	if c.hot == nil {
+		return 0
+	}
+	return c.hot.retireArtifact(artifact)
 }
 
 // PutNegative marks k as quarantined: Negative reports it for the cache's
@@ -336,6 +430,47 @@ func (c *Cache) Negative(k Key, now time.Time) bool {
 		sh.negHits.Add(1)
 	}
 	return ok
+}
+
+// MarkHot force-feeds the promotion detector with k's digest (an upstream
+// hint — the gateway's fleet-wide hot verdict arriving as X-Itask-Hot —
+// knows about replicated traffic this process hasn't seen yet) and, when the
+// sharded tier already holds k, promotes it immediately. A no-op without the
+// hot tier. The detector's Force never displaces a hotter incumbent, so a
+// spoofed or stale hint cannot evict genuinely hot slots.
+func (c *Cache) MarkHot(k Key, now time.Time) {
+	if c.hot == nil {
+		return
+	}
+	c.hot.tracker.Force(k.Digest)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	e := sh.entries[k]
+	var payload any
+	var model string
+	var bytes int64
+	var expires time.Time
+	if e != nil && (e.expires.IsZero() || !now.After(e.expires)) {
+		payload, model, bytes, expires = e.payload, e.model, e.bytes, e.expires
+	} else {
+		e = nil
+	}
+	sh.mu.Unlock()
+	if e != nil {
+		c.hot.promote(k, payload, model, bytes, expires)
+	}
+}
+
+// Replicated probes only the hot replica table: a hit is the full lock-free
+// fast path (counted as a hot hit), a miss means k is simply not promoted —
+// the sharded tier is not consulted and no counters move. The serving
+// layer's singleflight uses it so a promoted digest's readers never enter a
+// flight table stripe.
+func (c *Cache) Replicated(k Key, now time.Time) (payload any, model string, ok bool) {
+	if c.hot == nil {
+		return nil, "", false
+	}
+	return c.hot.get(k, now)
 }
 
 // pushFrontLocked links e as most-recently-used. Caller holds sh.mu.
@@ -408,6 +543,15 @@ type Stats struct {
 	NegEntries int    `json:"neg_entries,omitempty"`
 	NegHits    uint64 `json:"neg_hits,omitempty"`
 	NegInserts uint64 `json:"neg_inserts,omitempty"`
+	// Hot replica tier (zero values when the tier is disabled). HotHits is
+	// included in Hits; HotBytes counts replica copies, charged against
+	// HotMaxBytes on top of the shard budget.
+	HotEntries    int    `json:"hot_entries,omitempty"`
+	HotBytes      int64  `json:"hot_bytes,omitempty"`
+	HotMaxBytes   int64  `json:"hot_max_bytes,omitempty"`
+	HotHits       uint64 `json:"hot_hits,omitempty"`
+	HotPromotions uint64 `json:"hot_promotions,omitempty"`
+	HotDemotions  uint64 `json:"hot_demotions,omitempty"`
 }
 
 // Stats aggregates all shards. Counter reads are atomic; occupancy briefly
@@ -430,6 +574,9 @@ func (c *Cache) Stats() Stats {
 		st.NegEntries += len(sh.neg)
 		st.Bytes += sh.bytes
 		sh.mu.Unlock()
+	}
+	if c.hot != nil {
+		c.hot.snapshotInto(&st)
 	}
 	return st
 }

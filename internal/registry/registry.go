@@ -192,6 +192,11 @@ type Registry struct {
 	rollbacks uint64
 	demotions uint64
 
+	// retireHooks run inside every snapshot swap, before the new snapshot
+	// is published, once per artifact version that stops being active (see
+	// OnRetire).
+	retireHooks []func(artifact string)
+
 	snap atomic.Pointer[Snapshot]
 }
 
@@ -430,6 +435,21 @@ func (r *Registry) demoteLocked(sr *series, v int) (ArtifactID, error) {
 	return sr.versions[prev-1].ID, nil
 }
 
+// OnRetire registers a hook called with the full ID string (name@vN#sum) of
+// every artifact version that stops being active — the version a publish
+// supersedes, or the one a demotion/rollback quarantines. Hooks run inside
+// the swap, under the registry's write lock and crucially *before* the new
+// snapshot is stored: derived state keyed by versioned IDs (the serving
+// layer's result-cache replicas) is torn down before any reader can observe
+// the new routing view, so a retired version's cached results can never be
+// served alongside it. Hooks must therefore be fast and must not call back
+// into the registry.
+func (r *Registry) OnRetire(fn func(artifact string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retireHooks = append(r.retireHooks, fn)
+}
+
 // swapLocked rebuilds the routing snapshot from the series table and stores
 // it atomically. Caller holds r.mu.
 func (r *Registry) swapLocked() {
@@ -458,6 +478,19 @@ func (r *Registry) swapLocked() {
 			s.generalist = act
 		case TaskSpecific:
 			s.byTask[act.Task] = act
+		}
+	}
+	if len(r.retireHooks) > 0 {
+		if old := r.snap.Load(); old != nil {
+			for name, a := range old.active {
+				na, ok := s.active[name]
+				if ok && na.ID == a.ID {
+					continue
+				}
+				for _, fn := range r.retireHooks {
+					fn(a.ID.String())
+				}
+			}
 		}
 	}
 	r.snap.Store(s)

@@ -262,6 +262,48 @@ func TestSnapshotReadersNeverTear(t *testing.T) {
 	}
 }
 
+// TestOnRetire pins the hook contract: exactly the versions that stop being
+// active are reported, before the new snapshot is observable.
+func TestOnRetire(t *testing.T) {
+	r := New()
+	var retired []string
+	r.OnRetire(func(artifact string) {
+		// The hook runs before the swap: the retired ID must still be the
+		// active one in the currently-published snapshot.
+		if a, ok := r.Snapshot().Active("s"); ok && a.ID.String() != artifact {
+			t.Errorf("hook for %s ran after snapshot swap (active now %s)", artifact, a.ID)
+		}
+		retired = append(retired, artifact)
+	})
+
+	v1 := publishStudent(t, r, "s", "patrol", 1)
+	if len(retired) != 0 {
+		t.Fatalf("first publish retired %v", retired)
+	}
+	v2 := publishStudent(t, r, "s", "patrol", 2)
+	if len(retired) != 1 || retired[0] != v1.String() {
+		t.Fatalf("publish over v1: retired %v, want [%s]", retired, v1)
+	}
+	// Demoting the active version rolls back to v1 and retires v2.
+	if _, rolledBack := r.Demote(v2); !rolledBack {
+		t.Fatal("demote did not roll back")
+	}
+	if len(retired) != 2 || retired[1] != v2.String() {
+		t.Fatalf("demote of v2: retired %v, want [... %s]", retired, v2)
+	}
+	// Marking an already-inactive version quarantined changes no active set:
+	// no retirement.
+	r.Demote(v2)
+	if len(retired) != 2 {
+		t.Fatalf("re-demote retired %v", retired)
+	}
+	// An unrelated publish retires nothing.
+	publishStudent(t, r, "other", "rescue", 3)
+	if len(retired) != 2 {
+		t.Fatalf("unrelated publish retired %v", retired)
+	}
+}
+
 func TestManifestLayoutRoundTrip(t *testing.T) {
 	root := t.TempDir()
 	m := Manifest{Name: "patrol-student", Version: 1, Kind: TaskSpecific.String(),

@@ -97,6 +97,19 @@ type RegistryStatser interface {
 	RegistryStats() registry.Stats
 }
 
+// RetirementNotifier is optionally implemented by backends with a versioned
+// model registry. OnRetire registers a hook the backend must call with the
+// full versioned artifact ID of every version that stops being active —
+// superseded by a publish, or quarantined by a demotion/rollback — *before*
+// the new routing view becomes observable. The server uses it to retire the
+// version's result-cache state (including lock-free hot-tier replicas)
+// atomically with the version itself, so a promoted entry can never serve a
+// retired version. Hooks run under the registry's write lock: they must be
+// fast and must not call back into the backend.
+type RetirementNotifier interface {
+	OnRetire(fn func(artifact string))
+}
+
 // RouteEpocher is optionally implemented by backends whose routing table
 // has a version. RouteEpoch must return a value that changes whenever any
 // Route result could change (for the pipeline backend, the registry
@@ -124,6 +137,13 @@ type Request struct {
 	// Deadline, when non-zero, is the admission-to-execution deadline:
 	// requests still waiting past it are shed instead of executed.
 	Deadline time.Time
+	// Hot is an upstream hint (the gateway's fleet-wide hot-digest verdict,
+	// X-Itask-Hot on HTTP) that this request's content is viral. The server
+	// pre-heats the content's digest in the result cache's hot tier, so the
+	// entry is promoted to the lock-free replica table without waiting for
+	// the local detector — which sees only this shard's slice of the
+	// replicated traffic — to trip on its own.
+	Hot bool
 }
 
 // DegradedBreakerOpen is the Result.Degraded reason for requests rerouted

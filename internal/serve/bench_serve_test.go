@@ -30,7 +30,7 @@ func (benchBackend) DetectBatch(variant, task string, imgs []*tensor.Tensor) ([]
 	return out, variant, nil
 }
 
-func benchConfig(cache bool) Config {
+func benchConfig(cache, hot bool) Config {
 	cfg := Config{
 		Workers:       4,
 		MaxBatch:      8,
@@ -42,12 +42,15 @@ func benchConfig(cache bool) Config {
 		cfg.CacheBytes = 64 << 20
 		cfg.Coalesce = true
 	}
+	if hot {
+		cfg.HotThreshold = 8
+	}
 	return cfg
 }
 
-// benchImage builds one 3x16x16 image whose content is a function of seed.
-func benchImage(seed uint64) *tensor.Tensor {
-	img := tensor.New(3, 16, 16)
+// benchImage builds one 3xNxN image whose content is a function of seed.
+func benchImage(seed uint64, dim int) *tensor.Tensor {
+	img := tensor.New(3, dim, dim)
 	for i := range img.Data {
 		img.Data[i] = float32(seed) + float32(i)*0.25
 	}
@@ -64,15 +67,31 @@ func benchImage(seed uint64) *tensor.Tensor {
 //	zipf11:  ranks drawn zipf(1.1) over a 512-frame universe — the skewed
 //	         viral-traffic shape; a few frames dominate but the tail is live,
 //	         stressing one cache shard and one coalescing entry at once.
+//	hot1:    every request reads one single viral frame — the worst-case
+//	         convoy on one cache shard's mutex and one cache line. The
+//	         replicated variant serves it from the lock-free hot replica
+//	         table; sharded keeps the replica tier off for comparison.
+//	zipf13:  ranks drawn zipf(1.3) — steeper than zipf11, so the head is
+//	         viral enough for the hot detector to promote it while the tail
+//	         still churns the sharded cache underneath.
+//
+// The hot1/zipf13 pairs isolate the replica tier against the sharded cache,
+// so they use 3x4x4 thumbnail frames: content digesting is a latency-bound
+// FNV chain both variants pay identically, and at full frame size it drowns
+// the serving-path difference under measurement. The other workloads keep
+// full 3x16x16 frames.
 //
 // Each goroutine mutates a private scratch image to synthesize unique
 // content without per-op allocation.
 func BenchmarkServeHotPath(b *testing.B) {
 	for _, tc := range []struct {
 		name   string
-		dupMod uint64 // every dupMod-th request is a hot duplicate (0 = never)
-		zipf   bool   // draw from the zipf universe instead of dup/uniq
+		dupMod uint64  // every dupMod-th request is a hot duplicate (0 = never)
+		single bool    // every request reads the one hot frame
+		zipf   bool    // draw from the zipf universe instead of dup/uniq
+		zipfS  float64 // zipf exponent (0 = 1.1)
 		cache  bool
+		hot    bool // enable the hot replica tier
 	}{
 		{name: "dup50/cache", dupMod: 2, cache: true},
 		{name: "dup50/nocache", dupMod: 2},
@@ -80,9 +99,13 @@ func BenchmarkServeHotPath(b *testing.B) {
 		{name: "uniq100/nocache"},
 		{name: "zipf11/cache", zipf: true, cache: true},
 		{name: "zipf11/nocache", zipf: true},
+		{name: "hot1/replicated", single: true, cache: true, hot: true},
+		{name: "hot1/sharded", single: true, cache: true},
+		{name: "zipf13/replicated", zipf: true, zipfS: 1.3, cache: true, hot: true},
+		{name: "zipf13/sharded", zipf: true, zipfS: 1.3, cache: true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			s, err := New(benchBackend{}, benchConfig(tc.cache))
+			s, err := New(benchBackend{}, benchConfig(tc.cache, tc.hot))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -91,13 +114,17 @@ func BenchmarkServeHotPath(b *testing.B) {
 				defer cancel()
 				_ = s.Shutdown(ctx)
 			}()
+			dim := 16
+			if tc.single || tc.zipfS != 0 {
+				dim = 4 // thumbnail frames; see the workload table above
+			}
 			hot := make([]*tensor.Tensor, 8)
 			for i := range hot {
-				hot[i] = benchImage(uint64(i))
+				hot[i] = benchImage(uint64(i), dim)
 			}
 			var universe []*tensor.Tensor
 			if tc.zipf {
-				universe = chaos.ZipfImages(512, 3, 16, 16)
+				universe = chaos.ZipfImages(512, 3, dim, dim)
 			}
 			// Warm the cache with the hot set so dup50 measures steady state.
 			for _, img := range hot {
@@ -105,15 +132,40 @@ func BenchmarkServeHotPath(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			if tc.hot {
+				// Cross the promotion threshold before timing so the
+				// replicated variants measure steady-state replica reads,
+				// not the detector ramp.
+				warm := func(img *tensor.Tensor) {
+					for i := 0; i < 16; i++ {
+						if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: img}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				warm(hot[0])
+				if tc.zipf {
+					ws := chaos.NewZipfStream(0, tc.zipfS, len(universe))
+					for i := 0; i < 4096; i++ {
+						if _, err := s.Detect(context.Background(), Request{Task: "patrol", Image: universe[ws.Next()]}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
 			var gid atomic.Uint64
 			b.SetParallelism(4) // 4 client goroutines per GOMAXPROCS
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				g := gid.Add(1)
-				scratch := benchImage(1_000_000 * g)
+				scratch := benchImage(1_000_000*g, dim)
 				var zs *chaos.ZipfStream
 				if tc.zipf {
-					zs = chaos.NewZipfStream(g, 1.1, len(universe))
+					s := tc.zipfS
+					if s == 0 {
+						s = 1.1
+					}
+					zs = chaos.NewZipfStream(g, s, len(universe))
 				}
 				ctx := context.Background()
 				var n uint64
@@ -121,6 +173,8 @@ func BenchmarkServeHotPath(b *testing.B) {
 					n++
 					img := scratch
 					switch {
+					case tc.single:
+						img = hot[0]
 					case tc.zipf:
 						img = universe[zs.Next()]
 					case tc.dupMod != 0 && n%tc.dupMod == 0:

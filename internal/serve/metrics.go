@@ -300,8 +300,12 @@ type Snapshot struct {
 	// ResultCache surfaces the content-addressed detection cache's own
 	// occupancy and churn when the cache is enabled (nil otherwise);
 	// ResultCacheHitRate is Hits/(Hits+Misses) over its lifetime.
+	// ReplicatedHitRate is the share of cache hits served from the hot
+	// replica tier's lock-free table (hot_hits/hits; zero when the tier is
+	// disabled) — the fraction of the read path that touched no mutex.
 	ResultCache        *rcache.Stats `json:"result_cache,omitempty"`
 	ResultCacheHitRate float64       `json:"result_cache_hit_rate,omitempty"`
+	ReplicatedHitRate  float64       `json:"replicated_hit_rate,omitempty"`
 
 	// Breakers lists every (variant, task) lane's circuit-breaker state.
 	Breakers []LaneBreaker `json:"breakers,omitempty"`

@@ -165,6 +165,20 @@ type Config struct {
 	// one backend execution instead of each riding the queue. Failure
 	// semantics are per-request — see flight.go.
 	Coalesce bool
+
+	// HotThreshold, when positive (requires CacheBytes), enables the result
+	// cache's hot replica tier: a digest read this many times within a decay
+	// window is promoted to a lock-free replicated table, so a viral frame's
+	// readers stop serializing on one cache-shard mutex. See rcache's hot
+	// tier for the mechanism.
+	HotThreshold int
+	// HotDecay is the hot detector's decay window in arrivals (0 picks the
+	// estimator default). The same knob paces demotion of replicas whose
+	// traffic dried up.
+	HotDecay int
+	// HotBytes bounds the replica tier's memory, on top of CacheBytes
+	// (replicas are copies). Zero picks CacheBytes/8.
+	HotBytes int64
 }
 
 // DefaultConfig returns a configuration sized for the laptop-scale models:
@@ -226,6 +240,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative NegativeTTL %v", c.NegativeTTL)
 	case c.CacheShards < 0:
 		return fmt.Errorf("serve: negative CacheShards %d", c.CacheShards)
+	case c.HotThreshold < 0:
+		return fmt.Errorf("serve: negative HotThreshold %d", c.HotThreshold)
+	case c.HotThreshold > 0 && c.CacheBytes <= 0:
+		return fmt.Errorf("serve: HotThreshold %d needs a result cache (CacheBytes > 0)", c.HotThreshold)
+	case c.HotDecay < 0:
+		return fmt.Errorf("serve: negative HotDecay %d", c.HotDecay)
+	case c.HotBytes < 0:
+		return fmt.Errorf("serve: negative HotBytes %d", c.HotBytes)
 	}
 	return nil
 }
@@ -293,11 +315,23 @@ func New(b Backend, cfg Config) (*Server, error) {
 	s.validator, _ = b.(ImageValidator)
 	s.epocher, _ = b.(RouteEpocher)
 	if cfg.CacheBytes > 0 {
-		rc := rcache.Config{MaxBytes: cfg.CacheBytes, TTL: cfg.CacheTTL, Shards: cfg.CacheShards, NegTTL: cfg.NegativeTTL}
+		rc := rcache.Config{
+			MaxBytes: cfg.CacheBytes, TTL: cfg.CacheTTL, Shards: cfg.CacheShards, NegTTL: cfg.NegativeTTL,
+			HotThreshold: cfg.HotThreshold, HotDecay: cfg.HotDecay, HotMaxBytes: cfg.HotBytes,
+		}
 		if ps, ok := b.(PayloadSizer); ok {
 			rc.SizeOf = ps.PayloadBytes
 		}
 		s.cache = rcache.New(rc)
+		if rn, ok := b.(RetirementNotifier); ok && cfg.HotThreshold > 0 {
+			// Retire a superseded/demoted version's hot-tier replicas before
+			// the backend's new routing view can serve, so a promoted
+			// replica never outlives its version. Shard entries are left to
+			// their natural versioned-key invalidation — a rollback may
+			// still resurrect the restored version's TTL-valid entries.
+			cache := s.cache
+			rn.OnRetire(func(artifact string) { cache.RetireReplicas(artifact) })
+		}
 	}
 	if cfg.Coalesce {
 		s.flights = newFlightGroup(16)
@@ -385,6 +419,13 @@ func (s *Server) preadmit(req *Request) (admission, error) {
 		}
 		a.key = rcache.Key{Artifact: variant, Task: req.Task, Digest: d}
 		a.haveKey = true
+		if req.Hot && s.cache != nil {
+			// Upstream (the gateway's fleet-wide detector) already proved
+			// the digest viral: pre-heat the hot tier instead of waiting for
+			// the local detector, which only sees this shard's slice of the
+			// replicated traffic.
+			s.cache.MarkHot(a.key, a.now)
+		}
 		if s.cache != nil && s.cache.Negative(a.key, a.now) {
 			// The exact content was recently proven poison on this version:
 			// fail fast instead of re-running a kernel known to panic on it.
@@ -457,6 +498,23 @@ func (s *Server) submitSlow(req Request, a admission) (*pending, error) {
 		done:     make(chan Outcome, 1),
 	}
 	if s.flights != nil && a.haveKey {
+		if s.cache != nil {
+			// Promoted digests never enter a flight: the hot tier replicates
+			// exactly the keys whose concurrent duplicates coalescing exists
+			// for, and between the admission-time cache probe and here a
+			// concurrent fill may have promoted ours. A flight join would
+			// park this request behind a leader (or a stripe mutex) for a
+			// result already readable lock-free.
+			if payload, model, ok := s.cache.Replicated(a.key, a.now); ok {
+				s.m.inc(a.hint, cAccepted)
+				s.m.inc(a.hint, cCacheHits)
+				s.m.inc(a.hint, cCompleted)
+				total := time.Since(a.now)
+				s.m.observeLatency(a.hint, total)
+				p.done <- Outcome{Res: Result{Payload: payload, Model: model, BatchSize: 1, Cached: true, Total: total}}
+				return p, nil
+			}
+		}
 		f, isLeader := s.flights.join(a.key, p)
 		if !isLeader {
 			// Follower: the leader's terminal delivery resolves the
@@ -660,6 +718,9 @@ func (s *Server) Snapshot() Snapshot {
 	if s.cache != nil {
 		stats := s.cache.Stats()
 		snap.ResultCache = &stats
+		if stats.Hits > 0 {
+			snap.ReplicatedHitRate = float64(stats.HotHits) / float64(stats.Hits)
+		}
 	}
 	return snap
 }

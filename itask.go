@@ -816,6 +816,13 @@ func (b serveBackend) RegistryStats() registry.Stats { return b.p.reg.Stats() }
 // could change them. Lock-free (one atomic pointer load).
 func (b serveBackend) RouteEpoch() uint64 { return b.p.reg.Snapshot().Seq() }
 
+// OnRetire forwards the serving layer's retirement hook to the registry: it
+// fires with each versioned artifact ID a publish supersedes or a
+// demotion/rollback quarantines, inside the swap and before the new
+// snapshot serves, so the server tears down the version's cached results
+// (including lock-free hot-tier replicas) atomically with the version.
+func (b serveBackend) OnRetire(fn func(artifact string)) { b.p.reg.OnRetire(fn) }
+
 // PayloadBytes estimates the resident size of one DetectBatch payload
 // ([]Detection) so the serving layer's result cache can charge entries
 // against its byte budget.
