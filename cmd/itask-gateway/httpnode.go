@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 
 	"itask/internal/gateway"
 )
@@ -83,19 +86,41 @@ func (n *httpNode) forwardDetect(ctx context.Context, body []byte, hot bool) (*b
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
 		// Admission backpressure: this shard's queue is full, a successor
-		// may have room.
-		return br, &gateway.NodeError{Class: gateway.ClassOverload, Err: fmt.Errorf("%s: backend backpressure (429)", n.base)}
+		// may have room. The advertised horizon paces the failover.
+		return br, &gateway.NodeError{
+			Class:      gateway.ClassOverload,
+			RetryAfter: parseRetryAfter(br.retryAfter),
+			Err:        fmt.Errorf("%s: backend backpressure (429)", n.base),
+		}
 	case http.StatusServiceUnavailable:
 		if br.retryAfter != "" {
 			// An open breaker advertises a retry horizon — the node is up
 			// but this lane is cooling; spill without penalizing it.
-			return br, &gateway.NodeError{Class: gateway.ClassOverload, Err: fmt.Errorf("%s: breaker open (503)", n.base)}
+			return br, &gateway.NodeError{
+				Class:      gateway.ClassOverload,
+				RetryAfter: parseRetryAfter(br.retryAfter),
+				Err:        fmt.Errorf("%s: breaker open (503)", n.base),
+			}
 		}
 		// Plain 503 is draining or dead-to-serving: fail over and count it.
 		return br, &gateway.NodeError{Class: gateway.ClassNodeDown, Err: fmt.Errorf("%s: backend unavailable (503)", n.base)}
 	default:
 		return br, nil
 	}
+}
+
+// parseRetryAfter reads a Retry-After header in its delta-seconds form
+// (what itask-serve emits). Unparseable values — including the HTTP-date
+// form — yield 0: no hint, the jittered backoff alone paces the retry.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func (n *httpNode) Probe(ctx context.Context) error {

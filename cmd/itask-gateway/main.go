@@ -16,6 +16,17 @@
 //	                         pre-promote the digest in their in-process hot
 //	                         tier instead of re-detecting virality from their
 //	                         1/replicas slice of the traffic.
+//	POST /v1/announce        lease-based membership: a shard announces itself
+//	                         with {"url","epoch","capacity"} and re-POSTs the
+//	                         same body as its heartbeat. A new (or rejoining)
+//	                         shard is admitted once its registry epoch has
+//	                         converged to the fleet's committed epoch, then
+//	                         ramps to full routing weight over the slow-start
+//	                         windows. A shard that stops heartbeating for the
+//	                         lease TTL expires off the ring automatically.
+//	DELETE /v1/announce      graceful leave: ?url=... (or the same JSON body)
+//	                         removes the shard from the ring immediately while
+//	                         its in-flight requests finish.
 //	POST /v1/models/reload   propagate a model reload fleet-wide: the body is
 //	                         relayed to every backend's reload endpoint and
 //	                         the gateway blocks until every backend's registry
@@ -36,14 +47,29 @@
 // 503 fail over to a ring successor; connection failures and draining
 // backends fail over and count toward ejection.
 //
+// Failover between attempts is paced: a per-attempt deadline bounds how
+// long a blackholed shard can pin a request, retries wait a full-jitter
+// exponential backoff (honoring any Retry-After the failed shard sent,
+// capped at -retry-backoff-max), and a fleet-wide token-bucket retry budget
+// keeps a flapping shard from amplifying into a retry storm.
+//
 // Usage:
 //
-//	itask-gateway -backends http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	itask-gateway [-backends http://127.0.0.1:8081,http://127.0.0.1:8082] \
 //	              [-addr :8080] [-vnodes 128] [-load-factor 1.25] \
 //	              [-hot-threshold 64] [-hot-replicas 2] [-hot-decay 8192] \
 //	              [-max-retries 1] [-fail-threshold 3] [-eject-for 2s] \
 //	              [-probe-interval 1s] [-probe-timeout 500ms] \
-//	              [-propagate-timeout 30s]
+//	              [-propagate-timeout 30s] \
+//	              [-lease-ttl 3s] [-suspect-after 1s] [-ramp-windows 4] \
+//	              [-attempt-timeout 2s] [-retry-backoff 25ms] \
+//	              [-retry-backoff-max 1s] [-retry-budget-rate 10] \
+//	              [-retry-budget-burst 20]
+//
+// -backends is now an optional static seed list: with lease-based
+// membership on (-lease-ttl > 0, the default), a fleet can start empty and
+// populate itself entirely from shard announcements (itask-serve
+// -announce).
 //
 // Example:
 //
@@ -59,6 +85,7 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -66,6 +93,7 @@ import (
 	"time"
 
 	"itask/internal/gateway"
+	"itask/internal/member"
 	"itask/internal/rcache"
 	"itask/internal/tensor"
 )
@@ -77,7 +105,7 @@ const maxBodyBytes = 4 << 20
 func main() {
 	def := gateway.DefaultConfig()
 	addr := flag.String("addr", ":8080", "listen address")
-	backends := flag.String("backends", "", "comma-separated itask-serve base URLs (required)")
+	backends := flag.String("backends", "", "comma-separated itask-serve base URLs (optional seed list when leases are on)")
 	vnodes := flag.Int("vnodes", def.VirtualNodes, "ring points per backend")
 	loadFactor := flag.Float64("load-factor", def.LoadFactor, "bounded-load factor: owners above this multiple of the fleet-average in-flight spill to a successor (0 = off)")
 	hotThreshold := flag.Int("hot-threshold", def.HotThreshold, "windowed arrivals past which a digest is replicated (0 = off)")
@@ -89,26 +117,42 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", def.ProbeInterval, "active health-probe period (0 = passive only)")
 	probeTimeout := flag.Duration("probe-timeout", def.ProbeTimeout, "per-probe deadline")
 	propagateTimeout := flag.Duration("propagate-timeout", 30*time.Second, "fleet-wide reload deadline, including the epoch convergence barrier")
+	leaseTTL := flag.Duration("lease-ttl", def.LeaseTTL, "membership lease: a shard that stops heartbeating this long expires off the ring (0 = static -backends only)")
+	suspectAfter := flag.Duration("suspect-after", def.SuspectAfter, "missed-renewal grace before a member turns suspect (0 = lease-ttl/2)")
+	rampWindows := flag.Int("ramp-windows", def.RampWindows, "slow-start span: a joining shard's weight climbs to full over this many renewals")
+	attemptTimeout := flag.Duration("attempt-timeout", def.AttemptTimeout, "per-attempt deadline before failing over (0 = request deadline only)")
+	retryBackoff := flag.Duration("retry-backoff", def.RetryBackoff, "base of the full-jitter backoff between failover attempts (0 = immediate)")
+	retryBackoffMax := flag.Duration("retry-backoff-max", def.RetryBackoffMax, "cap on the failover backoff and any honored Retry-After")
+	retryBudgetRate := flag.Float64("retry-budget-rate", def.RetryBudgetRate, "fleet-wide failover budget refill, tokens/sec (0 = unlimited)")
+	retryBudgetBurst := flag.Int("retry-budget-burst", def.RetryBudgetBurst, "failover budget bucket depth")
 	flag.Parse()
 
 	urls := splitBackends(*backends)
-	if len(urls) == 0 {
-		fmt.Fprintln(os.Stderr, "itask-gateway: -backends is required (comma-separated base URLs)")
+	if len(urls) == 0 && *leaseTTL <= 0 {
+		fmt.Fprintln(os.Stderr, "itask-gateway: no members possible: give a -backends seed list or enable announce-based membership with -lease-ttl")
 		os.Exit(2)
 	}
 
 	cfg := gateway.Config{
-		VirtualNodes:  *vnodes,
-		LoadFactor:    *loadFactor,
-		HotThreshold:  *hotThreshold,
-		HotReplicas:   *hotReplicas,
-		HotDecay:      *hotDecay,
-		MaxRetries:    *maxRetries,
-		FailThreshold: *failThreshold,
-		EjectFor:      *ejectFor,
-		ProbeInterval: *probeInterval,
-		ProbeTimeout:  *probeTimeout,
-		BarrierPoll:   50 * time.Millisecond,
+		VirtualNodes:     *vnodes,
+		LoadFactor:       *loadFactor,
+		HotThreshold:     *hotThreshold,
+		HotReplicas:      *hotReplicas,
+		HotDecay:         *hotDecay,
+		MaxRetries:       *maxRetries,
+		FailThreshold:    *failThreshold,
+		EjectFor:         *ejectFor,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		BarrierPoll:      50 * time.Millisecond,
+		LeaseTTL:         *leaseTTL,
+		SuspectAfter:     *suspectAfter,
+		RampWindows:      *rampWindows,
+		AttemptTimeout:   *attemptTimeout,
+		RetryBackoff:     *retryBackoff,
+		RetryBackoffMax:  *retryBackoffMax,
+		RetryBudgetRate:  *retryBudgetRate,
+		RetryBudgetBurst: *retryBudgetBurst,
 	}
 	app, err := newApp(cfg, urls, *propagateTimeout)
 	if err != nil {
@@ -128,8 +172,8 @@ func main() {
 		app.g.Close()
 	}()
 
-	fmt.Fprintf(os.Stderr, "itask-gateway: listening on %s, %d backends (vnodes=%d load-factor=%g hot=%d/%d retries=%d)\n",
-		*addr, len(urls), *vnodes, *loadFactor, *hotThreshold, *hotReplicas, *maxRetries)
+	fmt.Fprintf(os.Stderr, "itask-gateway: listening on %s, %d seed backends (vnodes=%d load-factor=%g hot=%d/%d retries=%d lease-ttl=%v)\n",
+		*addr, len(urls), *vnodes, *loadFactor, *hotThreshold, *hotReplicas, *maxRetries, *leaseTTL)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "itask-gateway: %v\n", err)
 		os.Exit(1)
@@ -150,6 +194,8 @@ func splitBackends(s string) []string {
 
 type app struct {
 	g                *gateway.Gateway
+	hc               *http.Client
+	leaseTTL         time.Duration
 	propagateTimeout time.Duration
 }
 
@@ -165,16 +211,92 @@ func newApp(cfg gateway.Config, urls []string, propagateTimeout time.Duration) (
 			return nil, err
 		}
 	}
-	return &app{g: g, propagateTimeout: propagateTimeout}, nil
+	return &app{g: g, hc: hc, leaseTTL: cfg.LeaseTTL, propagateTimeout: propagateTimeout}, nil
 }
 
 func (a *app) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/detect", a.detect)
+	mux.HandleFunc("/v1/announce", a.announce)
 	mux.HandleFunc("/v1/models/reload", a.reload)
 	mux.HandleFunc("/healthz", a.healthz)
 	mux.HandleFunc("/metricsz", a.metricsz)
 	return mux
+}
+
+// announceRequest is a shard's self-registration: its dialable base URL
+// (the member identity), its current registry epoch, and a capacity hint.
+type announceRequest struct {
+	URL      string `json:"url"`
+	Epoch    uint64 `json:"epoch"`
+	Capacity int    `json:"capacity,omitempty"`
+}
+
+// announce handles lease-based membership: POST announces (and, re-POSTed,
+// renews) a shard; DELETE is a graceful leave.
+func (a *app) announce(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+	case http.MethodDelete:
+		u := r.URL.Query().Get("url")
+		if u == "" {
+			var req announceRequest
+			if body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16)); err == nil {
+				_ = json.Unmarshal(body, &req)
+			}
+			u = req.URL
+		}
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			httpError(w, http.StatusBadRequest, "leave needs the member url (?url= or JSON body)")
+			return
+		}
+		if !a.g.Leave(u) {
+			httpError(w, http.StatusNotFound, "unknown member "+u)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"left": u})
+		return
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "POST to announce/renew, DELETE to leave")
+		return
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "unreadable request body")
+		return
+	}
+	var req announceRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "announce body must be JSON: "+err.Error())
+		return
+	}
+	base := strings.TrimSuffix(strings.TrimSpace(req.URL), "/")
+	if u, err := url.Parse(base); err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		httpError(w, http.StatusBadRequest, "announce url must be a dialable http(s) base URL")
+		return
+	}
+	e, err := a.g.Announce(&httpNode{base: base, hc: a.hc}, member.Meta{
+		Addr:     base,
+		Epoch:    req.Epoch,
+		Capacity: req.Capacity,
+	})
+	switch {
+	case errors.Is(err, member.ErrNoLeases):
+		httpError(w, http.StatusNotImplemented, "lease-based membership disabled; start the gateway with -lease-ttl")
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":              e.ID,
+		"state":           e.State.String(),
+		"weight":          e.Weight,
+		"lease_ms":        a.leaseTTL.Milliseconds(),
+		"committed_epoch": a.g.CommittedEpoch(),
+	})
 }
 
 // routeProbe is the loose decode of a detect body used only to derive the
@@ -307,7 +429,9 @@ func (a *app) healthz(w http.ResponseWriter, r *http.Request) {
 	snap := a.g.Snapshot()
 	available := 0
 	for _, n := range snap.Nodes {
-		if !n.Ejected && !n.Lagging {
+		// Weight > 0 means the membership table has the node on the ring
+		// (expired, left, and epoch-gated joining members sit at 0).
+		if n.Weight > 0 && !n.Ejected && !n.Lagging {
 			available++
 		}
 	}

@@ -38,6 +38,10 @@ func newFakeBackend(name string) *fakeBackend {
 		status := b.status
 		b.mu.Unlock()
 		if status != 0 {
+			if status == http.StatusTooManyRequests {
+				// Real itask-serve backpressure advertises a horizon.
+				w.Header().Set("Retry-After", "1")
+			}
 			w.WriteHeader(status)
 			fmt.Fprintf(w, `{"error":"forced %d"}`, status)
 			return

@@ -44,7 +44,8 @@
 //	            [-breaker-threshold 5] [-breaker-backoff 500ms] [-slo 0] \
 //	            [-cache-bytes 33554432] [-cache-ttl 1m] [-coalesce] \
 //	            [-neg-ttl 0] [-hot-threshold 64] [-hot-decay 0] \
-//	            [-hot-bytes 4194304] [-pprof addr]
+//	            [-hot-bytes 4194304] [-pprof addr] \
+//	            [-announce gateway-url] [-heartbeat 1s] [-advertise url]
 //
 // -cache-bytes enables the content-addressed result cache (0 disables it):
 // repeated frames are answered from memory without running a kernel, and
@@ -57,6 +58,12 @@
 // digest without waiting for the local detector.
 // -pprof serves net/http/pprof on a second listener with mutex and block
 // profiling enabled, for inspecting lock contention under load.
+// -announce joins an itask-gateway's lease-based fleet membership: the
+// shard registers with POST /v1/announce once it is listening, renews on a
+// jittered -heartbeat cadence (carrying its registry epoch so the gateway
+// can gate routing on epoch convergence), and deregisters before draining
+// on SIGTERM. -advertise overrides the self URL sent to the gateway, for
+// when the listen address is not what peers should dial (NAT, 0.0.0.0).
 //
 // Example:
 //
@@ -72,6 +79,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -109,6 +117,9 @@ func main() {
 	hotDecay := flag.Int("hot-decay", 0, "hot-detector decay window in arrivals; counts halve every N cache lookups (0 = detector default)")
 	hotBytes := flag.Int64("hot-bytes", 4<<20, "hot replica tier byte budget, on top of -cache-bytes (0 = cache-bytes/8)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address with mutex/block profiling (empty = off)")
+	announceTo := flag.String("announce", "", "gateway base URL to join via lease-based membership (empty = standalone)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "lease renewal cadence when announcing (jittered ±25%)")
+	advertise := flag.String("advertise", "", "base URL to announce as this shard's address (default: derived from the listen address)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -206,7 +217,32 @@ func main() {
 	mux.HandleFunc("/v1/models/reload", h.reload)
 	mux.HandleFunc("/healthz", h.healthz)
 	mux.HandleFunc("/metricsz", h.metricsz)
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{Handler: mux}
+
+	// Listen before announcing: the advertised URL comes from the bound
+	// address (which resolves ":0"-style ephemeral ports), and the gateway
+	// will start probing the shard the moment it announces.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	var ann *announcer
+	if *announceTo != "" {
+		self := *advertise
+		if self == "" {
+			self = advertiseURL(ln.Addr())
+		}
+		epoch := func() uint64 { return 0 }
+		if re, ok := backend.(serve.RouteEpocher); ok {
+			epoch = re.RouteEpoch
+		}
+		ann = newAnnouncer(*announceTo, self, *heartbeat, *workers, epoch)
+		ann.logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+		ann.start()
+		fmt.Fprintf(os.Stderr, "itask-serve: announcing %s to %s every %v\n", self, *announceTo, *heartbeat)
+	}
 
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -215,14 +251,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "itask-serve: draining...")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		// Stop accepting HTTP first, then drain the batcher.
+		// Leave the fleet first so the gateway stops routing here, then
+		// stop accepting HTTP, then drain the batcher.
+		if ann != nil {
+			ann.close(ctx)
+		}
 		_ = httpSrv.Shutdown(ctx)
 		_ = srv.Shutdown(ctx)
 	}()
 
 	fmt.Fprintf(os.Stderr, "itask-serve: listening on %s (workers=%d max-batch=%d batch-delay=%v watchdog=%v breaker=%d)\n",
-		*addr, *workers, *maxBatch, *batchDelay, *watchdog, *breakerThreshold)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		ln.Addr(), *workers, *maxBatch, *batchDelay, *watchdog, *breakerThreshold)
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "itask-serve: bye")

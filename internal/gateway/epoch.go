@@ -84,11 +84,11 @@ type ChangeApplier interface {
 // an epoch barrier until the fleet converges (bounded by ctx).
 func (g *Gateway) Propagate(ctx context.Context, c Change) (uint64, error) {
 	rs := g.ring.Load()
-	if len(rs.members) == 0 {
+	if len(rs.shards) == 0 {
 		return 0, ErrNoNodes
 	}
 	allStage := true
-	for _, m := range rs.members {
+	for _, m := range rs.shards {
 		switch m.node.(type) {
 		case ChangeStager:
 		case ChangeApplier:
@@ -102,9 +102,9 @@ func (g *Gateway) Propagate(ctx context.Context, c Change) (uint64, error) {
 		err   error
 	)
 	if allStage {
-		epoch, err = g.propagateTwoPhase(ctx, rs.members, c)
+		epoch, err = g.propagateTwoPhase(ctx, rs.shards, c)
 	} else {
-		epoch, err = g.propagateWithBarrier(ctx, rs.members, c)
+		epoch, err = g.propagateWithBarrier(ctx, rs.shards, c)
 	}
 	if epoch > 0 {
 		g.advanceEpoch(epoch)
@@ -116,13 +116,13 @@ func (g *Gateway) Propagate(ctx context.Context, c Change) (uint64, error) {
 // propagateTwoPhase stages everywhere, then commits everywhere. The commit
 // point is the moment the last stage succeeds: before it the change can be
 // (and on any stage failure, is) aborted with no routing effect anywhere.
-func (g *Gateway) propagateTwoPhase(ctx context.Context, members []*member, c Change) (uint64, error) {
-	staged := make([]bool, len(members))
-	errs := make([]error, len(members))
+func (g *Gateway) propagateTwoPhase(ctx context.Context, shards []*shard, c Change) (uint64, error) {
+	staged := make([]bool, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for i, m := range members {
+	for i, m := range shards {
 		wg.Add(1)
-		go func(i int, m *member) {
+		go func(i int, m *shard) {
 			defer wg.Done()
 			if err := m.node.(ChangeStager).StageChange(ctx, c); err != nil {
 				errs[i] = fmt.Errorf("stage on %s: %w", m.id, err)
@@ -134,7 +134,7 @@ func (g *Gateway) propagateTwoPhase(ctx context.Context, members []*member, c Ch
 	wg.Wait()
 	if err := firstErr(errs); err != nil {
 		// Abort the members that did stage; the fleet keeps its old routing.
-		for i, m := range members {
+		for i, m := range shards {
 			if staged[i] {
 				_ = m.node.(ChangeStager).AbortChange(ctx, c)
 			}
@@ -145,10 +145,10 @@ func (g *Gateway) propagateTwoPhase(ctx context.Context, members []*member, c Ch
 	// Commit point passed: activate everywhere. A member that fails to
 	// commit now is out of sync with a change the fleet has accepted — it is
 	// marked lagging (skipped by routing) until the prober sees it catch up.
-	epochs := make([]uint64, len(members))
-	for i, m := range members {
+	epochs := make([]uint64, len(shards))
+	for i, m := range shards {
 		wg.Add(1)
-		go func(i int, m *member) {
+		go func(i int, m *shard) {
 			defer wg.Done()
 			ep, err := m.node.(ChangeStager).CommitChange(ctx, c)
 			if err != nil {
@@ -166,7 +166,7 @@ func (g *Gateway) propagateTwoPhase(ctx context.Context, members []*member, c Ch
 		}
 	}
 	var failed []string
-	for i, m := range members {
+	for i, m := range shards {
 		if errs[i] != nil {
 			failed = append(failed, m.id)
 			m.lagging.Store(true)
@@ -183,13 +183,13 @@ func (g *Gateway) propagateTwoPhase(ctx context.Context, members []*member, c Ch
 
 // propagateWithBarrier applies the change on every member concurrently,
 // then polls route epochs until the fleet reaches the change's epoch.
-func (g *Gateway) propagateWithBarrier(ctx context.Context, members []*member, c Change) (uint64, error) {
-	epochs := make([]uint64, len(members))
-	errs := make([]error, len(members))
+func (g *Gateway) propagateWithBarrier(ctx context.Context, shards []*shard, c Change) (uint64, error) {
+	epochs := make([]uint64, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for i, m := range members {
+	for i, m := range shards {
 		wg.Add(1)
-		go func(i int, m *member) {
+		go func(i int, m *shard) {
 			defer wg.Done()
 			var (
 				ep  uint64
@@ -228,7 +228,7 @@ func (g *Gateway) propagateWithBarrier(ctx context.Context, members []*member, c
 	defer t.Stop()
 	for {
 		converged := true
-		for _, m := range members {
+		for _, m := range shards {
 			en, ok := m.node.(EpochNode)
 			if !ok {
 				continue // no observable epoch; trust the apply

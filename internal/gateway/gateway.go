@@ -4,8 +4,16 @@
 // one shard and the fleet's aggregate cache behaves like one large cache
 // instead of N overlapping small ones.
 //
-// The design is four cooperating layers:
+// The design is five cooperating layers:
 //
+//   - Membership (internal/member): the fleet is dynamic. Shards announce
+//     themselves and renew heartbeat leases (Announce/Renew); missed
+//     renewals move a member suspect→expired and off the ring, a graceful
+//     leave (Leave) removes it immediately while in-flight requests finish,
+//     and a rejoining shard must converge to the committed registry epoch
+//     before becoming routable, then re-enters under a slow-start weight
+//     ramp so its cold cache isn't handed a full zipf blast. A static seed
+//     list (AddNode) still works and can mix with leased members.
 //   - Placement (ring.go): a consistent-hash ring with virtual nodes.
 //     Requests route by the rcache content digest of their image (requests
 //     without a digestable image fall back to a task key, keeping a task's
@@ -25,8 +33,11 @@
 //   - Health (health.go): active probes plus passive failure accounting
 //     eject an unreachable member; its keys rehash to successors and a
 //     request caught mid-death retries once on the successor, so a node
-//     death costs healthy traffic nothing. Ejected members keep being
-//     probed and rejoin when they recover.
+//     death costs healthy traffic nothing. Failover is paced (retry.go):
+//     per-attempt deadlines bound how long a blackholed shard can hold a
+//     request, full-jitter backoff and Retry-After honor space the retries,
+//     and a fleet-wide token-bucket retry budget keeps a flapping shard
+//     from amplifying into a retry storm.
 //   - Epochs (epoch.go): registry changes (publish / demote / rollback)
 //     propagate through the gateway with a two-phase stage/commit barrier:
 //     no shard activates a new version until every shard has staged it, so
@@ -37,7 +48,7 @@
 // The package is transport-agnostic: a Node is any handle with an ID, and
 // the request path works through Execute's callback, so in-process fleets
 // (ServeNode over serve.Server) and HTTP fleets (cmd/itask-gateway) share
-// all routing, health, and epoch machinery.
+// all routing, membership, health, and epoch machinery.
 package gateway
 
 import (
@@ -49,6 +60,7 @@ import (
 	"time"
 
 	"itask/internal/freq"
+	"itask/internal/member"
 	"itask/internal/rcache"
 	"itask/internal/serve"
 )
@@ -109,7 +121,12 @@ const (
 // sentinels by Classify.
 type NodeError struct {
 	Class ErrClass
-	Err   error
+	// RetryAfter is the shard's advertised retry horizon (parsed from a
+	// Retry-After header on 429/503), honored by the failover pacing: the
+	// next attempt waits min(RetryAfter, RetryBackoffMax) instead of firing
+	// immediately. Zero means no hint.
+	RetryAfter time.Duration
+	Err        error
 }
 
 func (e *NodeError) Error() string { return e.Err.Error() }
@@ -148,12 +165,16 @@ var (
 	// member failed to commit; those members are marked lagging and skipped
 	// by routing until they catch up.
 	ErrPartialCommit = errors.New("gateway: change committed on a quorum only")
+	// ErrRetryBudget: a failover retry was wanted but the fleet-wide retry
+	// budget was exhausted; the request carries its shard's last error.
+	ErrRetryBudget = errors.New("gateway: retry budget exhausted")
 )
 
 // Config sizes the gateway.
 type Config struct {
-	// VirtualNodes is the number of ring points per member (smooths the
-	// per-member key share).
+	// VirtualNodes is the number of ring points per full-weight member
+	// (smooths the per-member key share). Warming members project a
+	// weight-scaled prefix of their points.
 	VirtualNodes int
 	// LoadFactor is the bounded-load factor c: an owner carrying more than
 	// c × (fleet-average in-flight + 1) spills to its successor. 0 disables
@@ -188,12 +209,57 @@ type Config struct {
 	// BarrierPoll is the poll period of the epoch barrier used when a
 	// member supports only single-phase change application.
 	BarrierPoll time.Duration
+
+	// LeaseTTL enables lease-based membership: Announce grants a lease this
+	// long, renewals extend it, and a member that misses renewals for the
+	// whole TTL expires off the ring. 0 disables Announce (static AddNode
+	// membership only).
+	LeaseTTL time.Duration
+	// SuspectAfter is how long without renewal before a member is marked
+	// suspect (still routable — the grace half of the lease). 0 defaults to
+	// LeaseTTL/2.
+	SuspectAfter time.Duration
+	// RampWindows is the slow-start span: a newly converged member's
+	// routing weight climbs 1/N, 2/N, … 1 over its first N renewals. 0
+	// defaults to 4; 1 disables the ramp.
+	RampWindows int
+	// SweepInterval is how often the lease sweeper advances suspect/expiry
+	// timers. 0 defaults to LeaseTTL/4 (min 10ms).
+	SweepInterval time.Duration
+
+	// AttemptTimeout is the per-attempt deadline: each node attempt runs
+	// under min(request deadline, AttemptTimeout), so a blackholed shard
+	// costs a request one bounded slice before failover, not its whole
+	// deadline. 0 disables (attempts inherit the request ctx alone).
+	AttemptTimeout time.Duration
+	// RetryBackoff is the base of the full-jitter exponential backoff
+	// between failover attempts: attempt k waits uniform
+	// [0, min(RetryBackoff × 2^k, RetryBackoffMax)). 0 retries immediately.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps both the backoff ceiling and any honored
+	// Retry-After hint. 0 defaults to 32 × RetryBackoff.
+	RetryBackoffMax time.Duration
+	// RetryBudgetRate refills the fleet-wide failover token bucket, in
+	// tokens per second; every failover attempt spends one token, and a dry
+	// bucket fails the request with its last shard error instead of
+	// retrying. 0 disables the budget (unlimited retries).
+	RetryBudgetRate float64
+	// RetryBudgetBurst is the bucket depth (defaults to 1 when a rate is
+	// set without one).
+	RetryBudgetBurst int
+
+	// Clock is the membership clock (defaults to time.Now). Injectable so
+	// lease-timing tests need not sleep.
+	Clock func() time.Time
 }
 
 // DefaultConfig returns a gateway sized for a handful of shards: 128 vnodes,
 // bounded load at 1.25, hot keys past 64 windowed arrivals spread over 2
 // replicas, one failover retry, ejection after 3 consecutive failures for
-// 2s, probes every second.
+// 2s, probes every second. Membership leases run at 3s with a 4-window
+// slow-start ramp, and failover is paced: 2s per-attempt deadline, 25ms
+// full-jitter backoff capped at 1s, and a 10 token/s (burst 20) fleet-wide
+// retry budget.
 func DefaultConfig() Config {
 	return Config{
 		VirtualNodes:  128,
@@ -207,6 +273,16 @@ func DefaultConfig() Config {
 		ProbeInterval: time.Second,
 		ProbeTimeout:  500 * time.Millisecond,
 		BarrierPoll:   2 * time.Millisecond,
+
+		LeaseTTL:     3 * time.Second,
+		SuspectAfter: 1 * time.Second,
+		RampWindows:  4,
+
+		AttemptTimeout:   2 * time.Second,
+		RetryBackoff:     25 * time.Millisecond,
+		RetryBackoffMax:  time.Second,
+		RetryBudgetRate:  10,
+		RetryBudgetBurst: 20,
 	}
 }
 
@@ -233,6 +309,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gateway: negative ProbeInterval %v", c.ProbeInterval)
 	case c.BarrierPoll < 0:
 		return fmt.Errorf("gateway: negative BarrierPoll %v", c.BarrierPoll)
+	case c.LeaseTTL < 0:
+		return fmt.Errorf("gateway: negative LeaseTTL %v", c.LeaseTTL)
+	case c.SuspectAfter < 0 || c.SuspectAfter > c.LeaseTTL:
+		return fmt.Errorf("gateway: SuspectAfter %v must be in [0, LeaseTTL=%v]", c.SuspectAfter, c.LeaseTTL)
+	case c.RampWindows < 0:
+		return fmt.Errorf("gateway: negative RampWindows %d", c.RampWindows)
+	case c.SweepInterval < 0:
+		return fmt.Errorf("gateway: negative SweepInterval %v", c.SweepInterval)
+	case c.AttemptTimeout < 0:
+		return fmt.Errorf("gateway: negative AttemptTimeout %v", c.AttemptTimeout)
+	case c.RetryBackoff < 0 || c.RetryBackoffMax < 0:
+		return fmt.Errorf("gateway: negative retry backoff (%v, max %v)", c.RetryBackoff, c.RetryBackoffMax)
+	case c.RetryBudgetRate < 0 || c.RetryBudgetBurst < 0:
+		return fmt.Errorf("gateway: negative retry budget (rate %g, burst %d)", c.RetryBudgetRate, c.RetryBudgetBurst)
 	}
 	return nil
 }
@@ -240,13 +330,17 @@ func (c Config) Validate() error {
 // Gateway routes requests across the fleet. Create with New; all methods
 // are safe for concurrent use.
 type Gateway struct {
-	cfg Config
-	m   *metrics
-	hot *freq.Tracker // nil when hot-key handling is off
+	cfg    Config
+	m      *metrics
+	hot    *freq.Tracker // nil when hot-key handling is off
+	budget *tokenBucket  // nil when the retry budget is off
+	tbl    *member.Table
 
-	// ring is copy-on-write: mu serializes mutations, reads are lock-free.
-	mu   sync.Mutex
-	ring atomic.Pointer[ringState]
+	// mu serializes membership mutations (announce/renew/leave/expiry);
+	// the resulting ring is copy-on-write, so reads are lock-free.
+	mu     sync.Mutex
+	roster map[string]*shard // every announced node, routable or not
+	ring   atomic.Pointer[ringState]
 
 	// committedEpoch is the highest epoch Propagate has driven the whole
 	// cluster to; members observed below it are lagging.
@@ -262,7 +356,8 @@ type Gateway struct {
 }
 
 // New validates the configuration and starts the health prober (when
-// ProbeInterval > 0). Nodes join via AddNode.
+// ProbeInterval > 0) and the lease sweeper (when LeaseTTL > 0). Nodes join
+// via AddNode (static seeds) or Announce (leased members).
 func New(cfg Config) (*Gateway, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -273,21 +368,36 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.BarrierPoll == 0 {
 		cfg.BarrierPoll = 2 * time.Millisecond
 	}
+	if cfg.RetryBackoff > 0 && cfg.RetryBackoffMax == 0 {
+		cfg.RetryBackoffMax = 32 * cfg.RetryBackoff
+	}
 	g := &Gateway{
-		cfg:  cfg,
-		m:    &metrics{},
-		hot:  freq.New(cfg.HotThreshold, freq.DefaultSlots, cfg.HotDecay),
-		stop: make(chan struct{}),
+		cfg:    cfg,
+		m:      &metrics{},
+		hot:    freq.New(cfg.HotThreshold, freq.DefaultSlots, cfg.HotDecay),
+		budget: newTokenBucket(cfg.RetryBudgetRate, cfg.RetryBudgetBurst),
+		tbl: member.NewTable(member.Config{
+			LeaseTTL:     cfg.LeaseTTL,
+			SuspectAfter: cfg.SuspectAfter,
+			RampWindows:  cfg.RampWindows,
+			Now:          cfg.Clock,
+		}),
+		roster: map[string]*shard{},
+		stop:   make(chan struct{}),
 	}
 	g.ring.Store(buildRing(nil, cfg.VirtualNodes))
 	if cfg.ProbeInterval > 0 {
 		g.done.Add(1)
 		go g.proberLoop()
 	}
+	if cfg.LeaseTTL > 0 {
+		g.done.Add(1)
+		go g.sweeperLoop()
+	}
 	return g, nil
 }
 
-// Close stops the prober. It does not touch the nodes.
+// Close stops the prober and lease sweeper. It does not touch the nodes.
 func (g *Gateway) Close() {
 	g.mu.Lock()
 	select {
@@ -299,48 +409,195 @@ func (g *Gateway) Close() {
 	g.done.Wait()
 }
 
-// AddNode joins a node to the ring. Its share of the key space (~K/N keys)
-// moves to it from the former owners; everything else keeps its owner.
+// vnodesFor scales the full vnode count by a membership weight, keeping at
+// least one point so a warming member is reachable at all.
+func vnodesFor(weight float64, vnodes int) int {
+	n := int(weight*float64(vnodes) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > vnodes {
+		n = vnodes
+	}
+	return n
+}
+
+// rebuildLocked republishes the ring from the membership table: every
+// routable member at its weight-scaled vnode count. Callers hold g.mu.
+func (g *Gateway) rebuildLocked() {
+	entries := g.tbl.Snapshot()
+	shards := make([]*shard, 0, len(entries))
+	for _, e := range entries {
+		if e.Weight <= 0 {
+			continue
+		}
+		s := g.roster[e.ID]
+		if s == nil {
+			continue
+		}
+		s.vnodes = vnodesFor(e.Weight, g.cfg.VirtualNodes)
+		shards = append(shards, s)
+	}
+	g.ring.Store(buildRing(shards, g.cfg.VirtualNodes))
+}
+
+// AddNode joins a static member to the ring at full weight: no lease, no
+// warm-up, never expires — the seed-list path, for fleets (or tests) that
+// are configured by hand. Its share of the key space (~K/N keys) moves to
+// it from the former owners; everything else keeps its owner.
 func (g *Gateway) AddNode(n Node) error {
 	if n == nil || n.ID() == "" {
 		return errors.New("gateway: node must have a non-empty ID")
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	rs := g.ring.Load()
-	if _, dup := rs.byID[n.ID()]; dup {
+	if _, dup := g.roster[n.ID()]; dup {
 		return fmt.Errorf("gateway: duplicate node id %q", n.ID())
 	}
-	next := append(append([]*member(nil), rs.members...), &member{node: n, id: n.ID()})
-	g.ring.Store(buildRing(next, g.cfg.VirtualNodes))
+	if _, _, _, err := g.tbl.Announce(n.ID(), member.Meta{Addr: n.ID(), Static: true}, g.committedEpoch.Load()); err != nil {
+		return err
+	}
+	g.roster[n.ID()] = &shard{node: n, id: n.ID()}
+	g.rebuildLocked()
 	return nil
 }
 
-// RemoveNode leaves a node from the ring; its keys rehash to successors.
-// Reports whether the id was a member.
+// Announce registers a leased member (or renews a live one — re-announce is
+// a heartbeat). The member becomes routable only once its epoch has
+// converged to the cluster's committed registry epoch, and then ramps up
+// under slow-start. A re-announce of an expired or left member is a rejoin:
+// it restarts the converge→warm cycle with fresh health accounting.
+func (g *Gateway) Announce(n Node, meta member.Meta) (member.Entry, error) {
+	if n == nil || n.ID() == "" {
+		return member.Entry{}, errors.New("gateway: node must have a non-empty ID")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	committed := g.committedEpoch.Load()
+	e, changed, rejoin, err := g.tbl.Announce(n.ID(), meta, committed)
+	if err != nil {
+		return member.Entry{}, err
+	}
+	s := g.roster[n.ID()]
+	if s == nil || rejoin {
+		// First sight or a new incarnation: fresh health accounting.
+		s = &shard{node: n, id: n.ID()}
+		g.roster[n.ID()] = s
+	}
+	s.epoch.Store(e.Epoch)
+	if e.Epoch >= committed {
+		s.lagging.Store(false)
+	}
+	if changed || rejoin {
+		g.rebuildLocked()
+	}
+	return e, nil
+}
+
+// Renew extends a leased member's lease (one heartbeat), advancing epoch
+// convergence and the slow-start ramp. Unknown (or expired) members get
+// member.ErrUnknown and must re-announce.
+func (g *Gateway) Renew(id string, epoch uint64) (member.Entry, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	committed := g.committedEpoch.Load()
+	e, changed, err := g.tbl.Renew(id, epoch, committed)
+	if err != nil {
+		return member.Entry{}, err
+	}
+	if s := g.roster[id]; s != nil {
+		s.epoch.Store(e.Epoch)
+		if e.Epoch >= committed {
+			s.lagging.Store(false)
+		}
+	}
+	if changed {
+		g.rebuildLocked()
+	}
+	return e, nil
+}
+
+// Leave deregisters a member gracefully: it comes off the ring immediately
+// (new keys rehash to successors) while requests already in flight on it
+// finish undisturbed. Reports whether the id was a live member.
+func (g *Gateway) Leave(id string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, wasRoutable := g.tbl.Leave(id)
+	if _, ok := g.roster[id]; ok {
+		delete(g.roster, id)
+	}
+	if wasRoutable {
+		g.rebuildLocked()
+	}
+	return wasRoutable
+}
+
+// RemoveNode hard-removes a member (static or leased); its keys rehash to
+// successors. Reports whether the id was known.
 func (g *Gateway) RemoveNode(id string) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	rs := g.ring.Load()
-	if _, ok := rs.byID[id]; !ok {
-		return false
+	known := g.tbl.Remove(id)
+	if _, ok := g.roster[id]; ok {
+		delete(g.roster, id)
+		known = true
 	}
-	next := make([]*member, 0, len(rs.members)-1)
-	for _, m := range rs.members {
-		if m.id != id {
-			next = append(next, m)
-		}
+	if known {
+		g.rebuildLocked()
 	}
-	g.ring.Store(buildRing(next, g.cfg.VirtualNodes))
-	return true
+	return known
 }
 
-// Nodes returns the current member ids in ring-iteration (sorted) order.
+// SweepMembership advances lease timers once: members past SuspectAfter
+// turn suspect, members past LeaseTTL expire off the ring. The background
+// sweeper calls this every SweepInterval; tests with an injected Clock call
+// it directly.
+func (g *Gateway) SweepMembership() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	expired := g.tbl.Sweep()
+	if len(expired) == 0 {
+		return
+	}
+	for _, e := range expired {
+		delete(g.roster, e.ID)
+	}
+	g.rebuildLocked()
+}
+
+func (g *Gateway) sweeperLoop() {
+	defer g.done.Done()
+	interval := g.cfg.SweepInterval
+	if interval <= 0 {
+		interval = g.cfg.LeaseTTL / 4
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.SweepMembership()
+		}
+	}
+}
+
+// Membership returns the current membership table entries (all states,
+// including expired and left ones), sorted by id.
+func (g *Gateway) Membership() []member.Entry { return g.tbl.Snapshot() }
+
+// Nodes returns the currently routable member ids in ring-iteration
+// (sorted) order.
 func (g *Gateway) Nodes() []string {
 	rs := g.ring.Load()
-	ids := make([]string, len(rs.members))
-	for i, m := range rs.members {
-		ids[i] = m.id
+	ids := make([]string, len(rs.shards))
+	for i, s := range rs.shards {
+		ids[i] = s.id
 	}
 	return ids
 }
@@ -385,17 +642,19 @@ type ExecInfo struct {
 
 // Execute routes key k to a node and runs do against it, handling hot-key
 // replication, bounded-load spill, failure classification, ejection
-// bookkeeping, and failover retries. It is the transport-agnostic core
-// under Detect and under cmd/itask-gateway's body forwarding. The callback
-// receives the gateway's hot verdict for the key so adapters can forward it
-// downstream (X-Itask-Hot on proxied requests, serve.Request.Hot
-// in-process): a shard told its content is fleet-hot pre-promotes the
-// digest into its replica tier instead of waiting for its own detector —
-// which only ever sees 1/HotReplicas of the replicated traffic — to trip.
+// bookkeeping, and paced failover retries (per-attempt deadlines, jittered
+// backoff with Retry-After honor, and the fleet-wide retry budget). It is
+// the transport-agnostic core under Detect and under cmd/itask-gateway's
+// body forwarding. The callback receives the gateway's hot verdict for the
+// key so adapters can forward it downstream (X-Itask-Hot on proxied
+// requests, serve.Request.Hot in-process): a shard told its content is
+// fleet-hot pre-promotes the digest into its replica tier instead of
+// waiting for its own detector — which only ever sees 1/HotReplicas of the
+// replicated traffic — to trip.
 func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Context, n Node, hot bool) error) (ExecInfo, error) {
 	rs := g.ring.Load()
 	info := ExecInfo{}
-	if len(rs.members) == 0 {
+	if len(rs.shards) == 0 {
 		return info, ErrNoNodes
 	}
 	h := k.hash()
@@ -406,12 +665,12 @@ func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Contex
 	// Preference order: the owner and its successors, healthy members
 	// first. If every member is ejected the full order is used anyway —
 	// a possibly-dead node beats certain failure.
-	prefs := rs.successors(h, len(rs.members))
+	prefs := rs.successors(h, len(rs.shards))
 	now := time.Now().UnixNano()
-	avail := make([]*member, 0, len(prefs))
-	for _, m := range prefs {
-		if m.available(now) {
-			avail = append(avail, m)
+	avail := make([]*shard, 0, len(prefs))
+	for _, s := range prefs {
+		if s.available(now) {
+			avail = append(avail, s)
 		}
 	}
 	lastResort := len(avail) == 0
@@ -419,25 +678,25 @@ func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Contex
 		avail = prefs
 	}
 
-	m := g.choose(avail, &info)
-	tried := make([]*member, 0, 1+g.cfg.MaxRetries)
+	s := g.choose(avail, &info)
+	tried := make([]*shard, 0, 1+g.cfg.MaxRetries)
 	var lastErr error
-	for attempt := 0; attempt <= g.cfg.MaxRetries && m != nil; attempt++ {
+	for attempt := 0; attempt <= g.cfg.MaxRetries && s != nil; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return info, err
 		}
 		info.Attempts = attempt + 1
-		info.Node = m.id
-		tried = append(tried, m)
+		info.Node = s.id
+		tried = append(tried, s)
 
-		m.inflight.Add(1)
-		err := do(ctx, m.node, info.Hot)
-		m.inflight.Add(-1)
+		s.inflight.Add(1)
+		err := g.attempt(ctx, s, do, info.Hot)
+		s.inflight.Add(-1)
 
 		switch Classify(err) {
 		case ClassOK:
-			m.consecFails.Store(0)
-			m.served.Add(1)
+			s.consecFails.Store(0)
+			s.served.Add(1)
 			g.m.inc(h, cRouted)
 			if info.Hot {
 				g.m.inc(h, cHotRouted)
@@ -449,27 +708,39 @@ func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Contex
 		case ClassRequest:
 			// The node answered; the request itself is at fault. Do not
 			// spread poison to a successor.
-			m.consecFails.Store(0)
+			s.consecFails.Store(0)
 			g.m.inc(h, cRouted)
 			return info, err
 		case ClassOverload:
-			m.failures.Add(1)
+			s.failures.Add(1)
 			lastErr = err
 		case ClassNodeDown:
-			m.failures.Add(1)
-			g.noteDown(m)
+			s.failures.Add(1)
+			g.noteDown(s)
 			lastErr = err
 		}
-		// Failover: first untried member in preference order.
-		m = nil
+		// Failover: first untried member in preference order — paced by the
+		// retry budget and the jittered backoff.
+		s = nil
 		for _, cand := range avail {
-			if !containsMember(tried, cand) {
-				m = cand
+			if !containsShard(tried, cand) {
+				s = cand
 				break
 			}
 		}
-		if m != nil && attempt < g.cfg.MaxRetries {
-			g.m.inc(h, cRetries)
+		if s == nil || attempt >= g.cfg.MaxRetries {
+			break
+		}
+		if !g.budget.take() {
+			g.m.inc(h, cBudgetDry)
+			lastErr = fmt.Errorf("%w: %w", ErrRetryBudget, lastErr)
+			break
+		}
+		g.m.inc(h, cRetries)
+		if d := g.retryDelay(attempt, lastErr); d > 0 {
+			if !sleepRetry(ctx, d) {
+				return info, ctx.Err()
+			}
 		}
 	}
 	g.m.inc(h, cFailed)
@@ -479,9 +750,31 @@ func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Contex
 	return info, lastErr
 }
 
+// attempt runs one node attempt under the per-attempt deadline. An attempt
+// that dies on its own deadline — while the request as a whole still has
+// time — is the shard's failure, not the request's: it reclassifies as
+// ClassNodeDown so it fails over and counts toward ejection, which is what
+// turns a blackholed (accepting but never answering) shard from a
+// request-killer into a bounded detour.
+func (g *Gateway) attempt(ctx context.Context, s *shard, do func(ctx context.Context, n Node, hot bool) error, hot bool) error {
+	if g.cfg.AttemptTimeout <= 0 {
+		return do(ctx, s.node, hot)
+	}
+	actx, cancel := context.WithTimeout(ctx, g.cfg.AttemptTimeout)
+	defer cancel()
+	err := do(actx, s.node, hot)
+	if err != nil && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+		return &NodeError{
+			Class: ClassNodeDown,
+			Err:   fmt.Errorf("gateway: attempt on %s timed out after %v: %w", s.id, g.cfg.AttemptTimeout, err),
+		}
+	}
+	return err
+}
+
 // choose picks the first node to try: power-of-two-choices across the hot
 // replica set for hot keys, bounded-load owner-or-spill otherwise.
-func (g *Gateway) choose(avail []*member, info *ExecInfo) *member {
+func (g *Gateway) choose(avail []*shard, info *ExecInfo) *shard {
 	if len(avail) == 0 {
 		return nil
 	}
@@ -507,8 +800,8 @@ func (g *Gateway) choose(avail []*member, info *ExecInfo) *member {
 	owner := avail[0]
 	if g.cfg.LoadFactor > 0 && len(avail) > 1 {
 		var total int64
-		for _, m := range avail {
-			total += m.inflight.Load()
+		for _, s := range avail {
+			total += s.inflight.Load()
 		}
 		// Bounded load: cap = ⌊c × (total/n + 1)⌋ — the fleet-average
 		// in-flight plus the arriving request itself, scaled by the load
@@ -517,14 +810,14 @@ func (g *Gateway) choose(avail []*member, info *ExecInfo) *member {
 		cap64 := int64(g.cfg.LoadFactor * float64(total+n) / float64(n))
 		if owner.inflight.Load() >= cap64 {
 			least := owner
-			for _, m := range avail[1:] {
-				if m.inflight.Load() < cap64 {
+			for _, s := range avail[1:] {
+				if s.inflight.Load() < cap64 {
 					info.Spilled = true
 					g.m.inc(uint64(total), cSpills)
-					return m
+					return s
 				}
-				if m.inflight.Load() < least.inflight.Load() {
-					least = m
+				if s.inflight.Load() < least.inflight.Load() {
+					least = s
 				}
 			}
 			if least != owner {
@@ -574,34 +867,56 @@ func (g *Gateway) Detect(ctx context.Context, req serve.Request) (Result, error)
 // driven to by Propagate.
 func (g *Gateway) CommittedEpoch() uint64 { return g.committedEpoch.Load() }
 
-// Snapshot returns the gateway's metrics and per-node status.
+// Snapshot returns the gateway's metrics and per-member status, including
+// announced members that are not (or no longer) routable.
 func (g *Gateway) Snapshot() Snapshot {
-	rs := g.ring.Load()
+	entries := g.tbl.Snapshot()
+	g.mu.Lock()
+	rosterCopy := make(map[string]*shard, len(g.roster))
+	for id, s := range g.roster {
+		rosterCopy[id] = s
+	}
+	g.mu.Unlock()
+	ms := g.tbl.Stats()
 	now := time.Now().UnixNano()
 	snap := Snapshot{
-		Routed:         g.m.total(cRouted),
-		Failed:         g.m.total(cFailed),
-		HotRouted:      g.m.total(cHotRouted),
-		TaskRouted:     g.m.total(cTaskRouted),
-		Spills:         g.m.total(cSpills),
-		Retries:        g.m.total(cRetries),
-		Ejections:      g.m.total(cEjections),
-		EpochDrift:     g.m.total(cEpochDrift),
-		Propagates:     g.m.total(cPropagates),
-		CommittedEpoch: g.committedEpoch.Load(),
-		Nodes:          make([]NodeStatus, 0, len(rs.members)),
+		Routed:               g.m.total(cRouted),
+		Failed:               g.m.total(cFailed),
+		HotRouted:            g.m.total(cHotRouted),
+		TaskRouted:           g.m.total(cTaskRouted),
+		Spills:               g.m.total(cSpills),
+		Retries:              g.m.total(cRetries),
+		RetryBudgetExhausted: g.m.total(cBudgetDry),
+		Ejections:            g.m.total(cEjections),
+		EpochDrift:           g.m.total(cEpochDrift),
+		Propagates:           g.m.total(cPropagates),
+		CommittedEpoch:       g.committedEpoch.Load(),
+		LeasesGranted:        ms.LeasesGranted,
+		LeaseRenewals:        ms.Renewals,
+		LeaseExpirations:     ms.LeaseExpirations,
+		Rejoins:              ms.Rejoins,
+		GracefulLeaves:       ms.GracefulLeaves,
+		Nodes:                make([]NodeStatus, 0, len(entries)),
 	}
-	for _, m := range rs.members {
-		eu := m.ejectedUntil.Load()
-		snap.Nodes = append(snap.Nodes, NodeStatus{
-			ID:       m.id,
-			InFlight: m.inflight.Load(),
-			Served:   m.served.Load(),
-			Failures: m.failures.Load(),
-			Ejected:  eu != 0 && eu > now,
-			Lagging:  m.lagging.Load(),
-			Epoch:    m.epoch.Load(),
-		})
+	for _, e := range entries {
+		ns := NodeStatus{
+			ID:     e.ID,
+			State:  e.State.String(),
+			Weight: e.Weight,
+			Epoch:  e.Epoch,
+		}
+		if s := rosterCopy[e.ID]; s != nil {
+			eu := s.ejectedUntil.Load()
+			ns.InFlight = s.inflight.Load()
+			ns.Served = s.served.Load()
+			ns.Failures = s.failures.Load()
+			ns.Ejected = eu != 0 && eu > now
+			ns.Lagging = s.lagging.Load()
+			if se := s.epoch.Load(); se > ns.Epoch {
+				ns.Epoch = se
+			}
+		}
+		snap.Nodes = append(snap.Nodes, ns)
 	}
 	return snap
 }

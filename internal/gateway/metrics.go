@@ -15,6 +15,7 @@ const (
 	cTaskRouted                  // undigestable requests routed by task key
 	cSpills                      // bounded-load spills past the owner
 	cRetries                     // failover retries onto a successor
+	cBudgetDry                   // retries wanted but denied by the retry budget
 	cFailed                      // requests that exhausted their attempts
 	cEjections                   // members ejected by health accounting
 	cEpochDrift                  // members observed behind the committed epoch
@@ -57,9 +58,13 @@ type Snapshot struct {
 	HotRouted  uint64 `json:"hot_routed,omitempty"`
 	TaskRouted uint64 `json:"task_routed,omitempty"`
 	// Spills counts bounded-load diversions past a saturated owner;
-	// Retries counts failover attempts onto a successor shard.
-	Spills  uint64 `json:"spills,omitempty"`
-	Retries uint64 `json:"retries,omitempty"`
+	// Retries counts failover attempts onto a successor shard;
+	// RetryBudgetExhausted counts retries that were wanted but denied by
+	// the fleet-wide token-bucket budget (the request failed with its last
+	// shard error instead of amplifying).
+	Spills               uint64 `json:"spills,omitempty"`
+	Retries              uint64 `json:"retries,omitempty"`
+	RetryBudgetExhausted uint64 `json:"retry_budget_exhausted,omitempty"`
 	// Ejections counts health ejections; EpochDrift counts members caught
 	// serving behind the cluster's committed registry epoch.
 	Ejections  uint64 `json:"ejections,omitempty"`
@@ -69,16 +74,30 @@ type Snapshot struct {
 	Propagates     uint64 `json:"propagates,omitempty"`
 	CommittedEpoch uint64 `json:"committed_epoch"`
 
+	// Membership lifecycle counters (see internal/member): leases granted
+	// to announcing shards, heartbeat renewals, leases lost to missed
+	// renewals, expired/left members that announced again, and graceful
+	// deregistrations.
+	LeasesGranted    uint64 `json:"leases_granted,omitempty"`
+	LeaseRenewals    uint64 `json:"lease_renewals,omitempty"`
+	LeaseExpirations uint64 `json:"lease_expirations,omitempty"`
+	Rejoins          uint64 `json:"rejoins,omitempty"`
+	GracefulLeaves   uint64 `json:"graceful_leaves,omitempty"`
+
 	Nodes []NodeStatus `json:"nodes"`
 }
 
 // NodeStatus is one member's routing view.
 type NodeStatus struct {
-	ID       string `json:"id"`
-	InFlight int64  `json:"in_flight"`
-	Served   uint64 `json:"served"`
-	Failures uint64 `json:"failures,omitempty"`
-	Ejected  bool   `json:"ejected,omitempty"`
-	Lagging  bool   `json:"lagging,omitempty"`
-	Epoch    uint64 `json:"epoch,omitempty"`
+	ID string `json:"id"`
+	// State is the membership state (joining, warming, active, suspect,
+	// expired, left); Weight is the slow-start routing weight in (0, 1].
+	State    string  `json:"state,omitempty"`
+	Weight   float64 `json:"weight,omitempty"`
+	InFlight int64   `json:"in_flight"`
+	Served   uint64  `json:"served"`
+	Failures uint64  `json:"failures,omitempty"`
+	Ejected  bool    `json:"ejected,omitempty"`
+	Lagging  bool    `json:"lagging,omitempty"`
+	Epoch    uint64  `json:"epoch,omitempty"`
 }

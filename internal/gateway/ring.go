@@ -7,80 +7,103 @@ import (
 	"itask/internal/freq"
 )
 
-// ring.go: the consistent-hash layer. Each backend node projects
-// VirtualNodes points onto a 64-bit ring; a request key is routed to the
-// first point clockwise from its hash. Virtual nodes smooth the per-node
-// key share (stddev ~ 1/sqrt(vnodes)), and consistent hashing bounds churn:
-// adding or removing one node of n remaps only ~K/n of K keys, so a node
-// death invalidates one shard's worth of result-cache locality instead of
+// ring.go: the consistent-hash layer. Each backend shard projects a number
+// of points onto a 64-bit ring; a request key is routed to the first point
+// clockwise from its hash. Virtual nodes smooth the per-shard key share
+// (stddev ~ 1/sqrt(vnodes)), and consistent hashing bounds churn: adding or
+// removing one shard of n remaps only ~K/n of K keys, so a shard death
+// invalidates one shard's worth of result-cache locality instead of
 // reshuffling the whole cluster (see TestRingRebalanceBound).
 //
-// The ring is copy-on-write: mutations (join/leave) build a fresh ringState
-// under the gateway's mutex and publish it through an atomic pointer, so the
-// request path reads the ring lock-free.
+// With lease-based membership a shard's point count scales with its
+// slow-start weight: a warming shard at weight w projects ceil(w × vnodes)
+// points. Point v's position depends only on (id, v), so a shard's partial
+// point set is always a prefix of its full set — as the ramp advances the
+// shard only ever *gains* key ranges it will keep at full weight, and the
+// keys it serves while warming are exactly keys it would own anyway. Churn
+// during a ramp is therefore monotone, never a reshuffle.
+//
+// The ring is copy-on-write: mutations (join/leave/expiry/ramp) build a
+// fresh ringState under the gateway's mutex and publish it through an atomic
+// pointer, so the request path reads the ring lock-free.
 
-// member is one backend node's routing state. The Node itself is immutable
+// shard is one backend node's routing state. The Node itself is immutable
 // here; the atomics are the gateway's health and load bookkeeping, shared
 // across ring generations so ejections and in-flight counts survive an
-// unrelated join/leave.
-type member struct {
+// unrelated join/leave. A rejoin after lease expiry allocates a fresh shard:
+// the new incarnation starts with clean health accounting.
+type shard struct {
 	node Node
 	id   string
+
+	// vnodes is the shard's current ring-point count (scaled by its
+	// membership weight). Written only under the gateway mutex before the
+	// ring generation embedding it is built.
+	vnodes int
 
 	// inflight is the gateway-observed concurrent request count, the load
 	// signal for bounded-load spill and power-of-two-choices hot routing.
 	inflight atomic.Int64
 	// consecFails counts consecutive down-class failures (passive and probe);
-	// reaching FailThreshold ejects the member.
+	// reaching FailThreshold ejects the shard.
 	consecFails atomic.Int32
 	// ejectedUntil is the unix-nano deadline of the current ejection
-	// (0 = healthy). An ejected member is skipped by routing — its keys
+	// (0 = healthy). An ejected shard is skipped by routing — its keys
 	// rehash to successors — but keeps being probed so it can return early.
 	ejectedUntil atomic.Int64
-	// lagging marks a member whose observed route epoch is behind the
+	// lagging marks a shard whose observed route epoch is behind the
 	// cluster's committed epoch; it is skipped by routing until it catches
 	// up, so a stale shard never serves old-version results after a publish.
 	lagging atomic.Bool
-	// epoch is the member's last observed route epoch.
+	// epoch is the shard's last observed route epoch.
 	epoch atomic.Uint64
 
 	served   atomic.Uint64
 	failures atomic.Uint64
 }
 
-// available reports whether routing may send new work to the member.
-func (m *member) available(nowNanos int64) bool {
-	if m.lagging.Load() {
+// available reports whether routing may send new work to the shard.
+func (s *shard) available(nowNanos int64) bool {
+	if s.lagging.Load() {
 		return false
 	}
-	eu := m.ejectedUntil.Load()
+	eu := s.ejectedUntil.Load()
 	return eu == 0 || eu <= nowNanos
 }
 
 type ringPoint struct {
 	hash uint64
-	m    *member
+	s    *shard
 }
 
 // ringState is one immutable generation of the ring.
 type ringState struct {
-	points  []ringPoint // vnode points sorted by hash
-	members []*member   // sorted by id
-	byID    map[string]*member
+	points []ringPoint // vnode points sorted by hash
+	shards []*shard    // sorted by id
+	byID   map[string]*shard
 }
 
-// buildRing constructs a fresh generation from a member set.
-func buildRing(members []*member, vnodes int) *ringState {
+// buildRing constructs a fresh generation from a shard set. Each shard
+// projects its own vnodes count of points (defaulting to defVnodes when
+// unset), so membership weight shapes the key share.
+func buildRing(shards []*shard, defVnodes int) *ringState {
 	rs := &ringState{
-		members: append([]*member(nil), members...),
-		byID:    make(map[string]*member, len(members)),
-		points:  make([]ringPoint, 0, len(members)*vnodes),
+		shards: append([]*shard(nil), shards...),
+		byID:   make(map[string]*shard, len(shards)),
 	}
-	sort.Slice(rs.members, func(i, j int) bool { return rs.members[i].id < rs.members[j].id })
-	for _, m := range rs.members {
-		rs.byID[m.id] = m
-		for v := 0; v < vnodes; v++ {
-			rs.points = append(rs.points, ringPoint{hash: vnodeHash(m.id, v), m: m})
+	sort.Slice(rs.shards, func(i, j int) bool { return rs.shards[i].id < rs.shards[j].id })
+	total := 0
+	for _, s := range rs.shards {
+		if s.vnodes <= 0 {
+			s.vnodes = defVnodes
+		}
+		total += s.vnodes
+	}
+	rs.points = make([]ringPoint, 0, total)
+	for _, s := range rs.shards {
+		rs.byID[s.id] = s
+		for v := 0; v < s.vnodes; v++ {
+			rs.points = append(rs.points, ringPoint{hash: vnodeHash(s.id, v), s: s})
 		}
 	}
 	sort.Slice(rs.points, func(i, j int) bool {
@@ -89,14 +112,14 @@ func buildRing(members []*member, vnodes int) *ringState {
 		}
 		// Tie-break identical hashes by id so the ring order is total and
 		// every gateway instance agrees on it.
-		return rs.points[i].m.id < rs.points[j].m.id
+		return rs.points[i].s.id < rs.points[j].s.id
 	})
 	return rs
 }
 
-// owner returns the member owning hash h (first point clockwise), or nil on
+// owner returns the shard owning hash h (first point clockwise), or nil on
 // an empty ring.
-func (rs *ringState) owner(h uint64) *member {
+func (rs *ringState) owner(h uint64) *shard {
 	if len(rs.points) == 0 {
 		return nil
 	}
@@ -104,33 +127,33 @@ func (rs *ringState) owner(h uint64) *member {
 	if i == len(rs.points) {
 		i = 0 // wrap past the highest point
 	}
-	return rs.points[i].m
+	return rs.points[i].s
 }
 
-// successors returns up to n distinct members in ring order starting at
+// successors returns up to n distinct shards in ring order starting at
 // hash h's owner. This is both the replica set for hot keys and the retry /
 // spill preference order: every gateway instance derives the same list.
-func (rs *ringState) successors(h uint64, n int) []*member {
+func (rs *ringState) successors(h uint64, n int) []*shard {
 	if len(rs.points) == 0 || n <= 0 {
 		return nil
 	}
-	if n > len(rs.members) {
-		n = len(rs.members)
+	if n > len(rs.shards) {
+		n = len(rs.shards)
 	}
-	out := make([]*member, 0, n)
+	out := make([]*shard, 0, n)
 	start := sort.Search(len(rs.points), func(i int) bool { return rs.points[i].hash >= h })
 	for i := 0; i < len(rs.points) && len(out) < n; i++ {
-		m := rs.points[(start+i)%len(rs.points)].m
-		if !containsMember(out, m) {
-			out = append(out, m)
+		s := rs.points[(start+i)%len(rs.points)].s
+		if !containsShard(out, s) {
+			out = append(out, s)
 		}
 	}
 	return out
 }
 
-func containsMember(ms []*member, m *member) bool {
-	for _, x := range ms {
-		if x == m {
+func containsShard(ss []*shard, s *shard) bool {
+	for _, x := range ss {
+		if x == s {
 			return true
 		}
 	}
@@ -152,7 +175,7 @@ func fnvString(s string) uint64 {
 	return h
 }
 
-// vnodeHash places virtual node v of a member on the ring.
+// vnodeHash places virtual node v of a shard on the ring.
 func vnodeHash(id string, v int) uint64 {
 	h := fnvString(id)
 	h ^= uint64(v) + 0x9e3779b97f4a7c15

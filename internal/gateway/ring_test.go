@@ -5,10 +5,10 @@ import (
 	"testing"
 )
 
-func testMembers(n int) []*member {
-	ms := make([]*member, n)
+func testShards(n int) []*shard {
+	ms := make([]*shard, n)
 	for i := range ms {
-		ms[i] = &member{id: fmt.Sprintf("node-%02d", i)}
+		ms[i] = &shard{id: fmt.Sprintf("node-%02d", i)}
 	}
 	return ms
 }
@@ -27,7 +27,7 @@ func sampleKeys(k int) []uint64 {
 // invalidates one shard's worth of cache locality, not the cluster's.
 func TestRingRebalanceBound(t *testing.T) {
 	const vnodes, n, K = 128, 10, 20000
-	ms := testMembers(n + 1)
+	ms := testShards(n + 1)
 	before := buildRing(ms[:n], vnodes)
 	after := buildRing(ms, vnodes)
 	keys := sampleKeys(K)
@@ -66,7 +66,7 @@ func TestRingRebalanceBound(t *testing.T) {
 // deterministic, so this is a fixed property, not a flaky sample).
 func TestRingBalance(t *testing.T) {
 	const vnodes, n, K = 128, 10, 20000
-	rs := buildRing(testMembers(n), vnodes)
+	rs := buildRing(testShards(n), vnodes)
 	counts := map[string]int{}
 	for _, k := range sampleKeys(K) {
 		counts[rs.owner(k).id]++
@@ -86,7 +86,7 @@ func TestRingBalance(t *testing.T) {
 // count, and agree across calls — it is both the hot-key replica set and
 // the failover order, so every gateway instance must derive the same list.
 func TestRingSuccessors(t *testing.T) {
-	rs := buildRing(testMembers(5), 64)
+	rs := buildRing(testShards(5), 64)
 	for _, k := range sampleKeys(200) {
 		succ := rs.successors(k, 3)
 		if len(succ) != 3 {
@@ -95,7 +95,7 @@ func TestRingSuccessors(t *testing.T) {
 		if succ[0] != rs.owner(k) {
 			t.Fatalf("successors[0] = %s, owner = %s", succ[0].id, rs.owner(k).id)
 		}
-		seen := map[*member]bool{}
+		seen := map[*shard]bool{}
 		for _, m := range succ {
 			if seen[m] {
 				t.Fatalf("duplicate member %s in successor set", m.id)

@@ -1,0 +1,190 @@
+package member
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for lease-timing tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func testConfig(c *fakeClock, ramp int) Config {
+	return Config{LeaseTTL: time.Second, SuspectAfter: 400 * time.Millisecond, RampWindows: ramp, Now: c.now}
+}
+
+func TestLifecycleJoinConvergeRampExpireRejoin(t *testing.T) {
+	clk := newClock()
+	tbl := NewTable(testConfig(clk, 4))
+
+	// Announce behind the committed epoch: joining, weight 0, not routable.
+	e, changed, rejoin, err := tbl.Announce("s1", Meta{Addr: "http://s1", Epoch: 1, Capacity: 2}, 3)
+	if err != nil || rejoin {
+		t.Fatalf("announce: err=%v rejoin=%v", err, rejoin)
+	}
+	if e.State != StateJoining || e.Weight != 0 || changed {
+		t.Fatalf("behind-epoch announce: %+v changed=%v, want joining/0/false", e, changed)
+	}
+
+	// Renew while still behind: lease extends but stays gated.
+	clk.advance(300 * time.Millisecond)
+	e, _, err = tbl.Renew("s1", 2, 3)
+	if err != nil || e.State != StateJoining {
+		t.Fatalf("behind renew: %+v err=%v", e, err)
+	}
+
+	// Epoch catches up: warming at 1/4, then ramps 2/4, 3/4, active.
+	e, changed, err = tbl.Renew("s1", 3, 3)
+	if err != nil || !changed || e.State != StateWarming || e.Weight != 0.25 {
+		t.Fatalf("converge: %+v changed=%v err=%v, want warming 0.25", e, changed, err)
+	}
+	for i, want := range []float64{0.5, 0.75, 1} {
+		e, _, err = tbl.Renew("s1", 3, 3)
+		if err != nil || e.Weight != want {
+			t.Fatalf("ramp window %d: weight %g err=%v, want %g", i+2, e.Weight, err, want)
+		}
+	}
+	if e.State != StateActive {
+		t.Fatalf("fully ramped state = %v, want active", e.State)
+	}
+
+	// Miss heartbeats: suspect at 400ms (still routable), expired at 1s.
+	clk.advance(500 * time.Millisecond)
+	if exp := tbl.Sweep(); len(exp) != 0 {
+		t.Fatalf("suspect sweep expired %v", exp)
+	}
+	e, _ = tbl.Entry("s1")
+	if e.State != StateSuspect || !e.State.Routable() || e.Weight != 1 {
+		t.Fatalf("suspect: %+v, want routable at weight 1", e)
+	}
+	clk.advance(600 * time.Millisecond)
+	exp := tbl.Sweep()
+	if len(exp) != 1 || exp[0].ID != "s1" || exp[0].State != StateExpired {
+		t.Fatalf("expiry sweep: %v", exp)
+	}
+	if _, _, err := tbl.Renew("s1", 3, 3); err != ErrUnknown {
+		t.Fatalf("renew of expired lease: %v, want ErrUnknown", err)
+	}
+
+	// Rejoin: fresh lease, counted, gated on the (now higher) epoch again.
+	e, _, rejoin, err = tbl.Announce("s1", Meta{Addr: "http://s1", Epoch: 3, Capacity: 2}, 5)
+	if err != nil || !rejoin || e.State != StateJoining {
+		t.Fatalf("rejoin announce: %+v rejoin=%v err=%v", e, rejoin, err)
+	}
+	st := tbl.Stats()
+	if st.LeasesGranted != 2 || st.Rejoins != 1 || st.LeaseExpirations != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+func TestSuspectRenewalRestoresPreSuspectPosition(t *testing.T) {
+	clk := newClock()
+	tbl := NewTable(testConfig(clk, 4))
+	tbl.Announce("s1", Meta{Epoch: 1}, 0) // converges immediately (committed 0)
+	tbl.Renew("s1", 1, 0)                 // ramp 2/4
+	clk.advance(500 * time.Millisecond)
+	tbl.Sweep()
+	if e, _ := tbl.Entry("s1"); e.State != StateSuspect || e.Weight != 0.5 {
+		t.Fatalf("pre-renewal: %+v", e)
+	}
+	e, _, err := tbl.Renew("s1", 1, 0)
+	if err != nil || e.State != StateWarming || e.Weight != 0.5 {
+		t.Fatalf("post-renewal: %+v err=%v, want warming back at 0.5", e, err)
+	}
+}
+
+func TestGracefulLeaveAndRejoin(t *testing.T) {
+	clk := newClock()
+	tbl := NewTable(testConfig(clk, 1))
+	e, _, _, _ := tbl.Announce("s1", Meta{Epoch: 1}, 0)
+	if e.State != StateActive { // RampWindows=1: full weight on convergence
+		t.Fatalf("announce with ramp=1: %+v, want active", e)
+	}
+	e, wasRoutable := tbl.Leave("s1")
+	if !wasRoutable || e.State != StateLeft {
+		t.Fatalf("leave: %+v routable=%v", e, wasRoutable)
+	}
+	if _, again := tbl.Leave("s1"); again {
+		t.Fatal("double leave reported a live member")
+	}
+	// Left members never expire (no double counting) but can rejoin.
+	clk.advance(time.Hour)
+	if exp := tbl.Sweep(); len(exp) != 0 {
+		t.Fatalf("left member expired: %v", exp)
+	}
+	_, _, rejoin, err := tbl.Announce("s1", Meta{Epoch: 1}, 0)
+	if err != nil || !rejoin {
+		t.Fatalf("rejoin after leave: rejoin=%v err=%v", rejoin, err)
+	}
+	st := tbl.Stats()
+	if st.GracefulLeaves != 1 || st.Rejoins != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+func TestStaticMembersSkipLeases(t *testing.T) {
+	clk := newClock()
+	tbl := NewTable(testConfig(clk, 4))
+	e, changed, _, err := tbl.Announce("seed", Meta{Addr: "seed", Static: true}, 99)
+	if err != nil || !changed || e.State != StateActive || e.Weight != 1 {
+		t.Fatalf("static announce: %+v changed=%v err=%v", e, changed, err)
+	}
+	clk.advance(time.Hour)
+	if exp := tbl.Sweep(); len(exp) != 0 {
+		t.Fatalf("static member expired: %v", exp)
+	}
+	if st := tbl.Stats(); st.LeasesGranted != 0 {
+		t.Fatalf("static seed granted a lease: %+v", st)
+	}
+	if !tbl.Remove("seed") {
+		t.Fatal("remove of static member failed")
+	}
+}
+
+func TestAnnounceOfLiveMemberRenews(t *testing.T) {
+	clk := newClock()
+	tbl := NewTable(testConfig(clk, 2))
+	tbl.Announce("s1", Meta{Addr: "a", Epoch: 1, Capacity: 1}, 0)
+	clk.advance(900 * time.Millisecond) // one sweep away from expiry
+	e, _, rejoin, err := tbl.Announce("s1", Meta{Addr: "b", Epoch: 1, Capacity: 8}, 0)
+	if err != nil || rejoin {
+		t.Fatalf("re-announce: rejoin=%v err=%v", rejoin, err)
+	}
+	if e.Addr != "b" || e.Capacity != 8 {
+		t.Fatalf("meta not refreshed: %+v", e)
+	}
+	clk.advance(300 * time.Millisecond) // 1.2s after first lease, 0.3s after renewal
+	if exp := tbl.Sweep(); len(exp) != 0 {
+		t.Fatalf("renewed member expired: %v", exp)
+	}
+	if st := tbl.Stats(); st.LeasesGranted != 1 || st.Renewals == 0 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+func TestConvergeDoesNotExtendLease(t *testing.T) {
+	clk := newClock()
+	tbl := NewTable(testConfig(clk, 2))
+	tbl.Announce("s1", Meta{Epoch: 1}, 5) // gated
+	e, changed := tbl.Converge("s1", 5, 5)
+	if !changed || e.State != StateWarming {
+		t.Fatalf("converge: %+v changed=%v", e, changed)
+	}
+	// The lease clock started at announce; convergence must not reset it.
+	clk.advance(1100 * time.Millisecond)
+	if exp := tbl.Sweep(); len(exp) != 1 {
+		t.Fatalf("converged-but-unrenewed member survived: %v", exp)
+	}
+}
+
+func TestNoLeaseTTLRejectsLeasedAnnounce(t *testing.T) {
+	tbl := NewTable(Config{})
+	if _, _, _, err := tbl.Announce("s1", Meta{}, 0); err != ErrNoLeases {
+		t.Fatalf("leased announce on static-only table: %v, want ErrNoLeases", err)
+	}
+	if _, _, _, err := tbl.Announce("seed", Meta{Static: true}, 0); err != nil {
+		t.Fatalf("static announce on static-only table: %v", err)
+	}
+}

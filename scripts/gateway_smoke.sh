@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
 # gateway_smoke.sh — end-to-end smoke of the distributed serve tier as real
-# processes: train a tiny generalist once, start two itask-serve backends on
-# the shared checkpoint directory, put itask-gateway in front, and verify
-# over plain HTTP that
+# processes: train a tiny generalist once, start an itask-gateway with NO
+# static backend list, have two itask-serve shards join it via lease-based
+# announce, and verify over plain HTTP that
 #
-#   1. detection answers arrive with shard attribution (X-Itask-Shard),
-#   2. the same content always routes to the same shard,
-#   3. distinct content engages both shards,
-#   4. the gateway's own health/metrics surfaces report the fleet.
+#   1. the fleet assembles from announces alone (no -backends),
+#   2. detection answers arrive with shard attribution (X-Itask-Shard),
+#   3. the same content always routes to the same shard,
+#   4. distinct content engages both shards,
+#   5. SIGKILLing a shard mid-traffic loses no requests: failover absorbs
+#      the deaths until the lease expires the member off the ring,
+#   6. the restarted shard rejoins and serves again,
+#   7. SIGTERM deregisters gracefully (graceful_leaves, not an expiry).
 #
-# The in-process cluster tests (internal/gateway) cover the hard properties
-# — kill-mid-storm, publish barriers, hot replication; this script proves
-# the binaries compose over a real network surface.
+# The in-process cluster tests (internal/gateway, cmd/itask-gateway) cover
+# the hard properties — partitions via the chaos NetProxy, epoch gating,
+# retry budgets; this script proves the binaries compose over a real
+# network surface.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,6 +41,8 @@ go build -o "$workdir/itask-gateway" ./cmd/itask-gateway
 say "training a tiny generalist checkpoint"
 "$workdir/itask-train" -out "$workdir/models" -samples 8 -epochs 2 -seed 1 >"$workdir/train.log" 2>&1
 
+GW=http://127.0.0.1:18080
+
 wait_healthy() { # url name
     for _ in $(seq 1 100); do
         if curl -sf -o /dev/null "$1"; then
@@ -48,20 +55,45 @@ wait_healthy() { # url name
     exit 1
 }
 
-say "starting two itask-serve backends"
-"$workdir/itask-serve" -addr 127.0.0.1:18081 -models "$workdir/models" >"$workdir/serve1.log" 2>&1 &
-pids+=($!)
-"$workdir/itask-serve" -addr 127.0.0.1:18082 -models "$workdir/models" >"$workdir/serve2.log" 2>&1 &
-pids+=($!)
-wait_healthy http://127.0.0.1:18081/healthz backend-1
-wait_healthy http://127.0.0.1:18082/healthz backend-2
+metric() { # name — integer field from the gateway snapshot (0 if absent)
+    local v
+    v=$(curl -sf "$GW/metricsz" | sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p")
+    echo "${v:-0}"
+}
 
-say "starting itask-gateway"
+wait_available() { # n what
+    for _ in $(seq 1 100); do
+        avail=$(curl -s "$GW/healthz" | sed -n 's/.*"available":\([0-9]*\).*/\1/p')
+        if [ "${avail:-0}" = "$1" ]; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    say "FAIL: fleet never reached available=$1 ($2); last healthz: $(curl -s "$GW/healthz")"
+    cat "$workdir"/*.log || true
+    exit 1
+}
+
+start_shard() { # port logname
+    "$workdir/itask-serve" -addr "127.0.0.1:$1" -models "$workdir/models" \
+        -announce "$GW" -heartbeat 300ms >"$workdir/$2.log" 2>&1 &
+    echo $!
+}
+
+say "starting itask-gateway with no static backends (announce-only fleet)"
 "$workdir/itask-gateway" -addr 127.0.0.1:18080 \
-    -backends http://127.0.0.1:18081,http://127.0.0.1:18082 \
-    -probe-interval 250ms >"$workdir/gateway.log" 2>&1 &
+    -lease-ttl 2s -probe-interval 250ms \
+    -retry-backoff 5ms -retry-backoff-max 250ms >"$workdir/gateway.log" 2>&1 &
 pids+=($!)
-wait_healthy http://127.0.0.1:18080/healthz gateway
+wait_healthy "$GW/metricsz" gateway
+
+say "starting two itask-serve shards announcing to the gateway"
+shard1_pid=$(start_shard 18081 serve1)
+pids+=("$shard1_pid")
+shard2_pid=$(start_shard 18082 serve2)
+pids+=("$shard2_pid")
+wait_available 2 "initial announce"
+say "fleet assembled from announces: available=2"
 
 say "driving detections through the gateway"
 declare -A shard_of
@@ -70,7 +102,7 @@ for seed in $(seq 0 23); do
     body="{\"task\":\"patrol\",\"scene\":{\"domain\":\"driving\",\"seed\":$seed}}"
     headers="$workdir/headers.$seed"
     status=$(curl -s -D "$headers" -o "$workdir/resp.$seed" -w '%{http_code}' \
-        -X POST http://127.0.0.1:18080/v1/detect -d "$body")
+        -X POST "$GW/v1/detect" -d "$body")
     if [ "$status" != 200 ]; then
         say "FAIL: seed $seed got HTTP $status"
         cat "$workdir/resp.$seed"
@@ -96,7 +128,7 @@ say "checking routing stability (same content, same shard)"
 for seed in 0 7 19; do
     headers="$workdir/recheck.$seed"
     curl -sf -D "$headers" -o /dev/null \
-        -X POST http://127.0.0.1:18080/v1/detect \
+        -X POST "$GW/v1/detect" \
         -d "{\"task\":\"patrol\",\"scene\":{\"domain\":\"driving\",\"seed\":$seed}}"
     again=$(tr -d '\r' <"$headers" | awk -F': ' 'tolower($1)=="x-itask-shard"{print $2}')
     if [ "$again" != "${shard_of[$seed]}" ]; then
@@ -111,13 +143,81 @@ if [ "${#distinct_shards[@]}" -lt 2 ]; then
 fi
 say "fleet engaged: ${#distinct_shards[@]} shards served traffic"
 
+say "SIGKILLing shard2 mid-traffic (failover must hide it, lease must expire it)"
+: >"$workdir/traffic.fails"
+(
+    # Continuous traffic across the kill and the lease expiry. Every request
+    # must succeed: before the expiry, failover retries absorb attempts that
+    # land on the corpse; after it, the ring no longer contains it.
+    for i in $(seq 0 79); do
+        st=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$GW/v1/detect" \
+            -d "{\"task\":\"patrol\",\"scene\":{\"domain\":\"driving\",\"seed\":$((i % 24))}}")
+        [ "$st" = 200 ] || echo "request $i: HTTP $st" >>"$workdir/traffic.fails"
+        sleep 0.05
+    done
+) &
+traffic_pid=$!
+sleep 0.3
+kill -9 "$shard2_pid"
+wait_available 1 "lease expiry of the killed shard"
+wait "$traffic_pid"
+if [ -s "$workdir/traffic.fails" ]; then
+    say "FAIL: requests failed across the shard kill:"
+    cat "$workdir/traffic.fails"
+    exit 1
+fi
+expirations=$(metric lease_expirations)
+if [ "$expirations" -lt 1 ]; then
+    say "FAIL: lease_expirations=$expirations after SIGKILL, want >= 1"
+    exit 1
+fi
+say "kill absorbed: 80/80 requests OK, lease_expirations=$expirations"
+
+say "restarting shard2 (must rejoin and serve)"
+shard2_pid=$(start_shard 18082 serve2-rejoin)
+pids+=("$shard2_pid")
+wait_available 2 "rejoin of the restarted shard"
+rejoins=$(metric rejoins)
+if [ "$rejoins" -lt 1 ]; then
+    say "FAIL: rejoins=$rejoins after restart, want >= 1"
+    exit 1
+fi
+for seed in $(seq 0 23); do
+    st=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$GW/v1/detect" \
+        -d "{\"task\":\"patrol\",\"scene\":{\"domain\":\"driving\",\"seed\":$seed}}")
+    [ "$st" = 200 ] || { say "FAIL: post-rejoin seed $seed got HTTP $st"; exit 1; }
+done
+say "rejoin converged: rejoins=$rejoins, traffic flows on both shards"
+
+say "SIGTERMing shard1 (must deregister gracefully, not expire)"
+kill -TERM "$shard1_pid"
+wait_available 1 "graceful leave of shard1"
+leaves=$(metric graceful_leaves)
+if [ "$leaves" -lt 1 ]; then
+    say "FAIL: graceful_leaves=$leaves after SIGTERM, want >= 1"
+    exit 1
+fi
+st=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$GW/v1/detect" \
+    -d '{"task":"patrol","scene":{"domain":"driving","seed":3}}')
+[ "$st" = 200 ] || { say "FAIL: post-leave detect got HTTP $st"; exit 1; }
+
 say "checking gateway metrics"
-metrics="$(curl -sf http://127.0.0.1:18080/metricsz)"
+metrics="$(curl -sf "$GW/metricsz")"
 echo "$metrics" | grep -q '"routed":' || { say "FAIL: metricsz missing routed counter"; exit 1; }
-routed=$(echo "$metrics" | sed -n 's/.*"routed":\([0-9]*\).*/\1/p')
-if [ -z "$routed" ] || [ "$routed" -lt 24 ]; then
-    say "FAIL: gateway routed=$routed, want >= 24"
+routed=$(metric routed)
+granted=$(metric leases_granted)
+if [ "$routed" -lt 128 ]; then
+    say "FAIL: gateway routed=$routed, want >= 128"
+    exit 1
+fi
+if [ "$granted" -lt 3 ]; then
+    say "FAIL: leases_granted=$granted, want >= 3 (two joins + one rejoin)"
+    exit 1
+fi
+failed=$(metric failed)
+if [ "$failed" -gt 0 ]; then
+    say "FAIL: gateway reports failed=$failed routed requests"
     exit 1
 fi
 
-say "OK: $routed requests routed across ${#distinct_shards[@]} shards with stable attribution"
+say "OK: $routed requests routed, leases=$granted expirations=$expirations rejoins=$rejoins leaves=$leaves, zero failures"
