@@ -59,8 +59,12 @@ type backendResponse struct {
 // gateway's fleet-wide hot-digest verdict, forwarded as X-Itask-Hot so the
 // shard pre-promotes the digest in its in-process hot tier: the gateway sees
 // the digest's whole arrival stream, while each of the replicas it spreads a
-// hot digest across sees only a fraction of it.
-func (n *httpNode) forwardDetect(ctx context.Context, body []byte, hot bool) (*backendResponse, error) {
+// hot digest across sees only a fraction of it. tenant is the request's
+// accounting identity, forwarded as X-Itask-Tenant so a client that
+// identified itself only by header to the gateway is still scheduled and
+// budgeted under its own tenant on the shard (a "tenant" field in the body
+// wins over the header at the shard, so forwarding is harmless then).
+func (n *httpNode) forwardDetect(ctx context.Context, body []byte, hot bool, tenant string) (*backendResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/v1/detect", bytes.NewReader(body))
 	if err != nil {
 		return nil, &gateway.NodeError{Class: gateway.ClassRequest, Err: err}
@@ -68,6 +72,9 @@ func (n *httpNode) forwardDetect(ctx context.Context, body []byte, hot bool) (*b
 	req.Header.Set("Content-Type", "application/json")
 	if hot {
 		req.Header.Set("X-Itask-Hot", "1")
+	}
+	if tenant != "" {
+		req.Header.Set("X-Itask-Tenant", tenant)
 	}
 	resp, err := n.hc.Do(req)
 	if err != nil {

@@ -37,7 +37,20 @@
 //	GET  /healthz            200 with fleet counts while at least one backend
 //	                         is routable, 503 otherwise
 //	GET  /metricsz           gateway snapshot: routing/spill/retry/ejection
-//	                         counters, committed epoch, per-node status
+//	                         counters, committed epoch, per-node status, and
+//	                         per-tenant attribution (per_tenant)
+//
+// Requests carry an optional tenant identity — the body's "tenant" field or
+// the X-Itask-Tenant header, body winning, validated at this door exactly as
+// at the shard's (64 bytes, printable). The tenant never affects placement
+// (two tenants' identical frames share one shard's cache entry); it is
+// forwarded to the shard as X-Itask-Tenant for weighted-fair scheduling and
+// budgets there, attributed in the gateway's per-tenant counters, and
+// watched by the monopolization guard: a tenant holding more than half the
+// fleet's in-flight work is pinned to its ring owners — no hot-replica
+// spread, no bounded-load spill — so the elastic capacity stays available
+// to the other tenants. The shard's normalized tenant echoes back on the
+// response as X-Itask-Tenant.
 //
 // Requests are keyed the same way the shards key their result caches: an
 // image body routes by its rcache content digest, a scene body by its
@@ -300,10 +313,13 @@ func (a *app) announce(w http.ResponseWriter, r *http.Request) {
 }
 
 // routeProbe is the loose decode of a detect body used only to derive the
-// routing key; full validation is the backend's job.
+// routing key; full validation is the backend's job — except the tenant id,
+// which the gateway validates itself because it becomes an accounting key
+// here, before any backend sees it.
 type routeProbe struct {
-	Task  string `json:"task"`
-	Image *struct {
+	Task   string `json:"task"`
+	Tenant string `json:"tenant"`
+	Image  *struct {
 		Shape []int     `json:"shape"`
 		Data  []float32 `json:"data"`
 	} `json:"image"`
@@ -325,18 +341,38 @@ func routeKey(body []byte) gateway.Key {
 	if err := json.Unmarshal(body, &rp); err != nil {
 		return gateway.Key{}
 	}
+	k := gateway.Key{Task: rp.Task, Tenant: rp.Tenant}
 	if img := rp.Image; img != nil && len(img.Shape) == 3 &&
 		img.Shape[0] > 0 && img.Shape[1] > 0 && img.Shape[2] > 0 &&
 		len(img.Data) == img.Shape[0]*img.Shape[1]*img.Shape[2] {
 		t := tensor.FromSlice(img.Data, img.Shape[0], img.Shape[1], img.Shape[2])
-		return gateway.Key{Digest: rcache.DigestImage(t), HasDigest: true, Task: rp.Task}
+		k.Digest, k.HasDigest = rcache.DigestImage(t), true
+		return k
 	}
 	if sc := rp.Scene; sc != nil {
 		h := fnv.New64a()
 		fmt.Fprintf(h, "scene|%s|%s|%d", rp.Task, sc.Domain, sc.Seed)
-		return gateway.Key{Digest: h.Sum64(), HasDigest: true, Task: rp.Task}
+		k.Digest, k.HasDigest = h.Sum64(), true
+		return k
 	}
-	return gateway.Key{Task: rp.Task}
+	return k
+}
+
+// maxTenantLen and validateTenant mirror the itask-serve edge: tenant ids
+// become accounting keys at the gateway (and scheduler keys at the shard),
+// so both doors hold the same line — short, printable, or rejected with 400.
+const maxTenantLen = 64
+
+func validateTenant(tenant string) error {
+	if len(tenant) > maxTenantLen {
+		return fmt.Errorf("tenant id exceeds %d bytes", maxTenantLen)
+	}
+	for _, b := range []byte(tenant) {
+		if b < 0x20 || b == 0x7f {
+			return errors.New("tenant id contains control characters")
+		}
+	}
+	return nil
 }
 
 func (a *app) detect(w http.ResponseWriter, r *http.Request) {
@@ -355,9 +391,22 @@ func (a *app) detect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The tenant rides the body ("tenant" field) or the X-Itask-Tenant
+	// header, body winning — the same precedence the shard applies. It is
+	// validated here because it keys the gateway's own per-tenant accounting
+	// and the monopolization guard.
+	key := routeKey(body)
+	if key.Tenant == "" {
+		key.Tenant = r.Header.Get("X-Itask-Tenant")
+	}
+	if verr := validateTenant(key.Tenant); verr != nil {
+		httpError(w, http.StatusBadRequest, verr.Error())
+		return
+	}
+
 	var relay *backendResponse
-	info, err := a.g.Execute(r.Context(), routeKey(body), func(ctx context.Context, n gateway.Node, hot bool) error {
-		br, ferr := n.(*httpNode).forwardDetect(ctx, body, hot)
+	info, err := a.g.Execute(r.Context(), key, func(ctx context.Context, n gateway.Node, hot bool) error {
+		br, ferr := n.(*httpNode).forwardDetect(ctx, body, hot, key.Tenant)
 		if ferr == nil {
 			relay = br
 		}
@@ -372,7 +421,7 @@ func (a *app) detect(w http.ResponseWriter, r *http.Request) {
 		a.writeRouteError(w, err)
 		return
 	}
-	for _, h := range []string{"Content-Type", "Retry-After", "X-Itask-Degraded"} {
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Itask-Degraded", "X-Itask-Tenant"} {
 		if v := relay.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

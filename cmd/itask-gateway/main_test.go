@@ -21,11 +21,12 @@ type fakeBackend struct {
 	name string
 	srv  *httptest.Server
 
-	mu      sync.Mutex
-	seq     uint64
-	detects int
-	reloads int
-	status  int // non-zero forces every detect to this status
+	mu         sync.Mutex
+	seq        uint64
+	detects    int
+	reloads    int
+	status     int    // non-zero forces every detect to this status
+	lastTenant string // X-Itask-Tenant seen on the latest detect
 }
 
 func newFakeBackend(name string) *fakeBackend {
@@ -35,6 +36,7 @@ func newFakeBackend(name string) *fakeBackend {
 		body, _ := io.ReadAll(r.Body)
 		b.mu.Lock()
 		b.detects++
+		b.lastTenant = r.Header.Get("X-Itask-Tenant")
 		status := b.status
 		b.mu.Unlock()
 		if status != 0 {
@@ -47,12 +49,22 @@ func newFakeBackend(name string) *fakeBackend {
 			return
 		}
 		var probe struct {
-			Task string `json:"task"`
+			Task   string `json:"task"`
+			Tenant string `json:"tenant"`
 		}
 		if json.Unmarshal(body, &probe) != nil || probe.Task == "" {
 			w.WriteHeader(http.StatusBadRequest)
 			fmt.Fprint(w, `{"error":"missing task"}`)
 			return
+		}
+		// Echo the normalized tenant the way real itask-serve does: the
+		// body's tenant field wins over the forwarded header.
+		tenant := probe.Tenant
+		if tenant == "" {
+			tenant = r.Header.Get("X-Itask-Tenant")
+		}
+		if tenant != "" {
+			w.Header().Set("X-Itask-Tenant", tenant)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"task":%q,"model":%q,"detections":[]}`, probe.Task, b.name)
@@ -81,6 +93,12 @@ func (b *fakeBackend) detectCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.detects
+}
+
+func (b *fakeBackend) tenantSeen() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastTenant
 }
 
 func (b *fakeBackend) forceStatus(code int) {
@@ -347,5 +365,86 @@ func TestRouteKeyDerivation(t *testing.T) {
 	// A shape/data mismatch must not panic or allocate a bogus tensor.
 	if k := routeKey([]byte(`{"task":"t","image":{"shape":[3,100,100],"data":[1]}}`)); k.HasDigest {
 		t.Fatalf("mismatched image spec produced a digest: %+v", k)
+	}
+}
+
+// Tenant identity threads the whole proxied path: the gateway validates it
+// at its own door, forwards it to the shard as X-Itask-Tenant, relays the
+// shard's echo back to the client, and attributes the request in its
+// per-tenant counters.
+func TestDetectTenantThreading(t *testing.T) {
+	b0, b1 := newFakeBackend("b0"), newFakeBackend("b1")
+	a, front := newTestApp(t, passiveCfg(), b0, b1)
+
+	post := func(body, headerTenant string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/detect", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if headerTenant != "" {
+			req.Header.Set("X-Itask-Tenant", headerTenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(b)
+	}
+
+	// A header-identified tenant reaches the shard and echoes back.
+	resp, body := post(sceneBody("patrol", 1), "acme")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Itask-Tenant"); got != "acme" {
+		t.Fatalf("echoed tenant %q, want acme", got)
+	}
+	if b0.tenantSeen() != "acme" && b1.tenantSeen() != "acme" {
+		t.Fatalf("no backend saw the forwarded tenant (b0 %q, b1 %q)", b0.tenantSeen(), b1.tenantSeen())
+	}
+
+	// The body's tenant field wins over the header, end to end.
+	resp, body = post(`{"task":"patrol","tenant":"bodywins","scene":{"domain":"driving","seed":2}}`, "ignored")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Itask-Tenant"); got != "bodywins" {
+		t.Fatalf("echoed tenant %q, want bodywins", got)
+	}
+
+	// Hostile ids are refused at the gateway door, before any backend sees
+	// the request.
+	before := b0.detectCount() + b1.detectCount()
+	for _, bad := range []struct{ body, header string }{
+		{sceneBody("patrol", 3), strings.Repeat("x", 65)},
+		{`{"task":"patrol","tenant":"a\u0001b","scene":{"domain":"driving","seed":3}}`, ""},
+	} {
+		resp, body = post(bad.body, bad.header)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("hostile tenant got status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if after := b0.detectCount() + b1.detectCount(); after != before {
+		t.Fatalf("rejected tenants still reached backends (%d -> %d detects)", before, after)
+	}
+
+	want := map[string]uint64{"acme": 1, "bodywins": 1}
+	for _, row := range a.g.Snapshot().PerTenant {
+		if n, ok := want[row.Tenant]; ok {
+			if row.Routed != n {
+				t.Errorf("tenant %s routed %d, want %d", row.Tenant, row.Routed, n)
+			}
+			delete(want, row.Tenant)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing per-tenant rows for %v: %+v", want, a.g.Snapshot().PerTenant)
 	}
 }

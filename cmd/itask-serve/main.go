@@ -26,12 +26,13 @@
 //	                         model attribution, registry publish/rollback
 //	                         counters, model-cache hit rate)
 //
-// Failure modes map onto HTTP statuses: malformed input is 400, content
-// quarantined as poison (with -neg-ttl) is 422, admission backpressure is
-// 429 with Retry-After, draining or an open circuit with no healthy
-// fallback is 503 (the breaker case carries Retry-After), an isolated
-// backend panic is 500, and a missed deadline or watchdog-abandoned
-// execution is 504. Requests served by the quantized fallback while their
+// Failure modes map onto HTTP statuses: malformed input (including an
+// oversized or control-character tenant id) is 400, content quarantined as
+// poison (with -neg-ttl) is 422, admission backpressure — a full queue, an
+// exhausted per-tenant share, or an overdrawn -tenant-rate budget — is 429
+// with Retry-After, draining or an open circuit with no healthy fallback is
+// 503 (the breaker case carries Retry-After), an isolated backend panic is
+// 500, and a missed deadline or watchdog-abandoned execution is 504. Requests served by the quantized fallback while their
 // preferred lane's breaker is open succeed with "degraded" set in the body
 // and an X-Itask-Degraded response header.
 //
@@ -45,6 +46,7 @@
 //	            [-cache-bytes 33554432] [-cache-ttl 1m] [-coalesce] \
 //	            [-neg-ttl 0] [-hot-threshold 64] [-hot-decay 0] \
 //	            [-hot-bytes 4194304] [-pprof addr] \
+//	            [-tenant-weights gold=4,free=1] [-tenant-rate 0] [-tenant-burst 0] \
 //	            [-announce gateway-url] [-heartbeat 1s] [-advertise url]
 //
 // -cache-bytes enables the content-addressed result cache (0 disables it):
@@ -56,6 +58,11 @@
 // readers stop serializing on one cache-shard mutex. A gateway's fleet-wide
 // hot verdict arriving as an X-Itask-Hot request header pre-promotes the
 // digest without waiting for the local detector.
+// Requests carry their tenant in the body's "tenant" field or the
+// X-Itask-Tenant header (body wins); the normalized attribution is echoed
+// back as an X-Itask-Tenant response header. -tenant-weights sets DRR
+// weights for the weighted-fair batcher (unlisted tenants weigh 1);
+// -tenant-rate/-tenant-burst arm per-tenant token-bucket admission budgets.
 // -pprof serves net/http/pprof on a second listener with mutex and block
 // profiling enabled, for inspecting lock contention under load.
 // -announce joins an itask-gateway's lease-based fleet membership: the
@@ -86,6 +93,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -116,6 +124,9 @@ func main() {
 	hotThreshold := flag.Int("hot-threshold", 64, "reads within the decay window past which a digest's cache entry is replicated lock-free (0 = off; needs -cache-bytes > 0)")
 	hotDecay := flag.Int("hot-decay", 0, "hot-detector decay window in arrivals; counts halve every N cache lookups (0 = detector default)")
 	hotBytes := flag.Int64("hot-bytes", 4<<20, "hot replica tier byte budget, on top of -cache-bytes (0 = cache-bytes/8)")
+	tenantWeights := flag.String("tenant-weights", "", `comma-separated tenant DRR weights, e.g. "gold=4,free=1" (empty = every tenant weight 1)`)
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission budget in requests/second (0 = unlimited)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant burst credits on top of -tenant-rate (0 = one second of rate)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address with mutex/block profiling (empty = off)")
 	announceTo := flag.String("announce", "", "gateway base URL to join via lease-based membership (empty = standalone)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "lease renewal cadence when announcing (jittered ±25%)")
@@ -192,6 +203,15 @@ func main() {
 		HotThreshold:      *hotThreshold,
 		HotDecay:          *hotDecay,
 		HotBytes:          *hotBytes,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+	}
+	if *tenantWeights != "" {
+		weights, err := parseTenantWeights(*tenantWeights)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.TenantWeights = weights
 	}
 	if *cacheBytes <= 0 {
 		// The hot tier rides the result cache; without one it has nothing to
@@ -329,7 +349,15 @@ func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	req := serve.Request{Task: dr.Task, Image: img, Hot: r.Header.Get("X-Itask-Hot") == "1"}
+	tenant := dr.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get("X-Itask-Tenant")
+		if err := validateTenant(tenant); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	req := serve.Request{Task: dr.Task, Tenant: tenant, Image: img, Hot: r.Header.Get("X-Itask-Hot") == "1"}
 	if dr.TimeoutMS > 0 {
 		req.Deadline = time.Now().Add(time.Duration(dr.TimeoutMS) * time.Millisecond)
 	}
@@ -348,6 +376,9 @@ func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
 	if res.Degraded != "" {
 		w.Header().Set("X-Itask-Degraded", res.Degraded)
 	}
+	// Echo the normalized attribution so callers (and the gateway's smoke
+	// tooling) can see which tenant's ledger the request landed on.
+	w.Header().Set("X-Itask-Tenant", res.Tenant)
 	writeJSON(w, http.StatusOK, detectResponse{
 		Task:       dr.Task,
 		Model:      res.Model,
@@ -432,7 +463,8 @@ func (h *handler) metricsz(w http.ResponseWriter, r *http.Request) {
 }
 
 // statusOf maps serving-layer errors onto HTTP status codes: malformed
-// input is the caller's fault (400), queue full is backpressure (429),
+// input is the caller's fault (400), queue full and an overdrawn tenant
+// budget are backpressure (429),
 // draining or an open breaker with no healthy fallback is unavailability
 // (503), an isolated backend panic is an internal error (500), a missed
 // deadline or watchdog-abandoned execution is a gateway timeout (504), and
@@ -446,7 +478,7 @@ func statusOf(err error) int {
 		// request is well-formed but unprocessable, and retrying it anywhere
 		// would reproduce the fault.
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, serve.ErrQueueFull):
+	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrTenantBudget):
 		return http.StatusTooManyRequests
 	case errors.Is(err, serve.ErrShuttingDown), errors.Is(err, serve.ErrBreakerOpen):
 		return http.StatusServiceUnavailable
@@ -462,7 +494,8 @@ func statusOf(err error) int {
 }
 
 // retryAfter extracts the Retry-After hint for retryable rejections: the
-// breaker's own backoff for an open circuit (rounded up to a whole second,
+// breaker's own backoff for an open circuit and the token bucket's refill
+// time for an overdrawn tenant budget (each rounded up to a whole second,
 // minimum 1), a flat second for queue-full backpressure.
 func retryAfter(err error) (int, bool) {
 	var bo *serve.BreakerOpenError
@@ -473,10 +506,42 @@ func retryAfter(err error) (int, bool) {
 		}
 		return secs, true
 	}
+	var tb *serve.TenantBudgetError
+	if errors.As(err, &tb) {
+		secs := int((tb.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return secs, true
+	}
 	if errors.Is(err, serve.ErrQueueFull) {
 		return 1, true
 	}
 	return 0, false
+}
+
+// parseTenantWeights parses the -tenant-weights flag: comma-separated
+// name=weight pairs with positive integer weights.
+func parseTenantWeights(s string) (map[string]int, error) {
+	weights := map[string]int{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q, want name=weight", pair)
+		}
+		if err := validateTenant(name); err != nil {
+			return nil, fmt.Errorf("bad -tenant-weights tenant %q: %v", name, err)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -tenant-weights weight %q for %q, want positive integer", val, name)
+		}
+		if _, dup := weights[name]; dup {
+			return nil, fmt.Errorf("duplicate -tenant-weights tenant %q", name)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

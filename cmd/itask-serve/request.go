@@ -15,12 +15,37 @@ import (
 // hostile request from ballooning the decoder.
 const maxBodyBytes = 4 << 20
 
+// maxTenantLen bounds a tenant identifier. Tenant IDs become map keys in
+// the scheduler, quarantine entries, and metrics labels, so the edge keeps
+// them short and printable rather than letting a client mint unbounded or
+// log-hostile strings.
+const maxTenantLen = 64
+
+// validateTenant checks a tenant identifier from the body's "tenant" field
+// or the X-Itask-Tenant header. Empty is fine (the serving layer assigns
+// the default tenant); anything present must be short and free of control
+// characters.
+func validateTenant(tenant string) error {
+	if len(tenant) > maxTenantLen {
+		return fmt.Errorf("tenant id exceeds %d bytes", maxTenantLen)
+	}
+	for _, b := range []byte(tenant) {
+		if b < 0x20 || b == 0x7f {
+			return errors.New("tenant id contains control characters")
+		}
+	}
+	return nil
+}
+
 // detectRequest is the POST /v1/detect body. Exactly one of Image and Scene
 // must be set: Image carries raw pixels, Scene renders a synthetic scene
 // server-side (handy for curl demos).
 type detectRequest struct {
-	Task  string `json:"task"`
-	Image *struct {
+	Task string `json:"task"`
+	// Tenant attributes the request for weighted-fair scheduling and
+	// budgets; it wins over the X-Itask-Tenant header when both are set.
+	Tenant string `json:"tenant,omitempty"`
+	Image  *struct {
 		Shape []int     `json:"shape"`
 		Data  []float32 `json:"data"`
 	} `json:"image,omitempty"`
@@ -44,6 +69,9 @@ func parseDetectRequest(body []byte, imageSize int) (*detectRequest, error) {
 	}
 	if dr.Task == "" {
 		return nil, errors.New("missing task")
+	}
+	if err := validateTenant(dr.Tenant); err != nil {
+		return nil, err
 	}
 	if dr.TimeoutMS < 0 {
 		return nil, fmt.Errorf("negative timeout_ms %d", dr.TimeoutMS)

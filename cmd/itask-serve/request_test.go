@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -47,6 +49,14 @@ func TestParseDetectRequestAcceptsValidBodies(t *testing.T) {
 	if dr.Scene == nil || dr.TimeoutMS != 100 {
 		t.Errorf("scene request parsed as %+v", dr)
 	}
+
+	dr, err = parseDetectRequest([]byte(`{"task":"patrol","tenant":"acme-prod","scene":{"domain":"driving"}}`), testImageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Tenant != "acme-prod" {
+		t.Errorf("tenant parsed as %q", dr.Tenant)
+	}
 }
 
 func TestParseDetectRequestRejectsMalformedBodies(t *testing.T) {
@@ -67,6 +77,9 @@ func TestParseDetectRequestRejectsMalformedBodies(t *testing.T) {
 		{"data/shape mismatch", `{"task":"patrol","image":{"shape":[3,8,8],"data":[1,2,3]}}`},
 		{"unknown domain", `{"task":"patrol","scene":{"domain":"atlantis"}}`},
 		{"negative timeout", `{"task":"patrol","scene":{"domain":"driving"},"timeout_ms":-5}`},
+		{"oversized tenant", `{"task":"patrol","tenant":"` + strings.Repeat("x", 65) + `","scene":{"domain":"driving"}}`},
+		{"control-char tenant", `{"task":"patrol","tenant":"a\u0001b","scene":{"domain":"driving"}}`},
+		{"newline tenant", `{"task":"patrol","tenant":"a\nb","scene":{"domain":"driving"}}`},
 	}
 	for _, tc := range cases {
 		if _, err := parseDetectRequest([]byte(tc.body), testImageSize); err == nil {
@@ -86,6 +99,9 @@ func FuzzParseDetectRequest(f *testing.F) {
 	f.Add([]byte(`{"task":"p","image":{"shape":[3,0,0],"data":[]}}`))
 	f.Add([]byte(`{"task":"p","image":{"shape":[3,1099511627776,1099511627776],"data":[1]}}`))
 	f.Add([]byte(`{"task":"p","timeout_ms":-9223372036854775808}`))
+	f.Add([]byte(`{"task":"p","tenant":"acme","scene":{"domain":"driving"}}`))
+	f.Add([]byte(`{"task":"p","tenant":"` + strings.Repeat("t", 65) + `","scene":{"domain":"driving"}}`))
+	f.Add([]byte(`{"task":"p","tenant":"a\u0001b","scene":{"domain":"driving"}}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`[1,2,3]`))
@@ -103,6 +119,14 @@ func FuzzParseDetectRequest(f *testing.F) {
 		}
 		if dr.TimeoutMS < 0 {
 			t.Fatalf("accepted negative timeout: %q", body)
+		}
+		if len(dr.Tenant) > maxTenantLen {
+			t.Fatalf("accepted oversized tenant id: %q", body)
+		}
+		for _, b := range []byte(dr.Tenant) {
+			if b < 0x20 || b == 0x7f {
+				t.Fatalf("accepted control character in tenant id: %q", body)
+			}
 		}
 		// A validated image spec must materialize without panicking, at
 		// exactly the advertised size. (Scene generation is exercised by
@@ -127,6 +151,7 @@ func TestStatusOfMapsFailureModes(t *testing.T) {
 	}{
 		{fmt.Errorf("wrap: %w", serve.ErrBadShape), http.StatusBadRequest},
 		{serve.ErrQueueFull, http.StatusTooManyRequests},
+		{&serve.TenantBudgetError{Tenant: "acme", RetryAfter: time.Second}, http.StatusTooManyRequests},
 		{serve.ErrShuttingDown, http.StatusServiceUnavailable},
 		{&serve.BreakerOpenError{Variant: "v", Task: "t", RetryAfter: time.Second}, http.StatusServiceUnavailable},
 		{&serve.PanicError{Value: "boom"}, http.StatusInternalServerError},
@@ -152,7 +177,25 @@ func TestRetryAfterHints(t *testing.T) {
 	if ra, ok := retryAfter(serve.ErrQueueFull); !ok || ra != 1 {
 		t.Errorf("queue-full retry-after = %d,%v, want 1,true", ra, ok)
 	}
+	if ra, ok := retryAfter(&serve.TenantBudgetError{Tenant: "acme", RetryAfter: 1200 * time.Millisecond}); !ok || ra != 2 {
+		t.Errorf("tenant-budget retry-after = %d,%v, want 2,true (rounded up)", ra, ok)
+	}
 	if _, ok := retryAfter(serve.ErrWatchdog); ok {
 		t.Error("watchdog expiry should carry no retry-after")
+	}
+}
+
+func TestParseTenantWeights(t *testing.T) {
+	got, err := parseTenantWeights("gold=4, silver=2,free=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := map[string]int{"gold": 4, "silver": 2, "free": 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parsed %v, want %v", got, want)
+	}
+	for _, bad := range []string{"gold", "gold=", "=4", "gold=0", "gold=-1", "gold=x", "gold=1,gold=2", "a\nb=1"} {
+		if _, err := parseTenantWeights(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
 	}
 }

@@ -1,0 +1,119 @@
+package fair
+
+import (
+	"sync"
+	"time"
+)
+
+// maxBuckets caps the bucket table so a storm of distinct tenant IDs (the
+// HTTP edge bounds their length, not their cardinality) cannot grow it
+// without bound. At the cap, inserting first reaps buckets idle long
+// enough to have refilled completely — indistinguishable from fresh ones,
+// so dropping them is lossless — and then, if the storm is all live, drops
+// an arbitrary victim (costing that tenant one free refill).
+const maxBuckets = 4096
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Budget is a per-tenant token-bucket admission limiter. Each tenant owns
+// a bucket holding up to burst tokens, refilled at rate tokens/second;
+// admitting a request consumes one token. A fresh tenant starts with a
+// full bucket — those are its burst credits: a tenant idle long enough
+// always has burst requests of headroom before pacing kicks in.
+//
+// Safe for concurrent use.
+type Budget struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second; <= 0 disables limiting
+	burst   float64
+	buckets map[string]*bucket
+}
+
+// NewBudget builds a budget granting each tenant rate requests/second
+// with burst credits. rate <= 0 disables limiting (Allow always true);
+// burst <= 0 defaults to max(1, rate) — one second of headroom.
+func NewBudget(rate, burst float64) *Budget {
+	if burst <= 0 {
+		burst = rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &Budget{rate: rate, burst: burst, buckets: map[string]*bucket{}}
+}
+
+// Limiting reports whether the budget enforces anything.
+func (b *Budget) Limiting() bool { return b != nil && b.rate > 0 }
+
+// Allow consumes one token from tenant's bucket, reporting false when the
+// tenant is over budget. Lazy refill: tokens accrue from the bucket's last
+// touch, clamped at burst.
+func (b *Budget) Allow(tenant string, now time.Time) bool {
+	if !b.Limiting() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bk := b.buckets[tenant]
+	if bk == nil {
+		if len(b.buckets) >= maxBuckets {
+			b.reapLocked(now)
+		}
+		bk = &bucket{tokens: b.burst, last: now}
+		b.buckets[tenant] = bk
+	} else {
+		if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+			bk.tokens += dt * b.rate
+			if bk.tokens > b.burst {
+				bk.tokens = b.burst
+			}
+			bk.last = now
+		}
+	}
+	if bk.tokens < 1 {
+		return false
+	}
+	bk.tokens--
+	return true
+}
+
+// RetryAfter estimates how long tenant must wait for its next token —
+// the Retry-After hint for a rejected request. Zero when not limiting.
+func (b *Budget) RetryAfter(tenant string, now time.Time) time.Duration {
+	if !b.Limiting() {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bk := b.buckets[tenant]
+	if bk == nil {
+		return 0
+	}
+	tokens := bk.tokens + now.Sub(bk.last).Seconds()*b.rate
+	if tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - tokens) / b.rate * float64(time.Second))
+}
+
+// reapLocked drops buckets whose lazy refill would have filled them — a
+// full bucket is semantically identical to no bucket — then, if none were
+// reapable, an arbitrary one.
+func (b *Budget) reapLocked(now time.Time) {
+	fullAfter := time.Duration(b.burst / b.rate * float64(time.Second))
+	for t, bk := range b.buckets {
+		if now.Sub(bk.last) >= fullAfter {
+			delete(b.buckets, t)
+		}
+	}
+	for t := range b.buckets {
+		if len(b.buckets) < maxBuckets {
+			break
+		}
+		delete(b.buckets, t)
+	}
+}

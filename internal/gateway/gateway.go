@@ -351,6 +351,11 @@ type Gateway struct {
 	// still spread across the set.
 	p2cSeq atomic.Uint64
 
+	// tenants attributes routing per tenant; inflightAll is the fleet-wide
+	// in-flight total the dominance guard compares each tenant against.
+	tenants     tenantTable
+	inflightAll atomic.Int64
+
 	stop chan struct{}
 	done sync.WaitGroup
 }
@@ -609,6 +614,12 @@ type Key struct {
 	Digest    uint64
 	HasDigest bool
 	Task      string
+	// Tenant is the request's accounting identity. It deliberately does NOT
+	// feed the placement hash: two tenants submitting the same frame must
+	// land on the same shard's cache. It drives per-tenant attribution and
+	// the monopolization guard (see tenant.go). Empty means the default
+	// tenant.
+	Tenant string
 }
 
 // KeyFor derives the routing key the same way the serve layer derives its
@@ -616,9 +627,9 @@ type Key struct {
 // whose cache can hold its result.
 func KeyFor(req serve.Request) Key {
 	if req.Image != nil {
-		return Key{Digest: rcache.DigestImage(req.Image), HasDigest: true, Task: req.Task}
+		return Key{Digest: rcache.DigestImage(req.Image), HasDigest: true, Task: req.Task, Tenant: req.Tenant}
 	}
-	return Key{Task: req.Task}
+	return Key{Task: req.Task, Tenant: req.Tenant}
 }
 
 func (k Key) hash() uint64 {
@@ -662,6 +673,25 @@ func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Contex
 		info.Hot, _ = g.hot.Record(k.Digest)
 	}
 
+	// Per-tenant accounting brackets the whole routed request, and the
+	// monopolization guard reads it at entry: a tenant already holding more
+	// than half the fleet's in-flight work — while anyone else is in flight
+	// at all — is dominant, and its request pins to its ring owner instead
+	// of recruiting hot replicas or spill slots (see tenant.go). Single-
+	// tenant traffic (tenIn == totalIn) is never dominant, so untenanted
+	// fleets keep full hot-key and bounded-load behavior.
+	ts := g.tenants.get(k.Tenant)
+	totalIn := g.inflightAll.Add(1)
+	tenIn := ts.inflight.Add(1)
+	defer func() {
+		ts.inflight.Add(-1)
+		g.inflightAll.Add(-1)
+	}()
+	dominant := totalIn >= dominanceMinInFlight && tenIn < totalIn && tenIn*2 > totalIn
+	if dominant {
+		ts.dominated.Add(1)
+	}
+
 	// Preference order: the owner and its successors, healthy members
 	// first. If every member is ejected the full order is used anyway —
 	// a possibly-dead node beats certain failure.
@@ -678,7 +708,7 @@ func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Contex
 		avail = prefs
 	}
 
-	s := g.choose(avail, &info)
+	s := g.choose(avail, &info, dominant)
 	tried := make([]*shard, 0, 1+g.cfg.MaxRetries)
 	var lastErr error
 	for attempt := 0; attempt <= g.cfg.MaxRetries && s != nil; attempt++ {
@@ -698,8 +728,13 @@ func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Contex
 			s.consecFails.Store(0)
 			s.served.Add(1)
 			g.m.inc(h, cRouted)
+			ts.routed.Add(1)
 			if info.Hot {
 				g.m.inc(h, cHotRouted)
+				ts.hotRouted.Add(1)
+			}
+			if info.Spilled {
+				ts.spilled.Add(1)
 			}
 			if !k.HasDigest {
 				g.m.inc(h, cTaskRouted)
@@ -710,6 +745,7 @@ func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Contex
 			// spread poison to a successor.
 			s.consecFails.Store(0)
 			g.m.inc(h, cRouted)
+			ts.routed.Add(1)
 			return info, err
 		case ClassOverload:
 			s.failures.Add(1)
@@ -744,6 +780,7 @@ func (g *Gateway) Execute(ctx context.Context, k Key, do func(ctx context.Contex
 		}
 	}
 	g.m.inc(h, cFailed)
+	ts.failed.Add(1)
 	if lastErr == nil {
 		lastErr = ErrNoNodes
 	}
@@ -773,10 +810,16 @@ func (g *Gateway) attempt(ctx context.Context, s *shard, do func(ctx context.Con
 }
 
 // choose picks the first node to try: power-of-two-choices across the hot
-// replica set for hot keys, bounded-load owner-or-spill otherwise.
-func (g *Gateway) choose(avail []*shard, info *ExecInfo) *shard {
+// replica set for hot keys, bounded-load owner-or-spill otherwise. A pinned
+// (dominant-tenant) request skips both elastic paths and takes its ring
+// owner straight: the spread capacity is reserved for the tenants that are
+// not already holding most of the fleet.
+func (g *Gateway) choose(avail []*shard, info *ExecInfo, pinned bool) *shard {
 	if len(avail) == 0 {
 		return nil
+	}
+	if pinned {
+		return avail[0]
 	}
 	if info.Hot && len(avail) >= 2 {
 		set := avail
@@ -897,6 +940,7 @@ func (g *Gateway) Snapshot() Snapshot {
 		Rejoins:              ms.Rejoins,
 		GracefulLeaves:       ms.GracefulLeaves,
 		Nodes:                make([]NodeStatus, 0, len(entries)),
+		PerTenant:            g.tenants.snapshot(),
 	}
 	for _, e := range entries {
 		ns := NodeStatus{

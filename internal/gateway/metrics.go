@@ -85,6 +85,11 @@ type Snapshot struct {
 	GracefulLeaves   uint64 `json:"graceful_leaves,omitempty"`
 
 	Nodes []NodeStatus `json:"nodes"`
+
+	// PerTenant is routing attribution by tenant (sorted by tenant id):
+	// which tenants the fleet is serving, who is failing, and who has been
+	// pinned by the monopolization guard (see tenant.go).
+	PerTenant []TenantStatus `json:"per_tenant,omitempty"`
 }
 
 // NodeStatus is one member's routing view.

@@ -133,14 +133,25 @@ type entry struct {
 // entries first and then drops an arbitrary one.
 const maxNegativesPerShard = 1024
 
+// negKey scopes a quarantine verdict to the tenant whose request earned it.
+// Positive entries are shared across tenants (a detection result is a pure
+// function of version+task+content), but a negative verdict is evidence
+// gathered from one tenant's traffic: scoping it prevents tenant A's poison
+// storm from blinding tenant B to content B could serve fine (for example
+// after a kernel rollback A has not re-probed yet).
+type negKey struct {
+	Key
+	tenant string
+}
+
 // shard is one lock stripe: a map + intrusive LRU under a private mutex,
 // with padded atomic counters so two shards never share a cache line.
 type shard struct {
 	mu      sync.Mutex
 	entries map[Key]*entry
-	// neg maps quarantined keys to their negative-entry expiry (nil until
-	// the first PutNegative on this shard).
-	neg map[Key]time.Time
+	// neg maps (tenant-scoped) quarantined keys to their negative-entry
+	// expiry (nil until the first PutNegative on this shard).
+	neg map[negKey]time.Time
 	// head is most-recently-used, tail least. nil when empty.
 	head, tail *entry
 	bytes      int64
@@ -378,51 +389,55 @@ func (c *Cache) RetireReplicas(artifact string) int {
 	return c.hot.retireArtifact(artifact)
 }
 
-// PutNegative marks k as quarantined: Negative reports it for the cache's
-// NegTTL. Used by the serving layer so a hot poison frame — content proven
-// to panic or hang its kernel — fails fast instead of re-executing (and
-// re-panicking, re-bisecting, re-tripping breakers) on every arrival. A
-// no-op when the cache has no NegTTL.
-func (c *Cache) PutNegative(k Key, now time.Time) {
+// PutNegative marks k as quarantined for one tenant: Negative reports it
+// for the cache's NegTTL. Used by the serving layer so a hot poison frame —
+// content proven to panic or hang its kernel — fails fast instead of
+// re-executing (and re-panicking, re-bisecting, re-tripping breakers) on
+// every arrival. The verdict is tenant-scoped (see negKey): only the tenant
+// whose traffic earned the quarantine is refused. A no-op when the cache
+// has no NegTTL.
+func (c *Cache) PutNegative(k Key, tenant string, now time.Time) {
 	if c.negTTL <= 0 {
 		return
 	}
+	nk := negKey{Key: k, tenant: tenant}
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	if sh.neg == nil {
-		sh.neg = map[Key]time.Time{}
+		sh.neg = map[negKey]time.Time{}
 	}
-	if _, exists := sh.neg[k]; !exists && len(sh.neg) >= maxNegativesPerShard {
+	if _, exists := sh.neg[nk]; !exists && len(sh.neg) >= maxNegativesPerShard {
 		// Purge expired first; if the storm is all live, drop an arbitrary
 		// victim — losing a negative entry only costs one re-execution.
-		for nk, exp := range sh.neg {
+		for ok, exp := range sh.neg {
 			if now.After(exp) {
-				delete(sh.neg, nk)
+				delete(sh.neg, ok)
 			}
 		}
-		for nk := range sh.neg {
+		for ok := range sh.neg {
 			if len(sh.neg) < maxNegativesPerShard {
 				break
 			}
-			delete(sh.neg, nk)
+			delete(sh.neg, ok)
 		}
 	}
-	sh.neg[k] = now.Add(c.negTTL)
+	sh.neg[nk] = now.Add(c.negTTL)
 	sh.mu.Unlock()
 	sh.negInserts.Add(1)
 }
 
-// Negative reports whether k is under an unexpired negative entry at now.
-// Expired entries are removed on probe. Allocation-free.
-func (c *Cache) Negative(k Key, now time.Time) bool {
+// Negative reports whether k is under an unexpired negative entry for
+// tenant at now. Expired entries are removed on probe. Allocation-free.
+func (c *Cache) Negative(k Key, tenant string, now time.Time) bool {
 	if c.negTTL <= 0 {
 		return false
 	}
+	nk := negKey{Key: k, tenant: tenant}
 	sh := c.shardFor(k)
 	sh.mu.Lock()
-	exp, ok := sh.neg[k]
+	exp, ok := sh.neg[nk]
 	if ok && now.After(exp) {
-		delete(sh.neg, k)
+		delete(sh.neg, nk)
 		ok = false
 	}
 	sh.mu.Unlock()

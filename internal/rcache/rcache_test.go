@@ -154,7 +154,7 @@ func TestInvalidateArtifact(t *testing.T) {
 		c.Put(key("m@v1#aa", "t", d), d, now)
 		c.Put(key("m@v2#bb", "t", d), d, now)
 	}
-	c.PutNegative(key("m@v1#aa", "t", 999), now)
+	c.PutNegative(key("m@v1#aa", "t", 999), "tenant-a", now)
 
 	if removed := c.InvalidateArtifact("m@v1#aa"); removed != 32 {
 		t.Fatalf("InvalidateArtifact removed %d entries, want 32", removed)
@@ -188,11 +188,11 @@ func TestNegativeCache(t *testing.T) {
 	now := time.Now()
 	k := key("m@v1#aa", "patrol", 77)
 
-	if c.Negative(k, now) {
+	if c.Negative(k, "a", now) {
 		t.Fatal("negative hit on empty cache")
 	}
-	c.PutNegative(k, now)
-	if !c.Negative(k, now.Add(999*time.Millisecond)) {
+	c.PutNegative(k, "a", now)
+	if !c.Negative(k, "a", now.Add(999*time.Millisecond)) {
 		t.Fatal("negative entry expired before NegTTL")
 	}
 	// Negative entries are disjoint from positive ones: the same key still
@@ -200,7 +200,7 @@ func TestNegativeCache(t *testing.T) {
 	if _, _, ok := c.Get(k, now); ok {
 		t.Fatal("negative entry served as a positive result")
 	}
-	if c.Negative(k, now.Add(1001*time.Millisecond)) {
+	if c.Negative(k, "a", now.Add(1001*time.Millisecond)) {
 		t.Fatal("negative entry served after NegTTL")
 	}
 	st := c.Stats()
@@ -212,19 +212,38 @@ func TestNegativeCache(t *testing.T) {
 	}
 }
 
+// A quarantine verdict is scoped to the tenant whose traffic earned it:
+// tenant A's poison mark on a digest must not blind tenant B to it.
+func TestNegativeCacheTenantScoped(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 2, NegTTL: time.Minute})
+	now := time.Now()
+	k := key("m@v1#aa", "patrol", 42)
+	c.PutNegative(k, "a", now)
+	if !c.Negative(k, "a", now) {
+		t.Fatal("tenant a's own verdict not visible")
+	}
+	if c.Negative(k, "b", now) {
+		t.Fatal("tenant a's quarantine verdict leaked to tenant b")
+	}
+	// The default (empty) tenant is its own scope too.
+	if c.Negative(k, "", now) {
+		t.Fatal("tenant a's quarantine verdict leaked to the default tenant")
+	}
+}
+
 func TestNegativeCacheDisabledAndCapped(t *testing.T) {
 	// No NegTTL: PutNegative is a no-op.
 	off := New(Config{MaxBytes: 1 << 20, Shards: 1})
 	now := time.Now()
-	off.PutNegative(key("a", "t", 1), now)
-	if off.Negative(key("a", "t", 1), now) {
+	off.PutNegative(key("a", "t", 1), "a", now)
+	if off.Negative(key("a", "t", 1), "a", now) {
 		t.Fatal("negative cache active without NegTTL")
 	}
 
 	// Capped: a storm of distinct poison digests cannot grow without bound.
 	on := New(Config{MaxBytes: 1 << 20, Shards: 1, NegTTL: time.Minute})
 	for d := uint64(0); d < 3*maxNegativesPerShard; d++ {
-		on.PutNegative(key("a", "t", d), now)
+		on.PutNegative(key("a", "t", d), "a", now)
 	}
 	if n := on.Stats().NegEntries; n > maxNegativesPerShard {
 		t.Fatalf("negative entries %d exceed per-shard cap %d", n, maxNegativesPerShard)

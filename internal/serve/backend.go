@@ -128,10 +128,23 @@ type PayloadSizer interface {
 	PayloadBytes(payload any) int64
 }
 
+// DefaultTenant is the tenant identity assigned to requests that carry
+// none. Single-tenant deployments never need to set Request.Tenant: every
+// request lands in the default tenant's subqueue and the weighted-fair
+// machinery degenerates to plain FIFO.
+const DefaultTenant = "default"
+
 // Request is one detection call entering the serving layer.
 type Request struct {
 	// Task names the mission; it must be defined on the backend.
 	Task string
+	// Tenant identifies the request's owner for weighted-fair scheduling,
+	// admission budgets, quarantine scoping, and per-tenant metrics
+	// attribution. Empty is normalized to DefaultTenant at admission.
+	// Callers must validate IDs at the edge (cmd/itask-serve bounds length
+	// and rejects control characters) — the serving layer uses the string
+	// as a map key verbatim.
+	Tenant string
 	// Image is the (C,H,W) input tensor.
 	Image *tensor.Tensor
 	// Deadline, when non-zero, is the admission-to-execution deadline:
@@ -157,6 +170,10 @@ type Result struct {
 	Payload any
 	// Model names the variant that served the request.
 	Model string
+	// Tenant is the normalized tenant the request was attributed to (the
+	// request's own tenant — a coalesced follower keeps its identity even
+	// when another tenant's leader executed the work).
+	Tenant string
 	// BatchSize is the size of the micro-batch the request rode in.
 	BatchSize int
 	// Degraded is empty for requests served on their preferred variant,

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"itask/internal/fair"
 	"itask/internal/rcache"
 	"itask/internal/tensor"
 )
@@ -13,6 +14,7 @@ import (
 type pending struct {
 	image    *tensor.Tensor
 	task     string
+	tenant   string
 	deadline time.Time
 	enq      time.Time
 	// hint spreads this request's metrics updates across counter shards
@@ -47,64 +49,116 @@ type pending struct {
 	done     chan Outcome // buffered(1): delivery never blocks a worker
 }
 
-// batch is a flushed micro-batch bound for the worker pool.
-type batch struct {
-	variant string
-	task    string
-	items   []*pending
-}
-
 // lane coalesces admitted requests that share a (variant, task) key. The
 // key includes the task (not just the model variant) because the pipeline's
 // post-inference knowledge-graph filtering is task-specific: two tasks
 // served by the same generalist still decode against different priors.
+//
+// Inside a lane, requests wait in a weighted-fair queue of per-tenant
+// subqueues rather than one FIFO: when a worker takes a batch, fair.Queue
+// interleaves tenants by deficit round robin, so a tenant flooding the lane
+// gets at most its weighted share of each batch's slots while other
+// tenants have work waiting.
 type lane struct {
 	variant string
 	task    string
-	items   []*pending
+	q       *fair.Queue[*pending]
+	// ready marks the lane as sitting in the state's ready list, waiting
+	// for a worker to take a batch from it.
+	ready bool
 	// gen invalidates flush timers armed for a previous filling of this
-	// lane: takeLocked bumps it, so a stale time.AfterFunc finds a
-	// different generation and does nothing.
+	// lane: the worker taking a batch bumps it, so a stale time.AfterFunc
+	// finds a different generation and does nothing.
 	gen uint64
 }
 
 // state is the mutex-guarded queue/batcher core of the Server.
+//
+// The batcher is pull-model: admitted requests stay in their lane's fair
+// queue until a worker takes a batch, so batch formation — the moment
+// tenant interleaving happens — is as late as possible. (The previous
+// design flushed lanes eagerly into per-batch dispatch goroutines blocked
+// on a channel; the backlog then sat FIFO in blocked goroutines where no
+// fairness policy could reach it.) A lane becomes "ready" when it holds a
+// full batch, when its BatchDelay expires, or at shutdown; workers wait on
+// cond for ready lanes and serve them in FIFO order.
 type state struct {
-	mu    sync.Mutex
+	mu   sync.Mutex
+	cond *sync.Cond // signalled when a lane becomes ready or the server closes
 	lanes map[string]*lane
-	// queued counts admitted requests not yet handed to a worker — both
-	// those waiting in lanes and those in flushed batches still queuing
-	// for the worker channel. It is decremented only when a batch lands on
-	// batchCh, so QueueCap genuinely bounds pending work even when every
-	// worker is busy and dispatches are blocked.
-	queued int
-	closed bool
+	// readyQ is the FIFO of lanes with a batch ready to take. Lane-level
+	// FIFO keeps cross-lane service fair too: a busy lane re-marks itself
+	// at the tail, it cannot monopolize the workers.
+	readyQ []*lane
+	// queued counts admitted requests not yet taken by a worker; QueueCap
+	// bounds it. queuedBy splits the same count per tenant for the
+	// weighted queue-share guard (see Server.enqueue).
+	queued   int
+	queuedBy map[string]int
+	closed   bool
 
-	// dispatchWG counts batches taken from lanes but not yet handed to
-	// batchCh; Shutdown waits for it before closing the channel.
-	dispatchWG sync.WaitGroup
-	workerWG   sync.WaitGroup
+	workerWG sync.WaitGroup
 }
 
 func newState() *state {
-	return &state{lanes: map[string]*lane{}}
+	st := &state{lanes: map[string]*lane{}, queuedBy: map[string]int{}}
+	st.cond = sync.NewCond(&st.mu)
+	return st
 }
 
-// takeLocked empties a lane into a batch (nil when the lane is empty) and
-// bumps its generation. Caller holds st.mu.
-func (st *state) takeLocked(ln *lane) *batch {
-	if len(ln.items) == 0 {
-		return nil
+// markReadyLocked puts ln on the ready list and wakes one worker. Caller
+// holds st.mu.
+func (st *state) markReadyLocked(ln *lane) {
+	if ln.ready {
+		return
 	}
-	b := &batch{variant: ln.variant, task: ln.task, items: ln.items}
-	ln.items = nil
-	ln.gen++
-	return b
+	ln.ready = true
+	st.readyQ = append(st.readyQ, ln)
+	st.cond.Signal()
 }
 
-// enqueue admits p into the lane for (variant, task), flushing the lane if
-// it reached MaxBatch and arming the BatchDelay flush timer when p is the
-// first occupant.
+// tenantQueueCapLocked is the weighted share of QueueCap tenant may occupy.
+// The share is computed against the weights of every tenant that is either
+// configured (present in Config.TenantWeights) or currently occupying queue
+// slots — so a tenant alone on an unconfigured server uses the whole queue
+// (work-conserving), while on a server with configured tenants each one's
+// slots are reserved even across its idle moments and a flooding tenant can
+// never push the queue to a state that rejects the others. The floor of one
+// MaxBatch keeps a tiny-share tenant able to form a full batch. Caller
+// holds st.mu.
+func (s *Server) tenantQueueCapLocked(tenant string) int {
+	st := s.st
+	w := func(t string) int {
+		if wt, ok := s.cfg.TenantWeights[t]; ok && wt > 0 {
+			return wt
+		}
+		return fair.DefaultWeight
+	}
+	total := w(tenant)
+	for t := range s.cfg.TenantWeights {
+		if t != tenant {
+			total += w(t)
+		}
+	}
+	for t := range st.queuedBy {
+		if _, configured := s.cfg.TenantWeights[t]; !configured && t != tenant {
+			total += w(t)
+		}
+	}
+	share := s.cfg.QueueCap * w(tenant) / total
+	if share < s.cfg.MaxBatch {
+		share = s.cfg.MaxBatch
+	}
+	if share > s.cfg.QueueCap {
+		share = s.cfg.QueueCap
+	}
+	return share
+}
+
+// enqueue admits p into the lane for (variant, task), marking the lane
+// ready for a worker when it holds a full batch (or BatchDelay is zero)
+// and arming the BatchDelay flush timer when p is the lane's first
+// occupant.
 func (s *Server) enqueue(variant, task string, p *pending) error {
 	st := s.st
 	key := laneKey(variant, task)
@@ -117,76 +171,94 @@ func (s *Server) enqueue(variant, task string, p *pending) error {
 	if st.queued >= s.cfg.QueueCap {
 		st.mu.Unlock()
 		s.m.inc(p.hint, cRejectedFull)
+		s.m.tenantRejected(p.tenant)
+		return ErrQueueFull
+	}
+	if st.queuedBy[p.tenant] >= s.tenantQueueCapLocked(p.tenant) {
+		st.mu.Unlock()
+		s.m.inc(p.hint, cRejectedShare)
+		s.m.tenantRejected(p.tenant)
 		return ErrQueueFull
 	}
 	st.queued++
+	st.queuedBy[p.tenant]++
 	ln := st.lanes[key]
 	if ln == nil {
-		ln = &lane{variant: variant, task: task}
+		ln = &lane{variant: variant, task: task, q: fair.NewQueue[*pending](s.cfg.TenantWeights)}
 		st.lanes[key] = ln
 	}
-	ln.items = append(ln.items, p)
-	var ready *batch
+	wasEmpty := ln.q.Len() == 0
+	ln.q.Push(p.tenant, p)
 	switch {
-	case len(ln.items) >= s.cfg.MaxBatch || s.cfg.BatchDelay == 0:
-		ready = st.takeLocked(ln)
-	case len(ln.items) == 1:
+	case ln.q.Len() >= s.cfg.MaxBatch || s.cfg.BatchDelay == 0:
+		st.markReadyLocked(ln)
+	case wasEmpty && !ln.ready:
 		gen := ln.gen
 		time.AfterFunc(s.cfg.BatchDelay, func() { s.flushLane(key, gen) })
 	}
-	if ready != nil {
-		st.dispatchWG.Add(1)
-	}
 	st.mu.Unlock()
-	if ready != nil {
-		// Async so a submitter that happens to trigger the flush is not
-		// blocked waiting for a free worker; the batch stays counted in
-		// queued until a worker accepts it, so QueueCap still bounds the
-		// number of these goroutines.
-		go s.dispatch(ready)
-	}
 	return nil
 }
 
-// flushLane is the BatchDelay timer callback: it flushes the lane if it
+// flushLane is the BatchDelay timer callback: it readies the lane if it
 // still holds the generation the timer was armed for.
 func (s *Server) flushLane(key string, gen uint64) {
 	st := s.st
 	st.mu.Lock()
 	ln := st.lanes[key]
-	if ln == nil || ln.gen != gen || st.closed {
-		st.mu.Unlock()
-		return
-	}
-	b := st.takeLocked(ln)
-	if b != nil {
-		st.dispatchWG.Add(1)
+	if ln != nil && ln.gen == gen && !st.closed && ln.q.Len() > 0 {
+		st.markReadyLocked(ln)
 	}
 	st.mu.Unlock()
-	if b != nil {
-		go s.dispatch(b)
-	}
 }
 
-// dispatch hands a flushed batch to the worker pool, blocking while all
-// workers are busy and the channel is full — that is the backpressure that
-// keeps total in-flight work bounded by QueueCap + Workers·(1+MaxBatch).
-// Only once a worker lane accepts the batch do its requests stop counting
-// against QueueCap.
-func (s *Server) dispatch(b *batch) {
-	defer s.st.dispatchWG.Done()
-	s.batchCh <- b
-	s.st.mu.Lock()
-	s.st.queued -= len(b.items)
-	s.st.mu.Unlock()
-}
-
-// worker drains flushed batches until the channel closes at shutdown. All
-// shedding, panic isolation, quarantine, and breaker accounting happens in
-// execute (exec.go).
+// worker pulls batches from ready lanes until shutdown drains the last
+// one. Taking a batch is where fairness bites: fair.Queue.PopMax
+// interleaves the lane's tenants by deficit round robin, and only now do
+// the taken requests stop counting against QueueCap. All shedding, panic
+// isolation, quarantine, and breaker accounting happens in execute
+// (exec.go).
 func (s *Server) worker() {
-	defer s.st.workerWG.Done()
-	for b := range s.batchCh {
-		s.execute(b.variant, b.task, b.items)
+	st := s.st
+	defer st.workerWG.Done()
+	st.mu.Lock()
+	for {
+		for len(st.readyQ) == 0 && !st.closed {
+			st.cond.Wait()
+		}
+		if len(st.readyQ) == 0 {
+			// Closed and fully drained.
+			st.mu.Unlock()
+			return
+		}
+		ln := st.readyQ[0]
+		st.readyQ = st.readyQ[1:]
+		ln.ready = false
+		items := ln.q.PopMax(s.cfg.MaxBatch)
+		ln.gen++
+		st.queued -= len(items)
+		for _, p := range items {
+			if st.queuedBy[p.tenant]--; st.queuedBy[p.tenant] <= 0 {
+				delete(st.queuedBy, p.tenant)
+			}
+		}
+		if ln.q.Len() > 0 {
+			// Leftovers (more than MaxBatch was queued): either they
+			// already fill the next batch, or they wait a fresh
+			// BatchDelay for company — the added wait is bounded by one
+			// extra BatchDelay since the lane last had a full batch.
+			if ln.q.Len() >= s.cfg.MaxBatch || s.cfg.BatchDelay == 0 || st.closed {
+				st.markReadyLocked(ln)
+			} else {
+				key := laneKey(ln.variant, ln.task)
+				gen := ln.gen
+				time.AfterFunc(s.cfg.BatchDelay, func() { s.flushLane(key, gen) })
+			}
+		}
+		st.mu.Unlock()
+		if len(items) > 0 {
+			s.execute(ln.variant, ln.task, items)
+		}
+		st.mu.Lock()
 	}
 }

@@ -145,7 +145,10 @@ func waitBatches(t *testing.T, fb *fakeBackend, n int) {
 // execution time rather than run for nobody.
 func TestDeadlineShedWhileQueued(t *testing.T) {
 	fb := newFakeBackend()
-	fb.delay = 30 * time.Millisecond
+	// The blocker must still be on the worker when the doomed request's
+	// 1ms deadline passes AND when it is submitted; a generous hold keeps
+	// the test deterministic on an oversubscribed CI core.
+	fb.delay = 250 * time.Millisecond
 	cfg := Config{Workers: 1, MaxBatch: 1, BatchDelay: 0, QueueCap: 16, LatencyWindow: 16}
 	s := newTestServer(t, fb, cfg)
 

@@ -45,10 +45,12 @@ func (s *Server) execute(variant, task string, items []*pending) {
 		switch {
 		case p.cancelled.Load():
 			s.m.inc(p.hint, cShedCancelled)
+			s.m.tenantShed(p.tenant)
 			s.releaseShedProbe(p)
 			s.deliver(p, Outcome{Err: context.Canceled})
 		case !p.deadline.IsZero() && started.After(p.deadline):
 			s.m.inc(p.hint, cShedExpired)
+			s.m.tenantShed(p.tenant)
 			s.releaseShedProbe(p)
 			s.deliver(p, Outcome{Err: ErrDeadlineExceeded})
 		default:
@@ -78,6 +80,7 @@ func (s *Server) execute(variant, task string, items []*pending) {
 			total := finished.Sub(p.enq)
 			s.m.observeLatency(p.hint, total)
 			s.m.inc(p.hint, cCompleted)
+			s.m.tenantCompleted(p.tenant, total, p.degraded != "")
 			latSumUS += float64(total) / float64(time.Microsecond)
 			if p.degraded != "" {
 				s.m.inc(p.hint, cDegradedServed)
@@ -85,6 +88,7 @@ func (s *Server) execute(variant, task string, items []*pending) {
 			s.deliver(p, Outcome{Res: Result{
 				Payload:   payloads[i],
 				Model:     model,
+				Tenant:    p.tenant,
 				BatchSize: len(live),
 				Degraded:  p.degraded,
 				Queued:    started.Sub(p.enq),
@@ -156,6 +160,7 @@ func (s *Server) releaseShedProbe(p *pending) {
 // the poison.
 func (s *Server) fail(p *pending, variant string, err error, isolated bool) {
 	s.m.inc(p.hint, cFailed)
+	s.m.tenantFailed(p.tenant)
 	s.m.modelFailed(variant, 1)
 	if isolated && isPanicOrHang(err) {
 		s.m.inc(p.hint, cQuarantined)
@@ -163,8 +168,10 @@ func (s *Server) fail(p *pending, variant string, err error, isolated bool) {
 			// The content is proven poison on its routed version: mark it in
 			// the negative cache so a hot poison frame fails fast at
 			// admission instead of re-executing — and re-panicking — on
-			// every arrival. No-op unless Config.NegativeTTL is set.
-			s.cache.PutNegative(p.key, time.Now())
+			// every arrival. The mark is scoped to this request's tenant;
+			// other tenants' identical content re-proves itself instead of
+			// inheriting the verdict. No-op unless Config.NegativeTTL is set.
+			s.cache.PutNegative(p.key, p.tenant, time.Now())
 		}
 	}
 	s.deliver(p, Outcome{Err: err})
@@ -214,9 +221,13 @@ func (s *Server) finishFlight(p *pending, out Outcome) {
 		res.Coalesced = true
 		res.Queued = 0
 		res.Total = now.Sub(f.enq)
+		// Attribution follows the follower, not the leader: a coalesced
+		// hit is the follower tenant's completion.
+		res.Tenant = f.tenant
 		s.m.inc(f.hint, cCoalesced)
 		s.m.inc(f.hint, cCompleted)
 		s.m.observeLatency(f.hint, res.Total)
+		s.m.tenantCompleted(f.tenant, res.Total, res.Degraded != "")
 		f.done <- Outcome{Res: res}
 	}
 }

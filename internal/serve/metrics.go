@@ -72,6 +72,10 @@ const (
 	cQuarantineBlocked // admissions refused from the poison negative cache
 	cArtifactSweeps    // result-cache entries reclaimed by demote sweeps
 
+	// Multi-tenant admission counters.
+	cRejectedBudget // admissions refused by a tenant's token-bucket budget
+	cRejectedShare  // admissions refused by the weighted queue-share guard
+
 	numCounters
 )
 
@@ -108,6 +112,41 @@ type metrics struct {
 	// so /metricsz can show a bad new version panicking while its
 	// rolled-back predecessor serves.
 	perModel sync.Map
+
+	// perTenant maps tenant ID -> *tenantCounters, so /metricsz can show
+	// one tenant's poison storm failing and shedding next to another
+	// tenant's clean completions. Bounded at maxTenantStats distinct
+	// tenants (see tenant); overflow lumps into overflowTenant.
+	perTenant sync.Map
+	tenants   atomic.Int64
+}
+
+// maxTenantStats caps distinct per-tenant attribution entries; tenant IDs
+// are length-bounded at the edge but not cardinality-bounded, and metrics
+// must never become the unbounded map an attacker grows one header at a
+// time.
+const maxTenantStats = 1024
+
+// overflowTenant aggregates attribution for tenants beyond maxTenantStats.
+const overflowTenant = "~overflow"
+
+// tenantLatWindow is the per-tenant latency ring size — enough for a
+// stable p99 per tenant without rivaling the global striped window.
+const tenantLatWindow = 512
+
+// tenantCounters accumulates one tenant's attribution. Counters are
+// atomic; the latency ring has a private mutex (one tenant's observations
+// contend only with that tenant's own).
+type tenantCounters struct {
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	shed      atomic.Uint64
+	degraded  atomic.Uint64
+	rejected  atomic.Uint64
+
+	mu   sync.Mutex
+	lat  []float64 // ring of recent latencies, microseconds
+	next int
 }
 
 // modelCounters accumulates one variant's per-version attribution, all
@@ -215,6 +254,47 @@ func (m *metrics) model(name string) *modelCounters {
 	return mc.(*modelCounters)
 }
 
+// tenant returns (creating if needed) the counters for one tenant,
+// redirecting to the shared overflow bucket once maxTenantStats distinct
+// tenants exist.
+func (m *metrics) tenant(name string) *tenantCounters {
+	if tc, ok := m.perTenant.Load(name); ok {
+		return tc.(*tenantCounters)
+	}
+	if m.tenants.Load() >= maxTenantStats && name != overflowTenant {
+		return m.tenant(overflowTenant)
+	}
+	tc, loaded := m.perTenant.LoadOrStore(name, &tenantCounters{})
+	if !loaded {
+		m.tenants.Add(1)
+	}
+	return tc.(*tenantCounters)
+}
+
+// tenantCompleted attributes one completion (cache hit, coalesced share,
+// or batch execution) with its latency, and the degraded flag when the
+// fallback variant served it.
+func (m *metrics) tenantCompleted(tenant string, d time.Duration, degraded bool) {
+	tc := m.tenant(tenant)
+	tc.completed.Add(1)
+	if degraded {
+		tc.degraded.Add(1)
+	}
+	us := float64(d) / float64(time.Microsecond)
+	tc.mu.Lock()
+	if len(tc.lat) < tenantLatWindow {
+		tc.lat = append(tc.lat, us)
+	} else {
+		tc.lat[tc.next] = us
+		tc.next = (tc.next + 1) % tenantLatWindow
+	}
+	tc.mu.Unlock()
+}
+
+func (m *metrics) tenantFailed(tenant string)   { m.tenant(tenant).failed.Add(1) }
+func (m *metrics) tenantShed(tenant string)     { m.tenant(tenant).shed.Add(1) }
+func (m *metrics) tenantRejected(tenant string) { m.tenant(tenant).rejected.Add(1) }
+
 // modelCompleted attributes n completed requests (with their summed
 // admission-to-completion latency) to the model that served them.
 func (m *metrics) modelCompleted(model string, n int, latSumUS float64) {
@@ -297,6 +377,13 @@ type Snapshot struct {
 	QuarantineBlocked uint64 `json:"quarantine_blocked,omitempty"`
 	ArtifactSweeps    uint64 `json:"artifact_sweep_entries,omitempty"`
 
+	// Multi-tenant admission: requests refused by a tenant's token-bucket
+	// budget (HTTP 429 + Retry-After) and by the weighted queue-share
+	// guard (a tenant at its reserved share of QueueCap while others'
+	// slots stay protected).
+	RejectedBudget uint64 `json:"rejected_tenant_budget,omitempty"`
+	RejectedShare  uint64 `json:"rejected_tenant_share,omitempty"`
+
 	// ResultCache surfaces the content-addressed detection cache's own
 	// occupancy and churn when the cache is enabled (nil otherwise);
 	// ResultCacheHitRate is Hits/(Hits+Misses) over its lifetime.
@@ -338,9 +425,34 @@ type Snapshot struct {
 	// the rolled-back version's completions appear side by side here.
 	PerModel []ModelStats `json:"per_model,omitempty"`
 
+	// PerTenant attributes completions, failures, sheds, degraded serves,
+	// rejections, and a recent-window p99 to each tenant, sorted by tenant
+	// ID. This is the observable half of tenant isolation: one tenant's
+	// poison storm shows up as that tenant's failures and rejections while
+	// the others' rows stay clean.
+	PerTenant []TenantStats `json:"per_tenant,omitempty"`
+
 	// Registry surfaces publish/rollback/demotion counters when the
 	// backend exposes a versioned model registry (nil otherwise).
 	Registry *registry.Stats `json:"registry,omitempty"`
+}
+
+// TenantStats is one tenant's attribution in a Snapshot.
+type TenantStats struct {
+	// Tenant is the tenant ID ("default" for unattributed requests,
+	// "~overflow" aggregating tenants beyond the attribution cap).
+	Tenant    string `json:"tenant"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed,omitempty"`
+	// Shed counts this tenant's requests shed while queued (cancelled or
+	// deadline-expired); Degraded its requests served on the fallback
+	// variant; Rejected its admissions refused by budget or queue share.
+	Shed     uint64 `json:"shed,omitempty"`
+	Degraded uint64 `json:"degraded,omitempty"`
+	Rejected uint64 `json:"rejected,omitempty"`
+	// LatencyP99US is the p99 over the tenant's recent latency window,
+	// microseconds.
+	LatencyP99US float64 `json:"latency_p99_us,omitempty"`
 }
 
 // ModelStats is one variant's per-version attribution in a Snapshot.
@@ -385,6 +497,8 @@ func (m *metrics) snapshot(uptime time.Duration, queueDepth int) Snapshot {
 		CoalescedRetried:  m.sum(cCoalescedRetried),
 		QuarantineBlocked: m.sum(cQuarantineBlocked),
 		ArtifactSweeps:    m.sum(cArtifactSweeps),
+		RejectedBudget:    m.sum(cRejectedBudget),
+		RejectedShare:     m.sum(cRejectedShare),
 		QueueDepth:        queueDepth,
 		Batches:           m.batches.Load(),
 		BatchHist:         make([]uint64, len(m.batchHist)),
@@ -409,6 +523,28 @@ func (m *metrics) snapshot(uptime time.Duration, queueDepth int) Snapshot {
 		return true
 	})
 	sort.Slice(snap.PerModel, func(i, j int) bool { return snap.PerModel[i].Model < snap.PerModel[j].Model })
+
+	m.perTenant.Range(func(k, v any) bool {
+		tc := v.(*tenantCounters)
+		ts := TenantStats{
+			Tenant:    k.(string),
+			Completed: tc.completed.Load(),
+			Failed:    tc.failed.Load(),
+			Shed:      tc.shed.Load(),
+			Degraded:  tc.degraded.Load(),
+			Rejected:  tc.rejected.Load(),
+		}
+		tc.mu.Lock()
+		tlat := append([]float64(nil), tc.lat...)
+		tc.mu.Unlock()
+		if len(tlat) > 0 {
+			sort.Float64s(tlat)
+			ts.LatencyP99US = percentile(tlat, 0.99)
+		}
+		snap.PerTenant = append(snap.PerTenant, ts)
+		return true
+	})
+	sort.Slice(snap.PerTenant, func(i, j int) bool { return snap.PerTenant[i].Tenant < snap.PerTenant[j].Tenant })
 
 	// Copy the latency window stripe by stripe — each stripe's lock is held
 	// only for its own copy, never across the sort, and never all at once.

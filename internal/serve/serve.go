@@ -59,6 +59,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"itask/internal/fair"
 	"itask/internal/rcache"
 )
 
@@ -92,9 +93,30 @@ var (
 	// ErrQuarantined reports that the request's exact content was recently
 	// proven poison — it panicked or hung its kernel in isolation — and is
 	// refused from the negative cache without re-execution until the entry's
-	// short TTL lapses (HTTP 422).
+	// short TTL lapses (HTTP 422). Quarantine verdicts are tenant-scoped:
+	// only the tenant whose traffic earned the verdict is refused.
 	ErrQuarantined = errors.New("serve: content quarantined as poison")
+	// ErrTenantBudget is the sentinel under every *TenantBudgetError: the
+	// request's tenant has exhausted its token-bucket admission budget
+	// (HTTP 429 with Retry-After).
+	ErrTenantBudget = errors.New("serve: tenant admission budget exhausted")
 )
+
+// TenantBudgetError reports a request rejected because its tenant spent its
+// admission budget (Config.TenantRate/TenantBurst). It unwraps to
+// ErrTenantBudget.
+type TenantBudgetError struct {
+	// Tenant is the over-budget tenant.
+	Tenant string
+	// RetryAfter estimates when the tenant's bucket next holds a token.
+	RetryAfter time.Duration
+}
+
+func (e *TenantBudgetError) Error() string {
+	return fmt.Sprintf("serve: tenant %q over admission budget (retry after %v)", e.Tenant, e.RetryAfter)
+}
+
+func (e *TenantBudgetError) Unwrap() error { return ErrTenantBudget }
 
 // Config sizes the serving layer.
 type Config struct {
@@ -179,6 +201,23 @@ type Config struct {
 	// HotBytes bounds the replica tier's memory, on top of CacheBytes
 	// (replicas are copies). Zero picks CacheBytes/8.
 	HotBytes int64
+
+	// TenantWeights maps tenant ID -> DRR weight for weighted-fair batch
+	// formation and the weighted queue-share guard. Unlisted tenants get
+	// weight 1 (fair.DefaultWeight); requests that carry no tenant are the
+	// DefaultTenant. Nil serves everyone as one tenant, which degenerates
+	// to the pre-tenant FIFO behaviour.
+	TenantWeights map[string]int
+	// TenantRate, when positive, grants each tenant this many admitted
+	// executions per second (token bucket, lazily refilled). Over-budget
+	// requests fail fast with a *TenantBudgetError. Cache hits are free:
+	// the budget paces work, and a hit executes nothing. Zero disables
+	// budgets.
+	TenantRate float64
+	// TenantBurst is each tenant's bucket size — the burst credits an idle
+	// tenant accumulates. Zero defaults to max(1, TenantRate): one second
+	// of headroom.
+	TenantBurst float64
 }
 
 // DefaultConfig returns a configuration sized for the laptop-scale models:
@@ -248,6 +287,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: negative HotDecay %d", c.HotDecay)
 	case c.HotBytes < 0:
 		return fmt.Errorf("serve: negative HotBytes %d", c.HotBytes)
+	case c.TenantRate < 0:
+		return fmt.Errorf("serve: negative TenantRate %v", c.TenantRate)
+	case c.TenantBurst < 0:
+		return fmt.Errorf("serve: negative TenantBurst %v", c.TenantBurst)
+	}
+	for tenant, w := range c.TenantWeights {
+		if w <= 0 {
+			return fmt.Errorf("serve: non-positive weight %d for tenant %q", w, tenant)
+		}
 	}
 	return nil
 }
@@ -269,8 +317,10 @@ type Server struct {
 	abMu      sync.Mutex
 	abandoned map[string]int
 
-	batchCh chan *batch
-	m       *metrics
+	// budget is the per-tenant token-bucket admission limiter (nil when
+	// Config.TenantRate is zero).
+	budget *fair.Budget
+	m      *metrics
 
 	// Zero-contention request path (nil members when disabled).
 	cache   *rcache.Cache // content-addressed result cache
@@ -309,8 +359,10 @@ func New(b Backend, cfg Config) (*Server, error) {
 		st:        newState(),
 		h:         newHealth(cfg.BreakerThreshold, cfg.BreakerBackoff, cfg.BreakerMaxBackoff),
 		abandoned: map[string]int{},
-		batchCh:   make(chan *batch, cfg.Workers),
 		m:         newMetrics(cfg.MaxBatch, cfg.LatencyWindow),
+	}
+	if cfg.TenantRate > 0 {
+		s.budget = fair.NewBudget(cfg.TenantRate, cfg.TenantBurst)
 	}
 	s.validator, _ = b.(ImageValidator)
 	s.epocher, _ = b.(RouteEpocher)
@@ -369,11 +421,13 @@ func (s *Server) Submit(req Request) (<-chan Outcome, error) {
 }
 
 // admission carries a request's precomputed fast-path state (timestamps,
-// metrics shard hint, and — when the cache or coalescing is on — the
-// content-addressed key) from preadmit to the cache probe and slow path.
+// normalized tenant, metrics shard hint, and — when the cache or coalescing
+// is on — the content-addressed key) from preadmit to the cache probe and
+// slow path.
 type admission struct {
 	now      time.Time
 	deadline time.Time
+	tenant   string
 	hint     uint64
 	key      rcache.Key
 	haveKey  bool
@@ -383,7 +437,10 @@ type admission struct {
 // validation, deadline defaulting and expiry, and — when the fast path is
 // enabled — routing and content-key derivation. Allocation-free.
 func (s *Server) preadmit(req *Request) (admission, error) {
-	a := admission{now: time.Now()}
+	if req.Tenant == "" {
+		req.Tenant = DefaultTenant
+	}
+	a := admission{now: time.Now(), tenant: req.Tenant}
 	if req.Image == nil {
 		s.m.inc(0, cRejectedShape)
 		return a, fmt.Errorf("serve: nil image: %w", ErrBadShape)
@@ -426,9 +483,12 @@ func (s *Server) preadmit(req *Request) (admission, error) {
 			// replicated traffic.
 			s.cache.MarkHot(a.key, a.now)
 		}
-		if s.cache != nil && s.cache.Negative(a.key, a.now) {
-			// The exact content was recently proven poison on this version:
-			// fail fast instead of re-running a kernel known to panic on it.
+		if s.cache != nil && s.cache.Negative(a.key, a.tenant, a.now) {
+			// The exact content was recently proven poison on this version
+			// by this tenant's own traffic: fail fast instead of re-running
+			// a kernel known to panic on it. The verdict is tenant-scoped,
+			// so one tenant's poison storm cannot blind another tenant to
+			// content that would serve fine for them.
 			s.m.inc(a.hint, cQuarantineBlocked)
 			return a, fmt.Errorf("%w (digest %x on %s)", ErrQuarantined, a.key.Digest, a.key.Artifact)
 		}
@@ -481,15 +541,27 @@ func (s *Server) cacheGet(a *admission) (Result, bool) {
 	s.m.inc(a.hint, cCompleted)
 	total := time.Since(a.now)
 	s.m.observeLatency(a.hint, total)
-	return Result{Payload: payload, Model: model, BatchSize: 1, Cached: true, Total: total}, true
+	s.m.tenantCompleted(a.tenant, total, false)
+	return Result{Payload: payload, Model: model, Tenant: a.tenant, BatchSize: 1, Cached: true, Total: total}, true
 }
 
-// submitSlow is the post-cache admission path: singleflight join (leader
-// or follower), then lane admission for leaders and un-coalesced requests.
+// submitSlow is the post-cache admission path: tenant budget consult,
+// singleflight join (leader or follower), then lane admission for leaders
+// and un-coalesced requests.
 func (s *Server) submitSlow(req Request, a admission) (*pending, error) {
+	// The budget paces executed (or coalesced) work, so it is consulted
+	// after the cache probe — hits are free reads — but before the flight
+	// join, so an over-budget tenant cannot keep riding coalesced results
+	// for content it hammers.
+	if s.budget != nil && !s.budget.Allow(a.tenant, a.now) {
+		s.m.inc(a.hint, cRejectedBudget)
+		s.m.tenantRejected(a.tenant)
+		return nil, &TenantBudgetError{Tenant: a.tenant, RetryAfter: s.budget.RetryAfter(a.tenant, a.now)}
+	}
 	p := &pending{
 		image:    req.Image,
 		task:     req.Task,
+		tenant:   a.tenant,
 		deadline: a.deadline,
 		enq:      a.now,
 		hint:     a.hint,
@@ -511,7 +583,8 @@ func (s *Server) submitSlow(req Request, a admission) (*pending, error) {
 				s.m.inc(a.hint, cCompleted)
 				total := time.Since(a.now)
 				s.m.observeLatency(a.hint, total)
-				p.done <- Outcome{Res: Result{Payload: payload, Model: model, BatchSize: 1, Cached: true, Total: total}}
+				s.m.tenantCompleted(a.tenant, total, false)
+				p.done <- Outcome{Res: Result{Payload: payload, Model: model, Tenant: a.tenant, BatchSize: 1, Cached: true, Total: total}}
 				return p, nil
 			}
 		}
@@ -595,6 +668,7 @@ func (s *Server) admitLane(p *pending) error {
 func (s *Server) resubmit(p *pending) {
 	if err := s.admitLane(p); err != nil {
 		s.m.inc(p.hint, cFailed)
+		s.m.tenantFailed(p.tenant)
 		p.done <- Outcome{Err: err}
 	}
 }
@@ -659,10 +733,11 @@ func (s *Server) Draining() bool {
 	return s.st.closed
 }
 
-// Shutdown stops admissions, flushes every lane, drains in-flight batches,
-// and waits for the workers to exit (or for ctx, whichever first; on ctx
-// expiry the drain keeps running in the background). Calling Shutdown on a
-// draining server returns ErrShuttingDown.
+// Shutdown stops admissions, readies every non-empty lane, drains them
+// through the workers, and waits for the workers to exit (or for ctx,
+// whichever first; on ctx expiry the drain keeps running in the
+// background). Calling Shutdown on a draining server returns
+// ErrShuttingDown.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.st.mu.Lock()
 	if s.st.closed {
@@ -670,22 +745,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return ErrShuttingDown
 	}
 	s.st.closed = true
-	var ready []*batch
 	for _, ln := range s.st.lanes {
-		if b := s.st.takeLocked(ln); b != nil {
-			ready = append(ready, b)
+		if ln.q.Len() > 0 {
+			s.st.markReadyLocked(ln)
 		}
 	}
-	s.st.dispatchWG.Add(len(ready))
+	s.st.cond.Broadcast()
 	s.st.mu.Unlock()
 
-	for _, b := range ready {
-		go s.dispatch(b)
-	}
 	done := make(chan struct{})
 	go func() {
-		s.st.dispatchWG.Wait()
-		close(s.batchCh)
 		s.st.workerWG.Wait()
 		close(done)
 	}()

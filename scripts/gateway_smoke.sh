@@ -55,9 +55,12 @@ wait_healthy() { # url name
     exit 1
 }
 
-metric() { # name — integer field from the gateway snapshot (0 if absent)
+metric() { # name — top-level integer field from the gateway snapshot (0 if absent)
+    # The snapshot is one JSON line and per-tenant/node rows repeat field
+    # names, so split on commas and take the FIRST occurrence (top-level
+    # counters precede the nodes and per_tenant arrays).
     local v
-    v=$(curl -sf "$GW/metricsz" | sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p")
+    v=$(curl -sf "$GW/metricsz" | tr ',' '\n' | sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p" | sed -n 1p)
     echo "${v:-0}"
 }
 
@@ -142,6 +145,50 @@ if [ "${#distinct_shards[@]}" -lt 2 ]; then
     exit 1
 fi
 say "fleet engaged: ${#distinct_shards[@]} shards served traffic"
+
+say "driving two tenants through the gateway (header and body identity)"
+# tenant-a identifies itself by header, tenant-b by body field; both must be
+# echoed back normalized, attributed in the gateway's per-tenant counters,
+# and forwarded to the shards so their schedulers account them too.
+headers="$workdir/tenant-a.headers"
+curl -sf -D "$headers" -o /dev/null -X POST "$GW/v1/detect" \
+    -H 'X-Itask-Tenant: tenant-a' \
+    -d '{"task":"patrol","scene":{"domain":"driving","seed":31}}'
+echo_a=$(tr -d '\r' <"$headers" | awk -F': ' 'tolower($1)=="x-itask-tenant"{print $2}')
+if [ "$echo_a" != "tenant-a" ]; then
+    say "FAIL: header tenant echoed as '$echo_a', want tenant-a"
+    exit 1
+fi
+headers="$workdir/tenant-b.headers"
+curl -sf -D "$headers" -o /dev/null -X POST "$GW/v1/detect" \
+    -d '{"task":"patrol","tenant":"tenant-b","scene":{"domain":"driving","seed":32}}'
+echo_b=$(tr -d '\r' <"$headers" | awk -F': ' 'tolower($1)=="x-itask-tenant"{print $2}')
+if [ "$echo_b" != "tenant-b" ]; then
+    say "FAIL: body tenant echoed as '$echo_b', want tenant-b"
+    exit 1
+fi
+gw_tenants="$(curl -sf "$GW/metricsz")"
+shard_tenants="$(curl -sf http://127.0.0.1:18081/metricsz http://127.0.0.1:18082/metricsz)"
+for tenant in tenant-a tenant-b; do
+    echo "$gw_tenants" | grep -q "\"tenant\":\"$tenant\"" || {
+        say "FAIL: gateway per_tenant has no row for $tenant"
+        echo "$gw_tenants"
+        exit 1
+    }
+    # Content routing decides which shard served each tenant; the tenant
+    # must show up in at least one shard's own per-tenant accounting.
+    echo "$shard_tenants" | grep -q "\"tenant\":\"$tenant\"" || {
+        say "FAIL: no shard accounts for $tenant in its /metricsz"
+        echo "$shard_tenants"
+        exit 1
+    }
+done
+# Hostile tenant ids bounce at the gateway door.
+st=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$GW/v1/detect" \
+    -H "X-Itask-Tenant: $(printf 'x%.0s' $(seq 1 65))" \
+    -d '{"task":"patrol","scene":{"domain":"driving","seed":33}}')
+[ "$st" = 400 ] || { say "FAIL: oversized tenant id got HTTP $st, want 400"; exit 1; }
+say "tenants attributed end to end: gateway and shard per_tenant rows present"
 
 say "SIGKILLing shard2 mid-traffic (failover must hide it, lease must expire it)"
 : >"$workdir/traffic.fails"
