@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"itask/internal/gateway"
+	"itask/internal/wire"
 )
 
 // httpNode adapts one itask-serve backend (identified by its base URL) to
@@ -43,12 +44,21 @@ func (n *httpNode) ID() string { return n.base }
 // body must not balloon the gateway.
 const maxProxyBytes = 8 << 20
 
-// backendResponse is a fully-buffered backend answer ready to relay.
+// backendResponse is a fully-buffered backend answer ready to relay. body
+// aliases buf, a pooled buffer the owner must release (once) after the
+// relay is written — releasing is always safe because forwardDetect only
+// builds a backendResponse after draining the response body completely.
 type backendResponse struct {
 	status     int
 	header     http.Header
 	body       []byte
+	buf        *wire.Buf
 	retryAfter string
+}
+
+func (br *backendResponse) release() {
+	br.buf.Release()
+	br.buf, br.body = nil, nil
 }
 
 // forwardDetect relays one raw /v1/detect body to the backend and buffers
@@ -64,12 +74,18 @@ type backendResponse struct {
 // identified itself only by header to the gateway is still scheduled and
 // budgeted under its own tenant on the shard (a "tenant" field in the body
 // wins over the header at the shard, so forwarding is harmless then).
-func (n *httpNode) forwardDetect(ctx context.Context, body []byte, hot bool, tenant string) (*backendResponse, error) {
+func (n *httpNode) forwardDetect(ctx context.Context, body []byte, contentType string, hot bool, tenant string) (*backendResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/v1/detect", bytes.NewReader(body))
 	if err != nil {
 		return nil, &gateway.NodeError{Class: gateway.ClassRequest, Err: err}
 	}
-	req.Header.Set("Content-Type", "application/json")
+	// The body is forwarded verbatim, so its declared encoding must travel
+	// with it: a binary tensor frame relabeled as JSON would 400 at the
+	// shard's door.
+	if contentType == "" {
+		contentType = "application/json"
+	}
+	req.Header.Set("Content-Type", contentType)
 	if hot {
 		req.Header.Set("X-Itask-Hot", "1")
 	}
@@ -85,11 +101,15 @@ func (n *httpNode) forwardDetect(ctx context.Context, body []byte, hot bool, ten
 		return nil, &gateway.NodeError{Class: gateway.ClassNodeDown, Err: err}
 	}
 	defer resp.Body.Close()
-	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBytes))
+	hint := int(resp.ContentLength)
+	if hint < 0 || hint > maxProxyBytes {
+		hint = 0
+	}
+	buf, err := wire.ReadAll(io.LimitReader(resp.Body, maxProxyBytes), hint)
 	if err != nil {
 		return nil, &gateway.NodeError{Class: gateway.ClassNodeDown, Err: fmt.Errorf("reading %s response: %w", n.base, err)}
 	}
-	br := &backendResponse{status: resp.StatusCode, header: resp.Header, body: buf, retryAfter: resp.Header.Get("Retry-After")}
+	br := &backendResponse{status: resp.StatusCode, header: resp.Header, body: buf.Bytes(), buf: buf, retryAfter: resp.Header.Get("Retry-After")}
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
 		// Admission backpressure: this shard's queue is full, a successor
@@ -195,10 +215,20 @@ func (n *httpNode) ApplyChange(ctx context.Context, c gateway.Change) (uint64, e
 	if err != nil {
 		return 0, err
 	}
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	// The error detail is only worth keeping on failure, and even then only
+	// as part of the formatted error (which copies it) — the pooled read
+	// buffer goes straight back either way.
+	mbuf, _ := wire.ReadAll(io.LimitReader(resp.Body, 4096), 4096)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("%s: reload %d: %s", n.base, resp.StatusCode, bytes.TrimSpace(msg))
+		var msg []byte
+		if mbuf != nil {
+			msg = bytes.TrimSpace(mbuf.Bytes())
+		}
+		err := fmt.Errorf("%s: reload %d: %s", n.base, resp.StatusCode, msg)
+		mbuf.Release()
+		return 0, err
 	}
+	mbuf.Release()
 	return n.RouteEpoch(ctx)
 }

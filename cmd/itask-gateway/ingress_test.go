@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"itask/internal/gateway"
+	"itask/internal/rcache"
+	"itask/internal/wire"
+)
+
+// twinBodies builds a JSON /v1/detect image body and its binary tensor-frame
+// twin: same task, same shape, same float values bit for bit.
+func twinBodies(t testing.TB, task string, seed int64) (jsonBody, binBody []byte) {
+	t.Helper()
+	const size = 8
+	r := rand.New(rand.NewSource(seed))
+	data := make([]float32, 3*size*size)
+	for i := range data {
+		data[i] = r.Float32()
+	}
+	jsonBody, err := json.Marshal(map[string]any{
+		"task":  task,
+		"image": map[string]any{"shape": []int{3, size, size}, "data": data},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binBody = wire.AppendFrame(nil, task, "", 0, [3]int{3, size, size}, data)
+	return jsonBody, binBody
+}
+
+// routeKeyFrame derives routing identity from the frame header and a digest
+// of the raw payload — no tensor is ever built. Its keys must be the same
+// ones routeKey derives from the JSON twin, and garbage must degrade to the
+// task-less zero key.
+func TestRouteKeyFrameDerivation(t *testing.T) {
+	jsonBody, binBody := twinBodies(t, "patrol", 3)
+
+	k := routeKeyFrame(binBody)
+	if k.Task != "patrol" || !k.HasDigest {
+		t.Fatalf("frame mis-keyed: %+v", k)
+	}
+	fr, err := wire.ParseFrame(binBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rcache.DigestFrame(fr.Shape[:], fr.Payload); k.Digest != want {
+		t.Fatalf("frame digest %x, want DigestFrame %x", k.Digest, want)
+	}
+	if jk := routeKey(jsonBody); jk != k {
+		t.Fatalf("JSON twin keys differently: %+v vs %+v", jk, k)
+	}
+
+	// Tenant travels into the key.
+	withTenant := wire.AppendFrame(nil, "patrol", "acme", 0, [3]int{3, 8, 8}, make([]float32, 3*8*8))
+	if k := routeKeyFrame(withTenant); k.Tenant != "acme" {
+		t.Fatalf("frame tenant not keyed: %+v", k)
+	}
+
+	// Unparseable bodies yield the zero key (the caller 400s on JSON-side
+	// validation or lets the shard render the verdict).
+	for _, bad := range [][]byte{nil, []byte("iTSK"), binBody[:40], []byte(`{"task":"patrol"}`)} {
+		if k := routeKeyFrame(bad); k != (gateway.Key{}) {
+			t.Fatalf("garbage frame %q produced key %+v", bad, k)
+		}
+	}
+}
+
+// A binary frame and its JSON twin must land on the same shard: the gateway
+// digests the frame payload without materializing a tensor, and that digest
+// equals the one the JSON path computes from the built image.
+func TestDetectBinaryBodyRoutesLikeJSONTwin(t *testing.T) {
+	_, front := newTestApp(t, passiveCfg(), newFakeBackend("b0"), newFakeBackend("b1"), newFakeBackend("b2"))
+
+	post := func(body []byte, contentType string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(front.URL+"/v1/detect", contentType, strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(b)
+	}
+
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 12; seed++ {
+		jsonBody, binBody := twinBodies(t, "patrol", seed)
+		jr, jb := post(jsonBody, "application/json")
+		if jr.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d JSON: status %d: %s", seed, jr.StatusCode, jb)
+		}
+		br, bb := post(binBody, wire.ContentType)
+		if br.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d binary: status %d: %s", seed, br.StatusCode, bb)
+		}
+		js, bs := jr.Header.Get("X-Itask-Shard"), br.Header.Get("X-Itask-Shard")
+		if js == "" || js != bs {
+			t.Fatalf("seed %d: JSON shard %q, binary shard %q — twins diverged", seed, js, bs)
+		}
+		if !strings.Contains(bb, `"task":"patrol"`) {
+			t.Fatalf("binary body not relayed through the backend: %s", bb)
+		}
+		distinct[js] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("12 distinct frames all routed to one shard: %v", distinct)
+	}
+}
+
+// BenchmarkServeIngress measures the gateway's routing-key derivation for a
+// JSON image body versus its binary twin. The binary path reads the frame
+// header and digests raw payload words in place — no JSON decode, no tensor.
+func BenchmarkServeIngress(b *testing.B) {
+	const size = 32
+	r := rand.New(rand.NewSource(5))
+	data := make([]float32, 3*size*size)
+	for i := range data {
+		data[i] = r.Float32()
+	}
+	jsonBody, err := json.Marshal(map[string]any{
+		"task":  "patrol",
+		"image": map[string]any{"shape": []int{3, size, size}, "data": data},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	binBody := wire.AppendFrame(nil, "patrol", "", 0, [3]int{3, size, size}, data)
+
+	b.Run("routekey_json", func(b *testing.B) {
+		b.SetBytes(int64(len(jsonBody)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if k := routeKey(jsonBody); !k.HasDigest {
+				b.Fatal("no digest")
+			}
+		}
+	})
+	b.Run("routekey_binary", func(b *testing.B) {
+		b.SetBytes(int64(len(binBody)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if k := routeKeyFrame(binBody); !k.HasDigest {
+				b.Fatal("no digest")
+			}
+		}
+	})
+}

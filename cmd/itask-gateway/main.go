@@ -8,7 +8,14 @@
 // Endpoints:
 //
 //	POST /v1/detect          route one detection to its content's shard and
-//	                         relay the shard's answer verbatim. The serving
+//	                         relay the shard's answer verbatim. JSON bodies and
+//	                         binary tensor frames (Content-Type
+//	                         application/x-itask-tensor, see internal/wire) are
+//	                         both accepted; a binary frame's routing digest is
+//	                         computed from the raw header and payload bytes —
+//	                         no tensor is materialized at the gateway — and the
+//	                         body is forwarded verbatim under its original
+//	                         content type. The serving
 //	                         shard is attributed in X-Itask-Shard (and the
 //	                         attempt count in X-Itask-Attempts; hot-replicated
 //	                         requests carry X-Itask-Hot: 1). The hot verdict is
@@ -109,6 +116,7 @@ import (
 	"itask/internal/member"
 	"itask/internal/rcache"
 	"itask/internal/tensor"
+	"itask/internal/wire"
 )
 
 // maxBodyBytes mirrors the itask-serve request bound: relaying a body the
@@ -254,8 +262,9 @@ func (a *app) announce(w http.ResponseWriter, r *http.Request) {
 		u := r.URL.Query().Get("url")
 		if u == "" {
 			var req announceRequest
-			if body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16)); err == nil {
-				_ = json.Unmarshal(body, &req)
+			if buf, err := readBody(w, r, 1<<16); err == nil {
+				_ = json.Unmarshal(buf.Bytes(), &req)
+				buf.Release()
 			}
 			u = req.URL
 		}
@@ -275,14 +284,16 @@ func (a *app) announce(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+	buf, err := readBody(w, r, 1<<16)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "unreadable request body")
 		return
 	}
 	var req announceRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "announce body must be JSON: "+err.Error())
+	uerr := json.Unmarshal(buf.Bytes(), &req)
+	buf.Release() // Unmarshal copied everything it kept
+	if uerr != nil {
+		httpError(w, http.StatusBadRequest, "announce body must be JSON: "+uerr.Error())
 		return
 	}
 	base := strings.TrimSuffix(strings.TrimSpace(req.URL), "/")
@@ -327,6 +338,26 @@ type routeProbe struct {
 		Domain string `json:"domain"`
 		Seed   uint64 `json:"seed"`
 	} `json:"scene"`
+}
+
+// routeKeyFrame derives the routing identity of a binary tensor frame from
+// its raw bytes: the header yields task/tenant, and the payload is
+// content-hashed in place (rcache.DigestFrame) — the digest equals what the
+// shard's result cache will compute from the materialized tensor, without
+// this door ever materializing one. Undecodable frames fall back to the
+// empty key and let the shard issue the 400, mirroring routeKey's treatment
+// of garbage JSON.
+func routeKeyFrame(body []byte) gateway.Key {
+	fr, err := wire.ParseFrame(body)
+	if err != nil {
+		return gateway.Key{}
+	}
+	return gateway.Key{
+		Task:      string(fr.Task),
+		Tenant:    string(fr.Tenant),
+		Digest:    rcache.DigestFrame(fr.Shape[:], fr.Payload),
+		HasDigest: true,
+	}
 }
 
 // routeKey derives the request's routing identity from the raw body. Image
@@ -380,7 +411,7 @@ func (a *app) detect(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	buf, err := readBody(w, r, maxBodyBytes)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -390,28 +421,49 @@ func (a *app) detect(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	body := buf.Bytes()
 
 	// The tenant rides the body ("tenant" field) or the X-Itask-Tenant
 	// header, body winning — the same precedence the shard applies. It is
 	// validated here because it keys the gateway's own per-tenant accounting
-	// and the monopolization guard.
-	key := routeKey(body)
+	// and the monopolization guard. Binary frames carry both identities in
+	// the fixed header, so deriving the key never touches the payload except
+	// to hash it.
+	contentType := r.Header.Get("Content-Type")
+	var key gateway.Key
+	if strings.HasPrefix(contentType, wire.ContentType) {
+		key = routeKeyFrame(body)
+	} else {
+		key = routeKey(body)
+	}
 	if key.Tenant == "" {
 		key.Tenant = r.Header.Get("X-Itask-Tenant")
 	}
 	if verr := validateTenant(key.Tenant); verr != nil {
+		buf.Release()
 		httpError(w, http.StatusBadRequest, verr.Error())
 		return
 	}
 
 	var relay *backendResponse
 	info, err := a.g.Execute(r.Context(), key, func(ctx context.Context, n gateway.Node, hot bool) error {
-		br, ferr := n.(*httpNode).forwardDetect(ctx, body, hot, key.Tenant)
+		br, ferr := n.(*httpNode).forwardDetect(ctx, body, contentType, hot, key.Tenant)
 		if ferr == nil {
 			relay = br
+		} else if br != nil {
+			// A classified failure (429/503) still carried a fully-read
+			// response body; this attempt's relay is dead, recycle it.
+			br.release()
 		}
 		return ferr
 	})
+	// The request body buffer can only be recycled when no transport could
+	// still be draining it: a clean single-attempt exchange. After a
+	// canceled or failed-over attempt, http.Transport's write goroutine may
+	// race ahead reading the body, so the buffer is left to the GC instead.
+	if err == nil && info.Attempts == 1 {
+		buf.Release()
+	}
 	w.Header().Set("X-Itask-Shard", info.Node)
 	w.Header().Set("X-Itask-Attempts", fmt.Sprint(info.Attempts))
 	if info.Hot {
@@ -421,13 +473,30 @@ func (a *app) detect(w http.ResponseWriter, r *http.Request) {
 		a.writeRouteError(w, err)
 		return
 	}
+	defer relay.release()
 	for _, h := range []string{"Content-Type", "Retry-After", "X-Itask-Degraded", "X-Itask-Tenant"} {
 		if v := relay.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
 	}
+	if relay.header.Get("Content-Type") == "" {
+		// A shard that somehow omitted the header still answered our JSON
+		// protocol; don't let the client sniff.
+		w.Header().Set("Content-Type", "application/json")
+	}
 	w.WriteHeader(relay.status)
 	_, _ = w.Write(relay.body)
+}
+
+// readBody drains a request body into a pooled buffer bounded by limit,
+// pre-sized by the declared Content-Length (chunked or absurd declarations
+// start small and grow as real bytes arrive).
+func readBody(w http.ResponseWriter, r *http.Request, limit int) (*wire.Buf, error) {
+	hint := int(r.ContentLength)
+	if hint < 0 || hint > limit {
+		hint = 0
+	}
+	return wire.ReadAll(http.MaxBytesReader(w, r.Body, int64(limit)), hint)
 }
 
 // writeRouteError maps a routing failure (every attempt exhausted) onto a
@@ -499,8 +568,9 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
+// writeJSON routes every gateway-originated response through the shared
+// pooled encoder, which also pins Content-Type: application/json on all of
+// them (relayed shard responses carry the shard's own header).
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	wire.WriteJSON(w, code, v)
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"itask/internal/gateway"
+	"itask/internal/wire"
 )
 
 // fakeBackend is an httptest-served itask-serve lookalike: detect answers
@@ -52,7 +53,14 @@ func newFakeBackend(name string) *fakeBackend {
 			Task   string `json:"task"`
 			Tenant string `json:"tenant"`
 		}
-		if json.Unmarshal(body, &probe) != nil || probe.Task == "" {
+		// The lookalike accepts both ingress encodings the way real
+		// itask-serve does: a binary tensor frame or a JSON body.
+		if fr, err := wire.ParseFrame(body); err == nil {
+			probe.Task, probe.Tenant = string(fr.Task), string(fr.Tenant)
+		} else if json.Unmarshal(body, &probe) != nil {
+			probe.Task = ""
+		}
+		if probe.Task == "" {
 			w.WriteHeader(http.StatusBadRequest)
 			fmt.Fprint(w, `{"error":"missing task"}`)
 			return

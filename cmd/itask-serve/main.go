@@ -8,7 +8,11 @@
 // Endpoints:
 //
 //	POST /v1/detect          run detection; body {"task": "...", "scene": {...}}
-//	                         or {"task": "...", "image": {"shape": [3,H,W], "data": [...]}}
+//	                         or {"task": "...", "image": {"shape": [3,H,W], "data": [...]}};
+//	                         with Content-Type application/x-itask-tensor the
+//	                         body is instead a binary tensor frame (see
+//	                         internal/wire) decoded by slicing — no JSON float
+//	                         parsing on the hot path
 //	GET  /v1/tasks           list the defined tasks
 //	POST /v1/models/reload   hot-swap model versions from a checkpoint
 //	                         directory (body {"dir": "..."}, default the
@@ -84,7 +88,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"io/fs"
 	"net"
 	"net/http"
@@ -100,6 +103,8 @@ import (
 	"itask"
 	"itask/internal/dataset"
 	"itask/internal/serve"
+	"itask/internal/tensor"
+	"itask/internal/wire"
 )
 
 func main() {
@@ -325,7 +330,7 @@ func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	buf, err := readBody(w, r)
 	if err != nil {
 		// Only an actual entity-too-large condition is 413; other read
 		// failures (client disconnects, network errors) are the request's
@@ -339,12 +344,12 @@ func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	dr, err := parseDetectRequest(body, h.imageSize)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	img, err := dr.buildImage(h.imageSize)
+	// Both parsers copy everything that outlives them (JSON decoding copies
+	// by construction; the frame path copies the payload into a fresh
+	// tensor), so the pooled body can be recycled the moment the handler
+	// returns even if a watchdog-abandoned execution is still running.
+	defer buf.Release()
+	dr, img, err := h.parseDetect(r.Header.Get("Content-Type"), buf.Bytes())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -392,6 +397,35 @@ func (h *handler) detect(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// parseDetect routes a /v1/detect body to the decoder its Content-Type
+// declares: a binary tensor frame for application/x-itask-tensor (parameters
+// after the media type are tolerated), the JSON parser for everything else.
+func (h *handler) parseDetect(contentType string, body []byte) (*detectRequest, *tensor.Tensor, error) {
+	if strings.HasPrefix(contentType, wire.ContentType) {
+		return parseDetectFrame(body, h.imageSize)
+	}
+	dr, err := parseDetectRequest(body, h.imageSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	img, err := dr.buildImage(h.imageSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dr, img, nil
+}
+
+// readBody drains a request body into a pooled buffer, bounded by
+// maxBodyBytes. The declared Content-Length pre-sizes the buffer class;
+// chunked or absurd declarations start small and grow as real bytes arrive.
+func readBody(w http.ResponseWriter, r *http.Request) (*wire.Buf, error) {
+	hint := int(r.ContentLength)
+	if hint < 0 || hint > maxBodyBytes {
+		hint = 0
+	}
+	return wire.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes), hint)
+}
+
 func (h *handler) tasks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"tasks": h.pipe.Tasks()})
 }
@@ -423,13 +457,14 @@ func (h *handler) reload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	buf, err := readBody(w, r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "unreadable request body")
 		return
 	}
+	defer buf.Release()
 	var req reloadRequest
-	if len(bytes.TrimSpace(body)) > 0 {
+	if body := buf.Bytes(); len(bytes.TrimSpace(body)) > 0 {
 		if err := json.Unmarshal(body, &req); err != nil {
 			httpError(w, http.StatusBadRequest, "bad reload request: "+err.Error())
 			return
@@ -548,8 +583,9 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
+// writeJSON routes every response — success and error alike — through the
+// shared pooled encoder, which also pins Content-Type: application/json on
+// all of them.
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	wire.WriteJSON(w, code, v)
 }

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 
 	"itask/internal/scene"
 	"itask/internal/tensor"
+	"itask/internal/wire"
 )
 
 // maxBodyBytes bounds a /v1/detect body. A 64×64×3 image serialized as
@@ -67,6 +69,13 @@ func parseDetectRequest(body []byte, imageSize int) (*detectRequest, error) {
 	if err := dec.Decode(&dr); err != nil {
 		return nil, fmt.Errorf("bad JSON: %v", err)
 	}
+	// One value per body: json.Decoder stops at the end of the first value,
+	// so `{...}garbage` would otherwise be accepted with the garbage ignored
+	// — and two callers disagreeing on where a body ends is how smuggled
+	// payloads start. A second decode must see clean EOF.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, errors.New("trailing data after JSON body")
+	}
 	if dr.Task == "" {
 		return nil, errors.New("missing task")
 	}
@@ -99,6 +108,41 @@ func parseDetectRequest(body []byte, imageSize int) (*detectRequest, error) {
 		}
 	}
 	return &dr, nil
+}
+
+// parseDetectFrame decodes and validates a binary (application/x-itask-tensor)
+// /v1/detect body, applying the same semantic rules as the JSON parser:
+// non-empty task, well-formed tenant, exact [3,S,S] shape. The returned
+// tensor is materialized by copying the payload out of body — body is a
+// pooled buffer the handler releases on return, while a watchdog-abandoned
+// execution may keep reading the image long after that, so the tensor must
+// not alias it. Never panics, whatever the bytes (it is fuzzed).
+func parseDetectFrame(body []byte, imageSize int) (*detectRequest, *tensor.Tensor, error) {
+	fr, err := wire.ParseFrame(body)
+	if err != nil {
+		if errors.Is(err, wire.ErrNotFrame) {
+			return nil, nil, fmt.Errorf("Content-Type %s but body is not a tensor frame", wire.ContentType)
+		}
+		return nil, nil, err
+	}
+	dr := &detectRequest{
+		Task:      string(fr.Task),
+		Tenant:    string(fr.Tenant),
+		TimeoutMS: int(fr.TimeoutMS),
+	}
+	if dr.Task == "" {
+		return nil, nil, errors.New("missing task")
+	}
+	if err := validateTenant(dr.Tenant); err != nil {
+		return nil, nil, err
+	}
+	s := imageSize
+	if fr.Shape != [3]int{3, s, s} {
+		return nil, nil, fmt.Errorf("image shape must be [3,%d,%d], got %v", s, s, fr.Shape)
+	}
+	img := tensor.New(3, s, s)
+	wire.Float32s(fr.Payload, img.Data)
+	return dr, img, nil
 }
 
 // buildImage materializes the validated request's image or scene spec into

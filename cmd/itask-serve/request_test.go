@@ -77,6 +77,9 @@ func TestParseDetectRequestRejectsMalformedBodies(t *testing.T) {
 		{"data/shape mismatch", `{"task":"patrol","image":{"shape":[3,8,8],"data":[1,2,3]}}`},
 		{"unknown domain", `{"task":"patrol","scene":{"domain":"atlantis"}}`},
 		{"negative timeout", `{"task":"patrol","scene":{"domain":"driving"},"timeout_ms":-5}`},
+		{"trailing garbage", `{"task":"patrol","scene":{"domain":"driving"}}garbage`},
+		{"second JSON value", `{"task":"patrol","scene":{"domain":"driving"}}{"task":"x"}`},
+		{"trailing bracket", `{"task":"patrol","scene":{"domain":"driving"}}]`},
 		{"oversized tenant", `{"task":"patrol","tenant":"` + strings.Repeat("x", 65) + `","scene":{"domain":"driving"}}`},
 		{"control-char tenant", `{"task":"patrol","tenant":"a\u0001b","scene":{"domain":"driving"}}`},
 		{"newline tenant", `{"task":"patrol","tenant":"a\nb","scene":{"domain":"driving"}}`},
@@ -102,6 +105,8 @@ func FuzzParseDetectRequest(f *testing.F) {
 	f.Add([]byte(`{"task":"p","tenant":"acme","scene":{"domain":"driving"}}`))
 	f.Add([]byte(`{"task":"p","tenant":"` + strings.Repeat("t", 65) + `","scene":{"domain":"driving"}}`))
 	f.Add([]byte(`{"task":"p","tenant":"a\u0001b","scene":{"domain":"driving"}}`))
+	f.Add([]byte(`{"task":"p","scene":{"domain":"driving"}}{"task":"q"}`))
+	f.Add([]byte(`{"task":"p","scene":{"domain":"driving"}} ` + "\n"))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`[1,2,3]`))

@@ -1,0 +1,187 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// Multi-lane FNV-1a content hashing, the digest kernel behind
+// rcache.DigestImage. The classic FNV-1a loop is a strictly serial
+// dependency chain — one xor and one 64-bit multiply per word, each step
+// waiting on the last — so it runs at multiply *latency*, not throughput.
+// Interleaving hashLanes independent FNV streams (word i feeds lane
+// i mod hashLanes within each block) keeps that many multiplies in flight;
+// the lanes fold into one 64-bit value at the end with the same
+// xor-multiply step.
+//
+// The lane construction is part of the digest definition: HashF32 over a
+// float32 slice and HashWordsLE over that slice's little-endian byte
+// encoding return identical values, on every architecture and with the
+// assembly on or off. The value is NOT the classic single-stream FNV-1a of
+// the same words — callers that persist digests across processes must treat
+// a lane-count change as a format change.
+
+// FNV-1a 64-bit parameters (also the seed a caller starts from).
+const (
+	FNVOffset64 = 14695981039346656037
+	FNVPrime64  = 1099511628211
+)
+
+// hashLanes is the interleave width; the digest value depends on it.
+// Sixteen lanes fill four YMM registers of 64-bit accumulators on the AVX2
+// path — and, more importantly, give it two *independent* multiply chains:
+// AVX2 has no packed 64-bit multiply, so the FNV step decomposes into a
+// ~10-cycle VPMULUDQ/shift/add chain per register pair, and with only 8
+// lanes that chain is pure latency (measured: slower than the unrolled
+// scalar fallback, whose 8 independent IMULs pipeline at ~1/cycle). The
+// portable path runs the same 16 lanes as two 8-wide groups.
+const hashLanes = 16
+
+// hashAsmCutoff is the element count below which lane setup and the asm
+// call cost more than they save; short inputs take the portable path.
+const hashAsmCutoff = 64
+
+// HashF32 absorbs data into a hashLanes-wide FNV-1a digest seeded with seed and
+// returns the folded 64-bit value. Floats hash by IEEE-754 bit pattern
+// (NaN payloads and signed zeros are distinct content). Allocation-free.
+func HashF32(seed uint64, data []float32) uint64 {
+	var l [hashLanes]uint64
+	initLanes(&l, seed)
+	blocks := len(data) / hashLanes
+	if useAsm && len(data) >= hashAsmCutoff {
+		hashBlocksAsm(&l[0], (*byte)(unsafe.Pointer(&data[0])), blocks)
+	} else {
+		hashBlocksF32(&l, data[:blocks*hashLanes])
+	}
+	h := foldLanes(&l)
+	for _, v := range data[blocks*hashLanes:] {
+		h = (h ^ uint64(math.Float32bits(v))) * FNVPrime64
+	}
+	return h
+}
+
+// HashWordsLE is HashF32 over a raw little-endian float32 (or any 32-bit
+// word) payload: b is consumed 4 bytes per word without materializing
+// floats. len(b) must be a multiple of 4 (a wire frame payload always is).
+// Allocation-free.
+func HashWordsLE(seed uint64, b []byte) uint64 {
+	if len(b)%4 != 0 {
+		panic("kernels: HashWordsLE needs a whole number of 32-bit words")
+	}
+	n := len(b) / 4
+	var l [hashLanes]uint64
+	initLanes(&l, seed)
+	blocks := n / hashLanes
+	if useAsm && n >= hashAsmCutoff {
+		hashBlocksAsm(&l[0], &b[0], blocks)
+	} else {
+		hashBlocksLE(&l, b[:blocks*hashLanes*4])
+	}
+	h := foldLanes(&l)
+	for i := blocks * hashLanes; i < n; i++ {
+		h = (h ^ uint64(binary.LittleEndian.Uint32(b[4*i:]))) * FNVPrime64
+	}
+	return h
+}
+
+// HashF32Scalar is the classic single-stream FNV-1a over the same words —
+// the pre-lane digest kept as the reference baseline the vectorized kernel
+// is benchmarked against (and a regression oracle for the serial
+// definition). Its value differs from HashF32 by construction.
+func HashF32Scalar(seed uint64, data []float32) uint64 {
+	h := seed
+	for _, v := range data {
+		h = (h ^ uint64(math.Float32bits(v))) * FNVPrime64
+	}
+	return h
+}
+
+// initLanes derives the lane seeds from the caller's seed: lane 0 carries
+// it verbatim, each further lane is one FNV step over the lane index so the
+// streams start decorrelated but deterministically.
+func initLanes(l *[hashLanes]uint64, seed uint64) {
+	l[0] = seed
+	for j := 1; j < hashLanes; j++ {
+		l[j] = (l[j-1] ^ uint64(j)) * FNVPrime64
+	}
+}
+
+// foldLanes collapses the lane accumulators into one value with the same
+// xor-multiply absorption step, in lane order.
+func foldLanes(l *[hashLanes]uint64) uint64 {
+	h := uint64(FNVOffset64)
+	for j := 0; j < hashLanes; j++ {
+		h = (h ^ l[j]) * FNVPrime64
+	}
+	return h
+}
+
+// hashBlocksF32 is the portable block kernel: sixteen independent
+// xor-multiply chains, manually interleaved as two 8-wide groups so the
+// compiler keeps many MULs in flight instead of one serial chain at
+// multiply latency. (Sixteen locals would spill on amd64's 14 usable
+// registers; two 8-wide passes over each block stay register-resident and
+// 64-bit IMUL throughput is the bound either way.)
+func hashBlocksF32(l *[hashLanes]uint64, data []float32) {
+	l0, l1, l2, l3 := l[0], l[1], l[2], l[3]
+	l4, l5, l6, l7 := l[4], l[5], l[6], l[7]
+	for i := 0; i+hashLanes <= len(data); i += hashLanes {
+		l0 = (l0 ^ uint64(math.Float32bits(data[i]))) * FNVPrime64
+		l1 = (l1 ^ uint64(math.Float32bits(data[i+1]))) * FNVPrime64
+		l2 = (l2 ^ uint64(math.Float32bits(data[i+2]))) * FNVPrime64
+		l3 = (l3 ^ uint64(math.Float32bits(data[i+3]))) * FNVPrime64
+		l4 = (l4 ^ uint64(math.Float32bits(data[i+4]))) * FNVPrime64
+		l5 = (l5 ^ uint64(math.Float32bits(data[i+5]))) * FNVPrime64
+		l6 = (l6 ^ uint64(math.Float32bits(data[i+6]))) * FNVPrime64
+		l7 = (l7 ^ uint64(math.Float32bits(data[i+7]))) * FNVPrime64
+	}
+	l[0], l[1], l[2], l[3] = l0, l1, l2, l3
+	l[4], l[5], l[6], l[7] = l4, l5, l6, l7
+	l0, l1, l2, l3 = l[8], l[9], l[10], l[11]
+	l4, l5, l6, l7 = l[12], l[13], l[14], l[15]
+	for i := 8; i+8 <= len(data); i += hashLanes {
+		l0 = (l0 ^ uint64(math.Float32bits(data[i]))) * FNVPrime64
+		l1 = (l1 ^ uint64(math.Float32bits(data[i+1]))) * FNVPrime64
+		l2 = (l2 ^ uint64(math.Float32bits(data[i+2]))) * FNVPrime64
+		l3 = (l3 ^ uint64(math.Float32bits(data[i+3]))) * FNVPrime64
+		l4 = (l4 ^ uint64(math.Float32bits(data[i+4]))) * FNVPrime64
+		l5 = (l5 ^ uint64(math.Float32bits(data[i+5]))) * FNVPrime64
+		l6 = (l6 ^ uint64(math.Float32bits(data[i+6]))) * FNVPrime64
+		l7 = (l7 ^ uint64(math.Float32bits(data[i+7]))) * FNVPrime64
+	}
+	l[8], l[9], l[10], l[11] = l0, l1, l2, l3
+	l[12], l[13], l[14], l[15] = l4, l5, l6, l7
+}
+
+// hashBlocksLE is hashBlocksF32 over the little-endian byte encoding.
+func hashBlocksLE(l *[hashLanes]uint64, b []byte) {
+	l0, l1, l2, l3 := l[0], l[1], l[2], l[3]
+	l4, l5, l6, l7 := l[4], l[5], l[6], l[7]
+	for i := 0; i+hashLanes*4 <= len(b); i += hashLanes * 4 {
+		l0 = (l0 ^ uint64(binary.LittleEndian.Uint32(b[i:]))) * FNVPrime64
+		l1 = (l1 ^ uint64(binary.LittleEndian.Uint32(b[i+4:]))) * FNVPrime64
+		l2 = (l2 ^ uint64(binary.LittleEndian.Uint32(b[i+8:]))) * FNVPrime64
+		l3 = (l3 ^ uint64(binary.LittleEndian.Uint32(b[i+12:]))) * FNVPrime64
+		l4 = (l4 ^ uint64(binary.LittleEndian.Uint32(b[i+16:]))) * FNVPrime64
+		l5 = (l5 ^ uint64(binary.LittleEndian.Uint32(b[i+20:]))) * FNVPrime64
+		l6 = (l6 ^ uint64(binary.LittleEndian.Uint32(b[i+24:]))) * FNVPrime64
+		l7 = (l7 ^ uint64(binary.LittleEndian.Uint32(b[i+28:]))) * FNVPrime64
+	}
+	l[0], l[1], l[2], l[3] = l0, l1, l2, l3
+	l[4], l[5], l[6], l[7] = l4, l5, l6, l7
+	l0, l1, l2, l3 = l[8], l[9], l[10], l[11]
+	l4, l5, l6, l7 = l[12], l[13], l[14], l[15]
+	for i := 32; i+32 <= len(b); i += hashLanes * 4 {
+		l0 = (l0 ^ uint64(binary.LittleEndian.Uint32(b[i:]))) * FNVPrime64
+		l1 = (l1 ^ uint64(binary.LittleEndian.Uint32(b[i+4:]))) * FNVPrime64
+		l2 = (l2 ^ uint64(binary.LittleEndian.Uint32(b[i+8:]))) * FNVPrime64
+		l3 = (l3 ^ uint64(binary.LittleEndian.Uint32(b[i+12:]))) * FNVPrime64
+		l4 = (l4 ^ uint64(binary.LittleEndian.Uint32(b[i+16:]))) * FNVPrime64
+		l5 = (l5 ^ uint64(binary.LittleEndian.Uint32(b[i+20:]))) * FNVPrime64
+		l6 = (l6 ^ uint64(binary.LittleEndian.Uint32(b[i+24:]))) * FNVPrime64
+		l7 = (l7 ^ uint64(binary.LittleEndian.Uint32(b[i+28:]))) * FNVPrime64
+	}
+	l[8], l[9], l[10], l[11] = l0, l1, l2, l3
+	l[12], l[13], l[14], l[15] = l4, l5, l6, l7
+}

@@ -51,3 +51,6 @@ func axpy4Asm(a, x0, x1, x2, x3, y *float32, n int)
 
 //go:noescape
 func dotI8Asm(a, b *int8, n int) int32
+
+//go:noescape
+func hashBlocksAsm(lanes *uint64, p *byte, nblocks int)

@@ -12,3 +12,4 @@ func dot4Asm(x, b0, b1, b2, b3 *float32, n int, out *float32) { panic("kernels: 
 func axpyAsm(a float32, x, y *float32, n int)                 { panic("kernels: no asm") }
 func axpy4Asm(a, x0, x1, x2, x3, y *float32, n int)           { panic("kernels: no asm") }
 func dotI8Asm(a, b *int8, n int) int32                        { panic("kernels: no asm") }
+func hashBlocksAsm(lanes *uint64, p *byte, nblocks int)       { panic("kernels: no asm") }

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestReadAllSmallBody(t *testing.T) {
+	body := []byte("hello wire")
+	buf, err := ReadAll(bytes.NewReader(body), len(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Release()
+	if !bytes.Equal(buf.Bytes(), body) {
+		t.Fatalf("read %q", buf.Bytes())
+	}
+}
+
+func TestReadAllGrowsThroughClasses(t *testing.T) {
+	// A body bigger than the first class with a zero size hint (chunked
+	// transfer: no Content-Length) must grow without losing bytes.
+	body := bytes.Repeat([]byte{7}, bufClasses[0]*3+13)
+	buf, err := ReadAll(iotestOneByOne{bytes.NewReader(body)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Release()
+	if !bytes.Equal(buf.Bytes(), body) {
+		t.Fatalf("grown read lost bytes: %d vs %d", len(buf.Bytes()), len(body))
+	}
+}
+
+// iotestOneByOne returns at most 1000 bytes per Read, forcing many refill
+// iterations and at least one exactly-full buffer boundary.
+type iotestOneByOne struct{ r io.Reader }
+
+func (o iotestOneByOne) Read(p []byte) (int, error) {
+	if len(p) > 1000 {
+		p = p[:1000]
+	}
+	return o.r.Read(p)
+}
+
+func TestReadAllExactClassBoundary(t *testing.T) {
+	// A body exactly one class long must not require a grow to detect EOF
+	// corruption — and must come back byte-identical.
+	body := bytes.Repeat([]byte{9}, bufClasses[0])
+	buf, err := ReadAll(bytes.NewReader(body), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Release()
+	if !bytes.Equal(buf.Bytes(), body) {
+		t.Fatal("class-boundary body corrupted")
+	}
+}
+
+func TestReadAllPropagatesError(t *testing.T) {
+	boom := errors.New("mid-body reset")
+	_, err := ReadAll(io.MultiReader(strings.NewReader("partial"), errorReader{boom}), 0)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type errorReader struct{ err error }
+
+func (e errorReader) Read([]byte) (int, error) { return 0, e.err }
+
+func TestGetBufClasses(t *testing.T) {
+	for _, hint := range []int{0, 1, 16 << 10, 16<<10 + 1, 4 << 20} {
+		b := GetBuf(hint)
+		if len(b.b) < hint {
+			t.Fatalf("GetBuf(%d) returned %d bytes", hint, len(b.b))
+		}
+		if b.class < 0 {
+			t.Fatalf("GetBuf(%d) off-class", hint)
+		}
+		b.Release()
+	}
+	huge := GetBuf(bufClasses[len(bufClasses)-1] + 1)
+	if huge.class != -1 {
+		t.Fatal("over-ceiling hint should be off-class")
+	}
+	huge.Release() // must be a no-op, not a pool poisoning
+}
+
+func TestBufDoubleReleaseIsNoop(t *testing.T) {
+	b := GetBuf(8)
+	b.Release()
+	b.Release()
+	// After a double release the pool must still vend distinct buffers.
+	x, y := GetBuf(8), GetBuf(8)
+	if x == y {
+		t.Fatal("double release duplicated a pooled buffer")
+	}
+	x.Release()
+	y.Release()
+}
+
+func TestWriteJSONSetsContentType(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, 418, map[string]string{"status": "teapot"})
+	if rec.Code != 418 {
+		t.Fatalf("code %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["status"] != "teapot" {
+		t.Fatalf("body %q (%v)", rec.Body.String(), err)
+	}
+}
+
+func TestWriteJSONUnencodableValue(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, 200, map[string]any{"fn": func() {}})
+	if rec.Code != 500 {
+		t.Fatalf("unencodable value answered %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+}

@@ -146,6 +146,43 @@ if [ "${#distinct_shards[@]}" -lt 2 ]; then
 fi
 say "fleet engaged: ${#distinct_shards[@]} shards served traffic"
 
+say "posting binary tensor frames (must route exactly like their JSON twins)"
+# mkframe writes a JSON image body and its application/x-itask-tensor twin:
+# same task, same 3×32×32 payload bit for bit. The gateway digests the frame
+# header+payload without building a tensor, so both encodings must carry the
+# same digest, land on the same shard, and stay there across repeats.
+shard_of_twin() { # headers-file
+    tr -d '\r' <"$1" | awk -F': ' 'tolower($1)=="x-itask-shard"{print $2}'
+}
+for seed in 41 42; do
+    go run ./scripts/mkframe -size 32 -seed "$seed" \
+        -json "$workdir/twin.$seed.json" -bin "$workdir/twin.$seed.bin"
+    headers="$workdir/twin.$seed.json.headers"
+    st=$(curl -s -D "$headers" -o "$workdir/twin.$seed.json.resp" -w '%{http_code}' \
+        -X POST "$GW/v1/detect" -H 'Content-Type: application/json' \
+        --data-binary @"$workdir/twin.$seed.json")
+    [ "$st" = 200 ] || { say "FAIL: seed $seed JSON twin got HTTP $st"; cat "$workdir/twin.$seed.json.resp"; exit 1; }
+    json_shard=$(shard_of_twin "$headers")
+    for rep in 1 2; do
+        headers="$workdir/twin.$seed.bin.$rep.headers"
+        st=$(curl -s -D "$headers" -o "$workdir/twin.$seed.bin.$rep.resp" -w '%{http_code}' \
+            -X POST "$GW/v1/detect" -H 'Content-Type: application/x-itask-tensor' \
+            --data-binary @"$workdir/twin.$seed.bin")
+        [ "$st" = 200 ] || { say "FAIL: seed $seed binary twin rep $rep got HTTP $st"; cat "$workdir/twin.$seed.bin.$rep.resp"; exit 1; }
+        bin_shard=$(shard_of_twin "$headers")
+        if [ -z "$bin_shard" ] || [ "$bin_shard" != "$json_shard" ]; then
+            say "FAIL: seed $seed binary twin routed to '$bin_shard', JSON twin to '$json_shard'"
+            exit 1
+        fi
+        grep -q '"detections"' "$workdir/twin.$seed.bin.$rep.resp" || {
+            say "FAIL: seed $seed binary twin body is not a detect response"
+            cat "$workdir/twin.$seed.bin.$rep.resp"
+            exit 1
+        }
+    done
+done
+say "binary ingress verified: frames route with their JSON twins, attribution stable"
+
 say "driving two tenants through the gateway (header and body identity)"
 # tenant-a identifies itself by header, tenant-b by body field; both must be
 # echoed back normalized, attributed in the gateway's per-tenant counters,

@@ -1,0 +1,68 @@
+// mkframe emits twin /v1/detect bodies — a JSON image request and the
+// equivalent application/x-itask-tensor binary frame — for shell-driven
+// smoke tests. curl can post arbitrary bytes but can't build them, so the
+// smoke script generates the pair here and asserts both encodings route and
+// digest identically through a real gateway and shards.
+//
+//	go run ./scripts/mkframe -size 32 -seed 7 -task patrol -json body.json -bin body.bin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"itask/internal/wire"
+)
+
+func main() {
+	var (
+		size     = flag.Int("size", 32, "image side length (frame is 3×size×size)")
+		seed     = flag.Int64("seed", 1, "deterministic payload seed")
+		task     = flag.String("task", "patrol", "task name")
+		tenant   = flag.String("tenant", "", "tenant id (optional)")
+		jsonPath = flag.String("json", "", "write the JSON body here")
+		binPath  = flag.String("bin", "", "write the binary frame here")
+	)
+	flag.Parse()
+	if *jsonPath == "" && *binPath == "" {
+		fmt.Fprintln(os.Stderr, "mkframe: nothing to do (pass -json and/or -bin)")
+		os.Exit(2)
+	}
+
+	r := rand.New(rand.NewSource(*seed))
+	data := make([]float32, 3**size**size)
+	for i := range data {
+		data[i] = r.Float32()
+	}
+
+	if *jsonPath != "" {
+		req := map[string]any{
+			"task":  *task,
+			"image": map[string]any{"shape": []int{3, *size, *size}, "data": data},
+		}
+		if *tenant != "" {
+			req["tenant"] = *tenant
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, body, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *binPath != "" {
+		frame := wire.AppendFrame(nil, *task, *tenant, 0, [3]int{3, *size, *size}, data)
+		if err := os.WriteFile(*binPath, frame, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkframe:", err)
+	os.Exit(1)
+}
